@@ -1,0 +1,93 @@
+package ccubing
+
+import (
+	"math"
+
+	"ccubing/internal/core"
+	"ccubing/internal/stats"
+	"ccubing/internal/table"
+)
+
+// Advise picks an engine for the dataset and threshold, encoding the
+// paper's empirical findings (Secs. 5.1-5.3, Fig. 15):
+//
+//   - the Star family wins when closed pruning is significant (low min_sup,
+//     or high data dependence, which raises the switch-point);
+//   - C-Cubing(MM) wins when iceberg pruning dominates (high min_sup);
+//   - within the Star family, low cardinality favors C-Cubing(Star)
+//     (multiway aggregation) and high cardinality favors
+//     C-Cubing(StarArray) (multiway traversal).
+//
+// For plain iceberg cubes the same min_sup reasoning applies without the
+// dependence boost. The estimates are heuristics, not guarantees.
+func Advise(ds *Dataset, minsup int64, closed bool) Algorithm {
+	if minsup < 1 {
+		minsup = 1
+	}
+	t := ds.t
+	nd := t.NumDims()
+	if nd == 0 {
+		return AlgMM
+	}
+
+	// Effective cardinality decides Star vs StarArray.
+	meanCard := 0.0
+	for d := 0; d < nd; d++ {
+		meanCard += float64(stats.DistinctValues(t, d))
+	}
+	meanCard /= float64(nd)
+	starFamily := AlgStar
+	if meanCard > 200 {
+		starFamily = AlgStarArray
+	}
+
+	if !closed {
+		// Iceberg only: MM-Cubing is the paper's adaptive default; tree
+		// engines pay off at min_sup 1 on small-cardinality data.
+		if minsup == 1 {
+			return starFamily
+		}
+		return AlgMM
+	}
+
+	// Closed: the min_sup switch-point grows with data dependence (Fig. 15).
+	// Map the [0,1] dependence estimate onto a switch-point between ~8
+	// (independent data) and ~512 (strongly dependent data).
+	dep := stats.DependenceEstimate(sampleForAdvice(ds))
+	switchPoint := 8 * math.Pow(2, 6*clamp01(dep))
+	if float64(minsup) < switchPoint {
+		return starFamily
+	}
+	return AlgMM
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// adviceSample bounds the advisor's dependence-estimation cost on large
+// relations.
+const adviceSample = 20000
+
+// sampleForAdvice returns a prefix view of the relation (shared columns).
+func sampleForAdvice(ds *Dataset) *table.Table {
+	t := ds.t
+	if t.NumTuples() <= adviceSample {
+		return t
+	}
+	s := &table.Table{
+		Names: t.Names,
+		Cards: t.Cards,
+		Cols:  make(core.Columns, t.NumDims()),
+	}
+	for d := range t.Cols {
+		s.Cols[d] = t.Cols[d][:adviceSample]
+	}
+	return s
+}

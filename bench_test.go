@@ -1,0 +1,197 @@
+package ccubing
+
+// One benchmark family per figure of the paper's evaluation (Figs. 3-18),
+// sharing the experiment definitions in internal/expt with cmd/ccbench, plus
+// ablation benchmarks for the design choices DESIGN.md calls out.
+//
+// Scale: tuple counts are multiplied by CCUBING_BENCH_SCALE (default 0.005,
+// i.e. 1K-5K tuples per dataset) so `go test -bench=.` completes in minutes.
+// Run cmd/ccbench -scale 0.1 (or 1.0 for paper scale) for the full sweeps;
+// EXPERIMENTS.md records the shapes at larger scales.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"ccubing/internal/expt"
+	"ccubing/internal/gen"
+	"ccubing/internal/mmcubing"
+	"ccubing/internal/sink"
+	"ccubing/internal/stararray"
+	"ccubing/internal/startree"
+	"ccubing/internal/table"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("CCUBING_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.005
+}
+
+// benchFigure runs every (point, algorithm) pair of one figure as a
+// sub-benchmark. Dataset generation happens outside the timer and is
+// memoized across figures.
+func benchFigure(b *testing.B, id string) {
+	f, err := expt.Find(id, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range f.Points {
+		tbl := p.Data()
+		for _, a := range p.Algos {
+			b.Run(p.Label+"/"+a.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var ns sink.Null
+					if err := a.Run(tbl, &ns); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig03Tuples(b *testing.B)           { benchFigure(b, "fig03") }
+func BenchmarkFig04Dimensions(b *testing.B)       { benchFigure(b, "fig04") }
+func BenchmarkFig05Cardinality(b *testing.B)      { benchFigure(b, "fig05") }
+func BenchmarkFig06Skew(b *testing.B)             { benchFigure(b, "fig06") }
+func BenchmarkFig07Weather(b *testing.B)          { benchFigure(b, "fig07") }
+func BenchmarkFig08Minsup(b *testing.B)           { benchFigure(b, "fig08") }
+func BenchmarkFig09IcebergSkew(b *testing.B)      { benchFigure(b, "fig09") }
+func BenchmarkFig10IcebergCard(b *testing.B)      { benchFigure(b, "fig10") }
+func BenchmarkFig11WeatherMinsup(b *testing.B)    { benchFigure(b, "fig11") }
+func BenchmarkFig12Dependence(b *testing.B)       { benchFigure(b, "fig12") }
+func BenchmarkFig13CubeSizeDep(b *testing.B)      { benchFigure(b, "fig13") }
+func BenchmarkFig14CubeSizeMinsup(b *testing.B)   { benchFigure(b, "fig14") }
+func BenchmarkFig15Switchpoint(b *testing.B)      { benchFigure(b, "fig15") }
+func BenchmarkFig16MMOverhead(b *testing.B)       { benchFigure(b, "fig16") }
+func BenchmarkFig17StarArrayPruning(b *testing.B) { benchFigure(b, "fig17") }
+func BenchmarkFig18DimOrder(b *testing.B)         { benchFigure(b, "fig18") }
+
+// ablationData is a dependent, mildly skewed dataset where closed pruning
+// matters — the regime the Lemma 5/6 prunings target.
+func ablationData() *table.Table {
+	cards := []int{20, 20, 20, 20, 20, 20}
+	return gen.MustSynthetic(gen.Config{
+		T: int(40000 * benchScale() * 20), Cards: cards, S: 1, Seed: 3,
+		Rules: gen.RulesForDependence(2, cards, 4),
+	})
+}
+
+// BenchmarkAblationLemma5 measures Lemma 5 (closed-mask) pruning in
+// C-Cubing(Star) and C-Cubing(StarArray).
+func BenchmarkAblationLemma5(b *testing.B) {
+	tbl := ablationData()
+	run := func(b *testing.B, f func() error) {
+		for i := 0; i < b.N; i++ {
+			if err := f(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Star/on", func(b *testing.B) {
+		run(b, func() error {
+			var ns sink.Null
+			return startree.Run(tbl, startree.Config{MinSup: 4, Closed: true}, &ns)
+		})
+	})
+	b.Run("Star/off", func(b *testing.B) {
+		run(b, func() error {
+			var ns sink.Null
+			return startree.Run(tbl, startree.Config{MinSup: 4, Closed: true, DisableLemma5: true}, &ns)
+		})
+	})
+	b.Run("StarArray/on", func(b *testing.B) {
+		run(b, func() error {
+			var ns sink.Null
+			return stararray.Run(tbl, stararray.Config{MinSup: 4, Closed: true}, &ns)
+		})
+	})
+	b.Run("StarArray/off", func(b *testing.B) {
+		run(b, func() error {
+			var ns sink.Null
+			return stararray.Run(tbl, stararray.Config{MinSup: 4, Closed: true, DisableLemma5: true}, &ns)
+		})
+	})
+}
+
+// BenchmarkAblationLemma6 measures the single-path pruning.
+func BenchmarkAblationLemma6(b *testing.B) {
+	tbl := ablationData()
+	for _, off := range []bool{false, true} {
+		name := "on"
+		if off {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var ns sink.Null
+				err := startree.Run(tbl, startree.Config{MinSup: 4, Closed: true, DisableLemma6: off}, &ns)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationShortcut measures C-Cubing(MM)'s partition==min_sup
+// closed-cell shortcut (the device behind its Fig. 16 low-min_sup win).
+func BenchmarkAblationShortcut(b *testing.B) {
+	tbl := ablationData()
+	for _, off := range []bool{false, true} {
+		name := "on"
+		if off {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var ns sink.Null
+				err := mmcubing.Run(tbl, mmcubing.Config{MinSup: 2, Closed: true, DisableShortcut: off}, &ns)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStarReduction measures star reduction in iceberg mode.
+func BenchmarkAblationStarReduction(b *testing.B) {
+	tbl := ablationData()
+	for _, off := range []bool{false, true} {
+		name := "on"
+		if off {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var ns sink.Null
+				err := startree.Run(tbl, startree.Config{MinSup: 8, NoStarReduction: off}, &ns)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDenseBudget sweeps the MM-Cubing dense array budget.
+func BenchmarkAblationDenseBudget(b *testing.B) {
+	tbl := ablationData()
+	for _, budget := range []int{1 << 8, 1 << 12, 1 << 16, 1 << 20} {
+		b.Run(strconv.Itoa(budget), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var ns sink.Null
+				err := mmcubing.Run(tbl, mmcubing.Config{MinSup: 4, Closed: true, DenseBudget: budget}, &ns)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,510 @@
+// Package ccubing computes closed and iceberg data cubes, implementing
+// "C-Cubing: Efficient Computation of Closed Cubes by Aggregation-Based
+// Checking" (Xin, Shao, Han, Liu; ICDE 2006).
+//
+// A data cube materializes every group-by of a relation. An iceberg cube
+// keeps the cells whose count reaches a threshold; a closed cube losslessly
+// compresses a cube by keeping only closed cells — cells not covered by a
+// more specific cell with the same measure. This package provides:
+//
+//   - C-Cubing(MM), C-Cubing(Star) and C-Cubing(StarArray): the paper's
+//     three closed-cubing algorithms, built on aggregation-based closedness
+//     checking (a closedness measure aggregated like count, rather than
+//     output-index checks or raw-data rescans);
+//   - their iceberg bases MM-Cubing, Star-Cubing and StarArray, plus BUC and
+//     the QC-DFS closed-cubing baseline, for comparison;
+//   - dataset helpers (CSV and in-memory construction, synthetic and
+//     weather-like generators), dimension-ordering strategies, closed-rule
+//     mining, an out-of-core partition driver, and an algorithm advisor.
+//
+// Quick start:
+//
+//	ds, _ := ccubing.ReadCSV(file)
+//	cells, stats, _ := ccubing.ComputeCollect(ds, ccubing.Options{MinSup: 10, Closed: true})
+package ccubing
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ccubing/internal/buc"
+	"ccubing/internal/core"
+	"ccubing/internal/gen"
+	"ccubing/internal/mmcubing"
+	"ccubing/internal/obcheck"
+	"ccubing/internal/order"
+	"ccubing/internal/qcdfs"
+	"ccubing/internal/qctree"
+	"ccubing/internal/sink"
+	"ccubing/internal/stararray"
+	"ccubing/internal/startree"
+	"ccubing/internal/table"
+)
+
+// Star marks a wildcard (aggregated-over) dimension in a cell's Values.
+const Star int32 = -1
+
+// MaxDims is the largest supported dimensionality.
+const MaxDims = core.MaxDims
+
+// Algorithm selects a cubing engine.
+type Algorithm int
+
+const (
+	// AlgAuto lets the library pick an engine via Advise.
+	AlgAuto Algorithm = iota
+	// AlgMM is MM-Cubing / C-Cubing(MM): lattice-space factorization with
+	// MultiWay array aggregation in dense subspaces. Strong when iceberg
+	// pruning dominates (high min_sup).
+	AlgMM
+	// AlgStar is Star-Cubing / C-Cubing(Star): star-tree computation with
+	// simultaneous child-tree aggregation. Strong at low min_sup and low
+	// cardinality.
+	AlgStar
+	// AlgStarArray is StarArray / C-Cubing(StarArray): the hybrid tree +
+	// tuple-ID-pool structure with multiway traversal. Strong at low
+	// min_sup and high cardinality.
+	AlgStarArray
+	// AlgBUC is BUC, iceberg only.
+	AlgBUC
+	// AlgQCDFS is the Quotient Cube DFS baseline, closed mode only.
+	AlgQCDFS
+	// AlgQCTree is QC-DFS plus QC-tree materialization — the full work the
+	// original Quotient Cube system performs. Closed mode only.
+	AlgQCTree
+	// AlgOBBUC is output-based closedness checking (closed-pattern-mining
+	// style, paper Sec. 2.2.2): BUC enumeration with an in-memory index of
+	// previous outputs. Closed mode only.
+	AlgOBBUC
+)
+
+// String names the algorithm as in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgAuto:
+		return "Auto"
+	case AlgMM:
+		return "CC(MM)"
+	case AlgStar:
+		return "CC(Star)"
+	case AlgStarArray:
+		return "CC(StarArray)"
+	case AlgBUC:
+		return "BUC"
+	case AlgQCDFS:
+		return "QC-DFS"
+	case AlgQCTree:
+		return "QC-Tree"
+	case AlgOBBUC:
+		return "OB-BUC"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm resolves a command-line name to an algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "auto", "Auto":
+		return AlgAuto, nil
+	case "mm", "MM", "CC(MM)", "cc-mm":
+		return AlgMM, nil
+	case "star", "Star", "CC(Star)", "cc-star":
+		return AlgStar, nil
+	case "stararray", "StarArray", "CC(StarArray)", "cc-stararray":
+		return AlgStarArray, nil
+	case "buc", "BUC":
+		return AlgBUC, nil
+	case "qcdfs", "QC-DFS", "qc-dfs":
+		return AlgQCDFS, nil
+	case "qctree", "QC-Tree", "qc-tree":
+		return AlgQCTree, nil
+	case "obbuc", "OB-BUC", "ob-buc":
+		return AlgOBBUC, nil
+	}
+	return AlgAuto, fmt.Errorf("ccubing: unknown algorithm %q", s)
+}
+
+// OrderStrategy re-exports the dimension-ordering strategies of paper
+// Sec. 5.5 (meaningful for the tree engines; MM-Cubing is order-free).
+type OrderStrategy = order.Strategy
+
+const (
+	// OrderOriginal keeps the dataset's dimension order.
+	OrderOriginal = order.Original
+	// OrderByCardinality sorts dimensions by cardinality descending.
+	OrderByCardinality = order.ByCardinality
+	// OrderByEntropy sorts dimensions by the paper's entropy measure
+	// descending (the recommended strategy).
+	OrderByEntropy = order.ByEntropy
+)
+
+// MeasureKind re-exports the complex-measure kinds (paper Sec. 6.1).
+type MeasureKind = core.MeasureKind
+
+const (
+	MeasureNone = core.MeasureNone
+	MeasureSum  = core.MeasureSum
+	MeasureMin  = core.MeasureMin
+	MeasureMax  = core.MeasureMax
+	MeasureAvg  = core.MeasureAvg
+)
+
+// Options configures a cube computation.
+type Options struct {
+	// MinSup is the iceberg threshold on count; 1 computes the full
+	// (closed) cube. Defaults to 1 when zero.
+	MinSup int64
+	// Closed computes the closed (iceberg) cube; false computes the plain
+	// iceberg cube.
+	Closed bool
+	// Algorithm picks the engine; AlgAuto consults Advise.
+	Algorithm Algorithm
+	// Order applies a dimension-ordering strategy before tree-based engines
+	// run. Emitted cells are always in the dataset's original dimension
+	// order.
+	Order OrderStrategy
+	// Measure attaches a complex measure, aggregated over Dataset.Aux.
+	// Supported natively by AlgBUC and AlgQCDFS; other engines return an
+	// error (use AttachMeasure as a post-pass instead).
+	Measure MeasureKind
+	// DenseBudget overrides the MM-Cubing dense array budget, in cells.
+	DenseBudget int
+	// DisableLemma5, DisableLemma6 and DisableShortcut switch off individual
+	// closed-pruning devices for ablation studies; outputs are unaffected.
+	DisableLemma5   bool
+	DisableLemma6   bool
+	DisableShortcut bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSup <= 0 {
+		o.MinSup = 1
+	}
+	return o
+}
+
+// Cell is one output cell: Values has one entry per dimension (Star for
+// aggregated dimensions), Count the count measure, and Aux the complex
+// measure when one was requested.
+type Cell struct {
+	Values []int32
+	Count  int64
+	Aux    float64
+}
+
+// Stats summarizes a computation.
+type Stats struct {
+	// Algorithm is the engine that actually ran (resolved from AlgAuto).
+	Algorithm Algorithm
+	// Cells is the number of emitted cells.
+	Cells int64
+	// Bytes is the serialized cube size (4 bytes per dimension plus an
+	// 8-byte count per cell), the accounting used by the paper's cube-size
+	// experiments.
+	Bytes int64
+	// Elapsed is the wall-clock computation time.
+	Elapsed time.Duration
+}
+
+// MB returns the cube size in binary megabytes.
+func (s Stats) MB() float64 { return float64(s.Bytes) / (1 << 20) }
+
+// Compute runs the configured algorithm over the dataset and calls visit for
+// every output cell. The Cell passed to visit reuses its Values buffer
+// between calls; copy it to retain.
+func Compute(ds *Dataset, opt Options, visit func(Cell)) (Stats, error) {
+	opt = opt.withDefaults()
+	if ds == nil || ds.t == nil {
+		return Stats{}, fmt.Errorf("ccubing: nil dataset")
+	}
+	alg := opt.Algorithm
+	if alg == AlgAuto {
+		alg = Advise(ds, opt.MinSup, opt.Closed)
+	}
+	st := Stats{Algorithm: alg}
+	if err := checkOptions(ds, opt, alg); err != nil {
+		return st, err
+	}
+
+	t := ds.t
+	perm := order.Permutation(t, OrderOriginal)
+	if opt.Order != OrderOriginal && (alg == AlgStar || alg == AlgStarArray) {
+		var err error
+		t, perm, err = order.Apply(ds.t, opt.Order)
+		if err != nil {
+			return st, err
+		}
+	}
+
+	out := &visitSink{visit: visit, perm: perm, scratch: make([]core.Value, t.NumDims()), stats: &st}
+	start := time.Now()
+	err := dispatch(alg, t, opt, out)
+	st.Elapsed = time.Since(start)
+	return st, err
+}
+
+// dispatch runs one engine on a (possibly reordered) table.
+func dispatch(alg Algorithm, t *table.Table, opt Options, out sink.Sink) error {
+	switch alg {
+	case AlgMM:
+		return mmcubing.Run(t, mmcubing.Config{
+			MinSup:          opt.MinSup,
+			Closed:          opt.Closed,
+			DenseBudget:     opt.DenseBudget,
+			DisableShortcut: opt.DisableShortcut,
+		}, out)
+	case AlgStar:
+		return startree.Run(t, startree.Config{
+			MinSup:        opt.MinSup,
+			Closed:        opt.Closed,
+			DisableLemma5: opt.DisableLemma5,
+			DisableLemma6: opt.DisableLemma6,
+		}, out)
+	case AlgStarArray:
+		return stararray.Run(t, stararray.Config{
+			MinSup:        opt.MinSup,
+			Closed:        opt.Closed,
+			DisableLemma5: opt.DisableLemma5,
+			DisableLemma6: opt.DisableLemma6,
+		}, out)
+	case AlgBUC:
+		return buc.Run(t, buc.Config{MinSup: opt.MinSup, Measure: opt.Measure}, out)
+	case AlgQCDFS:
+		return qcdfs.Run(t, qcdfs.Config{MinSup: opt.MinSup, Measure: opt.Measure}, out)
+	case AlgQCTree:
+		return qctree.Run(t, opt.MinSup, out)
+	case AlgOBBUC:
+		return obcheck.Run(t, obcheck.Config{MinSup: opt.MinSup}, out)
+	default:
+		return fmt.Errorf("ccubing: unknown algorithm %v", alg)
+	}
+}
+
+func checkOptions(ds *Dataset, opt Options, alg Algorithm) error {
+	if ds == nil || ds.t == nil {
+		return fmt.Errorf("ccubing: nil dataset")
+	}
+	if alg == AlgBUC && opt.Closed {
+		return fmt.Errorf("ccubing: BUC computes iceberg cubes only; pick a C-Cubing algorithm for closed cubes")
+	}
+	if (alg == AlgQCDFS || alg == AlgQCTree || alg == AlgOBBUC) && !opt.Closed {
+		return fmt.Errorf("ccubing: %v computes closed cubes only", alg)
+	}
+	if opt.Measure != MeasureNone && alg != AlgBUC && alg != AlgQCDFS {
+		return fmt.Errorf("ccubing: measure %v is only aggregated natively by BUC and QC-DFS; use AttachMeasure", opt.Measure)
+	}
+	if opt.Measure != MeasureNone && ds.t.Aux == nil {
+		return fmt.Errorf("ccubing: measure %v requested but dataset has no measure column", opt.Measure)
+	}
+	return nil
+}
+
+// visitSink adapts a visit callback to the engine sink interface, remapping
+// dimension positions when the table was reordered.
+type visitSink struct {
+	visit   func(Cell)
+	perm    []int
+	scratch []core.Value
+	stats   *Stats
+	cell    Cell
+}
+
+func (v *visitSink) Emit(vals []core.Value, count int64) { v.emit(vals, count, 0) }
+
+func (v *visitSink) EmitAux(vals []core.Value, count int64, aux float64) {
+	v.emit(vals, count, aux)
+}
+
+func (v *visitSink) emit(vals []core.Value, count int64, aux float64) {
+	v.stats.Cells++
+	v.stats.Bytes += int64(4*len(vals)) + 8
+	for i, val := range vals {
+		v.scratch[v.perm[i]] = val
+	}
+	if v.visit == nil {
+		return
+	}
+	v.cell.Values = v.scratch
+	v.cell.Count = count
+	v.cell.Aux = aux
+	v.visit(v.cell)
+}
+
+// ComputeCollect is Compute retaining every cell.
+func ComputeCollect(ds *Dataset, opt Options) ([]Cell, Stats, error) {
+	var cells []Cell
+	st, err := Compute(ds, opt, func(c Cell) {
+		vals := make([]int32, len(c.Values))
+		copy(vals, c.Values)
+		cells = append(cells, Cell{Values: vals, Count: c.Count, Aux: c.Aux})
+	})
+	return cells, st, err
+}
+
+// Dataset is a dictionary-encoded relation ready for cubing.
+type Dataset struct {
+	t     *table.Table
+	dicts []*table.Dict
+}
+
+// NumDims returns the number of dimensions.
+func (ds *Dataset) NumDims() int { return ds.t.NumDims() }
+
+// NumTuples returns the number of tuples.
+func (ds *Dataset) NumTuples() int { return ds.t.NumTuples() }
+
+// Names returns the dimension names.
+func (ds *Dataset) Names() []string { return ds.t.Names }
+
+// Cardinalities returns the per-dimension dictionary sizes.
+func (ds *Dataset) Cardinalities() []int { return ds.t.Cards }
+
+// SetMeasure attaches a per-tuple numeric measure column for complex
+// measures (paper Sec. 6.1).
+func (ds *Dataset) SetMeasure(vals []float64) error {
+	if len(vals) != ds.t.NumTuples() {
+		return fmt.Errorf("ccubing: measure column has %d values, want %d", len(vals), ds.t.NumTuples())
+	}
+	ds.t.Aux = vals
+	return nil
+}
+
+// FormatCell renders a cell using the dataset's dictionaries (or raw codes
+// when the dataset was built from coded values).
+func (ds *Dataset) FormatCell(c Cell) string {
+	s := "("
+	for d, v := range c.Values {
+		if d > 0 {
+			s += ", "
+		}
+		if v == Star {
+			s += "*"
+		} else if ds.dicts != nil {
+			s += ds.dicts[d].Name(v)
+		} else {
+			s += fmt.Sprintf("%s=%d", ds.t.Names[d], v)
+		}
+	}
+	return fmt.Sprintf("%s : %d)", s, c.Count)
+}
+
+// ReadCSV loads a dataset from CSV with a header row of dimension names.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	t, dicts, err := table.ReadCSV(r, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateDims(t); err != nil {
+		return nil, err
+	}
+	return &Dataset{t: t, dicts: dicts}, nil
+}
+
+// NewDataset builds a dataset from string-valued rows, dictionary-encoding
+// every field. names supplies one label per dimension.
+func NewDataset(names []string, rows [][]string) (*Dataset, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("ccubing: no rows")
+	}
+	nd := len(names)
+	dicts := make([]*table.Dict, nd)
+	for d := range dicts {
+		dicts[d] = table.NewDict()
+	}
+	t := table.New(nd, len(rows))
+	copy(t.Names, names)
+	for i, row := range rows {
+		if len(row) != nd {
+			return nil, fmt.Errorf("ccubing: row %d has %d fields, want %d", i, len(row), nd)
+		}
+		for d, s := range row {
+			t.Cols[d][i] = dicts[d].Code(s)
+		}
+	}
+	for d := range dicts {
+		t.Cards[d] = dicts[d].Len()
+	}
+	if err := validateDims(t); err != nil {
+		return nil, err
+	}
+	return &Dataset{t: t, dicts: dicts}, nil
+}
+
+// NewDatasetFromValues builds a dataset from already-encoded rows (values in
+// [0, card) per dimension; cardinalities inferred).
+func NewDatasetFromValues(names []string, rows [][]int32) (*Dataset, error) {
+	vrows := make([][]core.Value, len(rows))
+	for i, r := range rows {
+		vrows[i] = r
+	}
+	t, err := table.FromRows(vrows)
+	if err != nil {
+		return nil, err
+	}
+	if names != nil {
+		if len(names) != t.NumDims() {
+			return nil, fmt.Errorf("ccubing: %d names for %d dimensions", len(names), t.NumDims())
+		}
+		copy(t.Names, names)
+	}
+	if err := validateDims(t); err != nil {
+		return nil, err
+	}
+	return &Dataset{t: t}, nil
+}
+
+func validateDims(t *table.Table) error {
+	if t.NumDims() > core.MaxDims {
+		return fmt.Errorf("ccubing: %d dimensions exceed the supported %d", t.NumDims(), core.MaxDims)
+	}
+	return nil
+}
+
+// SyntheticConfig describes a synthetic dataset in the paper's vocabulary.
+type SyntheticConfig struct {
+	T          int     // tuples
+	D          int     // dimensions
+	C          int     // cardinality per dimension
+	Cards      []int   // per-dimension cardinalities (overrides D, C)
+	Skew       float64 // Zipf exponent, 0 = uniform
+	Dependence float64 // target dependence R (paper Sec. 5.3); 0 = none
+	Seed       int64
+}
+
+// Synthetic generates a dataset (deterministic per config).
+func Synthetic(cfg SyntheticConfig) (*Dataset, error) {
+	gcfg := gen.Config{T: cfg.T, D: cfg.D, C: cfg.C, Cards: cfg.Cards, S: cfg.Skew, Seed: cfg.Seed}
+	if cfg.Dependence > 0 {
+		cards := cfg.Cards
+		if cards == nil {
+			cards = make([]int, cfg.D)
+			for i := range cards {
+				cards[i] = cfg.C
+			}
+		}
+		gcfg.Rules = gen.RulesForDependence(cfg.Dependence, cards, cfg.Seed+1)
+	}
+	t, err := gen.Synthetic(gcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{t: t}, nil
+}
+
+// Weather synthesizes the weather-like dataset standing in for the paper's
+// SEP83L relation: n tuples over the first nd of its 8 dimensions (pass
+// nd <= 0 for all 8, n <= 0 for the full 1,002,752 tuples). See DESIGN.md
+// for the substitution rationale.
+func Weather(seed int64, n, nd int) (*Dataset, error) {
+	t, err := gen.Weather(seed, n, nd)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{t: t}, nil
+}
+
+// Table exposes the underlying relation to sibling internal packages (the
+// experiment harness); external users should not need it.
+func (ds *Dataset) Table() *table.Table { return ds.t }

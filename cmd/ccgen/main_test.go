@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestBuildSynth(t *testing.T) {
+	tbl, err := buildSynth("T=500,D=4,C=6,S=1,R=1,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumTuples() != 500 || tbl.NumDims() != 4 {
+		t.Fatalf("shape %dx%d", tbl.NumDims(), tbl.NumTuples())
+	}
+	if _, err := buildSynth("T=bad"); err == nil {
+		t.Fatal("bad spec should fail")
+	}
+	if _, err := buildSynth("X=1"); err == nil {
+		t.Fatal("unknown key should fail")
+	}
+}
+
+func TestBuildWeather(t *testing.T) {
+	tbl, err := buildWeather("300,6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumTuples() != 300 || tbl.NumDims() != 6 {
+		t.Fatalf("shape %dx%d", tbl.NumDims(), tbl.NumTuples())
+	}
+	for _, bad := range []string{"300", "a,b", "300,6,7"} {
+		if _, err := buildWeather(bad); err == nil {
+			t.Errorf("buildWeather(%q) should fail", bad)
+		}
+	}
+}

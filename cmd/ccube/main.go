@@ -1,0 +1,200 @@
+// Command ccube computes a (closed) iceberg cube from a CSV file or a
+// generated dataset and streams the cells to stdout.
+//
+// Usage:
+//
+//	ccube -csv data.csv -minsup 10 -closed -alg stararray
+//	ccube -synth T=100000,D=8,C=100,S=1,R=0,seed=1 -minsup 4 -closed
+//	ccube -weather 100000,8 -minsup 10 -closed -rules
+//
+// Output rows are "v0,v1,*,v3,count" with dictionary labels resolved for CSV
+// inputs; a summary line goes to stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ccubing"
+)
+
+func main() {
+	var (
+		csvPath = flag.String("csv", "", "CSV input file (header row = dimension names)")
+		synth   = flag.String("synth", "", "synthetic dataset spec: T=..,D=..,C=..,S=..,R=..,seed=..")
+		weather = flag.String("weather", "", "weather-like dataset: tuples,dims (e.g. 100000,8)")
+		algName = flag.String("alg", "auto", "algorithm: auto|mm|star|stararray|buc|qcdfs|qctree|obbuc")
+		minsup  = flag.Int64("minsup", 1, "iceberg threshold on count")
+		closed  = flag.Bool("closed", false, "compute the closed iceberg cube")
+		ordName = flag.String("order", "Org", "dimension order: Org|Card|Entropy")
+		quiet   = flag.Bool("quiet", false, "suppress cell output (timing only)")
+		doRules = flag.Bool("rules", false, "mine closed rules from the result (closed mode)")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*csvPath, *synth, *weather)
+	if err != nil {
+		fatal(err)
+	}
+	alg, err := ccubing.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	ord, err := parseOrder(*ordName)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := ccubing.Options{
+		MinSup:    *minsup,
+		Closed:    *closed,
+		Algorithm: alg,
+		Order:     ord,
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	var cells []ccubing.Cell
+	visit := func(c ccubing.Cell) {
+		if !*quiet {
+			writeCell(w, c)
+		}
+		if *doRules {
+			vals := make([]int32, len(c.Values))
+			copy(vals, c.Values)
+			cells = append(cells, ccubing.Cell{Values: vals, Count: c.Count})
+		}
+	}
+	st, err := ccubing.Compute(ds, opt, visit)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ccube: %s  tuples=%d dims=%d minsup=%d closed=%v  cells=%d size=%.2fMB elapsed=%s\n",
+		st.Algorithm, ds.NumTuples(), ds.NumDims(), opt.MinSup, opt.Closed, st.Cells, st.MB(), st.Elapsed)
+
+	if *doRules {
+		if !*closed {
+			fatal(fmt.Errorf("-rules requires -closed"))
+		}
+		rs, err := ccubing.MineRules(ds, cells)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ccube: %d closed rules from %d closed cells (%.1f%%)\n",
+			len(rs), len(cells), 100*float64(len(rs))/float64(max(1, len(cells))))
+		for _, r := range rs {
+			fmt.Fprintln(w, "# rule:", r.String())
+		}
+	}
+}
+
+func loadDataset(csvPath, synth, weather string) (*ccubing.Dataset, error) {
+	n := 0
+	for _, s := range []string{csvPath, synth, weather} {
+		if s != "" {
+			n++
+		}
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("exactly one of -csv, -synth, -weather is required")
+	}
+	switch {
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ccubing.ReadCSV(bufio.NewReader(f))
+	case synth != "":
+		cfg, err := parseSynth(synth)
+		if err != nil {
+			return nil, err
+		}
+		return ccubing.Synthetic(cfg)
+	default:
+		parts := strings.Split(weather, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("-weather wants tuples,dims")
+		}
+		t, err1 := strconv.Atoi(parts[0])
+		d, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("-weather wants tuples,dims")
+		}
+		return ccubing.Weather(1, t, d)
+	}
+}
+
+func parseSynth(s string) (ccubing.SyntheticConfig, error) {
+	cfg := ccubing.SyntheticConfig{T: 10000, D: 6, C: 10, Seed: 1}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return cfg, fmt.Errorf("bad synth component %q", kv)
+		}
+		k, v := parts[0], parts[1]
+		var err error
+		switch k {
+		case "T":
+			cfg.T, err = strconv.Atoi(v)
+		case "D":
+			cfg.D, err = strconv.Atoi(v)
+		case "C":
+			cfg.C, err = strconv.Atoi(v)
+		case "S":
+			cfg.Skew, err = strconv.ParseFloat(v, 64)
+		case "R":
+			cfg.Dependence, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			err = fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("bad synth component %q: %v", kv, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseOrder(s string) (ccubing.OrderStrategy, error) {
+	switch strings.ToLower(s) {
+	case "org", "original":
+		return ccubing.OrderOriginal, nil
+	case "card", "cardinality":
+		return ccubing.OrderByCardinality, nil
+	case "entropy":
+		return ccubing.OrderByEntropy, nil
+	}
+	return ccubing.OrderOriginal, fmt.Errorf("unknown order %q", s)
+}
+
+func writeCell(w *bufio.Writer, c ccubing.Cell) {
+	for _, v := range c.Values {
+		if v == ccubing.Star {
+			w.WriteByte('*')
+		} else {
+			w.WriteString(strconv.Itoa(int(v)))
+		}
+		w.WriteByte(',')
+	}
+	w.WriteString(strconv.FormatInt(c.Count, 10))
+	w.WriteByte('\n')
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccube:", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"testing"
+
+	"ccubing"
+)
+
+func newTestWriter(w io.Writer) *bufio.Writer { return bufio.NewWriter(w) }
+
+func TestParseSynth(t *testing.T) {
+	cfg, err := parseSynth("T=5000,D=7,C=42,S=1.5,R=2,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.T != 5000 || cfg.D != 7 || cfg.C != 42 || cfg.Skew != 1.5 ||
+		cfg.Dependence != 2 || cfg.Seed != 9 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	for _, bad := range []string{"T", "T=x", "Q=1", "T=1,,"} {
+		if _, err := parseSynth(bad); err == nil {
+			t.Errorf("parseSynth(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseOrder(t *testing.T) {
+	cases := map[string]ccubing.OrderStrategy{
+		"org": ccubing.OrderOriginal, "Original": ccubing.OrderOriginal,
+		"card": ccubing.OrderByCardinality, "Entropy": ccubing.OrderByEntropy,
+	}
+	for in, want := range cases {
+		got, err := parseOrder(in)
+		if err != nil || got != want {
+			t.Errorf("parseOrder(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseOrder("zigzag"); err == nil {
+		t.Fatal("unknown order should fail")
+	}
+}
+
+func TestLoadDatasetValidation(t *testing.T) {
+	if _, err := loadDataset("", "", ""); err == nil {
+		t.Fatal("no source should fail")
+	}
+	if _, err := loadDataset("a.csv", "T=1", ""); err == nil {
+		t.Fatal("two sources should fail")
+	}
+	if _, err := loadDataset("", "", "abc"); err == nil {
+		t.Fatal("malformed weather spec should fail")
+	}
+	ds, err := loadDataset("", "T=100,D=3,C=4", "")
+	if err != nil || ds.NumTuples() != 100 {
+		t.Fatalf("synth load: %v", err)
+	}
+	ds, err = loadDataset("", "", "200,5")
+	if err != nil || ds.NumTuples() != 200 || ds.NumDims() != 5 {
+		t.Fatalf("weather load: %v", err)
+	}
+}
+
+func TestWriteCell(t *testing.T) {
+	var sb strings.Builder
+	w := newTestWriter(&sb)
+	writeCell(w, ccubing.Cell{Values: []int32{3, ccubing.Star}, Count: 7})
+	w.Flush()
+	if sb.String() != "3,*,7\n" {
+		t.Fatalf("writeCell = %q", sb.String())
+	}
+}

@@ -1,0 +1,152 @@
+package ccubing
+
+import (
+	"fmt"
+	"time"
+
+	"ccubing/internal/core"
+	"ccubing/internal/partition"
+	"ccubing/internal/rules"
+	"ccubing/internal/sink"
+	"ccubing/internal/table"
+)
+
+// AttachMeasure computes a complex measure (paper Sec. 6.1) for
+// already-collected cells by scanning the relation once per cell, filling
+// each cell's Aux in place. Lemma 1 guarantees the closed cube on count
+// loses no closed cells of any measure, so attaching measures after closed
+// cubing is sound. Cost is O(cells × T × D); intended for analysis-sized
+// outputs, not full cubes.
+func AttachMeasure(ds *Dataset, cells []Cell, kind MeasureKind) error {
+	if kind == MeasureNone {
+		return nil
+	}
+	if ds.t.Aux == nil {
+		return fmt.Errorf("ccubing: dataset has no measure column; call SetMeasure first")
+	}
+	t := ds.t
+	n := t.NumTuples()
+	for ci := range cells {
+		agg := core.NewMeasureAgg(kind)
+		vals := cells[ci].Values
+		for tid := 0; tid < n; tid++ {
+			ok := true
+			for d, v := range vals {
+				if v != Star && t.Cols[d][tid] != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				agg.Add(t.Aux[tid])
+			}
+		}
+		cells[ci].Aux = agg.Value()
+	}
+	return nil
+}
+
+// Rule is a closed rule (paper Sec. 6.2): cells fixing the condition values
+// necessarily carry the target values.
+type Rule struct {
+	CondDims []int
+	CondVals []int32
+	TargDims []int
+	TargVals []int32
+	Support  int64
+}
+
+// String renders the rule with the dataset-independent d<i>=v notation.
+func (r Rule) String() string {
+	return rules.Rule{
+		CondDims: r.CondDims, CondVals: r.CondVals,
+		TargDims: r.TargDims, TargVals: r.TargVals,
+		Support: r.Support,
+	}.String()
+}
+
+// MineRules derives closed rules from closed cells (typically the output of
+// a closed-cube computation on this dataset). The result is verified against
+// the relation before returning.
+func MineRules(ds *Dataset, cells []Cell) ([]Rule, error) {
+	ccells := make([]core.Cell, len(cells))
+	for i, c := range cells {
+		ccells[i] = core.Cell{Values: c.Values, Count: c.Count}
+	}
+	mined := rules.Mine(ds.t, ccells)
+	if err := rules.Verify(ds.t, mined); err != nil {
+		return nil, err
+	}
+	out := make([]Rule, len(mined))
+	for i, r := range mined {
+		out[i] = Rule{
+			CondDims: r.CondDims, CondVals: r.CondVals,
+			TargDims: r.TargDims, TargVals: r.TargVals,
+			Support: r.Support,
+		}
+	}
+	return out, nil
+}
+
+// PartitionOptions configures ComputePartitioned.
+type PartitionOptions struct {
+	// Dim is the partitioning dimension (paper Sec. 6.3 partitions on the
+	// values of one dimension). Defaults to the dimension with the highest
+	// cardinality when negative.
+	Dim int
+	// Buckets bounds the number of partition files (default 16).
+	Buckets int
+	// TempDir receives partition files (default: the system temp dir).
+	TempDir string
+}
+
+// ComputePartitioned is Compute for relations whose cubing working set
+// exceeds memory (paper Sec. 6.3): the relation is spilled into partition
+// files on one dimension, partitions are cubed one at a time, and the cells
+// collapsing the partition dimension come from one final pass with that
+// dimension moved last. The emitted cell set equals Compute's.
+func ComputePartitioned(ds *Dataset, opt Options, popt PartitionOptions, visit func(Cell)) (Stats, error) {
+	opt = opt.withDefaults()
+	if ds == nil || ds.t == nil {
+		return Stats{}, fmt.Errorf("ccubing: nil dataset")
+	}
+	alg := opt.Algorithm
+	if alg == AlgAuto {
+		alg = Advise(ds, opt.MinSup, opt.Closed)
+	}
+	st := Stats{Algorithm: alg}
+	if err := checkOptions(ds, opt, alg); err != nil {
+		return st, err
+	}
+	if opt.Measure != MeasureNone {
+		return st, fmt.Errorf("ccubing: partitioned runs do not support native measures; use AttachMeasure")
+	}
+	dim := popt.Dim
+	if dim < 0 {
+		dim = 0
+		for d := 1; d < ds.t.NumDims(); d++ {
+			if ds.t.Cards[d] > ds.t.Cards[dim] {
+				dim = d
+			}
+		}
+	}
+	out := &visitSink{
+		visit:   visit,
+		perm:    identityPerm(ds.t.NumDims()),
+		scratch: make([]core.Value, ds.t.NumDims()),
+		stats:   &st,
+	}
+	engine := func(t *table.Table, s sink.Sink) error { return dispatch(alg, t, opt, s) }
+	start := time.Now()
+	err := partition.Run(ds.t, partition.Config{Dim: dim, Buckets: popt.Buckets, TempDir: popt.TempDir}, engine, out)
+	st.Elapsed = time.Since(start)
+	return st, err
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

@@ -1,0 +1,125 @@
+package ccubing
+
+import (
+	"testing"
+)
+
+func TestAttachMeasure(t *testing.T) {
+	ds, err := NewDatasetFromValues([]string{"x", "y"}, [][]int32{{0, 0}, {0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, _ := collect(t, ds, Options{MinSup: 1, Closed: true, Algorithm: AlgStar})
+	if err := AttachMeasure(ds, cells, MeasureSum); err == nil {
+		t.Fatal("AttachMeasure without a measure column must error")
+	}
+	if err := ds.SetMeasure([]float64{1, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachMeasure(ds, cells, MeasureSum); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Values[0] == Star && c.Values[1] == Star && c.Aux != 7 {
+			t.Fatalf("apex sum = %v", c.Aux)
+		}
+		if c.Values[0] == 0 && c.Values[1] == Star && c.Aux != 3 {
+			t.Fatalf("(0,*) sum = %v", c.Aux)
+		}
+	}
+	// MeasureNone is a no-op.
+	if err := AttachMeasure(ds, cells, MeasureNone); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineRulesEndToEnd(t *testing.T) {
+	// Strongly dependent dataset: plant dependence and mine it back.
+	ds, err := Synthetic(SyntheticConfig{T: 400, D: 4, C: 6, Skew: 0.5, Dependence: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, _ := collect(t, ds, Options{MinSup: 4, Closed: true, Algorithm: AlgStarArray})
+	rs, err := MineRules(ds, cells)
+	if err != nil {
+		t.Fatalf("MineRules: %v", err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("expected rules on dependent data")
+	}
+	if len(rs) >= len(cells) {
+		t.Fatalf("%d rules for %d cells: expected compression", len(rs), len(cells))
+	}
+	if rs[0].String() == "" {
+		t.Fatal("empty rule rendering")
+	}
+}
+
+func TestComputePartitionedMatchesCompute(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{T: 600, D: 4, C: 8, Skew: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgStarArray, AlgMM} {
+		direct, _ := collect(t, ds, Options{MinSup: 2, Closed: true, Algorithm: alg})
+		var parted []Cell
+		st, err := ComputePartitioned(ds,
+			Options{MinSup: 2, Closed: true, Algorithm: alg},
+			PartitionOptions{Dim: -1, Buckets: 4, TempDir: t.TempDir()},
+			func(c Cell) {
+				vals := make([]int32, len(c.Values))
+				copy(vals, c.Values)
+				parted = append(parted, Cell{Values: vals, Count: c.Count})
+			})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !sameCells(direct, parted) {
+			t.Fatalf("%v: partitioned output differs (%d vs %d cells)",
+				alg, len(parted), len(direct))
+		}
+		if st.Cells != int64(len(parted)) {
+			t.Fatalf("stats cells = %d, emitted %d", st.Cells, len(parted))
+		}
+	}
+}
+
+func TestComputePartitionedRejectsMeasure(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{T: 50, D: 3, C: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SetMeasure(make([]float64, 50))
+	_, err = ComputePartitioned(ds, Options{MinSup: 1, Algorithm: AlgBUC, Measure: MeasureSum},
+		PartitionOptions{}, nil)
+	if err == nil {
+		t.Fatal("partitioned native measure must error")
+	}
+}
+
+func TestAdviseShape(t *testing.T) {
+	// Low-cardinality dataset, closed, min_sup 1: the Star family must win.
+	small, err := Synthetic(SyntheticConfig{T: 500, D: 4, C: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := Advise(small, 1, true); a != AlgStar {
+		t.Fatalf("low-card closed full cube: advised %v, want CC(Star)", a)
+	}
+	// High cardinality: StarArray within the family.
+	big, err := Synthetic(SyntheticConfig{T: 2000, D: 3, C: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := Advise(big, 1, true); a != AlgStarArray {
+		t.Fatalf("high-card closed full cube: advised %v, want CC(StarArray)", a)
+	}
+	// Very high min_sup on independent data: iceberg pruning dominates -> MM.
+	if a := Advise(small, 1024, true); a != AlgMM {
+		t.Fatalf("high min_sup: advised %v, want CC(MM)", a)
+	}
+	// Iceberg (non-closed), high min_sup -> MM.
+	if a := Advise(small, 64, false); a != AlgMM {
+		t.Fatalf("iceberg high min_sup: advised %v, want CC(MM)", a)
+	}
+}

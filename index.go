@@ -1,0 +1,44 @@
+package ccubing
+
+import (
+	"fmt"
+
+	"ccubing/internal/core"
+	"ccubing/internal/qctree"
+)
+
+// CubeIndex answers point queries over a closed (iceberg) cube: the count of
+// ANY cell — closed or not — is the count of its class's upper bound, so a
+// closed cube plus this index is a lossless substitute for the full cube
+// (above the iceberg threshold). Internally it is a QC-tree (Lakshmanan et
+// al., SIGMOD'03) built from the closed cells.
+type CubeIndex struct {
+	tree *qctree.Tree
+}
+
+// NewCubeIndex indexes the closed cells of ds (typically the output of a
+// Compute run with Closed: true).
+func NewCubeIndex(ds *Dataset, closedCells []Cell) (*CubeIndex, error) {
+	if ds == nil || ds.t == nil {
+		return nil, fmt.Errorf("ccubing: nil dataset")
+	}
+	cc := make([]core.Cell, len(closedCells))
+	for i, c := range closedCells {
+		cc[i] = core.Cell{Values: c.Values, Count: c.Count}
+	}
+	tr, err := qctree.FromCells(ds.t.NumDims(), cc)
+	if err != nil {
+		return nil, err
+	}
+	return &CubeIndex{tree: tr}, nil
+}
+
+// Query returns the count of the cell with the given values (Star for
+// aggregated dimensions). The second result is false when the cell is empty
+// or fell below the iceberg threshold of the indexed cube.
+func (ix *CubeIndex) Query(vals []int32) (int64, bool) {
+	return ix.tree.Query(vals)
+}
+
+// Nodes reports the size of the index in tree nodes.
+func (ix *CubeIndex) Nodes() int64 { return ix.tree.Nodes() }

@@ -1,0 +1,74 @@
+package ccubing
+
+import (
+	"testing"
+
+	"ccubing/internal/refcube"
+)
+
+// TestCubeIndexLossless: the index over the closed cube must answer the
+// exact count of every iceberg cell, closed or not — the lossless property
+// closed cubes exist for.
+func TestCubeIndexLossless(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{T: 200, D: 4, C: 4, Skew: 1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, minsup := range []int64{1, 3} {
+		cells, _ := collect(t, ds, Options{MinSup: minsup, Closed: true, Algorithm: AlgStarArray})
+		ix, err := NewCubeIndex(ds, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Nodes() == 0 {
+			t.Fatal("empty index")
+		}
+		ice, err := refcube.Iceberg(ds.t, minsup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(cells)) >= int64(len(ice)) && minsup == 1 {
+			t.Fatalf("closed cube not smaller: %d vs %d", len(cells), len(ice))
+		}
+		for _, cell := range ice {
+			got, ok := ix.Query(cell.Values)
+			if !ok || got != cell.Count {
+				t.Fatalf("min_sup %d: Query(%v) = %d,%v want %d",
+					minsup, cell.Values, got, ok, cell.Count)
+			}
+		}
+	}
+}
+
+func TestCubeIndexMissingCell(t *testing.T) {
+	ds, err := NewDatasetFromValues(nil, [][]int32{{0, 0}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, _ := collect(t, ds, Options{MinSup: 2, Closed: true, Algorithm: AlgStar})
+	ix, err := NewCubeIndex(ds, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,0) has count 1 < min_sup: not answerable.
+	if _, ok := ix.Query([]int32{0, 0}); ok {
+		t.Fatal("sub-threshold cell must answer false")
+	}
+	// The apex is answerable.
+	if c, ok := ix.Query([]int32{Star, Star}); !ok || c != 2 {
+		t.Fatalf("apex = %d,%v", c, ok)
+	}
+}
+
+func TestCubeIndexErrors(t *testing.T) {
+	if _, err := NewCubeIndex(nil, nil); err == nil {
+		t.Fatal("nil dataset must error")
+	}
+	ds, err := NewDatasetFromValues(nil, [][]int32{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCubeIndex(ds, []Cell{{Values: []int32{1}}}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cell is a k-dimensional group-by cell (paper Def. 1): Values holds one
+// entry per dimension of the base relation, Star marking aggregated-over
+// dimensions, and Count is the count measure. Aux optionally carries the
+// value of a complex measure (paper Sec. 6.1).
+type Cell struct {
+	Values []Value
+	Count  int64
+	Aux    float64
+}
+
+// Dims returns the number of non-Star dimensions, i.e. the k of the
+// k-dimensional cuboid the cell belongs to.
+func (c Cell) Dims() int {
+	n := 0
+	for _, v := range c.Values {
+		if v != Star {
+			n++
+		}
+	}
+	return n
+}
+
+// Key packs the cell's values into a compact string usable as a map key.
+// Cells from the same relation have equal keys iff they are the same cell.
+func (c Cell) Key() string { return CellKey(c.Values) }
+
+// CellKey packs a value vector into a map key. Star positions participate so
+// that cells from different cuboids never collide.
+func CellKey(vals []Value) string {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return string(b)
+}
+
+// String renders the cell in the paper's notation, e.g. (a1, *, c3 : 17)
+// using dimension index + value index names.
+func (c Cell) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for d, v := range c.Values {
+		if d > 0 {
+			b.WriteString(", ")
+		}
+		if v == Star {
+			b.WriteByte('*')
+		} else {
+			b.WriteByte(byte('a' + d%26))
+			b.WriteString(strconv.Itoa(int(v)))
+		}
+	}
+	b.WriteString(" : ")
+	b.WriteString(strconv.FormatInt(c.Count, 10))
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Covers reports whether V(sub) <= V(c) in the paper's Def. 3 ordering: every
+// non-Star value of sub matches c. (Equality of value vectors also reports
+// true; callers needing strict refinement compare Dims too.)
+func (c Cell) Covers(sub Cell) bool {
+	for d, v := range sub.Values {
+		if v != Star && c.Values[d] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SortCells orders cells canonically: by number of fixed dimensions, then
+// lexicographically by values. Used to compare algorithm outputs in tests.
+func SortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		for d := range a.Values {
+			if a.Values[d] != b.Values[d] {
+				return a.Values[d] < b.Values[d]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,140 @@
+package core
+
+import "math/bits"
+
+// Closedness is the aggregation-based closedness measure of a cell: the pair
+// of a Representative Tuple ID (distributive, paper Lemma 2) and a Closed
+// Mask (algebraic, paper Lemma 3). It is aggregated exactly like count and
+// tested at output time against the cell's All Mask.
+//
+// The zero value is NOT an empty measure; use EmptyClosedness (or
+// SingletonClosedness for a one-tuple cell) to initialize.
+type Closedness struct {
+	// Rep is the representative tuple: the smallest TID aggregated into the
+	// cell, or NilTID for an empty cell. The paper notes any member tuple
+	// works; the minimum is used to ease reasoning and keep runs
+	// deterministic.
+	Rep TID
+
+	// Mask is the Closed Mask: bit d set iff every tuple of the cell shares
+	// one value on dimension d. In tree-based engines the mask may be
+	// partial: bits of not-yet-collapsed deeper dimensions are kept 0 and
+	// are completed lazily at output levels (paper Sec. 4.3).
+	Mask Mask
+}
+
+// EmptyClosedness returns the measure of an empty cell. An empty cell
+// vacuously shares every value, so its mask is all ones and merging it is an
+// identity operation.
+func EmptyClosedness() Closedness {
+	return Closedness{Rep: NilTID, Mask: ^Mask(0)}
+}
+
+// SingletonClosedness returns the measure of a cell holding exactly tuple t.
+// A single tuple trivially shares all of its own values.
+func SingletonClosedness(t TID) Closedness {
+	return Closedness{Rep: t, Mask: ^Mask(0)}
+}
+
+// Columns provides dictionary-encoded access to the base relation's values,
+// column-major: cols[d][t] is the value of tuple t on dimension d. It is the
+// lookup needed by the Closed Mask combine rule to compare representative
+// tuples.
+type Columns [][]Value
+
+// Merge combines the closedness measure of another part of the cell into c
+// (paper Lemma 3 generalized by the tree rule of Sec. 4.3):
+//
+//	C(S,d) = Π C(Si,d)                      if checkMask bit d is 0
+//	C(S,d) = Π C(Si,d) × Eq(|{V(T(Si),d)}|) if checkMask bit d is 1
+//
+// checkMask selects the dimensions whose sharing must be re-validated by
+// comparing representative-tuple values: in flat engines (MultiWay/MM) it is
+// all ones; in tree engines it is the Tree Mask, plus the dimensions of star
+// nodes on the path (star nodes merge distinct values, so their structural
+// bits cannot be trusted without a value check).
+//
+// Bits outside checkMask are combined by plain AND, preserving the partial-
+// mask semantics of tree nodes.
+func (c *Closedness) Merge(other Closedness, checkMask Mask, cols Columns) {
+	if other.Rep == NilTID {
+		return
+	}
+	if c.Rep == NilTID {
+		*c = other
+		return
+	}
+	m := c.Mask & other.Mask
+	for pend := m & checkMask & LowBits(len(cols)); pend != 0; pend &= pend - 1 {
+		d := trailingZeros(pend)
+		if cols[d][c.Rep] != cols[d][other.Rep] {
+			m = m.Without(d)
+		}
+	}
+	c.Mask = m
+	if other.Rep < c.Rep {
+		c.Rep = other.Rep
+	}
+}
+
+// MergeTuple folds a single tuple into the measure, equivalent to
+// Merge(SingletonClosedness(t), checkMask, cols) but cheaper.
+func (c *Closedness) MergeTuple(t TID, checkMask Mask, cols Columns) {
+	if c.Rep == NilTID {
+		c.Rep = t
+		c.Mask = ^Mask(0)
+		return
+	}
+	m := c.Mask
+	for pend := m & checkMask & LowBits(len(cols)); pend != 0; pend &= pend - 1 {
+		d := trailingZeros(pend)
+		if cols[d][c.Rep] != cols[d][t] {
+			m = m.Without(d)
+		}
+	}
+	c.Mask = m
+	if t < c.Rep {
+		c.Rep = t
+	}
+}
+
+// Closed reports whether a cell with this measure and the given All Mask is
+// closed (paper Def. 9): the cell is closed iff no wildcard dimension has all
+// tuples sharing a single value.
+func (c Closedness) Closed(allMask Mask) bool {
+	return c.Mask&allMask == 0
+}
+
+// ExactClosedness computes the full closedness measure of the cell containing
+// exactly the given tuples, by scanning. It is the reference ("from raw
+// data") computation used by pool leaves in StarArray and by tests.
+func ExactClosedness(tids []TID, cols Columns) Closedness {
+	if len(tids) == 0 {
+		return EmptyClosedness()
+	}
+	rep := tids[0]
+	for _, t := range tids[1:] {
+		if t < rep {
+			rep = t
+		}
+	}
+	m := ^Mask(0)
+	for d := range cols {
+		v := cols[d][tids[0]]
+		for _, t := range tids[1:] {
+			if cols[d][t] != v {
+				m = m.Without(d)
+				break
+			}
+		}
+	}
+	return Closedness{Rep: rep, Mask: m}
+}
+
+// ExactClosednessRange is ExactClosedness over a contiguous window of a TID
+// slice without allocating.
+func ExactClosednessRange(tids []TID, lo, hi int, cols Columns) Closedness {
+	return ExactClosedness(tids[lo:hi], cols)
+}
+
+func trailingZeros(m Mask) int { return bits.TrailingZeros64(uint64(m)) }

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testCols builds a small Columns relation from row-major literals.
+func testCols(rows [][]Value) Columns {
+	if len(rows) == 0 {
+		return nil
+	}
+	nd := len(rows[0])
+	cols := make(Columns, nd)
+	for d := 0; d < nd; d++ {
+		cols[d] = make([]Value, len(rows))
+		for t, r := range rows {
+			cols[d][t] = r[d]
+		}
+	}
+	return cols
+}
+
+func TestEmptyClosednessIsMergeIdentity(t *testing.T) {
+	cols := testCols([][]Value{{1, 2}, {1, 3}})
+	a := SingletonClosedness(0)
+	a.MergeTuple(1, ^Mask(0), cols)
+	b := a
+	b.Merge(EmptyClosedness(), ^Mask(0), cols)
+	if b != a {
+		t.Fatalf("merge with empty changed measure: %+v vs %+v", b, a)
+	}
+	e := EmptyClosedness()
+	e.Merge(a, ^Mask(0), cols)
+	if e != a {
+		t.Fatalf("empty.Merge(a) = %+v, want %+v", e, a)
+	}
+}
+
+func TestSingletonClosedness(t *testing.T) {
+	c := SingletonClosedness(5)
+	if c.Rep != 5 || c.Mask != ^Mask(0) {
+		t.Fatalf("singleton = %+v", c)
+	}
+	// A fully-fixed single-tuple cell is closed (nothing is a wildcard).
+	if !c.Closed(0) {
+		t.Fatal("singleton with empty all-mask must be closed")
+	}
+	// With a wildcard dimension it is never closed: the single tuple shares
+	// its value with itself.
+	if c.Closed(Bit(0)) {
+		t.Fatal("singleton with a wildcard must not be closed")
+	}
+}
+
+func TestMergeTupleSharedAndUnshared(t *testing.T) {
+	// Tuples (1,7,3) and (1,9,3): dims 0 and 2 shared, dim 1 not.
+	cols := testCols([][]Value{{1, 7, 3}, {1, 9, 3}})
+	c := SingletonClosedness(0)
+	c.MergeTuple(1, LowBits(3), cols)
+	want := Mask(0).With(0).With(2) | ^LowBits(3) // untouched high bits stay 1
+	if c.Mask != want {
+		t.Fatalf("mask = %v, want %v", c.Mask.StringDims(3), want.StringDims(3))
+	}
+	if c.Rep != 0 {
+		t.Fatalf("rep = %d, want 0 (minimum)", c.Rep)
+	}
+}
+
+func TestMergeKeepsMinimumRep(t *testing.T) {
+	cols := testCols([][]Value{{1}, {1}, {1}})
+	a := SingletonClosedness(2)
+	a.MergeTuple(0, LowBits(1), cols)
+	if a.Rep != 0 {
+		t.Fatalf("rep = %d, want 0", a.Rep)
+	}
+	b := SingletonClosedness(1)
+	b.Merge(a, LowBits(1), cols)
+	if b.Rep != 0 {
+		t.Fatalf("rep after merge = %d, want 0", b.Rep)
+	}
+}
+
+func TestMergeRespectsCheckMask(t *testing.T) {
+	// Tuples differ on dim 0, but dim 0 is outside the check mask, so the
+	// bit must survive a plain-AND combine (partial-mask semantics).
+	cols := testCols([][]Value{{1, 5}, {2, 5}})
+	a := SingletonClosedness(0)
+	b := SingletonClosedness(1)
+	a.Merge(b, Bit(1), cols) // only dim 1 checked
+	if !a.Mask.Has(0) {
+		t.Fatal("unchecked dim 0 bit must be preserved by AND")
+	}
+	if !a.Mask.Has(1) {
+		t.Fatal("dim 1 is shared; bit must stay set")
+	}
+
+	// Same merge with a full check mask clears dim 0.
+	a2 := SingletonClosedness(0)
+	a2.Merge(SingletonClosedness(1), LowBits(2), cols)
+	if a2.Mask.Has(0) {
+		t.Fatal("checked differing dim 0 must be cleared")
+	}
+}
+
+func TestExactClosedness(t *testing.T) {
+	cols := testCols([][]Value{
+		{1, 1, 1, 1},
+		{1, 1, 2, 1},
+		{1, 2, 2, 1},
+	})
+	c := ExactClosedness([]TID{0, 1, 2}, cols)
+	if c.Rep != 0 {
+		t.Fatalf("rep = %d", c.Rep)
+	}
+	want := Bit(0) | Bit(3)
+	if c.Mask&LowBits(4) != want {
+		t.Fatalf("mask = %v, want %v", (c.Mask & LowBits(4)).StringDims(4), want.StringDims(4))
+	}
+	if got := ExactClosedness(nil, cols); got != EmptyClosedness() {
+		t.Fatalf("empty exact = %+v", got)
+	}
+}
+
+func TestExactClosednessRange(t *testing.T) {
+	cols := testCols([][]Value{{1}, {2}, {2}})
+	tids := []TID{0, 1, 2}
+	c := ExactClosednessRange(tids, 1, 3, cols)
+	if !c.Mask.Has(0) || c.Rep != 1 {
+		t.Fatalf("range closedness = %+v", c)
+	}
+}
+
+// TestMergeMatchesExact is the core invariant: folding tuples one by one (or
+// in arbitrary sub-groups, in arbitrary order) with a full check mask must
+// equal the definitional scan. This is Lemma 3 of the paper.
+func TestMergeMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nd := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(20)
+		rows := make([][]Value, n)
+		for i := range rows {
+			rows[i] = make([]Value, nd)
+			for d := range rows[i] {
+				rows[i][d] = Value(rng.Intn(3))
+			}
+		}
+		cols := testCols(rows)
+		full := LowBits(nd)
+
+		tids := make([]TID, n)
+		for i := range tids {
+			tids[i] = TID(i)
+		}
+		want := ExactClosedness(tids, cols)
+
+		// Random binary-tree aggregation order.
+		parts := make([]Closedness, n)
+		for i := range parts {
+			parts[i] = SingletonClosedness(TID(i))
+		}
+		for len(parts) > 1 {
+			i := rng.Intn(len(parts) - 1)
+			parts[i].Merge(parts[i+1], full, cols)
+			parts = append(parts[:i+1], parts[i+2:]...)
+		}
+		got := parts[0]
+		if got.Rep != want.Rep || got.Mask&full != want.Mask&full {
+			t.Fatalf("trial %d: merged %+v, exact %+v", trial, got, want)
+		}
+	}
+}
+
+// TestMergeCommutative checks the combine is order-insensitive, a requirement
+// for it to be a legal algebraic measure.
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		nd := 1 + rng.Intn(5)
+		rows := [][]Value{
+			make([]Value, nd), make([]Value, nd), make([]Value, nd),
+		}
+		for _, r := range rows {
+			for d := range r {
+				r[d] = Value(rng.Intn(2))
+			}
+		}
+		cols := testCols(rows)
+		full := LowBits(nd)
+
+		ab := SingletonClosedness(0)
+		ab.MergeTuple(1, full, cols)
+		ab.MergeTuple(2, full, cols)
+
+		ba := SingletonClosedness(2)
+		ba.MergeTuple(1, full, cols)
+		ba.MergeTuple(0, full, cols)
+
+		if ab.Mask&full != ba.Mask&full || ab.Rep != ba.Rep {
+			t.Fatalf("trial %d: order-dependent merge: %+v vs %+v", trial, ab, ba)
+		}
+	}
+}
+
+func TestClosedDecision(t *testing.T) {
+	// Paper Sec. 3.2: cell non-closed iff closedness measure has a set bit.
+	c := Closedness{Rep: 0, Mask: Bit(1) | Bit(3)}
+	if !c.Closed(Bit(0) | Bit(2)) {
+		t.Fatal("no overlap: closed expected")
+	}
+	if c.Closed(Bit(3)) {
+		t.Fatal("overlap on dim 3: non-closed expected")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Mask is a bitset over dimensions: bit d corresponds to dimension d of the
+// base relation (0-based, at most MaxDims dimensions).
+//
+// Three masks drive closed-cube computation (paper Defs. 7-9, Sec. 4.3):
+//
+//   - Closed Mask: bit d is 1 iff every tuple aggregated into the cell has
+//     the same value on dimension d.
+//   - All Mask: bit d is 1 iff the cell has a wildcard (*) on dimension d.
+//   - Tree Mask: bit d is 1 iff dimension d has been collapsed on the path of
+//     child-tree derivations that produced the current cuboid tree.
+//
+// A cell is closed iff ClosedMask & AllMask == 0: no wildcard dimension on
+// which all of the cell's tuples share a single value.
+type Mask uint64
+
+// Bit returns a mask with only bit d set.
+func Bit(d int) Mask { return Mask(1) << uint(d) }
+
+// LowBits returns a mask with bits 0..n-1 set. It panics if n is negative or
+// exceeds MaxDims.
+func LowBits(n int) Mask {
+	if n < 0 || n > MaxDims {
+		panic("core: LowBits out of range")
+	}
+	if n == MaxDims {
+		return ^Mask(0)
+	}
+	return Mask(1)<<uint(n) - 1
+}
+
+// Has reports whether bit d is set.
+func (m Mask) Has(d int) bool { return m&Bit(d) != 0 }
+
+// With returns m with bit d set.
+func (m Mask) With(d int) Mask { return m | Bit(d) }
+
+// Without returns m with bit d cleared.
+func (m Mask) Without(d int) Mask { return m &^ Bit(d) }
+
+// OnesCount returns the number of set bits.
+func (m Mask) OnesCount() int { return bits.OnesCount64(uint64(m)) }
+
+// Dims returns the set dimensions in ascending order, appended to dst.
+func (m Mask) Dims(dst []int) []int {
+	for m != 0 {
+		d := bits.TrailingZeros64(uint64(m))
+		dst = append(dst, d)
+		m &= m - 1
+	}
+	return dst
+}
+
+// String renders the mask as a little-endian bit string over nd dimensions,
+// e.g. (1,0,1,0) for a 4-dimensional mask with bits 0 and 2 set.
+func (m Mask) String() string { return m.StringDims(MaxDims) }
+
+// StringDims renders the first nd bits of the mask, dimension 0 first.
+func (m Mask) StringDims(nd int) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for d := 0; d < nd; d++ {
+		if d > 0 {
+			b.WriteByte(',')
+		}
+		if m.Has(d) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// AllMask computes the All Mask of a cell (paper Def. 8): bit d set iff
+// vals[d] is Star.
+func AllMask(vals []Value) Mask {
+	var m Mask
+	for d, v := range vals {
+		if v == Star {
+			m |= Bit(d)
+		}
+	}
+	return m
+}

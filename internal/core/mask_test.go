@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBit(t *testing.T) {
+	for d := 0; d < MaxDims; d++ {
+		m := Bit(d)
+		if !m.Has(d) {
+			t.Fatalf("Bit(%d) does not have bit %d", d, d)
+		}
+		if m.OnesCount() != 1 {
+			t.Fatalf("Bit(%d) has %d bits set", d, m.OnesCount())
+		}
+	}
+}
+
+func TestLowBits(t *testing.T) {
+	cases := []struct {
+		n    int
+		want Mask
+	}{
+		{0, 0},
+		{1, 1},
+		{3, 0b111},
+		{8, 0xff},
+		{MaxDims, ^Mask(0)},
+	}
+	for _, c := range cases {
+		if got := LowBits(c.n); got != c.want {
+			t.Errorf("LowBits(%d) = %x, want %x", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLowBitsPanics(t *testing.T) {
+	for _, n := range []int{-1, MaxDims + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LowBits(%d) did not panic", n)
+				}
+			}()
+			LowBits(n)
+		}()
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	var m Mask
+	m = m.With(3).With(5)
+	if !m.Has(3) || !m.Has(5) || m.Has(4) {
+		t.Fatalf("With: got %b", m)
+	}
+	m = m.Without(3)
+	if m.Has(3) || !m.Has(5) {
+		t.Fatalf("Without: got %b", m)
+	}
+	// Without on an absent bit is a no-op.
+	if m.Without(3) != m {
+		t.Fatal("Without absent bit changed mask")
+	}
+}
+
+func TestDims(t *testing.T) {
+	m := Bit(0) | Bit(7) | Bit(63)
+	got := m.Dims(nil)
+	want := []int{0, 7, 63}
+	if len(got) != len(want) {
+		t.Fatalf("Dims = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Dims = %v, want %v", got, want)
+		}
+	}
+	if (Mask(0)).Dims(nil) != nil {
+		t.Fatal("Dims of zero mask should append nothing")
+	}
+}
+
+func TestDimsAppends(t *testing.T) {
+	dst := []int{99}
+	got := (Bit(2)).Dims(dst)
+	if len(got) != 2 || got[0] != 99 || got[1] != 2 {
+		t.Fatalf("Dims append = %v", got)
+	}
+}
+
+func TestMaskStringDims(t *testing.T) {
+	m := Bit(0) | Bit(2)
+	if s := m.StringDims(4); s != "(1,0,1,0)" {
+		t.Fatalf("StringDims = %q", s)
+	}
+}
+
+func TestAllMask(t *testing.T) {
+	vals := []Value{Star, 3, Star, 0}
+	m := AllMask(vals)
+	if m != Bit(0)|Bit(2) {
+		t.Fatalf("AllMask = %v", m.StringDims(4))
+	}
+	if AllMask([]Value{1, 2}) != 0 {
+		t.Fatal("AllMask of fully-fixed cell should be 0")
+	}
+	if AllMask(nil) != 0 {
+		t.Fatal("AllMask(nil) should be 0")
+	}
+}
+
+func TestAllMaskPaperExample3(t *testing.T) {
+	// Paper Example 3: the All Mask of (*, *, 2, *, 1) is (1,1,0,1,0); with
+	// closed mask (1,0,1,0,0) the closedness measure is (1,0,0,0,0).
+	vals := []Value{Star, Star, 2, Star, 1}
+	all := AllMask(vals)
+	if all.StringDims(5) != "(1,1,0,1,0)" {
+		t.Fatalf("all mask = %v", all.StringDims(5))
+	}
+	closed := Mask(0).With(0).With(2)
+	if got := closed & all; got.StringDims(5) != "(1,0,0,0,0)" {
+		t.Fatalf("closedness measure = %v", got.StringDims(5))
+	}
+	// Bit 0 is set in the closedness measure => the cell is not closed.
+	if (Closedness{Rep: 0, Mask: closed}).Closed(all) {
+		t.Fatal("cell of Example 3 must not be closed")
+	}
+}
+
+func TestOnesCountMatchesDims(t *testing.T) {
+	f := func(m Mask) bool { return m.OnesCount() == len(m.Dims(nil)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import "math"
+
+// MeasureKind identifies a complex measure attachable to cells alongside
+// count (paper Sec. 6.1). Count is the fundamental measure: Lemma 1 shows a
+// cell not closed on count is not closed on any measure, so closed pruning
+// and checking always run on count, and the complex measure rides along.
+type MeasureKind int
+
+const (
+	MeasureNone MeasureKind = iota
+	MeasureSum              // distributive
+	MeasureMin              // distributive
+	MeasureMax              // distributive
+	MeasureAvg              // algebraic: (sum, count)
+)
+
+// String names the measure kind.
+func (k MeasureKind) String() string {
+	switch k {
+	case MeasureNone:
+		return "none"
+	case MeasureSum:
+		return "sum"
+	case MeasureMin:
+		return "min"
+	case MeasureMax:
+		return "max"
+	case MeasureAvg:
+		return "avg"
+	default:
+		return "unknown"
+	}
+}
+
+// Distributive reports whether the measure of a whole can be computed solely
+// from the measures of its parts (paper Def. 4). Avg is algebraic (Def. 5):
+// it needs the bounded pair (sum, count).
+func (k MeasureKind) Distributive() bool {
+	return k == MeasureSum || k == MeasureMin || k == MeasureMax
+}
+
+// MeasureAgg incrementally aggregates one complex measure. The zero value is
+// not ready to use; construct with NewMeasureAgg.
+type MeasureAgg struct {
+	Kind  MeasureKind
+	sum   float64
+	min   float64
+	max   float64
+	count int64
+}
+
+// NewMeasureAgg returns an empty aggregate of the given kind.
+func NewMeasureAgg(k MeasureKind) MeasureAgg {
+	return MeasureAgg{Kind: k, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add folds a single tuple's measure input into the aggregate.
+func (a *MeasureAgg) Add(x float64) {
+	a.sum += x
+	a.count++
+	if x < a.min {
+		a.min = x
+	}
+	if x > a.max {
+		a.max = x
+	}
+}
+
+// Combine folds another aggregate into a (distributive/algebraic combine).
+func (a *MeasureAgg) Combine(b MeasureAgg) {
+	a.sum += b.sum
+	a.count += b.count
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// Value returns the aggregate's final measure value. For an empty aggregate
+// it returns NaN for min/max/avg and 0 for sum.
+func (a MeasureAgg) Value() float64 {
+	switch a.Kind {
+	case MeasureSum:
+		return a.sum
+	case MeasureMin:
+		if a.count == 0 {
+			return math.NaN()
+		}
+		return a.min
+	case MeasureMax:
+		if a.count == 0 {
+			return math.NaN()
+		}
+		return a.max
+	case MeasureAvg:
+		if a.count == 0 {
+			return math.NaN()
+		}
+		return a.sum / float64(a.count)
+	default:
+		return 0
+	}
+}

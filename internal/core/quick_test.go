@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMergeIdempotentQuick: merging a measure with itself must not change it
+// (required of any well-defined algebraic combine).
+func TestMergeIdempotentQuick(t *testing.T) {
+	cols := Columns{{1, 2, 3, 1}, {0, 0, 1, 1}}
+	f := func(repRaw uint8, mask Mask) bool {
+		rep := TID(int(repRaw) % 4)
+		c := Closedness{Rep: rep, Mask: mask}
+		d := c
+		d.Merge(c, LowBits(2), cols)
+		return d == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeAssociativeQuick: (a·b)·c == a·(b·c) over random tuple triples,
+// up to the mask bits of the relation (Lemma 3 requires order-independence).
+func TestMergeAssociativeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 1 + rng.Intn(5)
+		n := 3
+		cols := make(Columns, nd)
+		for d := range cols {
+			cols[d] = make([]Value, n)
+			for i := range cols[d] {
+				cols[d][i] = Value(rng.Intn(2))
+			}
+		}
+		full := LowBits(nd)
+		a, b, c := SingletonClosedness(0), SingletonClosedness(1), SingletonClosedness(2)
+
+		left := a
+		left.Merge(b, full, cols)
+		left.Merge(c, full, cols)
+
+		rightBC := b
+		rightBC.Merge(c, full, cols)
+		right := a
+		right.Merge(rightBC, full, cols)
+
+		return left.Rep == right.Rep && left.Mask&full == right.Mask&full
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllMaskRoundTripQuick: AllMask sets exactly the Star positions.
+func TestAllMaskRoundTripQuick(t *testing.T) {
+	f := func(starBits uint16) bool {
+		nd := 16
+		vals := make([]Value, nd)
+		for d := range vals {
+			if starBits&(1<<d) != 0 {
+				vals[d] = Star
+			} else {
+				vals[d] = Value(d)
+			}
+		}
+		m := AllMask(vals)
+		for d := range vals {
+			if m.Has(d) != (vals[d] == Star) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCellKeyInjectiveQuick: distinct value vectors produce distinct keys.
+func TestCellKeyInjectiveQuick(t *testing.T) {
+	f := func(a, b [4]int8) bool {
+		av := make([]Value, 4)
+		bv := make([]Value, 4)
+		same := true
+		for i := range av {
+			av[i], bv[i] = Value(a[i]), Value(b[i])
+			if a[i] != b[i] {
+				same = false
+			}
+		}
+		return (CellKey(av) == CellKey(bv)) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosedMonotoneQuick: removing bits from the all-mask can only make a
+// cell "more closed" (fixing a dimension never un-closes a cell).
+func TestClosedMonotoneQuick(t *testing.T) {
+	f := func(mask, all Mask) bool {
+		c := Closedness{Rep: 0, Mask: mask}
+		if c.Closed(all) {
+			// Any sub-mask of the all-mask must also report closed.
+			return c.Closed(all & (all >> 1))
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+// Package core defines the cell/cuboid model and the aggregation-based
+// closedness machinery from "C-Cubing: Efficient Computation of Closed Cubes
+// by Aggregation-Based Checking" (Xin, Shao, Han, Liu; ICDE 2006).
+//
+// The central idea (paper Sec. 3.2) is that closedness of a group-by cell is
+// an algebraic measure: it can be maintained during aggregation from two
+// components, a distributive Representative Tuple ID and an algebraic Closed
+// Mask, and finally tested against the cell's All Mask. No output index and
+// no raw-data rescan is needed.
+package core
+
+// Value is a dictionary-encoded dimension value. Values are small
+// non-negative integers assigned by a dictionary; two sentinel values mark a
+// wildcard position in a cell (Star) and a star-reduced tree node (StarNode).
+type Value = int32
+
+const (
+	// Star marks a wildcard (*) position of a group-by cell: the cell
+	// aggregates over every value of that dimension.
+	Star Value = -1
+
+	// StarNode marks a star-tree node that merges all values of a dimension
+	// whose support is below min_sup (star reduction, Star-Cubing). It is
+	// distinct from Star: a star node is a physical tree artifact, not a
+	// wildcard in an output cell.
+	StarNode Value = -2
+)
+
+// TID identifies a tuple by its 0-based position in the base relation.
+type TID int32
+
+// NilTID is the representative-tuple ID of an empty cell (paper Def. 6:
+// "in the case the cell is empty, the Representative Tuple ID is set to a
+// special value NULL").
+const NilTID TID = -1
+
+// MaxDims is the largest number of dimensions supported; masks are 64-bit
+// bitsets. The paper's experiments use at most 10 dimensions.
+const MaxDims = 64

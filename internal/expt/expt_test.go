@@ -1,0 +1,98 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiguresComplete(t *testing.T) {
+	figs := Figures(0.001)
+	if len(figs) != 17 {
+		t.Fatalf("expected 17 figures (3-18 plus figA), got %d", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if seen[f.ID] {
+			t.Fatalf("duplicate figure %s", f.ID)
+		}
+		seen[f.ID] = true
+		if len(f.Points) == 0 {
+			t.Fatalf("%s has no points", f.ID)
+		}
+		for _, p := range f.Points {
+			if len(p.Algos) == 0 {
+				t.Fatalf("%s %s has no algorithms", f.ID, p.Label)
+			}
+		}
+	}
+	for n := 3; n <= 18; n++ {
+		id := "fig" + pad2(n)
+		if !seen[id] {
+			t.Fatalf("missing %s", id)
+		}
+	}
+}
+
+func pad2(n int) string {
+	if n < 10 {
+		return "0" + string(rune('0'+n))
+	}
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+func TestFind(t *testing.T) {
+	f, err := Find("fig05", 0.001)
+	if err != nil || f.ID != "fig05" {
+		t.Fatalf("Find: %v %v", f.ID, err)
+	}
+	if _, err := Find("fig99", 0.001); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}
+
+// TestRunPointTiny executes one point of each figure kind at minuscule scale
+// to validate the full harness path.
+func TestRunPointTiny(t *testing.T) {
+	for _, id := range []string{"fig03", "fig13", "fig15"} {
+		f, err := Find(id, 0.0005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunPoint(f.Points[0])
+		for _, r := range res {
+			if r.Err != nil {
+				t.Fatalf("%s: %v", id, r.Err)
+			}
+			if r.Cells <= 0 {
+				t.Fatalf("%s %s produced no cells", id, r.Algo)
+			}
+		}
+	}
+}
+
+// TestReportRendersTiny renders three figure kinds end to end.
+func TestReportRendersTiny(t *testing.T) {
+	for _, id := range []string{"fig12", "fig14", "fig15"} {
+		f, err := Find(id, 0.0005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := Report(&b, f); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, f.ID) || len(strings.Split(out, "\n")) < len(f.Points)+2 {
+			t.Fatalf("%s report too short:\n%s", id, out)
+		}
+	}
+}
+
+// TestDatasetCache: the same config must return the identical table pointer.
+func TestDatasetCache(t *testing.T) {
+	a := synth(0.001, 200000, 4, 10, 0, 0)()
+	b := synth(0.001, 200000, 4, 10, 0, 0)()
+	if a != b {
+		t.Fatal("dataset cache miss for identical config")
+	}
+}

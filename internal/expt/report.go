@@ -1,0 +1,128 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ccubing/internal/sink"
+)
+
+// Result is one algorithm run at one point.
+type Result struct {
+	Algo    string
+	Seconds float64
+	Cells   int64
+	MB      float64
+	Err     error
+}
+
+// RunPoint executes every algorithm of one point against a Null sink
+// (output disabled, as the paper's overhead experiments prescribe) and
+// returns the per-algorithm results.
+func RunPoint(p Point) []Result {
+	t := p.Data()
+	out := make([]Result, 0, len(p.Algos))
+	for _, a := range p.Algos {
+		var ns sink.Null
+		start := time.Now()
+		err := a.Run(t, &ns)
+		out = append(out, Result{
+			Algo:    a.Name,
+			Seconds: time.Since(start).Seconds(),
+			Cells:   ns.Cells,
+			MB:      ns.MB(),
+			Err:     err,
+		})
+	}
+	return out
+}
+
+// Report runs a whole figure and renders it as an aligned text table.
+func Report(w io.Writer, f Figure) error {
+	fmt.Fprintf(w, "%s: %s  [%s]\n", f.ID, f.Title, f.Params)
+	header := []string{pointColumn(f)}
+	var rows [][]string
+	for _, p := range f.Points {
+		results := RunPoint(p)
+		for _, r := range results {
+			if r.Err != nil {
+				return fmt.Errorf("%s %s %s: %w", f.ID, p.Label, r.Algo, r.Err)
+			}
+		}
+		if len(rows) == 0 {
+			for _, r := range results {
+				header = append(header, r.Algo)
+			}
+			if f.Kind == "best" {
+				header = []string{pointColumn(f), "best", "margin"}
+			}
+		}
+		row := []string{p.Label}
+		switch f.Kind {
+		case "size":
+			for _, r := range results {
+				row = append(row, fmt.Sprintf("%.2fMB (%d cells)", r.MB, r.Cells))
+			}
+		case "best":
+			best, second := 0, -1
+			for i := 1; i < len(results); i++ {
+				if results[i].Seconds < results[best].Seconds {
+					second = best
+					best = i
+				} else if second < 0 || results[i].Seconds < results[second].Seconds {
+					second = i
+				}
+			}
+			margin := "-"
+			if second >= 0 && results[best].Seconds > 0 {
+				margin = fmt.Sprintf("%.2fx", results[second].Seconds/results[best].Seconds)
+			}
+			row = append(row, results[best].Algo, margin)
+		default: // time
+			for _, r := range results {
+				row = append(row, fmt.Sprintf("%8.3fs", r.Seconds))
+			}
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(w, header, rows)
+	fmt.Fprintln(w)
+	return nil
+}
+
+func pointColumn(f Figure) string {
+	if len(f.Points) == 0 {
+		return "point"
+	}
+	if i := strings.IndexByte(f.Points[0].Label, '='); i > 0 {
+		return f.Points[0].Label[:i]
+	}
+	return "point"
+}
+
+func writeAligned(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+}

@@ -1,0 +1,6 @@
+package gen
+
+import "math"
+
+// powNeg computes x^(-s) for x >= 1, s >= 0.
+func powNeg(x, s float64) float64 { return math.Pow(x, -s) }

@@ -1,0 +1,133 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ccubing/internal/core"
+	"ccubing/internal/table"
+)
+
+// Rule is a dependence rule in the sense of paper Sec. 5.3: when every
+// condition dimension carries its condition value, the target dimension is
+// forced to the target value. The paper's example is (a1, b1) -> c1.
+type Rule struct {
+	CondDims  []int
+	CondVals  []core.Value
+	TargetDim int
+	TargetVal core.Value
+}
+
+// Matches reports whether tuple tid of t satisfies the rule's condition.
+func (r Rule) Matches(t *table.Table, tid core.TID) bool {
+	for i, d := range r.CondDims {
+		if t.Cols[d][tid] != r.CondVals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PruningPower estimates the fraction of cube cells the rule removes,
+// following the paper's estimate for a rule (a1, b1) -> c1:
+//
+//	Card(C) / (Card(A) × Card(B) × (Card(C)+1))
+//
+// generalized to k condition dimensions.
+func (r Rule) PruningPower(cards []int) float64 {
+	denom := 1.0
+	for _, d := range r.CondDims {
+		denom *= float64(cards[d])
+	}
+	ct := float64(cards[r.TargetDim])
+	return ct / (denom * (ct + 1))
+}
+
+// Validate checks the rule against a dimension/cardinality layout.
+func (r Rule) Validate(cards []int) error {
+	if len(r.CondDims) == 0 || len(r.CondDims) != len(r.CondVals) {
+		return fmt.Errorf("gen: rule has %d condition dims and %d values", len(r.CondDims), len(r.CondVals))
+	}
+	seen := map[int]bool{r.TargetDim: true}
+	if r.TargetDim < 0 || r.TargetDim >= len(cards) {
+		return fmt.Errorf("gen: rule target dim %d out of range", r.TargetDim)
+	}
+	if r.TargetVal < 0 || int(r.TargetVal) >= cards[r.TargetDim] {
+		return fmt.Errorf("gen: rule target value %d out of range", r.TargetVal)
+	}
+	for i, d := range r.CondDims {
+		if d < 0 || d >= len(cards) {
+			return fmt.Errorf("gen: rule condition dim %d out of range", d)
+		}
+		if seen[d] {
+			return fmt.Errorf("gen: rule reuses dim %d", d)
+		}
+		seen[d] = true
+		if r.CondVals[i] < 0 || int(r.CondVals[i]) >= cards[d] {
+			return fmt.Errorf("gen: rule condition value %d out of range on dim %d", r.CondVals[i], d)
+		}
+	}
+	return nil
+}
+
+// Dependence measures a rule set's combined dependence as in the paper:
+// R = -Σ log10(1 - pruning_power(rule_i)). Larger R means a more dependent
+// dataset.
+func Dependence(rules []Rule, cards []int) float64 {
+	r := 0.0
+	for _, rule := range rules {
+		r += -math.Log10(1 - rule.PruningPower(cards))
+	}
+	return r
+}
+
+// RulesForDependence builds a random rule set whose combined dependence
+// reaches at least target (stopping as soon as it does). Rules use two
+// condition dimensions, mirroring the paper's examples. A zero or negative
+// target yields no rules.
+func RulesForDependence(target float64, cards []int, seed int64) []Rule {
+	if target <= 0 {
+		return nil
+	}
+	if len(cards) < 3 {
+		panic("gen: dependence rules need at least 3 dimensions")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var rules []Rule
+	got := 0.0
+	for got < target {
+		dims := rng.Perm(len(cards))[:3]
+		r := Rule{
+			CondDims:  []int{dims[0], dims[1]},
+			CondVals:  []core.Value{core.Value(rng.Intn(cards[dims[0]])), core.Value(rng.Intn(cards[dims[1]]))},
+			TargetDim: dims[2],
+			TargetVal: core.Value(rng.Intn(cards[dims[2]])),
+		}
+		rules = append(rules, r)
+		got += -math.Log10(1 - r.PruningPower(cards))
+	}
+	return rules
+}
+
+// ApplyRules rewrites the relation so that every rule holds: for each tuple
+// matching a rule's condition, the target dimension is set to the target
+// value. Rules are applied in order, so later rules win on conflicts, and a
+// fixed point over one pass is what the paper's generator produces.
+func ApplyRules(t *table.Table, rules []Rule) error {
+	for i, r := range rules {
+		if err := r.Validate(t.Cards); err != nil {
+			return fmt.Errorf("rule %d: %w", i, err)
+		}
+	}
+	n := t.NumTuples()
+	for _, r := range rules {
+		target := t.Cols[r.TargetDim]
+		for tid := 0; tid < n; tid++ {
+			if r.Matches(t, core.TID(tid)) {
+				target[tid] = r.TargetVal
+			}
+		}
+	}
+	return nil
+}

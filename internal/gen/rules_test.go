@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"ccubing/internal/core"
+)
+
+func TestRulePruningPowerPaperFormula(t *testing.T) {
+	// Rule (a,b) -> c over cards A=4, B=5, C=3:
+	// power = 3 / (4*5*(3+1)) = 3/80.
+	r := Rule{CondDims: []int{0, 1}, CondVals: []core.Value{0, 0}, TargetDim: 2, TargetVal: 0}
+	got := r.PruningPower([]int{4, 5, 3})
+	if math.Abs(got-3.0/80) > 1e-12 {
+		t.Fatalf("pruning power = %v, want %v", got, 3.0/80)
+	}
+}
+
+func TestDependenceAccumulates(t *testing.T) {
+	cards := []int{4, 5, 3}
+	r := Rule{CondDims: []int{0, 1}, CondVals: []core.Value{0, 0}, TargetDim: 2, TargetVal: 0}
+	one := Dependence([]Rule{r}, cards)
+	two := Dependence([]Rule{r, r}, cards)
+	if math.Abs(two-2*one) > 1e-12 {
+		t.Fatalf("dependence not additive: %v vs %v", two, 2*one)
+	}
+	if Dependence(nil, cards) != 0 {
+		t.Fatal("no rules should mean zero dependence")
+	}
+}
+
+func TestRulesForDependenceReachesTarget(t *testing.T) {
+	cards := []int{20, 20, 20, 20, 20, 20, 20, 20}
+	for _, target := range []float64{0.5, 1, 2, 3} {
+		rules := RulesForDependence(target, cards, 11)
+		got := Dependence(rules, cards)
+		if got < target {
+			t.Fatalf("target %v: got dependence %v with %d rules", target, got, len(rules))
+		}
+		for i, r := range rules {
+			if err := r.Validate(cards); err != nil {
+				t.Fatalf("rule %d invalid: %v", i, err)
+			}
+		}
+	}
+	if RulesForDependence(0, cards, 1) != nil {
+		t.Fatal("target 0 must produce no rules")
+	}
+}
+
+func TestApplyRulesForcesTargets(t *testing.T) {
+	tbl := MustSynthetic(Config{T: 2000, D: 4, C: 6, S: 0, Seed: 3})
+	r := Rule{CondDims: []int{0, 1}, CondVals: []core.Value{2, 3}, TargetDim: 2, TargetVal: 5}
+	if err := ApplyRules(tbl, []Rule{r}); err != nil {
+		t.Fatalf("ApplyRules: %v", err)
+	}
+	matched := 0
+	for tid := 0; tid < tbl.NumTuples(); tid++ {
+		if tbl.Cols[0][tid] == 2 && tbl.Cols[1][tid] == 3 {
+			matched++
+			if tbl.Cols[2][tid] != 5 {
+				t.Fatalf("tuple %d matches but target not forced", tid)
+			}
+		}
+	}
+	if matched == 0 {
+		t.Fatal("test vacuous: no tuple matched the rule condition")
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	cards := []int{4, 4, 4}
+	bad := []Rule{
+		{CondDims: nil, TargetDim: 0, TargetVal: 0},
+		{CondDims: []int{0}, CondVals: []core.Value{0, 1}, TargetDim: 1, TargetVal: 0},
+		{CondDims: []int{0}, CondVals: []core.Value{0}, TargetDim: 0, TargetVal: 0},       // target in condition
+		{CondDims: []int{0}, CondVals: []core.Value{9}, TargetDim: 1, TargetVal: 0},       // value out of card
+		{CondDims: []int{7}, CondVals: []core.Value{0}, TargetDim: 1, TargetVal: 0},       // dim out of range
+		{CondDims: []int{0}, CondVals: []core.Value{0}, TargetDim: 1, TargetVal: 9},       // target value out
+		{CondDims: []int{0, 0}, CondVals: []core.Value{0, 0}, TargetDim: 1, TargetVal: 0}, // dup dim
+	}
+	for i, r := range bad {
+		if err := r.Validate(cards); err == nil {
+			t.Errorf("rule %d should be invalid", i)
+		}
+	}
+	ok := Rule{CondDims: []int{0, 2}, CondVals: []core.Value{1, 2}, TargetDim: 1, TargetVal: 3}
+	if err := ok.Validate(cards); err != nil {
+		t.Errorf("valid rule rejected: %v", err)
+	}
+}
+
+func TestSyntheticWithRulesEndToEnd(t *testing.T) {
+	cards := []int{10, 10, 10, 10}
+	rules := RulesForDependence(1.5, cards, 9)
+	tbl := MustSynthetic(Config{T: 1000, Cards: cards, S: 0, Seed: 4, Rules: rules})
+	// Every rule must hold on the generated data (later rules win conflicts,
+	// and rule application is ordered, so verify in reverse order stopping at
+	// the first rule whose target was overwritten by a later one).
+	last := rules[len(rules)-1]
+	for tid := 0; tid < tbl.NumTuples(); tid++ {
+		if last.Matches(tbl, core.TID(tid)) && tbl.Cols[last.TargetDim][tid] != last.TargetVal {
+			t.Fatalf("last rule violated at tuple %d", tid)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccubing/internal/core"
+	"ccubing/internal/table"
+)
+
+// Config describes a synthetic relation in the paper's vocabulary:
+// T tuples, D dimensions, cardinality C (or per-dimension Cards), Zipf skew
+// S applied to every dimension (or per-dimension Skews), and an optional set
+// of dependence rules (Sec. 5.3).
+type Config struct {
+	T     int       // number of tuples
+	D     int       // number of dimensions (ignored when Cards is set)
+	C     int       // cardinality per dimension (ignored when Cards is set)
+	Cards []int     // per-dimension cardinalities; overrides D and C
+	S     float64   // Zipf skew for all dimensions (0 = uniform)
+	Skews []float64 // per-dimension skew; overrides S
+	Rules []Rule    // dependence rules applied after value sampling
+	Seed  int64     // RNG seed; equal configs generate equal tables
+}
+
+// cards resolves the per-dimension cardinality vector.
+func (c Config) cards() ([]int, error) {
+	if c.Cards != nil {
+		for d, card := range c.Cards {
+			if card < 1 {
+				return nil, fmt.Errorf("gen: dimension %d has cardinality %d", d, card)
+			}
+		}
+		return c.Cards, nil
+	}
+	if c.D < 1 || c.D > core.MaxDims {
+		return nil, fmt.Errorf("gen: D=%d out of range", c.D)
+	}
+	if c.C < 1 {
+		return nil, fmt.Errorf("gen: C=%d out of range", c.C)
+	}
+	cards := make([]int, c.D)
+	for d := range cards {
+		cards[d] = c.C
+	}
+	return cards, nil
+}
+
+func (c Config) skews(nd int) ([]float64, error) {
+	if c.Skews != nil {
+		if len(c.Skews) != nd {
+			return nil, fmt.Errorf("gen: %d skews for %d dimensions", len(c.Skews), nd)
+		}
+		return c.Skews, nil
+	}
+	sk := make([]float64, nd)
+	for d := range sk {
+		sk[d] = c.S
+	}
+	return sk, nil
+}
+
+// Synthetic generates a relation per the config. Values are sampled
+// independently per dimension from a Zipf(s) distribution over [0, C), with
+// value ranks shuffled per dimension (so the frequent values are not always
+// the numerically small codes), then dependence rules are applied in order.
+func Synthetic(cfg Config) (*table.Table, error) {
+	if cfg.T < 1 {
+		return nil, fmt.Errorf("gen: T=%d out of range", cfg.T)
+	}
+	cards, err := cfg.cards()
+	if err != nil {
+		return nil, err
+	}
+	skews, err := cfg.skews(len(cards))
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nd := len(cards)
+	t := table.New(nd, cfg.T)
+	copy(t.Cards, cards)
+
+	for d := 0; d < nd; d++ {
+		z := NewZipf(rng, skews[d], cards[d])
+		perm := rng.Perm(cards[d]) // rank -> value code
+		col := t.Cols[d]
+		for i := range col {
+			col[i] = core.Value(perm[z.Next()])
+		}
+	}
+	if err := ApplyRules(t, cfg.Rules); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustSynthetic is Synthetic for known-good configs (tests, benchmarks).
+func MustSynthetic(cfg Config) *table.Table {
+	t, err := Synthetic(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"testing"
+
+	"ccubing/internal/core"
+)
+
+func TestSyntheticShapeAndDeterminism(t *testing.T) {
+	cfg := Config{T: 500, D: 4, C: 10, S: 1, Seed: 42}
+	a := MustSynthetic(cfg)
+	b := MustSynthetic(cfg)
+	if a.NumDims() != 4 || a.NumTuples() != 500 {
+		t.Fatalf("shape = %dx%d", a.NumDims(), a.NumTuples())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for d := range a.Cols {
+		for i := range a.Cols[d] {
+			if a.Cols[d][i] != b.Cols[d][i] {
+				t.Fatalf("same seed produced different data at dim %d tuple %d", d, i)
+			}
+		}
+	}
+	c := MustSynthetic(Config{T: 500, D: 4, C: 10, S: 1, Seed: 43})
+	same := true
+	for d := range a.Cols {
+		for i := range a.Cols[d] {
+			if a.Cols[d][i] != c.Cols[d][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSyntheticPerDimCards(t *testing.T) {
+	tbl := MustSynthetic(Config{T: 200, Cards: []int{2, 50}, Seed: 1})
+	if tbl.Cards[0] != 2 || tbl.Cards[1] != 50 {
+		t.Fatalf("cards = %v", tbl.Cards)
+	}
+	for _, v := range tbl.Cols[0] {
+		if v < 0 || v > 1 {
+			t.Fatalf("value %d beyond card 2", v)
+		}
+	}
+}
+
+func TestSyntheticPerDimSkews(t *testing.T) {
+	tbl := MustSynthetic(Config{T: 20000, Cards: []int{100, 100}, Skews: []float64{0, 3}, Seed: 7})
+	// Max frequency on the skewed dimension must far exceed the uniform one.
+	maxFreq := func(d int) int {
+		f := make(map[core.Value]int)
+		for _, v := range tbl.Cols[d] {
+			f[v]++
+		}
+		max := 0
+		for _, c := range f {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	if u, s := maxFreq(0), maxFreq(1); s < 4*u {
+		t.Fatalf("skewed max freq %d not >> uniform max freq %d", s, u)
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	cases := []Config{
+		{T: 0, D: 3, C: 5},
+		{T: 10, D: 0, C: 5},
+		{T: 10, D: 3, C: 0},
+		{T: 10, D: 65, C: 2},
+		{T: 10, Cards: []int{5, 0}},
+		{T: 10, D: 2, C: 5, Skews: []float64{1}},
+	}
+	for i, cfg := range cases {
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSyntheticSkewZeroIsRoughlyUniform(t *testing.T) {
+	tbl := MustSynthetic(Config{T: 50000, D: 1, C: 10, S: 0, Seed: 5})
+	f := make(map[core.Value]int)
+	for _, v := range tbl.Cols[0] {
+		f[v]++
+	}
+	for v, c := range f {
+		if c < 4000 || c > 6000 {
+			t.Fatalf("value %d count %d; uniform expected ~5000", v, c)
+		}
+	}
+}

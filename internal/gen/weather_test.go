@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"testing"
+
+	"ccubing/internal/core"
+)
+
+func TestWeatherShape(t *testing.T) {
+	tbl := MustWeather(1, 5000, 8)
+	if tbl.NumDims() != 8 || tbl.NumTuples() != 5000 {
+		t.Fatalf("shape = %dx%d", tbl.NumDims(), tbl.NumTuples())
+	}
+	for d, wd := range WeatherDims {
+		if tbl.Cards[d] != wd.Card {
+			t.Fatalf("dim %d card = %d, want %d", d, tbl.Cards[d], wd.Card)
+		}
+		if tbl.Names[d] != wd.Name {
+			t.Fatalf("dim %d name = %q, want %q", d, tbl.Names[d], wd.Name)
+		}
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestWeatherSelectDims(t *testing.T) {
+	tbl := MustWeather(1, 1000, 5)
+	if tbl.NumDims() != 5 {
+		t.Fatalf("dims = %d", tbl.NumDims())
+	}
+	if tbl.Names[4] != "weather" {
+		t.Fatalf("5th dim = %q", tbl.Names[4])
+	}
+}
+
+func TestWeatherDeterminism(t *testing.T) {
+	a := MustWeather(7, 2000, 8)
+	b := MustWeather(7, 2000, 8)
+	for d := range a.Cols {
+		for i := range a.Cols[d] {
+			if a.Cols[d][i] != b.Cols[d][i] {
+				t.Fatalf("seeded weather not deterministic at dim %d tuple %d", d, i)
+			}
+		}
+	}
+}
+
+// TestWeatherDependence verifies the planted functional dependencies: the
+// properties the paper's experiments need from this dataset.
+func TestWeatherDependence(t *testing.T) {
+	tbl := MustWeather(3, 20000, 8)
+	// station -> latitude should hold for the large majority of reports
+	// (ships drift occasionally).
+	lat := map[core.Value]core.Value{}
+	agree, total := 0, 0
+	for i := 0; i < tbl.NumTuples(); i++ {
+		st := tbl.Cols[3][i]
+		l := tbl.Cols[1][i]
+		if prev, ok := lat[st]; ok {
+			total++
+			if prev == l {
+				agree++
+			}
+		} else {
+			lat[st] = l
+		}
+	}
+	if total == 0 || float64(agree)/float64(total) < 0.9 {
+		t.Fatalf("station->latitude agreement %d/%d too weak", agree, total)
+	}
+	// (time bucket, latitude) -> solar altitude must be exactly functional.
+	solar := map[[2]core.Value]core.Value{}
+	for i := 0; i < tbl.NumTuples(); i++ {
+		k := [2]core.Value{tbl.Cols[0][i], tbl.Cols[1][i]}
+		s := tbl.Cols[6][i]
+		if prev, ok := solar[k]; ok && prev != s {
+			t.Fatalf("(time,lat) -> solar violated at tuple %d", i)
+		}
+		solar[k] = s
+	}
+}
+
+func TestWeatherSkewOnStations(t *testing.T) {
+	tbl := MustWeather(5, 30000, 8)
+	f := map[core.Value]int{}
+	for _, v := range tbl.Cols[3] {
+		f[v]++
+	}
+	max := 0
+	for _, c := range f {
+		if c > max {
+			max = c
+		}
+	}
+	// Busy stations must report far above the mean rate.
+	mean := float64(tbl.NumTuples()) / float64(len(f))
+	if float64(max) < 10*mean {
+		t.Fatalf("station skew too weak: max %d vs mean %.1f", max, mean)
+	}
+}
+
+func TestWeatherDefaults(t *testing.T) {
+	tbl := MustWeather(1, -1, -1)
+	if tbl.NumDims() != 8 {
+		t.Fatalf("default dims = %d", tbl.NumDims())
+	}
+	if tbl.NumTuples() != WeatherTuples {
+		t.Fatalf("default tuples = %d", tbl.NumTuples())
+	}
+}

@@ -1,0 +1,85 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZipfUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 0, 10)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for v, c := range counts {
+		// Each value should land near n/10; allow generous slack.
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("uniform zipf: value %d drawn %d times (expected ~%d)", v, c, n/10)
+		}
+	}
+}
+
+func TestZipfSkewOrdersFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 2, 8)
+	counts := make([]int, 8)
+	for i := 0; i < 50000; i++ {
+		counts[z.Next()]++
+	}
+	// With s=2, frequencies must be (weakly) decreasing in rank, and rank 0
+	// must dominate heavily (>50% of mass for n=8, s=2).
+	for k := 1; k < len(counts); k++ {
+		if counts[k] > counts[k-1]+200 {
+			t.Fatalf("rank %d drawn more than rank %d: %v", k, k-1, counts)
+		}
+	}
+	if counts[0] < 25000 {
+		t.Fatalf("rank 0 should dominate at s=2: %v", counts)
+	}
+}
+
+func TestZipfCoversRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipf(rng, 1, 5)
+	if z.N() != 5 {
+		t.Fatalf("N = %d", z.N())
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 5 {
+			t.Fatalf("value %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("only %d of 5 values drawn", len(seen))
+	}
+}
+
+func TestZipfSingleValue(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(4)), 3, 1)
+	for i := 0; i < 100; i++ {
+		if z.Next() != 0 {
+			t.Fatal("n=1 sampler must always return 0")
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, c := range []struct {
+		s float64
+		n int
+	}{{-1, 5}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(s=%v,n=%d) did not panic", c.s, c.n)
+				}
+			}()
+			NewZipf(rand.New(rand.NewSource(1)), c.s, c.n)
+		}()
+	}
+}

@@ -1,0 +1,330 @@
+// Package mmcubing implements MM-Cubing (Shao, Han & Xin, SSDBM'04) and its
+// closed extension C-Cubing(MM) (paper Sec. 3).
+//
+// MM-Cubing factorizes the lattice space by value frequency: per recursion
+// level it picks per-dimension dense value sets small enough for an in-memory
+// aggregation array, computes every cell made of dense values and wildcards
+// by MultiWay simultaneous aggregation, and recurses on the partition of each
+// remaining ("sparse") frequent value with that value fixed. To avoid
+// duplicate outputs across sparse partitions, the sparse values of earlier
+// dimensions are masked while later dimensions' partitions are processed —
+// the paper's "special identifier" trick. This implementation never rewrites
+// tuples: it keeps a Value Mask table (paper Sec. 3.3) consulted during
+// grouping, so the original values stay available to the closedness measure.
+//
+// C-Cubing(MM) additionally aggregates the closedness measure through the
+// dense arrays and tests it before each output, plus one shortcut the paper
+// credits for its low-min_sup wins: when a partition's size equals min_sup,
+// the only possible closed iceberg output is the closure of the whole
+// partition, which is emitted directly without enumerating the subspace.
+package mmcubing
+
+import (
+	"fmt"
+	"sort"
+
+	"ccubing/internal/core"
+	"ccubing/internal/multiway"
+	"ccubing/internal/psort"
+	"ccubing/internal/sink"
+	"ccubing/internal/table"
+)
+
+// DefaultDenseBudget bounds the dense aggregation array, in cells. With
+// ~20 bytes per cell this is the paper's "aggregation table ... generally
+// limited to 4MB".
+const DefaultDenseBudget = 200 << 10
+
+// Config parameterizes a run.
+type Config struct {
+	// MinSup is the iceberg threshold on count.
+	MinSup int64
+	// Closed selects C-Cubing(MM): emit only closed cells. False runs plain
+	// MM-Cubing (all iceberg cells).
+	Closed bool
+	// DenseBudget overrides DefaultDenseBudget when positive.
+	DenseBudget int
+	// DisableShortcut turns off the partition-size==min_sup closed-cell
+	// shortcut (ablation; Closed mode only).
+	DisableShortcut bool
+}
+
+type runner struct {
+	t      *table.Table
+	cfg    Config
+	out    sink.Sink
+	nd     int
+	cols   core.Columns
+	full   core.Mask
+	budget int
+
+	vals      []core.Value
+	fixedMask core.Mask
+	masked    [][]bool  // the Value Mask table: [dim][value]
+	freq      [][]int64 // per-dim counting scratch, kept all-zero between uses
+	part      psort.Partitioner
+}
+
+// vf pairs a distinct value with its frequency in the current partition.
+type vf struct {
+	v core.Value
+	f int64
+}
+
+// Run computes the (closed) iceberg cube of t and emits cells into out.
+func Run(t *table.Table, cfg Config, out sink.Sink) error {
+	if cfg.MinSup < 1 {
+		return fmt.Errorf("mmcubing: min_sup %d < 1", cfg.MinSup)
+	}
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("mmcubing: %w", err)
+	}
+	n := t.NumTuples()
+	if int64(n) < cfg.MinSup {
+		return nil
+	}
+	r := &runner{
+		t:      t,
+		cfg:    cfg,
+		out:    out,
+		nd:     t.NumDims(),
+		cols:   t.Cols,
+		full:   core.LowBits(t.NumDims()),
+		budget: cfg.DenseBudget,
+		vals:   make([]core.Value, t.NumDims()),
+		masked: make([][]bool, t.NumDims()),
+		freq:   make([][]int64, t.NumDims()),
+	}
+	if r.budget <= 0 {
+		r.budget = DefaultDenseBudget
+	}
+	if r.budget < 2 {
+		r.budget = 2
+	}
+	for d := range r.vals {
+		r.vals[d] = core.Star
+		r.masked[d] = make([]bool, t.Cards[d])
+		r.freq[d] = make([]int64, t.Cards[d])
+	}
+	tids := make([]core.TID, n)
+	for i := range tids {
+		tids[i] = core.TID(i)
+	}
+	active := make([]int, r.nd)
+	for i := range active {
+		active[i] = i
+	}
+	r.mm(tids, active)
+	return nil
+}
+
+// mm processes one subspace: the tuples in tids with the dimensions in
+// active unfixed (r.vals holds the fixed values of all other dimensions).
+func (r *runner) mm(tids []core.TID, active []int) {
+	if r.cfg.Closed && !r.cfg.DisableShortcut && int64(len(tids)) == r.cfg.MinSup {
+		r.shortcut(tids, active)
+		return
+	}
+
+	// Frequencies per active dimension: count into the pooled per-dim
+	// arrays (all-zero between uses), then move the distinct (value, freq)
+	// pairs out, restoring the zeros. Cost is O(|tids| · |active|),
+	// independent of cardinalities.
+	dvals := make([][]vf, len(active))
+	for ai, d := range active {
+		f := r.freq[d]
+		col := r.cols[d]
+		for _, tid := range tids {
+			f[col[tid]]++
+		}
+		list := make([]vf, 0, 16)
+		for _, tid := range tids {
+			v := col[tid]
+			if f[v] > 0 {
+				list = append(list, vf{v, f[v]})
+				f[v] = 0
+			}
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].v < list[j].v })
+		dvals[ai] = list
+	}
+
+	// Dense value selection: frequent unmasked values, greedily by frequency
+	// while the array space fits both the configured budget and a bound
+	// proportional to the partition (a dense array far larger than the data
+	// cannot pay for its own initialization).
+	type cand struct {
+		ai int
+		v  core.Value
+		f  int64
+	}
+	var cands []cand
+	for ai, d := range active {
+		for _, e := range dvals[ai] {
+			if e.f >= r.cfg.MinSup && !r.masked[d][e.v] {
+				cands = append(cands, cand{ai, e.v, e.f})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].f != cands[j].f {
+			return cands[i].f > cands[j].f
+		}
+		if cands[i].ai != cands[j].ai {
+			return cands[i].ai < cands[j].ai
+		}
+		return cands[i].v < cands[j].v
+	})
+	budget := r.budget
+	if rel := 8 * len(tids); rel < budget {
+		budget = rel
+	}
+	if budget < 2 {
+		budget = 2
+	}
+	denseVals := make([][]core.Value, len(active))
+	size := 1
+	for _, c := range cands {
+		cur := len(denseVals[c.ai])
+		var nsize int
+		if cur == 0 {
+			nsize = size * 2
+		} else {
+			nsize = size / (cur + 1) * (cur + 2)
+		}
+		if nsize > budget {
+			continue
+		}
+		size = nsize
+		denseVals[c.ai] = append(denseVals[c.ai], c.v)
+	}
+
+	// Dense phase: MultiWay over the array space.
+	r.densePhase(tids, active, denseVals)
+
+	// Sparse phase: one partition per frequent non-dense unmasked value,
+	// masking each dimension's sparse values before later dimensions run.
+	type dv struct {
+		d int
+		v core.Value
+	}
+	var maskedHere []dv
+	for ai, d := range active {
+		var sparse []core.Value
+		dense := denseVals[ai] // sorted by densePhase
+		for _, e := range dvals[ai] {
+			if e.f >= r.cfg.MinSup && !r.masked[d][e.v] && !containsValue(dense, e.v) {
+				sparse = append(sparse, e.v)
+			}
+		}
+		if len(sparse) > 0 {
+			b := r.part.Partition(tids, r.cols[d], r.t.Cards[d])
+			// Copy boundaries: nested recursion reuses the partitioner.
+			bVals := append([]core.Value(nil), b.Vals...)
+			bOff := append([]int(nil), b.Off...)
+			childActive := make([]int, 0, len(active)-1)
+			childActive = append(childActive, active[:ai]...)
+			childActive = append(childActive, active[ai+1:]...)
+			si := 0
+			for i, v := range bVals {
+				for si < len(sparse) && sparse[si] < v {
+					si++
+				}
+				if si == len(sparse) || sparse[si] != v {
+					continue
+				}
+				r.vals[d] = v
+				r.fixedMask = r.fixedMask.With(d)
+				r.mm(tids[bOff[i]:bOff[i+1]], childActive)
+				r.vals[d] = core.Star
+				r.fixedMask = r.fixedMask.Without(d)
+			}
+		}
+		// Mask this dimension's sparse values for the later dimensions.
+		for _, v := range sparse {
+			r.masked[d][v] = true
+			maskedHere = append(maskedHere, dv{d, v})
+		}
+	}
+	for _, m := range maskedHere {
+		r.masked[m.d][m.v] = false
+	}
+}
+
+// containsValue reports membership in a sorted value slice.
+func containsValue(sorted []core.Value, v core.Value) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == v
+}
+
+// densePhase aggregates the dense subspace and emits its qualifying cells.
+func (r *runner) densePhase(tids []core.TID, active []int, denseVals [][]core.Value) {
+	var dims []multiway.Dim
+	for ai, dvs := range denseVals {
+		if len(dvs) == 0 {
+			continue
+		}
+		sort.Slice(dvs, func(i, j int) bool { return dvs[i] < dvs[j] })
+		dims = append(dims, multiway.Dim{D: active[ai], Vals: dvs})
+	}
+	space, err := multiway.NewSpace(dims, r.t.Cards, r.cfg.Closed, r.cols, r.budget)
+	if err != nil {
+		// The greedy selection respects the budget; any failure here is a
+		// programming error.
+		panic(err)
+	}
+	for _, tid := range tids {
+		space.Add(tid)
+	}
+	activeMask := r.full &^ r.fixedMask
+	space.Process(func(members []multiway.Dim, dimVals []core.Value, count int64, cls core.Closedness) {
+		if count < r.cfg.MinSup {
+			return
+		}
+		allMask := activeMask
+		for i := range members {
+			r.vals[members[i].D] = dimVals[i]
+			allMask = allMask.Without(members[i].D)
+		}
+		if !r.cfg.Closed || cls.Closed(allMask) {
+			r.out.Emit(r.vals, count)
+		}
+		for i := range members {
+			r.vals[members[i].D] = core.Star
+		}
+	})
+}
+
+// shortcut handles a partition whose size equals min_sup in closed mode: the
+// only candidate output is the closure of the whole partition; it is emitted
+// iff no masked value blocks a shared dimension (in which case the covering
+// cell belongs to another partition and this one's cells are all non-closed).
+func (r *runner) shortcut(tids []core.TID, active []int) {
+	c := core.ExactClosedness(tids, r.cols)
+	for _, d := range active {
+		if c.Mask.Has(d) && r.masked[d][r.cols[d][c.Rep]] {
+			return
+		}
+	}
+	fixed := 0
+	for _, d := range active {
+		if c.Mask.Has(d) {
+			r.vals[d] = r.cols[d][c.Rep]
+			fixed++
+		}
+	}
+	r.out.Emit(r.vals, int64(len(tids)))
+	for _, d := range active {
+		if c.Mask.Has(d) {
+			r.vals[d] = core.Star
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package multiway implements array-based simultaneous aggregation in the
+// style of Zhao, Deshpande & Naughton (SIGMOD'97): the dense-subspace engine
+// MM-Cubing runs inside (paper Sec. 2.1.3, 3.3).
+//
+// A Space is a small multidimensional array over the dense values of a few
+// dimensions, with one extra "other" bucket per dimension for every value
+// outside the dense set. The base cuboid array is filled from tuples; every
+// coarser cuboid is computed from its designated parent (the parent reached
+// by re-adding the cheapest missing dimension) by summing out one dimension,
+// so each array cell is touched a bounded number of times. Count and, when
+// requested, the closedness measure (Representative Tuple ID + Closed Mask)
+// aggregate identically.
+package multiway
+
+import (
+	"fmt"
+
+	"ccubing/internal/core"
+)
+
+// Dim describes one array dimension of a dense space.
+type Dim struct {
+	// D is the dimension's index in the base relation.
+	D int
+	// Vals lists the dense values, ascending; array coordinate i stands for
+	// Vals[i] and coordinate len(Vals) is the "other" bucket.
+	Vals []core.Value
+}
+
+// Space is a dense aggregation space. Build one with NewSpace, fill it with
+// Add, then walk the cuboid lattice with Process.
+type Space struct {
+	dims    []Dim
+	sizes   []int // len(Vals)+1 per dim
+	strides []int
+	total   int
+
+	closed bool
+	cols   core.Columns
+	check  core.Mask
+
+	counts []int64
+	cls    []core.Closedness
+}
+
+// NewSpace allocates a dense space over the given dimensions, whose Vals
+// must be sorted ascending (coordinates are resolved by binary search, so
+// construction cost is independent of the relation's cardinalities). cards
+// is retained in the signature for validation only. When closed is true the
+// space also aggregates closedness measures, using cols for representative-
+// value comparisons. The product of (len(Vals)+1) must stay within maxCells.
+func NewSpace(dims []Dim, cards []int, closed bool, cols core.Columns, maxCells int) (*Space, error) {
+	s := &Space{dims: dims, closed: closed, cols: cols, check: ^core.Mask(0)}
+	total := 1
+	for _, dm := range dims {
+		if len(dm.Vals) == 0 {
+			return nil, fmt.Errorf("multiway: dimension %d has no dense values", dm.D)
+		}
+		for i := 1; i < len(dm.Vals); i++ {
+			if dm.Vals[i-1] >= dm.Vals[i] {
+				return nil, fmt.Errorf("multiway: dimension %d dense values not sorted", dm.D)
+			}
+		}
+		if last := dm.Vals[len(dm.Vals)-1]; int(last) >= cards[dm.D] {
+			return nil, fmt.Errorf("multiway: dimension %d dense value %d outside cardinality %d", dm.D, last, cards[dm.D])
+		}
+		size := len(dm.Vals) + 1
+		if total > maxCells/size {
+			return nil, fmt.Errorf("multiway: space exceeds %d cells", maxCells)
+		}
+		s.strides = append(s.strides, total)
+		total *= size
+		s.sizes = append(s.sizes, size)
+	}
+	s.total = total
+	s.counts = make([]int64, total)
+	if closed {
+		s.cls = make([]core.Closedness, total)
+		for i := range s.cls {
+			s.cls[i] = core.EmptyClosedness()
+		}
+	}
+	return s, nil
+}
+
+// coord resolves a value to its array coordinate on dimension position i:
+// the dense index, or the "other" bucket len(Vals).
+func (s *Space) coord(i int, v core.Value) int {
+	vals := s.dims[i].Vals
+	lo, hi := 0, len(vals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if vals[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(vals) && vals[lo] == v {
+		return lo
+	}
+	return len(vals) // other
+}
+
+// Add aggregates one tuple into the base cuboid array.
+func (s *Space) Add(tid core.TID) {
+	idx := 0
+	for i, dm := range s.dims {
+		idx += s.coord(i, s.cols[dm.D][tid]) * s.strides[i]
+	}
+	s.counts[idx]++
+	if s.closed {
+		s.cls[idx].MergeTuple(tid, s.check, s.cols)
+	}
+}
+
+// Cells returns the number of cells of the base cuboid array.
+func (s *Space) Cells() int { return s.total }
+
+// Emit is called by Process for every array cell whose coordinates are all
+// dense (no "other" bucket): dimVals pairs each Dim.D in the cuboid's
+// member set with its concrete value. cls is the zero Closedness unless the
+// space aggregates closedness.
+type Emit func(members []Dim, dimVals []core.Value, count int64, cls core.Closedness)
+
+// Process walks the cuboid lattice: it emits the base cuboid and every
+// sub-cuboid of the space, computing each from its designated parent by
+// summing out one dimension. Cells are emitted at most once per cuboid; the
+// caller applies its own min_sup and closedness filters in emit.
+func (s *Space) Process(emit Emit) {
+	members := make([]int, len(s.dims))
+	for i := range members {
+		members[i] = i
+	}
+	s.process(members, s.counts, s.cls, emit)
+}
+
+// process handles the cuboid whose member dimension positions (into s.dims)
+// are members, with the given aggregate arrays.
+func (s *Space) process(members []int, counts []int64, cls []core.Closedness, emit Emit) {
+	s.emitCuboid(members, counts, cls, emit)
+	outside := s.outside(members)
+	for mi, j := range members {
+		if !s.designated(j, outside) {
+			continue
+		}
+		ccounts, ccls := s.sumOut(members, mi, counts, cls)
+		child := make([]int, 0, len(members)-1)
+		child = append(child, members[:mi]...)
+		child = append(child, members[mi+1:]...)
+		s.process(child, ccounts, ccls, emit)
+	}
+}
+
+// designated reports whether dimension position j is the cheapest way back
+// into the parent lattice from members∖{j}: j must order strictly before
+// every position outside the current member set (by size, then index). This
+// makes the parent relation a spanning tree: every cuboid is computed from
+// exactly one parent.
+func (s *Space) designated(j int, outside []int) bool {
+	for _, o := range outside {
+		if s.sizes[o] < s.sizes[j] || (s.sizes[o] == s.sizes[j] && o < j) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Space) outside(members []int) []int {
+	in := make([]bool, len(s.dims))
+	for _, m := range members {
+		in[m] = true
+	}
+	var out []int
+	for i := range s.dims {
+		if !in[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// emitCuboid walks one cuboid array, emitting cells without "other"
+// coordinates.
+func (s *Space) emitCuboid(members []int, counts []int64, cls []core.Closedness, emit Emit) {
+	k := len(members)
+	if k == 0 {
+		var c core.Closedness
+		if s.closed {
+			c = cls[0]
+		}
+		emit(nil, nil, counts[0], c)
+		return
+	}
+	mdims := make([]Dim, k)
+	for i, m := range members {
+		mdims[i] = s.dims[m]
+	}
+	coords := make([]int, k)
+	dimVals := make([]core.Value, k)
+	others := 0 // how many coords sit on the "other" bucket
+	for idx := range counts {
+		if others == 0 && counts[idx] > 0 {
+			for i, m := range members {
+				dimVals[i] = s.dims[m].Vals[coords[i]]
+			}
+			var c core.Closedness
+			if s.closed {
+				c = cls[idx]
+			}
+			emit(mdims, dimVals, counts[idx], c)
+		}
+		// Advance the odometer, tracking "other" occupancy.
+		for i := 0; i < k; i++ {
+			m := members[i]
+			coords[i]++
+			if coords[i] == s.sizes[m]-1 {
+				others++ // entered the other bucket
+			}
+			if coords[i] == s.sizes[m] {
+				coords[i] = 0
+				others-- // left the other bucket by rollover
+				continue
+			}
+			break
+		}
+	}
+}
+
+// sumOut computes the child cuboid dropping members[mi], merging counts and
+// closedness cell-wise.
+func (s *Space) sumOut(members []int, mi int, counts []int64, cls []core.Closedness) ([]int64, []core.Closedness) {
+	k := len(members)
+	childTotal := 1
+	cstride := make([]int, k) // contribution of each member coord to child idx
+	for i, m := range members {
+		if i == mi {
+			cstride[i] = 0
+			continue
+		}
+		cstride[i] = childTotal
+		childTotal *= s.sizes[m]
+	}
+	ccounts := make([]int64, childTotal)
+	var ccls []core.Closedness
+	if s.closed {
+		ccls = make([]core.Closedness, childTotal)
+		for i := range ccls {
+			ccls[i] = core.EmptyClosedness()
+		}
+	}
+	coords := make([]int, k)
+	cidx := 0
+	for idx := range counts {
+		if counts[idx] > 0 {
+			ccounts[cidx] += counts[idx]
+			if s.closed {
+				ccls[cidx].Merge(cls[idx], s.check, s.cols)
+			}
+		}
+		for i := 0; i < k; i++ {
+			m := members[i]
+			coords[i]++
+			cidx += cstride[i]
+			if coords[i] == s.sizes[m] {
+				coords[i] = 0
+				cidx -= s.sizes[m] * cstride[i]
+				continue
+			}
+			break
+		}
+	}
+	return ccounts, ccls
+}

@@ -1,0 +1,173 @@
+package multiway
+
+import (
+	"testing"
+
+	"ccubing/internal/core"
+	"ccubing/internal/gen"
+	"ccubing/internal/table"
+)
+
+// collect runs a space over all tuples of t with the given dense dims and
+// gathers emitted cells into a map keyed by cell key over the full dims.
+func collect(t *testing.T, tb *table.Table, dims []Dim, closed bool) map[string]int64 {
+	t.Helper()
+	s, err := NewSpace(dims, tb.Cards, closed, tb.Cols, 1<<20)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	for i := 0; i < tb.NumTuples(); i++ {
+		s.Add(core.TID(i))
+	}
+	got := map[string]int64{}
+	vals := make([]core.Value, tb.NumDims())
+	s.Process(func(members []Dim, dimVals []core.Value, count int64, _ core.Closedness) {
+		for d := range vals {
+			vals[d] = core.Star
+		}
+		for i := range members {
+			vals[members[i].D] = dimVals[i]
+		}
+		k := core.CellKey(vals)
+		if _, dup := got[k]; dup {
+			t.Fatalf("duplicate emission for %v", vals)
+		}
+		got[k] = count
+	})
+	return got
+}
+
+// bruteDense computes the expected dense-space cells by brute force: every
+// combination of (dense value | star) per array dimension, counting matching
+// tuples.
+func bruteDense(tb *table.Table, dims []Dim) map[string]int64 {
+	want := map[string]int64{}
+	var rec func(i int, vals []core.Value)
+	vals := make([]core.Value, tb.NumDims())
+	for d := range vals {
+		vals[d] = core.Star
+	}
+	count := func(vals []core.Value) int64 {
+		var c int64
+		for t := 0; t < tb.NumTuples(); t++ {
+			ok := true
+			for d, v := range vals {
+				if v != core.Star && tb.Cols[d][t] != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				c++
+			}
+		}
+		return c
+	}
+	rec = func(i int, vals []core.Value) {
+		if i == len(dims) {
+			if c := count(vals); c > 0 {
+				want[core.CellKey(vals)] = c
+			}
+			return
+		}
+		rec(i+1, vals)
+		for _, v := range dims[i].Vals {
+			vals[dims[i].D] = v
+			rec(i+1, vals)
+			vals[dims[i].D] = core.Star
+		}
+	}
+	rec(0, vals)
+	return want
+}
+
+func TestSpaceMatchesBruteForce(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 300, D: 4, C: 5, S: 1, Seed: 3})
+	dims := []Dim{
+		{D: 0, Vals: []core.Value{0, 2, 4}},
+		{D: 2, Vals: []core.Value{1, 3}},
+		{D: 3, Vals: []core.Value{0}},
+	}
+	got := collect(t, tb, dims, false)
+	want := bruteDense(tb, dims)
+	if len(got) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("cell count mismatch: got %d want %d", got[k], c)
+		}
+	}
+}
+
+func TestSpaceEmptyDims(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 50, D: 2, C: 3, Seed: 1})
+	got := collect(t, tb, nil, false)
+	apex := core.CellKey([]core.Value{core.Star, core.Star})
+	if len(got) != 1 || got[apex] != 50 {
+		t.Fatalf("empty-dims space = %v", got)
+	}
+}
+
+func TestSpaceClosednessMatchesExact(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 200, D: 3, C: 4, S: 0.5, Seed: 5})
+	dims := []Dim{
+		{D: 0, Vals: []core.Value{0, 1, 2, 3}},
+		{D: 1, Vals: []core.Value{0, 1, 2, 3}},
+	}
+	s, err := NewSpace(dims, tb.Cards, true, tb.Cols, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.NumTuples(); i++ {
+		s.Add(core.TID(i))
+	}
+	s.Process(func(members []Dim, dimVals []core.Value, count int64, cls core.Closedness) {
+		// Recompute the measure from scratch for the emitted cell.
+		var tids []core.TID
+		for tid := 0; tid < tb.NumTuples(); tid++ {
+			ok := true
+			for i := range members {
+				if tb.Cols[members[i].D][tid] != dimVals[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				tids = append(tids, core.TID(tid))
+			}
+		}
+		want := core.ExactClosedness(tids, tb.Cols)
+		if cls.Rep != want.Rep || cls.Mask&core.LowBits(3) != want.Mask&core.LowBits(3) {
+			t.Fatalf("closedness mismatch for %v/%v: got %+v want %+v",
+				members, dimVals, cls, want)
+		}
+	})
+}
+
+func TestNewSpaceErrors(t *testing.T) {
+	cards := []int{4, 4}
+	cols := core.Columns{{0}, {0}}
+	if _, err := NewSpace([]Dim{{D: 0, Vals: nil}}, cards, false, cols, 100); err == nil {
+		t.Fatal("empty dense set must error")
+	}
+	big := []Dim{
+		{D: 0, Vals: []core.Value{0, 1, 2, 3}},
+		{D: 1, Vals: []core.Value{0, 1, 2, 3}},
+	}
+	if _, err := NewSpace(big, cards, false, cols, 10); err == nil {
+		t.Fatal("budget overflow must error")
+	}
+}
+
+func TestCells(t *testing.T) {
+	cards := []int{4, 4}
+	cols := core.Columns{{0}, {0}}
+	s, err := NewSpace([]Dim{{D: 0, Vals: []core.Value{0, 1}}}, cards, false, cols, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cells() != 3 { // 2 dense + other
+		t.Fatalf("Cells = %d", s.Cells())
+	}
+}

@@ -1,0 +1,92 @@
+package order
+
+import (
+	"testing"
+
+	"ccubing/internal/core"
+	"ccubing/internal/table"
+)
+
+func tbl(t *testing.T, rows [][]core.Value) *table.Table {
+	t.Helper()
+	tb, err := table.FromRows(rows)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return tb
+}
+
+func TestStrategyStringParse(t *testing.T) {
+	for _, s := range []Strategy{Original, ByCardinality, ByEntropy} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v: got %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Fatalf("unknown String = %q", Strategy(9).String())
+	}
+}
+
+func TestPermutationOriginal(t *testing.T) {
+	tb := tbl(t, [][]core.Value{{0, 1, 2}})
+	p := Permutation(tb, Original)
+	for i, d := range p {
+		if i != d {
+			t.Fatalf("original perm = %v", p)
+		}
+	}
+}
+
+func TestPermutationByCardinality(t *testing.T) {
+	// dim0 has 1 distinct value, dim1 has 3, dim2 has 2.
+	tb := tbl(t, [][]core.Value{{0, 0, 0}, {0, 1, 1}, {0, 2, 0}})
+	p := Permutation(tb, ByCardinality)
+	want := []int{1, 2, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("card perm = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestPermutationByEntropyPrefersUniform(t *testing.T) {
+	// Both dims have 2 distinct values; dim1 uniform, dim0 skewed.
+	tb := tbl(t, [][]core.Value{
+		{0, 0}, {0, 1}, {0, 0}, {0, 1}, {0, 0}, {1, 1},
+	})
+	p := Permutation(tb, ByEntropy)
+	if p[0] != 1 {
+		t.Fatalf("entropy perm = %v, want dim 1 first", p)
+	}
+}
+
+func TestApply(t *testing.T) {
+	tb := tbl(t, [][]core.Value{{0, 0, 0}, {0, 1, 1}, {0, 2, 0}})
+	nt, perm, err := Apply(tb, ByCardinality)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if nt.Cards[0] != 3 {
+		t.Fatalf("first dim after apply should be the high-cardinality one, cards=%v", nt.Cards)
+	}
+	if perm[0] != 1 {
+		t.Fatalf("perm = %v", perm)
+	}
+	// Original strategy returns the same table.
+	same, _, err := Apply(tb, Original)
+	if err != nil || same != tb {
+		t.Fatal("Original must return the input table unchanged")
+	}
+}
+
+func TestPermutationTiesAreStable(t *testing.T) {
+	tb := tbl(t, [][]core.Value{{0, 0}, {1, 1}})
+	p := Permutation(tb, ByCardinality)
+	if p[0] != 0 || p[1] != 1 {
+		t.Fatalf("tie perm = %v, want stable order", p)
+	}
+}

@@ -1,0 +1,119 @@
+package partition
+
+import (
+	"testing"
+
+	"ccubing/internal/gen"
+	"ccubing/internal/mmcubing"
+	"ccubing/internal/qcdfs"
+	"ccubing/internal/sink"
+	"ccubing/internal/stararray"
+	"ccubing/internal/table"
+)
+
+func closedEngine(minsup int64) Engine {
+	return func(t *table.Table, s sink.Sink) error {
+		return stararray.Run(t, stararray.Config{MinSup: minsup, Closed: true}, s)
+	}
+}
+
+// TestPartitionedEqualsDirect is the driver's contract: identical cell sets.
+func TestPartitionedEqualsDirect(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 500, D: 4, C: 7, S: 1, Seed: 11})
+	for _, dim := range []int{0, 2} {
+		for _, minsup := range []int64{1, 3} {
+			var direct sink.Collector
+			if err := closedEngine(minsup)(tb, &direct); err != nil {
+				t.Fatal(err)
+			}
+			var parted sink.Collector
+			dd := &sink.Dedup{Next: &parted}
+			err := Run(tb, Config{Dim: dim, Buckets: 4, TempDir: t.TempDir()},
+				closedEngine(minsup), dd)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if dd.Dup != 0 {
+				t.Fatalf("partitioned run emitted %d duplicates", dd.Dup)
+			}
+			if diff := sink.DiffCells(parted.Cells, direct.Cells, 8); diff != "" {
+				t.Fatalf("dim %d min_sup %d mismatch:\n%s", dim, minsup, diff)
+			}
+		}
+	}
+}
+
+func TestPartitionedOtherEngines(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 300, D: 3, C: 5, S: 0.5, Seed: 12})
+	engines := map[string]Engine{
+		"qcdfs": func(t *table.Table, s sink.Sink) error {
+			return qcdfs.Run(t, qcdfs.Config{MinSup: 2}, s)
+		},
+		"mm-closed": func(t *table.Table, s sink.Sink) error {
+			return mmcubing.Run(t, mmcubing.Config{MinSup: 2, Closed: true}, s)
+		},
+	}
+	for name, eng := range engines {
+		var direct, parted sink.Collector
+		if err := eng(tb, &direct); err != nil {
+			t.Fatal(err)
+		}
+		if err := Run(tb, Config{Dim: 1, Buckets: 3, TempDir: t.TempDir()}, eng, &parted); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if diff := sink.DiffCells(parted.Cells, direct.Cells, 8); diff != "" {
+			t.Fatalf("%s mismatch:\n%s", name, diff)
+		}
+	}
+}
+
+func TestPartitionWithAux(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 100, D: 3, C: 4, Seed: 13})
+	tb.Aux = make([]float64, 100)
+	for i := range tb.Aux {
+		tb.Aux[i] = float64(i) + 0.25
+	}
+	// Spill + load must round-trip the aux column.
+	dir := t.TempDir()
+	if err := spill(tb, 0, 2, dir); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for b := 0; b < 2; b++ {
+		pt, err := load(dir+"/"+bucketName(b), tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += pt.NumTuples()
+		for i := 0; i < pt.NumTuples(); i++ {
+			if pt.Aux[i] != float64(int(pt.Aux[i]))+0.25 {
+				t.Fatalf("aux corrupted: %v", pt.Aux[i])
+			}
+		}
+	}
+	if n != 100 {
+		t.Fatalf("tuples after spill = %d", n)
+	}
+}
+
+func TestBadDim(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 10, D: 2, C: 2, Seed: 1})
+	if err := Run(tb, Config{Dim: 5}, closedEngine(1), &sink.Collector{}); err == nil {
+		t.Fatal("out-of-range dim must error")
+	}
+}
+
+func TestBucketsCappedByCardinality(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 60, D: 3, C: 2, S: 0, Seed: 14})
+	var direct, parted sink.Collector
+	if err := closedEngine(1)(tb, &direct); err != nil {
+		t.Fatal(err)
+	}
+	// Ask for more buckets than dim 0 has values.
+	if err := Run(tb, Config{Dim: 0, Buckets: 64, TempDir: t.TempDir()}, closedEngine(1), &parted); err != nil {
+		t.Fatal(err)
+	}
+	if diff := sink.DiffCells(parted.Cells, direct.Cells, 8); diff != "" {
+		t.Fatalf("mismatch:\n%s", diff)
+	}
+}

@@ -1,0 +1,90 @@
+package psort
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccubing/internal/core"
+)
+
+// TestPartitionPropertiesQuick validates the partition contract over random
+// inputs: the TID multiset is preserved, buckets are contiguous and ordered
+// by value, and bucket contents match the column.
+func TestPartitionPropertiesQuick(t *testing.T) {
+	f := func(seed int64, nRaw, cardRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%64 + 1
+		card := int(cardRaw)%300 + 1
+		col := make([]core.Value, n)
+		for i := range col {
+			col[i] = core.Value(rng.Intn(card))
+		}
+		tids := make([]core.TID, n)
+		seen := make([]int, n)
+		for i := range tids {
+			tids[i] = core.TID(i)
+		}
+		var p Partitioner
+		b := p.Partition(tids, col, card)
+
+		// Multiset preserved.
+		for _, tid := range tids {
+			seen[tid]++
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		// Buckets contiguous, values ascending, contents correct.
+		if b.Off[0] != 0 || b.Off[len(b.Vals)] != n {
+			return false
+		}
+		for i, v := range b.Vals {
+			if i > 0 && b.Vals[i-1] >= v {
+				return false
+			}
+			for _, tid := range tids[b.Off[i]:b.Off[i+1]] {
+				if col[tid] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionStableQuick: equal-valued TIDs keep their relative order
+// (counting sort must be stable; pool ordering in StarArray relies on it).
+func TestPartitionStableQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50
+		col := make([]core.Value, n)
+		for i := range col {
+			col[i] = core.Value(rng.Intn(5))
+		}
+		tids := make([]core.TID, n)
+		for i := range tids {
+			tids[i] = core.TID(i)
+		}
+		var p Partitioner
+		b := p.Partition(tids, col, 5)
+		for i := range b.Vals {
+			bucket := tids[b.Off[i]:b.Off[i+1]]
+			for j := 1; j < len(bucket); j++ {
+				if bucket[j-1] >= bucket[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

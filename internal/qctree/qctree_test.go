@@ -1,0 +1,117 @@
+package qctree
+
+import (
+	"testing"
+
+	"ccubing/internal/core"
+	"ccubing/internal/gen"
+	"ccubing/internal/refcube"
+	"ccubing/internal/sink"
+	"ccubing/internal/table"
+)
+
+func paperTable(t *testing.T) *table.Table {
+	t.Helper()
+	tb, err := table.FromRows([][]core.Value{
+		{0, 0, 0, 0},
+		{0, 0, 0, 2},
+		{0, 1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestBuildAndQueryPaperTable(t *testing.T) {
+	tb := paperTable(t)
+	tree, err := Build(tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Nodes() == 0 {
+		t.Fatal("empty tree")
+	}
+	// Query closed cells.
+	if c, ok := tree.Query([]core.Value{0, 0, 0, core.Star}); !ok || c != 2 {
+		t.Fatalf("(a1,b1,c1,*) = %d,%v", c, ok)
+	}
+	// Query a NON-closed cell: (a1,*,c1,*) belongs to the class of
+	// (a1,b1,c1,*) and must answer 2.
+	if c, ok := tree.Query([]core.Value{0, core.Star, 0, core.Star}); !ok || c != 2 {
+		t.Fatalf("(a1,*,c1,*) = %d,%v", c, ok)
+	}
+	// The apex answers the total.
+	if c, ok := tree.Query([]core.Value{core.Star, core.Star, core.Star, core.Star}); !ok || c != 3 {
+		t.Fatalf("apex = %d,%v", c, ok)
+	}
+	// An empty cell answers false.
+	if _, ok := tree.Query([]core.Value{0, 0, 1, core.Star}); ok {
+		t.Fatal("empty cell must answer false")
+	}
+}
+
+// TestQueryAnswersWholeIcebergCube is the lossless-compression property: the
+// QC-tree must answer the exact count for EVERY iceberg cell, closed or not.
+func TestQueryAnswersWholeIcebergCube(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 150, D: 4, C: 4, S: 1, Seed: 5})
+	for _, minsup := range []int64{1, 3} {
+		tree, err := Build(tb, minsup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ice, err := refcube.Iceberg(tb, minsup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cell := range ice {
+			got, ok := tree.Query(cell.Values)
+			if !ok || got != cell.Count {
+				t.Fatalf("min_sup %d: query %v = %d,%v want %d",
+					minsup, cell, got, ok, cell.Count)
+			}
+		}
+	}
+}
+
+func TestTreeSmallerThanClosedCells(t *testing.T) {
+	// Prefix sharing must make node count at most the total of bound values
+	// over closed cells.
+	tb := gen.MustSynthetic(gen.Config{T: 200, D: 4, C: 5, S: 1, Seed: 6})
+	tree, err := Build(tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := refcube.Closed(tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bound int64
+	for _, c := range closed {
+		bound += int64(c.Dims())
+	}
+	if tree.Nodes() > bound {
+		t.Fatalf("nodes %d exceeds total bound values %d", tree.Nodes(), bound)
+	}
+	if tree.NumDims() != 4 {
+		t.Fatalf("dims = %d", tree.NumDims())
+	}
+}
+
+func TestRunForwardsCells(t *testing.T) {
+	tb := paperTable(t)
+	var c sink.Collector
+	if err := Run(tb, 2, &c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Cells) != 2 {
+		t.Fatalf("forwarded %d cells, want 2", len(c.Cells))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	tb := paperTable(t)
+	if _, err := Build(tb, 0); err == nil {
+		t.Fatal("min_sup 0 must error")
+	}
+}

@@ -1,0 +1,111 @@
+// Package refcube is the definitional oracle for iceberg and closed iceberg
+// cubes. It enumerates every group-by cell of every cuboid by brute force and
+// decides closedness straight from Def. 3 of the paper (equivalently: a cell
+// is closed iff on no wildcard dimension do all of its tuples share a single
+// value). It is exponential in the dimension count and exists to verify the
+// real engines on small inputs.
+package refcube
+
+import (
+	"fmt"
+
+	"ccubing/internal/core"
+	"ccubing/internal/table"
+)
+
+// maxDims caps the oracle's dimensionality: 2^D cells per tuple.
+const maxDims = 20
+
+// mixed marks a dimension on which the cell's tuples disagree.
+const mixed core.Value = -3
+
+type agg struct {
+	count  int64
+	shared []core.Value // per dim: the common value, or mixed
+}
+
+// Cube computes both the iceberg cube and the closed iceberg cube of t at
+// the given min_sup in one enumeration pass.
+func Cube(t *table.Table, minsup int64) (iceberg, closed []core.Cell, err error) {
+	nd := t.NumDims()
+	if nd > maxDims {
+		return nil, nil, fmt.Errorf("refcube: %d dimensions exceed oracle limit %d", nd, maxDims)
+	}
+	if minsup < 1 {
+		return nil, nil, fmt.Errorf("refcube: min_sup %d < 1", minsup)
+	}
+	n := t.NumTuples()
+	cells := make(map[string]*agg)
+	vals := make([]core.Value, nd)
+	row := make([]core.Value, nd)
+
+	for tid := 0; tid < n; tid++ {
+		for d := 0; d < nd; d++ {
+			row[d] = t.Cols[d][tid]
+		}
+		for mask := 0; mask < 1<<nd; mask++ {
+			for d := 0; d < nd; d++ {
+				if mask&(1<<d) != 0 {
+					vals[d] = row[d]
+				} else {
+					vals[d] = core.Star
+				}
+			}
+			k := core.CellKey(vals)
+			a := cells[k]
+			if a == nil {
+				a = &agg{shared: append([]core.Value(nil), row...)}
+				cells[k] = a
+			} else {
+				for d := 0; d < nd; d++ {
+					if a.shared[d] != mixed && a.shared[d] != row[d] {
+						a.shared[d] = mixed
+					}
+				}
+			}
+			a.count++
+		}
+	}
+
+	for k, a := range cells {
+		if a.count < minsup {
+			continue
+		}
+		cell := core.Cell{Values: decodeKey(k, nd), Count: a.count}
+		iceberg = append(iceberg, cell)
+		isClosed := true
+		for d, v := range cell.Values {
+			if v == core.Star && a.shared[d] != mixed {
+				isClosed = false
+				break
+			}
+		}
+		if isClosed {
+			closed = append(closed, cell)
+		}
+	}
+	core.SortCells(iceberg)
+	core.SortCells(closed)
+	return iceberg, closed, nil
+}
+
+// Iceberg returns only the iceberg cube cells.
+func Iceberg(t *table.Table, minsup int64) ([]core.Cell, error) {
+	ice, _, err := Cube(t, minsup)
+	return ice, err
+}
+
+// Closed returns only the closed iceberg cube cells.
+func Closed(t *table.Table, minsup int64) ([]core.Cell, error) {
+	_, cl, err := Cube(t, minsup)
+	return cl, err
+}
+
+func decodeKey(k string, nd int) []core.Value {
+	vals := make([]core.Value, nd)
+	for d := 0; d < nd; d++ {
+		v := uint32(k[4*d]) | uint32(k[4*d+1])<<8 | uint32(k[4*d+2])<<16 | uint32(k[4*d+3])<<24
+		vals[d] = core.Value(v)
+	}
+	return vals
+}

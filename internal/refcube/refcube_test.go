@@ -1,0 +1,182 @@
+package refcube
+
+import (
+	"testing"
+
+	"ccubing/internal/core"
+	"ccubing/internal/gen"
+	"ccubing/internal/table"
+)
+
+// paperTable is Table 1 of the paper: 3 tuples over dims A,B,C,D.
+//
+//	a1 b1 c1 d1
+//	a1 b1 c1 d3
+//	a1 b2 c2 d2
+//
+// Codes: a1=0; b1=0,b2=1; c1=0,c2=1; d1=0,d3=2,d2=1.
+func paperTable(t *testing.T) *table.Table {
+	t.Helper()
+	tb, err := table.FromRows([][]core.Value{
+		{0, 0, 0, 0},
+		{0, 0, 0, 2},
+		{0, 1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// TestPaperExample1 checks the worked example of the paper: with count >= 2,
+// (a1,b1,c1,*):2 and (a1,*,*,*):3 are closed iceberg cells; (a1,*,c1,*):2 is
+// not closed; (a1,b2,c2,d2):1 fails the iceberg constraint.
+func TestPaperExample1(t *testing.T) {
+	tb := paperTable(t)
+	ice, closed, err := Cube(tb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClosed := map[string]int64{
+		core.CellKey([]core.Value{0, 0, 0, core.Star}):                 2,
+		core.CellKey([]core.Value{0, core.Star, core.Star, core.Star}): 3,
+	}
+	if len(closed) != len(wantClosed) {
+		t.Fatalf("closed cells = %v", closed)
+	}
+	for _, c := range closed {
+		if wantClosed[c.Key()] != c.Count {
+			t.Fatalf("unexpected closed cell %v", c)
+		}
+	}
+	// The non-closed iceberg cell (a1,*,c1,*):2 must be in the iceberg cube.
+	found := false
+	for _, c := range ice {
+		if c.Key() == core.CellKey([]core.Value{0, core.Star, 0, core.Star}) {
+			found = true
+			if c.Count != 2 {
+				t.Fatalf("(a1,*,c1,*) count = %d", c.Count)
+			}
+		}
+		if c.Count < 2 {
+			t.Fatalf("iceberg cube contains sub-threshold cell %v", c)
+		}
+	}
+	if !found {
+		t.Fatal("(a1,*,c1,*) missing from iceberg cube")
+	}
+}
+
+func TestClosedSubsetOfIceberg(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 200, D: 4, C: 4, S: 1, Seed: 8})
+	ice, closed, err := Cube(tb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := map[string]int64{}
+	for _, c := range ice {
+		im[c.Key()] = c.Count
+	}
+	for _, c := range closed {
+		if im[c.Key()] != c.Count {
+			t.Fatalf("closed cell %v not in iceberg cube", c)
+		}
+	}
+	if len(closed) == 0 || len(closed) >= len(ice) {
+		t.Fatalf("suspicious sizes: closed=%d iceberg=%d", len(closed), len(ice))
+	}
+}
+
+// TestClosedCellsAreClosedByDefinition re-verifies the oracle against the
+// rawest possible implementation of Def. 3: a cell is non-closed iff some
+// one-dimension refinement has the same count.
+func TestClosedCellsAreClosedByDefinition(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 60, D: 3, C: 3, S: 0.5, Seed: 9})
+	ice, closed, err := Cube(tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	for _, c := range ice {
+		counts[c.Key()] = c.Count
+	}
+	closedSet := map[string]bool{}
+	for _, c := range closed {
+		closedSet[c.Key()] = true
+	}
+	for _, c := range ice {
+		// Compute definitional closedness.
+		isClosed := true
+		for d := range c.Values {
+			if c.Values[d] != core.Star {
+				continue
+			}
+			for v := 0; v < tb.Cards[d]; v++ {
+				ref := append([]core.Value(nil), c.Values...)
+				ref[d] = core.Value(v)
+				if counts[core.CellKey(ref)] == c.Count {
+					isClosed = false
+				}
+			}
+		}
+		if isClosed != closedSet[c.Key()] {
+			t.Fatalf("cell %v: oracle says closed=%v, definition says %v",
+				c, closedSet[c.Key()], isClosed)
+		}
+	}
+}
+
+func TestApexAlwaysPresent(t *testing.T) {
+	tb := paperTable(t)
+	ice, _, err := Cube(tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apex := core.CellKey([]core.Value{core.Star, core.Star, core.Star, core.Star})
+	for _, c := range ice {
+		if c.Key() == apex {
+			if c.Count != 3 {
+				t.Fatalf("apex count = %d", c.Count)
+			}
+			return
+		}
+	}
+	t.Fatal("apex cell missing")
+}
+
+func TestHighMinsupEmptiesCube(t *testing.T) {
+	tb := paperTable(t)
+	ice, closed, err := Cube(tb, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ice) != 0 || len(closed) != 0 {
+		t.Fatalf("cube above T must be empty: %d/%d", len(ice), len(closed))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tb := paperTable(t)
+	if _, _, err := Cube(tb, 0); err == nil {
+		t.Fatal("min_sup 0 must error")
+	}
+	wide := table.New(21, 1)
+	if _, _, err := Cube(wide, 1); err == nil {
+		t.Fatal("too many dimensions must error")
+	}
+}
+
+func TestWrappers(t *testing.T) {
+	tb := paperTable(t)
+	ice, err := Iceberg(tb, 1)
+	if err != nil || len(ice) == 0 {
+		t.Fatalf("Iceberg: %v %d", err, len(ice))
+	}
+	cl, err := Closed(tb, 1)
+	if err != nil || len(cl) == 0 {
+		t.Fatalf("Closed: %v %d", err, len(cl))
+	}
+	if len(cl) > len(ice) {
+		t.Fatal("closed larger than iceberg")
+	}
+}

@@ -1,0 +1,172 @@
+// Package rules mines closed rules from a closed cube (paper Sec. 6.2): a
+// rule  a_c1, ..., a_ci -> a_t1, ..., a_tj  states that any cell fixing the
+// condition values must also carry the target values. The paper recommends
+// closed rules over per-class lower bounds because many upper/lower-bound
+// pairs share one rule (their weather example: 462k closed cells compress to
+// 57k rules).
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ccubing/internal/core"
+	"ccubing/internal/table"
+)
+
+// Rule is one closed rule: when every condition dimension holds its value,
+// the target dimensions are determined.
+type Rule struct {
+	CondDims []int
+	CondVals []core.Value
+	TargDims []int
+	TargVals []core.Value
+	// Support is the number of tuples matching the condition.
+	Support int64
+}
+
+// String renders the rule like (d0=3, d2=1) -> (d1=4).
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, d := range r.CondDims {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "d%d=%d", d, r.CondVals[i])
+	}
+	b.WriteString(") -> (")
+	for i, d := range r.TargDims {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "d%d=%d", d, r.TargVals[i])
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// key canonicalizes a rule for deduplication.
+func (r Rule) key() string {
+	var b strings.Builder
+	for i, d := range r.CondDims {
+		fmt.Fprintf(&b, "c%d=%d;", d, r.CondVals[i])
+	}
+	b.WriteByte('|')
+	for i, d := range r.TargDims {
+		fmt.Fprintf(&b, "t%d=%d;", d, r.TargVals[i])
+	}
+	return b.String()
+}
+
+// Mine derives closed rules from closed cells. For each closed cell it
+// greedily drops fixed dimensions whose removal keeps the match count
+// unchanged; the surviving dimensions form the condition and the dropped
+// ones the target. Rules with empty targets (the cell is its own minimal
+// generator) are skipped, and duplicate rules are merged. The greedy
+// generator is one minimal generator per cell, not all of them — enough for
+// the compression the paper reports, at O(cells × dims × T) cost.
+func Mine(t *table.Table, closed []core.Cell) []Rule {
+	seen := map[string]bool{}
+	var out []Rule
+	vals := make([]core.Value, t.NumDims())
+	for _, cell := range closed {
+		copy(vals, cell.Values)
+		fixed := make([]int, 0, len(vals))
+		for d, v := range vals {
+			if v != core.Star {
+				fixed = append(fixed, d)
+			}
+		}
+		if len(fixed) < 2 {
+			continue
+		}
+		var targDims []int
+		var targVals []core.Value
+		// Drop dimensions in descending order: later dimensions are often
+		// the determined ones in practice, matching the paper's examples.
+		for i := len(fixed) - 1; i >= 0; i-- {
+			d := fixed[i]
+			if len(fixed)-len(targDims) <= 1 {
+				break // keep at least one condition dimension
+			}
+			v := vals[d]
+			vals[d] = core.Star
+			if matchCount(t, vals) == cell.Count {
+				targDims = append(targDims, d)
+				targVals = append(targVals, v)
+			} else {
+				vals[d] = v
+			}
+		}
+		if len(targDims) == 0 {
+			continue
+		}
+		r := Rule{Support: cell.Count}
+		for _, d := range fixed {
+			if vals[d] != core.Star {
+				r.CondDims = append(r.CondDims, d)
+				r.CondVals = append(r.CondVals, vals[d])
+			}
+		}
+		// Restore and record targets in ascending dimension order.
+		idx := make([]int, len(targDims))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return targDims[idx[a]] < targDims[idx[b]] })
+		for _, i := range idx {
+			r.TargDims = append(r.TargDims, targDims[i])
+			r.TargVals = append(r.TargVals, targVals[i])
+		}
+		if k := r.key(); !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Verify checks that every rule holds on the relation; it returns the first
+// violation found, or nil.
+func Verify(t *table.Table, rs []Rule) error {
+	for ri, r := range rs {
+		for tid := 0; tid < t.NumTuples(); tid++ {
+			match := true
+			for i, d := range r.CondDims {
+				if t.Cols[d][tid] != r.CondVals[i] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			for i, d := range r.TargDims {
+				if t.Cols[d][tid] != r.TargVals[i] {
+					return fmt.Errorf("rules: rule %d (%v) violated by tuple %d", ri, r, tid)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func matchCount(t *table.Table, vals []core.Value) int64 {
+	var c int64
+	n := t.NumTuples()
+	for tid := 0; tid < n; tid++ {
+		ok := true
+		for d, v := range vals {
+			if v != core.Star && t.Cols[d][tid] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,93 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"ccubing/internal/core"
+	"ccubing/internal/gen"
+	"ccubing/internal/refcube"
+	"ccubing/internal/table"
+)
+
+func TestMineOnFunctionalData(t *testing.T) {
+	// dim2 = dim0 (functional); dim1 free.
+	rows := [][]core.Value{}
+	for i := 0; i < 24; i++ {
+		a := core.Value(i % 3)
+		rows = append(rows, []core.Value{a, core.Value(i % 4), a})
+	}
+	tb, err := table.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := refcube.Closed(tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Mine(tb, closed)
+	if len(rs) == 0 {
+		t.Fatal("expected rules on functional data")
+	}
+	if err := Verify(tb, rs); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Compression: rules must be fewer than closed cells (the paper's
+	// motivation for rules over lower bounds).
+	if len(rs) >= len(closed) {
+		t.Fatalf("%d rules for %d closed cells: no compression", len(rs), len(closed))
+	}
+}
+
+func TestMineOnDependentSynthetic(t *testing.T) {
+	cards := []int{6, 6, 6, 6}
+	planted := gen.RulesForDependence(2, cards, 3)
+	tb := gen.MustSynthetic(gen.Config{T: 400, Cards: cards, S: 0.5, Seed: 4, Rules: planted})
+	closed, err := refcube.Closed(tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Mine(tb, closed)
+	if err := Verify(tb, rs); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestMineSkipsTrivial(t *testing.T) {
+	// Independent uniform data: closures rarely drop dimensions, so rules
+	// should be rare and all valid.
+	tb := gen.MustSynthetic(gen.Config{T: 200, D: 3, C: 2, S: 0, Seed: 5})
+	closed, err := refcube.Closed(tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Mine(tb, closed)
+	if err := Verify(tb, rs); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		CondDims: []int{0, 2}, CondVals: []core.Value{3, 1},
+		TargDims: []int{1}, TargVals: []core.Value{4},
+	}
+	s := r.String()
+	if !strings.Contains(s, "d0=3") || !strings.Contains(s, "-> (d1=4)") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestVerifyCatchesViolation(t *testing.T) {
+	tb, err := table.FromRows([][]core.Value{{0, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Rule{{
+		CondDims: []int{0}, CondVals: []core.Value{0},
+		TargDims: []int{1}, TargVals: []core.Value{0},
+	}}
+	if err := Verify(tb, bad); err == nil {
+		t.Fatal("violated rule must be reported")
+	}
+}

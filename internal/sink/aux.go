@@ -1,0 +1,28 @@
+package sink
+
+import "ccubing/internal/core"
+
+// AuxSink receives cells together with a complex-measure value (paper
+// Sec. 6.1). Engines that support measure plumbing type-assert their Sink to
+// AuxSink and fall back to plain Emit otherwise.
+type AuxSink interface {
+	Sink
+	EmitAux(vals []core.Value, count int64, aux float64)
+}
+
+// AuxCollector retains cells with their measure values.
+type AuxCollector struct {
+	Cells []core.Cell
+}
+
+// Emit implements Sink (measure value defaults to 0).
+func (c *AuxCollector) Emit(vals []core.Value, count int64) {
+	c.EmitAux(vals, count, 0)
+}
+
+// EmitAux implements AuxSink, copying vals.
+func (c *AuxCollector) EmitAux(vals []core.Value, count int64, aux float64) {
+	v := make([]core.Value, len(vals))
+	copy(v, vals)
+	c.Cells = append(c.Cells, core.Cell{Values: v, Count: count, Aux: aux})
+}

@@ -1,0 +1,114 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"ccubing/internal/core"
+)
+
+// ReadCSV loads a relation from CSV. When header is true the first record
+// supplies dimension names. Every field is dictionary-encoded; the returned
+// dictionaries decode cell values back to labels.
+func ReadCSV(r io.Reader, header bool) (*Table, []*Dict, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+
+	var names []string
+	var dicts []*Dict
+	var cols []([]core.Value)
+	n := 0
+
+	rec, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil, fmt.Errorf("table: empty CSV input")
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("table: reading CSV: %w", err)
+	}
+	start := rec
+	if header {
+		names = append([]string(nil), rec...)
+		start = nil
+	}
+	initDims := func(nd int) {
+		dicts = make([]*Dict, nd)
+		cols = make([][]core.Value, nd)
+		for d := range dicts {
+			dicts[d] = NewDict()
+		}
+		if names == nil {
+			names = make([]string, nd)
+			for d := range names {
+				names[d] = fmt.Sprintf("dim%d", d)
+			}
+		}
+	}
+	addRow := func(rec []string) error {
+		if cols == nil {
+			initDims(len(rec))
+		}
+		if len(rec) != len(cols) {
+			return fmt.Errorf("table: CSV row %d has %d fields, want %d", n+1, len(rec), len(cols))
+		}
+		for d, f := range rec {
+			cols[d] = append(cols[d], dicts[d].Code(f))
+		}
+		n++
+		return nil
+	}
+	if start != nil {
+		if err := addRow(start); err != nil {
+			return nil, nil, err
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("table: reading CSV: %w", err)
+		}
+		if err := addRow(rec); err != nil {
+			return nil, nil, err
+		}
+	}
+	if n == 0 {
+		return nil, nil, fmt.Errorf("table: CSV has no data rows")
+	}
+	t := &Table{Names: names, Cards: make([]int, len(cols)), Cols: cols}
+	for d := range cols {
+		t.Cards[d] = dicts[d].Len()
+	}
+	return t, dicts, nil
+}
+
+// WriteCSV writes the relation as CSV, decoding values through dicts when
+// provided (pass nil to write raw codes). A header row with dimension names
+// is written when header is true.
+func WriteCSV(w io.Writer, t *Table, dicts []*Dict, header bool) error {
+	cw := csv.NewWriter(w)
+	if header {
+		if err := cw.Write(t.Names); err != nil {
+			return fmt.Errorf("table: writing CSV header: %w", err)
+		}
+	}
+	rec := make([]string, t.NumDims())
+	for i := 0; i < t.NumTuples(); i++ {
+		for d := range rec {
+			v := t.Cols[d][i]
+			if dicts != nil {
+				rec[d] = dicts[d].Name(v)
+			} else {
+				rec[d] = fmt.Sprintf("%d", v)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,113 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVWithHeader(t *testing.T) {
+	in := "city,product\nNY,phone\nSF,phone\nNY,laptop\n"
+	tbl, dicts, err := ReadCSV(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if tbl.NumDims() != 2 || tbl.NumTuples() != 3 {
+		t.Fatalf("dims=%d tuples=%d", tbl.NumDims(), tbl.NumTuples())
+	}
+	if tbl.Names[0] != "city" || tbl.Names[1] != "product" {
+		t.Fatalf("names = %v", tbl.Names)
+	}
+	if tbl.Cards[0] != 2 || tbl.Cards[1] != 2 {
+		t.Fatalf("cards = %v", tbl.Cards)
+	}
+	// Dictionary-encoding assigns codes in first-seen order.
+	if dicts[0].Name(0) != "NY" || dicts[0].Name(1) != "SF" {
+		t.Fatalf("dict names: %q %q", dicts[0].Name(0), dicts[0].Name(1))
+	}
+	if tbl.Value(2, 0) != 0 || tbl.Value(2, 1) != 1 {
+		t.Fatalf("row 2 = %d,%d", tbl.Value(2, 0), tbl.Value(2, 1))
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	tbl, _, err := ReadCSV(strings.NewReader("a,b\nc,d\n"), false)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if tbl.NumTuples() != 2 {
+		t.Fatalf("tuples = %d", tbl.NumTuples())
+	}
+	if tbl.Names[0] != "dim0" {
+		t.Fatalf("synthesized name = %q", tbl.Names[0])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, _, err := ReadCSV(strings.NewReader(""), false); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, _, err := ReadCSV(strings.NewReader("h1,h2\n"), true); err == nil {
+		t.Fatal("header-only input must error")
+	}
+	// encoding/csv itself rejects ragged rows.
+	if _, _, err := ReadCSV(strings.NewReader("a,b\nc\n"), false); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := "d0,d1\nx,p\ny,q\nx,q\n"
+	tbl, dicts, err := ReadCSV(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl, dicts, true); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if buf.String() != in {
+		t.Fatalf("round trip mismatch:\n got %q\nwant %q", buf.String(), in)
+	}
+}
+
+func TestWriteCSVRawCodes(t *testing.T) {
+	tbl, _, err := ReadCSV(strings.NewReader("x,p\ny,q\n"), false)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl, nil, false); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if buf.String() != "0,0\n1,1\n" {
+		t.Fatalf("raw codes = %q", buf.String())
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.Code("alpha")
+	b := d.Code("beta")
+	if a == b {
+		t.Fatal("distinct labels share a code")
+	}
+	if d.Code("alpha") != a {
+		t.Fatal("repeat label changed code")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if got, ok := d.Lookup("beta"); !ok || got != b {
+		t.Fatalf("Lookup beta = %d,%v", got, ok)
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Fatal("Lookup of unseen label must fail")
+	}
+	if d.Name(a) != "alpha" {
+		t.Fatalf("Name = %q", d.Name(a))
+	}
+	if d.Name(-1) != "*" || d.Name(99) != "*" {
+		t.Fatal("out-of-range Name must be *")
+	}
+}

@@ -1,0 +1,46 @@
+package table
+
+import "ccubing/internal/core"
+
+// Dict is a per-dimension string dictionary mapping raw labels to dense
+// value codes and back.
+type Dict struct {
+	codes map[string]core.Value
+	names []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]core.Value)}
+}
+
+// Code returns the code for label s, assigning the next free code on first
+// sight.
+func (d *Dict) Code(s string) core.Value {
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c := core.Value(len(d.names))
+	d.codes[s] = c
+	d.names = append(d.names, s)
+	return c
+}
+
+// Lookup returns the code for label s without assigning, and whether it
+// exists.
+func (d *Dict) Lookup(s string) (core.Value, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Name returns the label for code c; for out-of-range codes (including
+// core.Star) it returns "*".
+func (d *Dict) Name(c core.Value) string {
+	if c < 0 || int(c) >= len(d.names) {
+		return "*"
+	}
+	return d.names[c]
+}
+
+// Len returns the number of distinct labels seen.
+func (d *Dict) Len() int { return len(d.names) }
