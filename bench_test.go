@@ -10,7 +10,10 @@ package ccubing
 // EXPERIMENTS.md records the shapes at larger scales.
 
 import (
+	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"testing"
 
@@ -71,6 +74,40 @@ func BenchmarkFig15Switchpoint(b *testing.B)      { benchFigure(b, "fig15") }
 func BenchmarkFig16MMOverhead(b *testing.B)       { benchFigure(b, "fig16") }
 func BenchmarkFig17StarArrayPruning(b *testing.B) { benchFigure(b, "fig17") }
 func BenchmarkFig18DimOrder(b *testing.B)         { benchFigure(b, "fig18") }
+
+// BenchmarkParallelWorkers records the wall-clock speedup of the sharded
+// parallel driver over the sequential path: a 200k-tuple skewed synthetic
+// relation, closed cube, per engine and worker count. Workers=1 is the
+// direct sequential engine run; higher counts go through internal/parallel.
+// The dataset is intentionally NOT scaled by CCUBING_BENCH_SCALE so the
+// numbers are comparable across machines; expect the speedup to track
+// physical cores (on a single-core machine the parallel rows regress, since
+// the decomposition does ~1.5x the sequential work).
+func BenchmarkParallelWorkers(b *testing.B) {
+	ds, err := Synthetic(SyntheticConfig{T: 200_000, D: 6, C: 50, Skew: 1.2, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	sort.Ints(counts)
+	for _, alg := range []Algorithm{AlgStarArray, AlgMM} {
+		prev := 0
+		for _, w := range counts {
+			if w == prev {
+				continue // dedup when NumCPU is 1, 2 or 4
+			}
+			prev = w
+			b.Run(fmt.Sprintf("%v/workers=%d", alg, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					opt := Options{MinSup: 8, Closed: true, Algorithm: alg, Workers: w}
+					if _, err := Compute(ds, opt, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
 
 // ablationData is a dependent, mildly skewed dataset where closed pruning
 // matters — the regime the Lemma 5/6 prunings target.

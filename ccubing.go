@@ -26,20 +26,25 @@ package ccubing
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
-	"ccubing/internal/buc"
 	"ccubing/internal/core"
+	"ccubing/internal/engine"
 	"ccubing/internal/gen"
-	"ccubing/internal/mmcubing"
-	"ccubing/internal/obcheck"
 	"ccubing/internal/order"
-	"ccubing/internal/qcdfs"
-	"ccubing/internal/qctree"
-	"ccubing/internal/sink"
-	"ccubing/internal/stararray"
-	"ccubing/internal/startree"
+	"ccubing/internal/parallel"
 	"ccubing/internal/table"
+
+	// The engine packages register themselves into internal/engine's
+	// registry; the facade dispatches through it.
+	_ "ccubing/internal/buc"
+	_ "ccubing/internal/mmcubing"
+	_ "ccubing/internal/obcheck"
+	_ "ccubing/internal/qcdfs"
+	_ "ccubing/internal/qctree"
+	_ "ccubing/internal/stararray"
+	_ "ccubing/internal/startree"
 )
 
 // Star marks a wildcard (aggregated-over) dimension in a cell's Values.
@@ -176,6 +181,13 @@ type Options struct {
 	DisableLemma5   bool
 	DisableLemma6   bool
 	DisableShortcut bool
+	// Workers sets how many goroutines cube concurrently. 0 and 1 compute
+	// sequentially; larger values shard the relation on one dimension and
+	// cube the shards across that many workers (the in-memory analogue of
+	// the paper's Sec. 6.3 partitioning); negative values use
+	// runtime.NumCPU(). With Workers > 1 the visit callback still runs
+	// serialized, but on worker goroutines and in nondeterministic order.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -201,7 +213,8 @@ type Stats struct {
 	// Cells is the number of emitted cells.
 	Cells int64
 	// Bytes is the serialized cube size (4 bytes per dimension plus an
-	// 8-byte count per cell), the accounting used by the paper's cube-size
+	// 8-byte count per cell, plus an 8-byte measure value when a complex
+	// measure was computed), the accounting used by the paper's cube-size
 	// experiments.
 	Bytes int64
 	// Elapsed is the wall-clock computation time.
@@ -213,7 +226,9 @@ func (s Stats) MB() float64 { return float64(s.Bytes) / (1 << 20) }
 
 // Compute runs the configured algorithm over the dataset and calls visit for
 // every output cell. The Cell passed to visit reuses its Values buffer
-// between calls; copy it to retain.
+// between calls; copy it to retain. With Options.Workers > 1 the computation
+// is sharded across goroutines; visit calls stay serialized but arrive on
+// worker goroutines in nondeterministic order.
 func Compute(ds *Dataset, opt Options, visit func(Cell)) (Stats, error) {
 	opt = opt.withDefaults()
 	if ds == nil || ds.t == nil {
@@ -224,81 +239,63 @@ func Compute(ds *Dataset, opt Options, visit func(Cell)) (Stats, error) {
 		alg = Advise(ds, opt.MinSup, opt.Closed)
 	}
 	st := Stats{Algorithm: alg}
-	if err := checkOptions(ds, opt, alg); err != nil {
+	eng, ecfg, err := resolveEngine(ds, opt, alg)
+	if err != nil {
 		return st, err
 	}
 
 	t := ds.t
 	perm := order.Permutation(t, OrderOriginal)
-	if opt.Order != OrderOriginal && (alg == AlgStar || alg == AlgStarArray) {
-		var err error
+	if opt.Order != OrderOriginal && eng.Capabilities().OrderSensitive {
 		t, perm, err = order.Apply(ds.t, opt.Order)
 		if err != nil {
 			return st, err
 		}
 	}
 
-	out := &visitSink{visit: visit, perm: perm, scratch: make([]core.Value, t.NumDims()), stats: &st}
+	out := newVisitSink(visit, perm, t.NumDims(), opt, &st)
 	start := time.Now()
-	err := dispatch(alg, t, opt, out)
+	if w := resolveWorkers(opt.Workers); w > 1 {
+		err = parallel.Run(t, eng, ecfg, parallel.Config{Workers: w, Dim: -1}, out)
+	} else {
+		err = eng.Run(t, ecfg, out)
+	}
 	st.Elapsed = time.Since(start)
 	return st, err
 }
 
-// dispatch runs one engine on a (possibly reordered) table.
-func dispatch(alg Algorithm, t *table.Table, opt Options, out sink.Sink) error {
-	switch alg {
-	case AlgMM:
-		return mmcubing.Run(t, mmcubing.Config{
-			MinSup:          opt.MinSup,
-			Closed:          opt.Closed,
-			DenseBudget:     opt.DenseBudget,
-			DisableShortcut: opt.DisableShortcut,
-		}, out)
-	case AlgStar:
-		return startree.Run(t, startree.Config{
-			MinSup:        opt.MinSup,
-			Closed:        opt.Closed,
-			DisableLemma5: opt.DisableLemma5,
-			DisableLemma6: opt.DisableLemma6,
-		}, out)
-	case AlgStarArray:
-		return stararray.Run(t, stararray.Config{
-			MinSup:        opt.MinSup,
-			Closed:        opt.Closed,
-			DisableLemma5: opt.DisableLemma5,
-			DisableLemma6: opt.DisableLemma6,
-		}, out)
-	case AlgBUC:
-		return buc.Run(t, buc.Config{MinSup: opt.MinSup, Measure: opt.Measure}, out)
-	case AlgQCDFS:
-		return qcdfs.Run(t, qcdfs.Config{MinSup: opt.MinSup, Measure: opt.Measure}, out)
-	case AlgQCTree:
-		return qctree.Run(t, opt.MinSup, out)
-	case AlgOBBUC:
-		return obcheck.Run(t, obcheck.Config{MinSup: opt.MinSup}, out)
-	default:
-		return fmt.Errorf("ccubing: unknown algorithm %v", alg)
+// resolveEngine looks the algorithm up in the engine registry and validates
+// the requested options against its declared capabilities.
+func resolveEngine(ds *Dataset, opt Options, alg Algorithm) (engine.Engine, engine.Config, error) {
+	eng, ok := engine.Lookup(alg.String())
+	if !ok {
+		return nil, engine.Config{}, fmt.Errorf("ccubing: unknown algorithm %v", alg)
 	}
+	ecfg := engine.Config{
+		MinSup:          opt.MinSup,
+		Closed:          opt.Closed,
+		Measure:         opt.Measure,
+		DenseBudget:     opt.DenseBudget,
+		DisableLemma5:   opt.DisableLemma5,
+		DisableLemma6:   opt.DisableLemma6,
+		DisableShortcut: opt.DisableShortcut,
+	}
+	if err := engine.Validate(eng, ds.t.Aux != nil, ecfg); err != nil {
+		return nil, engine.Config{}, fmt.Errorf("ccubing: %w", err)
+	}
+	return eng, ecfg, nil
 }
 
-func checkOptions(ds *Dataset, opt Options, alg Algorithm) error {
-	if ds == nil || ds.t == nil {
-		return fmt.Errorf("ccubing: nil dataset")
+// resolveWorkers maps Options.Workers to a goroutine count: sequential for 0
+// and 1, NumCPU for negative values.
+func resolveWorkers(w int) int {
+	if w < 0 {
+		return runtime.NumCPU()
 	}
-	if alg == AlgBUC && opt.Closed {
-		return fmt.Errorf("ccubing: BUC computes iceberg cubes only; pick a C-Cubing algorithm for closed cubes")
+	if w == 0 {
+		return 1
 	}
-	if (alg == AlgQCDFS || alg == AlgQCTree || alg == AlgOBBUC) && !opt.Closed {
-		return fmt.Errorf("ccubing: %v computes closed cubes only", alg)
-	}
-	if opt.Measure != MeasureNone && alg != AlgBUC && alg != AlgQCDFS {
-		return fmt.Errorf("ccubing: measure %v is only aggregated natively by BUC and QC-DFS; use AttachMeasure", opt.Measure)
-	}
-	if opt.Measure != MeasureNone && ds.t.Aux == nil {
-		return fmt.Errorf("ccubing: measure %v requested but dataset has no measure column", opt.Measure)
-	}
-	return nil
+	return w
 }
 
 // visitSink adapts a visit callback to the engine sink interface, remapping
@@ -309,6 +306,24 @@ type visitSink struct {
 	scratch []core.Value
 	stats   *Stats
 	cell    Cell
+	// cellBytes is the serialized size of one cell: 4 bytes per dimension,
+	// an 8-byte count, and another 8-byte value when a complex measure was
+	// computed.
+	cellBytes int64
+}
+
+func newVisitSink(visit func(Cell), perm []int, nd int, opt Options, st *Stats) *visitSink {
+	cellBytes := int64(4*nd) + 8
+	if opt.Measure != MeasureNone {
+		cellBytes += 8
+	}
+	return &visitSink{
+		visit:     visit,
+		perm:      perm,
+		scratch:   make([]core.Value, nd),
+		stats:     st,
+		cellBytes: cellBytes,
+	}
 }
 
 func (v *visitSink) Emit(vals []core.Value, count int64) { v.emit(vals, count, 0) }
@@ -319,7 +334,7 @@ func (v *visitSink) EmitAux(vals []core.Value, count int64, aux float64) {
 
 func (v *visitSink) emit(vals []core.Value, count int64, aux float64) {
 	v.stats.Cells++
-	v.stats.Bytes += int64(4*len(vals)) + 8
+	v.stats.Bytes += v.cellBytes
 	for i, val := range vals {
 		v.scratch[v.perm[i]] = val
 	}

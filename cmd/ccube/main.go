@@ -4,7 +4,7 @@
 // Usage:
 //
 //	ccube -csv data.csv -minsup 10 -closed -alg stararray
-//	ccube -synth T=100000,D=8,C=100,S=1,R=0,seed=1 -minsup 4 -closed
+//	ccube -synth T=100000,D=8,C=100,S=1,R=0,seed=1 -minsup 4 -closed -workers 0
 //	ccube -weather 100000,8 -minsup 10 -closed -rules
 //
 // Output rows are "v0,v1,*,v3,count" with dictionary labels resolved for CSV
@@ -33,6 +33,7 @@ func main() {
 		ordName = flag.String("order", "Org", "dimension order: Org|Card|Entropy")
 		quiet   = flag.Bool("quiet", false, "suppress cell output (timing only)")
 		doRules = flag.Bool("rules", false, "mine closed rules from the result (closed mode)")
+		workers = flag.Int("workers", 1, "engine goroutines (1 = sequential, 0 = all CPU cores)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,10 @@ func main() {
 		Closed:    *closed,
 		Algorithm: alg,
 		Order:     ord,
+		Workers:   *workers,
+	}
+	if *workers == 0 {
+		opt.Workers = -1 // Options maps negative to runtime.NumCPU()
 	}
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()

@@ -12,11 +12,12 @@ import (
 )
 
 // AttachMeasure computes a complex measure (paper Sec. 6.1) for
-// already-collected cells by scanning the relation once per cell, filling
-// each cell's Aux in place. Lemma 1 guarantees the closed cube on count
-// loses no closed cells of any measure, so attaching measures after closed
-// cubing is sound. Cost is O(cells × T × D); intended for analysis-sized
-// outputs, not full cubes.
+// already-collected cells, filling each cell's Aux in place. Lemma 1
+// guarantees the closed cube on count loses no closed cells of any measure,
+// so attaching measures after closed cubing is sound. All cells aggregate in
+// one scan per distinct fixed-dimension pattern (cuboid) rather than one
+// scan per cell: cost is O(T × cuboids + cells), so even full closed-cube
+// outputs are practical.
 func AttachMeasure(ds *Dataset, cells []Cell, kind MeasureKind) error {
 	if kind == MeasureNone {
 		return nil
@@ -24,24 +25,63 @@ func AttachMeasure(ds *Dataset, cells []Cell, kind MeasureKind) error {
 	if ds.t.Aux == nil {
 		return fmt.Errorf("ccubing: dataset has no measure column; call SetMeasure first")
 	}
+	if len(cells) == 0 {
+		return nil
+	}
 	t := ds.t
-	n := t.NumTuples()
+
+	// Group cells by their fixed-dimension pattern and index each group by
+	// packed fixed values; a tuple then matches at most one cell per group.
+	type cellGroup struct {
+		dims  []int            // fixed dimensions of the pattern
+		index map[string][]int // packed fixed values -> cell indices
+	}
+	groups := make(map[uint64]*cellGroup)
+	var buf []byte
 	for ci := range cells {
-		agg := core.NewMeasureAgg(kind)
-		vals := cells[ci].Values
-		for tid := 0; tid < n; tid++ {
-			ok := true
-			for d, v := range vals {
-				if v != Star && t.Cols[d][tid] != v {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				agg.Add(t.Aux[tid])
+		var mask uint64
+		for d, v := range cells[ci].Values {
+			if v != Star {
+				mask |= 1 << uint(d)
 			}
 		}
-		cells[ci].Aux = agg.Value()
+		g := groups[mask]
+		if g == nil {
+			g = &cellGroup{index: make(map[string][]int)}
+			for d, v := range cells[ci].Values {
+				if v != Star {
+					g.dims = append(g.dims, d)
+				}
+			}
+			groups[mask] = g
+		}
+		buf = buf[:0]
+		for _, v := range cells[ci].Values {
+			if v != Star {
+				buf = core.AppendValue(buf, v)
+			}
+		}
+		g.index[string(buf)] = append(g.index[string(buf)], ci)
+	}
+
+	aggs := make([]core.MeasureAgg, len(cells))
+	for i := range aggs {
+		aggs[i] = core.NewMeasureAgg(kind)
+	}
+	n := t.NumTuples()
+	for _, g := range groups {
+		for tid := 0; tid < n; tid++ {
+			buf = buf[:0]
+			for _, d := range g.dims {
+				buf = core.AppendValue(buf, t.Cols[d][tid])
+			}
+			for _, ci := range g.index[string(buf)] {
+				aggs[ci].Add(t.Aux[tid])
+			}
+		}
+	}
+	for ci := range cells {
+		cells[ci].Aux = aggs[ci].Value()
 	}
 	return nil
 }
@@ -104,7 +144,10 @@ type PartitionOptions struct {
 // exceeds memory (paper Sec. 6.3): the relation is spilled into partition
 // files on one dimension, partitions are cubed one at a time, and the cells
 // collapsing the partition dimension come from one final pass with that
-// dimension moved last. The emitted cell set equals Compute's.
+// dimension moved last. The emitted cell set equals Compute's. With
+// Options.Workers > 1 up to that many partitions are loaded and cubed
+// concurrently, trading the one-partition memory bound for a Workers-
+// partition bound.
 func ComputePartitioned(ds *Dataset, opt Options, popt PartitionOptions, visit func(Cell)) (Stats, error) {
 	opt = opt.withDefaults()
 	if ds == nil || ds.t == nil {
@@ -115,7 +158,8 @@ func ComputePartitioned(ds *Dataset, opt Options, popt PartitionOptions, visit f
 		alg = Advise(ds, opt.MinSup, opt.Closed)
 	}
 	st := Stats{Algorithm: alg}
-	if err := checkOptions(ds, opt, alg); err != nil {
+	eng, ecfg, err := resolveEngine(ds, opt, alg)
+	if err != nil {
 		return st, err
 	}
 	if opt.Measure != MeasureNone {
@@ -130,15 +174,15 @@ func ComputePartitioned(ds *Dataset, opt Options, popt PartitionOptions, visit f
 			}
 		}
 	}
-	out := &visitSink{
-		visit:   visit,
-		perm:    identityPerm(ds.t.NumDims()),
-		scratch: make([]core.Value, ds.t.NumDims()),
-		stats:   &st,
-	}
-	engine := func(t *table.Table, s sink.Sink) error { return dispatch(alg, t, opt, s) }
+	out := newVisitSink(visit, identityPerm(ds.t.NumDims()), ds.t.NumDims(), opt, &st)
+	run := func(t *table.Table, s sink.Sink) error { return eng.Run(t, ecfg, s) }
 	start := time.Now()
-	err := partition.Run(ds.t, partition.Config{Dim: dim, Buckets: popt.Buckets, TempDir: popt.TempDir}, engine, out)
+	err = partition.Run(ds.t, partition.Config{
+		Dim:     dim,
+		Buckets: popt.Buckets,
+		TempDir: popt.TempDir,
+		Workers: resolveWorkers(opt.Workers),
+	}, run, out)
 	st.Elapsed = time.Since(start)
 	return st, err
 }

@@ -33,6 +33,85 @@ func TestAttachMeasure(t *testing.T) {
 	}
 }
 
+// TestAttachMeasureBatched cross-checks the single-scan implementation
+// against a naive per-cell rescan on a full closed cube, including duplicate
+// cells (which must each receive the same value).
+func TestAttachMeasureBatched(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{T: 600, D: 4, C: 7, Skew: 1.2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux := make([]float64, ds.NumTuples())
+	for i := range aux {
+		aux[i] = float64((i*31)%17) - 5
+	}
+	if err := ds.SetMeasure(aux); err != nil {
+		t.Fatal(err)
+	}
+	cells, _ := collect(t, ds, Options{MinSup: 1, Closed: true, Algorithm: AlgMM})
+	cells = append(cells, cells[0], cells[len(cells)-1]) // duplicates
+	for _, kind := range []MeasureKind{MeasureSum, MeasureMin, MeasureMax, MeasureAvg} {
+		if err := AttachMeasure(ds, cells, kind); err != nil {
+			t.Fatal(err)
+		}
+		tb := ds.Table()
+		for ci, c := range cells {
+			agg := newTestAgg(kind)
+			for tid := 0; tid < tb.NumTuples(); tid++ {
+				match := true
+				for d, v := range c.Values {
+					if v != Star && tb.Cols[d][tid] != v {
+						match = false
+						break
+					}
+				}
+				if match {
+					agg.add(tb.Aux[tid])
+				}
+			}
+			if got, want := c.Aux, agg.value(); got != want {
+				t.Fatalf("%v cell %d (%v): aux %v, want %v", kind, ci, c.Values, got, want)
+			}
+		}
+	}
+}
+
+// newTestAgg is an independent reference aggregator for the cross-check.
+type testAgg struct {
+	kind     MeasureKind
+	sum      float64
+	min, max float64
+	n        int64
+}
+
+func newTestAgg(k MeasureKind) *testAgg {
+	return &testAgg{kind: k, min: 1e300, max: -1e300}
+}
+
+func (a *testAgg) add(x float64) {
+	a.sum += x
+	a.n++
+	if x < a.min {
+		a.min = x
+	}
+	if x > a.max {
+		a.max = x
+	}
+}
+
+func (a *testAgg) value() float64 {
+	switch a.kind {
+	case MeasureSum:
+		return a.sum
+	case MeasureMin:
+		return a.min
+	case MeasureMax:
+		return a.max
+	default:
+		return a.sum / float64(a.n)
+	}
+}
+
 func TestMineRulesEndToEnd(t *testing.T) {
 	// Strongly dependent dataset: plant dependence and mine it back.
 	ds, err := Synthetic(SyntheticConfig{T: 400, D: 4, C: 6, Skew: 0.5, Dependence: 2, Seed: 7})

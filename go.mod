@@ -1,0 +1,3 @@
+module ccubing
+
+go 1.24

@@ -43,6 +43,13 @@ func CellKey(vals []Value) string {
 	return string(b)
 }
 
+// AppendValue appends one value's 4-byte key encoding to b, for callers
+// packing partial (per-cuboid) keys incrementally; the layout matches
+// CellKey's little-endian encoding.
+func AppendValue(b []byte, v Value) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
 // String renders the cell in the paper's notation, e.g. (a1, *, c3 : 17)
 // using dimension index + value index names.
 func (c Cell) String() string {

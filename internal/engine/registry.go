@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry maps engine names to implementations. Engines register from their
+// package init functions, so any program importing an engine package (the
+// facade blank-imports all seven) can look it up here.
+var (
+	mu       sync.RWMutex
+	registry = map[string]Engine{}
+)
+
+// Register adds an engine under its Name. It panics on a duplicate name or a
+// nil engine: both are programmer errors surfaced at process start.
+func Register(e Engine) {
+	if e == nil {
+		panic("engine: Register(nil)")
+	}
+	name := e.Name()
+	if name == "" {
+		panic("engine: Register with empty name")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate Register(%q)", name))
+	}
+	registry[name] = e
+}
+
+// Lookup resolves a registered engine by name.
+func Lookup(name string) (Engine, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// MustLookup is Lookup for engines the program registers itself; it panics
+// when the name is unknown.
+func MustLookup(name string) Engine {
+	e, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("engine: unknown engine %q", name))
+	}
+	return e
+}
+
+// Names lists the registered engine names in sorted order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

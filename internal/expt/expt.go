@@ -10,16 +10,20 @@ import (
 	"fmt"
 	"sync"
 
+	"ccubing/internal/engine"
 	"ccubing/internal/gen"
-	"ccubing/internal/mmcubing"
-	"ccubing/internal/obcheck"
 	"ccubing/internal/order"
-	"ccubing/internal/qcdfs"
-	"ccubing/internal/qctree"
+	"ccubing/internal/parallel"
 	"ccubing/internal/sink"
-	"ccubing/internal/stararray"
-	"ccubing/internal/startree"
 	"ccubing/internal/table"
+
+	_ "ccubing/internal/buc"
+	_ "ccubing/internal/mmcubing"
+	_ "ccubing/internal/obcheck"
+	_ "ccubing/internal/qcdfs"
+	_ "ccubing/internal/qctree"
+	_ "ccubing/internal/stararray"
+	_ "ccubing/internal/startree"
 )
 
 // Algo names an algorithm variant runnable over a table.
@@ -28,61 +32,73 @@ type Algo struct {
 	Run  func(t *table.Table, out sink.Sink) error
 }
 
+// workers is the goroutine count every algorithm run uses; 1 is the
+// sequential engines as the paper ran them. cmd/ccbench raises it via
+// SetWorkers before running any figure (not safe mid-run).
+var workers = 1
+
+// SetWorkers routes subsequent algorithm runs through the parallel sharded
+// driver with n goroutines (n <= 1 restores direct sequential runs). Call it
+// once before running figures.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	workers = n
+}
+
+// runEngine builds an Algo body dispatching through the engine registry,
+// honoring the package worker count.
+func runEngine(engName string, cfg engine.Config) func(t *table.Table, out sink.Sink) error {
+	return func(t *table.Table, out sink.Sink) error {
+		e := engine.MustLookup(engName)
+		if workers > 1 {
+			return parallel.Run(t, e, cfg, parallel.Config{Workers: workers, Dim: -1}, out)
+		}
+		return e.Run(t, cfg, out)
+	}
+}
+
 // Closed-cubing rosters.
 func ccMM(minsup int64) Algo {
-	return Algo{"CC(MM)", func(t *table.Table, out sink.Sink) error {
-		return mmcubing.Run(t, mmcubing.Config{MinSup: minsup, Closed: true}, out)
-	}}
+	return Algo{"CC(MM)", runEngine("CC(MM)", engine.Config{MinSup: minsup, Closed: true})}
 }
 
 func ccStar(minsup int64) Algo {
-	return Algo{"CC(Star)", func(t *table.Table, out sink.Sink) error {
-		return startree.Run(t, startree.Config{MinSup: minsup, Closed: true}, out)
-	}}
+	return Algo{"CC(Star)", runEngine("CC(Star)", engine.Config{MinSup: minsup, Closed: true})}
 }
 
 func ccStarArray(minsup int64) Algo {
-	return Algo{"CC(StarArray)", func(t *table.Table, out sink.Sink) error {
-		return stararray.Run(t, stararray.Config{MinSup: minsup, Closed: true}, out)
-	}}
+	return Algo{"CC(StarArray)", runEngine("CC(StarArray)", engine.Config{MinSup: minsup, Closed: true})}
 }
 
 func qcDFS(minsup int64) Algo {
-	return Algo{"QC-DFS", func(t *table.Table, out sink.Sink) error {
-		return qcdfs.Run(t, qcdfs.Config{MinSup: minsup}, out)
-	}}
+	return Algo{"QC-DFS", runEngine("QC-DFS", engine.Config{MinSup: minsup, Closed: true})}
 }
 
 // qcTree is QC-DFS plus QC-tree materialization: the full work of the
 // original Quotient Cube system (the binary the paper benchmarked).
 func qcTree(minsup int64) Algo {
-	return Algo{"QC-Tree", func(t *table.Table, out sink.Sink) error {
-		return qctree.Run(t, minsup, out)
-	}}
+	return Algo{"QC-Tree", runEngine("QC-Tree", engine.Config{MinSup: minsup, Closed: true})}
 }
 
 // obBUC is output-based closedness checking (closed-pattern-mining style,
 // paper Sec. 2.2.2), an addition beyond the paper's roster that makes the
 // third checking approach measurable.
 func obBUC(minsup int64) Algo {
-	return Algo{"OB-BUC", func(t *table.Table, out sink.Sink) error {
-		return obcheck.Run(t, obcheck.Config{MinSup: minsup}, out)
-	}}
+	return Algo{"OB-BUC", runEngine("OB-BUC", engine.Config{MinSup: minsup, Closed: true})}
 }
 
 func plainMM(minsup int64) Algo {
-	return Algo{"MM", func(t *table.Table, out sink.Sink) error {
-		return mmcubing.Run(t, mmcubing.Config{MinSup: minsup}, out)
-	}}
+	return Algo{"MM", runEngine("CC(MM)", engine.Config{MinSup: minsup})}
 }
 
 func plainStarArray(minsup int64) Algo {
-	return Algo{"StarArray", func(t *table.Table, out sink.Sink) error {
-		return stararray.Run(t, stararray.Config{MinSup: minsup}, out)
-	}}
+	return Algo{"StarArray", runEngine("CC(StarArray)", engine.Config{MinSup: minsup})}
 }
 
 func orderedStarArray(name string, s order.Strategy, minsup int64) Algo {
+	run := runEngine("CC(StarArray)", engine.Config{MinSup: minsup, Closed: true})
 	return Algo{name, func(t *table.Table, out sink.Sink) error {
 		ot, _, err := order.Apply(t, s)
 		if err != nil {
@@ -90,7 +106,7 @@ func orderedStarArray(name string, s order.Strategy, minsup int64) Algo {
 		}
 		// Cell dimension positions differ under reordering, but the
 		// experiments only time and count cells, so no remapping is needed.
-		return stararray.Run(ot, stararray.Config{MinSup: minsup, Closed: true}, out)
+		return run(ot, out)
 	}}
 }
 

@@ -1,0 +1,30 @@
+package mmcubing
+
+import (
+	"ccubing/internal/engine"
+	"ccubing/internal/sink"
+	"ccubing/internal/table"
+)
+
+// ccMM adapts this package to the engine registry as C-Cubing(MM) /
+// MM-Cubing (the Closed flag selects which).
+type ccMM struct{}
+
+func (ccMM) Name() string { return "CC(MM)" }
+
+func (ccMM) Capabilities() engine.Capabilities {
+	// MM-Cubing factorizes the lattice space and is insensitive to
+	// dimension order.
+	return engine.Capabilities{Closed: true, Iceberg: true}
+}
+
+func (ccMM) Run(t *table.Table, cfg engine.Config, out sink.Sink) error {
+	return Run(t, Config{
+		MinSup:          cfg.MinSup,
+		Closed:          cfg.Closed,
+		DenseBudget:     cfg.DenseBudget,
+		DisableShortcut: cfg.DisableShortcut,
+	}, out)
+}
+
+func init() { engine.Register(ccMM{}) }

@@ -1,0 +1,394 @@
+// Package parallel is the in-memory, multi-core analogue of the out-of-core
+// partition driver (paper Sec. 6.3): the relation is split on one dimension
+// into shards, each shard is cubed independently by a pool of workers, and
+// the cells that collapse the partitioning dimension come from one final
+// pass over the full relation with that dimension taken out of enumeration.
+//
+// Correctness mirrors internal/partition. A cell that fixes the partitioning
+// dimension has all of its tuples inside one shard (shards group dimension
+// values), so count, measure and closedness computed there are globally
+// correct; shard runs keep exactly those cells. Cells with a wildcard on the
+// partitioning dimension are computed by the final pass over the projection
+// of the relation without that dimension: for plain iceberg cubes the
+// projection cube is exactly the wildcard slice of the full cube (counts and
+// measures aggregate over the removed dimension). For closed cubes one more
+// check is needed — a cell closed with respect to every remaining dimension
+// is still non-closed when all of its tuples agree on the partitioning
+// dimension (the cell fixing that shared value covers it with equal count).
+// That check is performed the way the paper performs closedness checking:
+// by aggregation, not by output indices or per-cell rescans. One scan of the
+// relation (parallelized over tuple ranges) folds each tuple's partitioning-
+// dimension value into a first-value/conflict aggregate per candidate cell;
+// candidates whose aggregate never saw two distinct values are dropped.
+package parallel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ccubing/internal/core"
+	"ccubing/internal/engine"
+	"ccubing/internal/sink"
+	"ccubing/internal/table"
+)
+
+// Config parameterizes a parallel run.
+type Config struct {
+	// Workers is the number of concurrent engine goroutines; values below 1
+	// run the same decomposition on a single goroutine.
+	Workers int
+	// Dim is the partitioning dimension; negative picks the dimension with
+	// the highest cardinality (whose fixed cells — the bulk of the cube —
+	// then spread across the most shards).
+	Dim int
+	// Shards bounds how many shards the relation splits into (values are
+	// hashed into shards). Defaults to 4×Workers, capped by the partition
+	// dimension's cardinality.
+	Shards int
+}
+
+// Run computes the cube of t with eng under ecfg, distributing the work
+// across cfg.Workers goroutines, and emits every cell into out. Emissions
+// are serialized (out need not be goroutine-safe) but arrive in
+// nondeterministic order. The emitted cell set is identical to
+// eng.Run(t, ecfg, out).
+func Run(t *table.Table, eng engine.Engine, ecfg engine.Config, cfg Config, out sink.Sink) error {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	nd := t.NumDims()
+	if nd < 2 || t.NumTuples() == 0 {
+		// Nothing to decompose on; a single sequential run is the whole job.
+		return eng.Run(t, ecfg, out)
+	}
+	dim := cfg.Dim
+	if dim < 0 {
+		dim = 0
+		for d := 1; d < nd; d++ {
+			if t.Cards[d] > t.Cards[dim] {
+				dim = d
+			}
+		}
+	}
+	if dim >= nd {
+		return fmt.Errorf("parallel: dimension %d out of range", dim)
+	}
+	ns := cfg.Shards
+	if ns <= 0 {
+		ns = 4 * workers
+	}
+	if ns > t.Cards[dim] {
+		ns = t.Cards[dim]
+	}
+	if ns < 1 {
+		ns = 1
+	}
+
+	shards := shardTables(t, dim, ns)
+	projDims := make([]int, 0, nd-1)
+	for d := 0; d < nd; d++ {
+		if d != dim {
+			projDims = append(projDims, d)
+		}
+	}
+	pt, err := t.Project(projDims)
+	if err != nil {
+		return err
+	}
+
+	merger := sink.NewMerger(out)
+	var candidates []core.Cell // closed mode: projected cells pending the dim check
+
+	// The final pass is usually the longest job, so it goes first; shards
+	// follow largest-first to keep the pool balanced under skew.
+	sort.Slice(shards, func(i, j int) bool { return shards[i].NumTuples() > shards[j].NumTuples() })
+	jobs := make([]func() error, 0, len(shards)+1)
+	jobs = append(jobs, func() error {
+		if ecfg.Closed {
+			col := &sink.AuxCollector{}
+			if err := eng.Run(pt, ecfg, col); err != nil {
+				return fmt.Errorf("parallel: final pass: %w", err)
+			}
+			candidates = col.Cells
+			return nil
+		}
+		w := merger.Worker()
+		ins := &starInsert{next: w, dim: dim, scratch: make([]core.Value, nd)}
+		if err := eng.Run(pt, ecfg, ins); err != nil {
+			return fmt.Errorf("parallel: final pass: %w", err)
+		}
+		w.Flush()
+		return nil
+	})
+	for _, st := range shards {
+		st := st
+		jobs = append(jobs, func() error {
+			w := merger.Worker()
+			f := &fixedFilter{next: w, dim: dim}
+			if err := eng.Run(st, ecfg, f); err != nil {
+				return fmt.Errorf("parallel: shard: %w", err)
+			}
+			w.Flush()
+			return nil
+		})
+	}
+	if err := runPool(workers, jobs); err != nil {
+		return err
+	}
+
+	if ecfg.Closed {
+		emitClosedSurvivors(t, dim, projDims, candidates, workers, merger)
+	}
+	return nil
+}
+
+// shardTables splits t into ns sub-tables on dimension dim (value % ns picks
+// the shard), copying tuples column by column. Shards inherit the parent's
+// schema and cardinalities.
+func shardTables(t *table.Table, dim, ns int) []*table.Table {
+	n := t.NumTuples()
+	nd := t.NumDims()
+	counts := make([]int, ns)
+	assign := make([]int32, n)
+	pos := make([]int32, n)
+	for tid := 0; tid < n; tid++ {
+		s := int(t.Cols[dim][tid]) % ns
+		assign[tid] = int32(s)
+		pos[tid] = int32(counts[s])
+		counts[s]++
+	}
+	shards := make([]*table.Table, 0, ns)
+	dst := make([]*table.Table, ns)
+	for s := 0; s < ns; s++ {
+		if counts[s] == 0 {
+			continue
+		}
+		st := table.New(nd, counts[s])
+		copy(st.Names, t.Names)
+		copy(st.Cards, t.Cards)
+		if t.Aux != nil {
+			st.Aux = make([]float64, counts[s])
+		}
+		dst[s] = st
+		shards = append(shards, st)
+	}
+	for d := 0; d < nd; d++ {
+		src := t.Cols[d]
+		for tid := 0; tid < n; tid++ {
+			dst[assign[tid]].Cols[d][pos[tid]] = src[tid]
+		}
+	}
+	if t.Aux != nil {
+		for tid := 0; tid < n; tid++ {
+			dst[assign[tid]].Aux[pos[tid]] = t.Aux[tid]
+		}
+	}
+	return shards
+}
+
+// runPool executes jobs on `workers` goroutines, returning the first error.
+// After a job fails no further jobs start (in-flight ones finish).
+func runPool(workers int, jobs []func() error) error {
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	ch := make(chan func() error)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range ch {
+				if err := job(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for _, job := range jobs {
+		if failed.Load() {
+			break
+		}
+		ch <- job
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// fixedFilter keeps cells fixing the partition dimension (shard runs).
+type fixedFilter struct {
+	next sink.AuxSink
+	dim  int
+}
+
+func (f *fixedFilter) Emit(vals []core.Value, count int64) { f.EmitAux(vals, count, 0) }
+
+func (f *fixedFilter) EmitAux(vals []core.Value, count int64, aux float64) {
+	if vals[f.dim] != core.Star {
+		f.next.EmitAux(vals, count, aux)
+	}
+}
+
+// starInsert widens projected cells back to the full dimensionality, placing
+// Star at the removed partition dimension (final pass, iceberg mode).
+type starInsert struct {
+	next    sink.AuxSink
+	dim     int
+	scratch []core.Value
+}
+
+func (s *starInsert) Emit(vals []core.Value, count int64) { s.EmitAux(vals, count, 0) }
+
+func (s *starInsert) EmitAux(vals []core.Value, count int64, aux float64) {
+	copy(s.scratch[:s.dim], vals[:s.dim])
+	s.scratch[s.dim] = core.Star
+	copy(s.scratch[s.dim+1:], vals[s.dim:])
+	s.next.EmitAux(s.scratch, count, aux)
+}
+
+// maskGroup indexes the closed-mode candidates of one cuboid (one pattern of
+// fixed projected dimensions) for the agreement scan.
+type maskGroup struct {
+	dims  []int          // fixed dimensions, as original-table indices
+	index map[string]int // packed fixed values -> candidate index
+}
+
+// emitClosedSurvivors finishes the closed-mode final pass: it drops every
+// candidate whose tuples all share one value on the partition dimension (the
+// cell fixing that value covers it with equal count, so it is not closed)
+// and emits the rest. The decision aggregates a first-value/conflict pair
+// per candidate over one scan of the relation, parallelized by tuple range.
+func emitClosedSurvivors(t *table.Table, dim int, projDims []int, candidates []core.Cell, workers int, merger *sink.Merger) {
+	if len(candidates) == 0 {
+		return
+	}
+	groups := buildMaskGroups(projDims, candidates)
+
+	n := t.NumTuples()
+	chunks := workers
+	if chunks > n {
+		chunks = n
+	}
+	// first[c] is the first partition-dimension value seen for candidate c
+	// (-1 until one is seen); conflict[c] flips when a second distinct value
+	// appears, i.e. the candidate is closed on the partition dimension.
+	firsts := make([][]core.Value, chunks)
+	conflicts := make([][]bool, chunks)
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*n/chunks, (c+1)*n/chunks
+		first := make([]core.Value, len(candidates))
+		for i := range first {
+			first[i] = -1
+		}
+		conflict := make([]bool, len(candidates))
+		firsts[c], conflicts[c] = first, conflict
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scanAgreement(t, dim, groups, lo, hi, first, conflict)
+		}()
+	}
+	wg.Wait()
+
+	w := merger.Worker()
+	scratch := make([]core.Value, t.NumDims())
+	for ci, cand := range candidates {
+		first := core.Value(-1)
+		conflict := false
+		for c := 0; c < chunks && !conflict; c++ {
+			if conflicts[c][ci] {
+				conflict = true
+			} else if v := firsts[c][ci]; v >= 0 {
+				if first >= 0 && first != v {
+					conflict = true
+				}
+				first = v
+			}
+		}
+		if !conflict {
+			continue // one shared value on dim covers the candidate
+		}
+		copy(scratch[:dim], cand.Values[:dim])
+		scratch[dim] = core.Star
+		copy(scratch[dim+1:], cand.Values[dim:])
+		w.EmitAux(scratch, cand.Count, cand.Aux)
+	}
+	w.Flush()
+}
+
+// buildMaskGroups groups candidates by their fixed-dimension pattern and
+// indexes each group by its packed fixed values.
+func buildMaskGroups(projDims []int, candidates []core.Cell) []*maskGroup {
+	byMask := make(map[uint64]*maskGroup)
+	var buf []byte
+	for ci, cand := range candidates {
+		var mask uint64
+		for i, v := range cand.Values {
+			if v != core.Star {
+				mask |= 1 << uint(i)
+			}
+		}
+		g := byMask[mask]
+		if g == nil {
+			g = &maskGroup{index: make(map[string]int)}
+			for i, v := range cand.Values {
+				if v != core.Star {
+					g.dims = append(g.dims, projDims[i])
+				}
+			}
+			byMask[mask] = g
+		}
+		buf = buf[:0]
+		for _, v := range cand.Values {
+			if v != core.Star {
+				buf = core.AppendValue(buf, v)
+			}
+		}
+		g.index[string(buf)] = ci
+	}
+	groups := make([]*maskGroup, 0, len(byMask))
+	for _, g := range byMask {
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// scanAgreement folds tuples [lo, hi) into the per-candidate aggregates.
+func scanAgreement(t *table.Table, dim int, groups []*maskGroup, lo, hi int, first []core.Value, conflict []bool) {
+	dimCol := t.Cols[dim]
+	var buf []byte
+	for _, g := range groups {
+		for tid := lo; tid < hi; tid++ {
+			buf = buf[:0]
+			for _, d := range g.dims {
+				buf = core.AppendValue(buf, t.Cols[d][tid])
+			}
+			ci, ok := g.index[string(buf)]
+			if !ok {
+				continue
+			}
+			if conflict[ci] {
+				continue
+			}
+			v := dimCol[tid]
+			if first[ci] < 0 {
+				first[ci] = v
+			} else if first[ci] != v {
+				conflict[ci] = true
+			}
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"ccubing/internal/core"
 	"ccubing/internal/sink"
@@ -39,6 +41,10 @@ type Config struct {
 	Buckets int
 	// TempDir receives the partition files; defaults to os.TempDir().
 	TempDir string
+	// Workers loads and cubes up to that many partitions concurrently
+	// during the first pass. The default 1 keeps the driver's one-partition
+	// memory bound; n > 1 trades it for an n-partition bound.
+	Workers int
 }
 
 // Run computes the cube of t with the given engine, bounding engine memory
@@ -66,18 +72,18 @@ func Run(t *table.Table, cfg Config, engine Engine, out sink.Sink) error {
 	}
 
 	// Pass 1: one engine run per partition; keep only cells fixing Dim.
-	for b := 0; b < nb; b++ {
-		pt, err := load(filepath.Join(dir, bucketName(b)), t)
-		if err != nil {
-			return err
+	workers := cfg.Workers
+	if workers > nb {
+		workers = nb
+	}
+	if workers <= 1 {
+		for b := 0; b < nb; b++ {
+			if err := cubeBucket(dir, b, t, cfg.Dim, engine, out); err != nil {
+				return err
+			}
 		}
-		if pt.NumTuples() == 0 {
-			continue
-		}
-		f := &filterSink{next: out, dim: cfg.Dim, keepFixed: true}
-		if err := engine(pt, f); err != nil {
-			return fmt.Errorf("partition: bucket %d: %w", b, err)
-		}
+	} else if err := cubeBucketsParallel(dir, nb, workers, t, cfg.Dim, engine, out); err != nil {
+		return err
 	}
 
 	// Pass 2: cells collapsing Dim, computed with Dim moved last.
@@ -94,6 +100,63 @@ func Run(t *table.Table, cfg Config, engine Engine, out sink.Sink) error {
 	}
 	rs := &remapSink{next: out, perm: perm, dim: t.NumDims() - 1, scratch: make([]core.Value, t.NumDims())}
 	return engine(rt, rs)
+}
+
+// cubeBucket loads one partition file and cubes it, keeping the cells that
+// fix the partition dimension.
+func cubeBucket(dir string, b int, t *table.Table, dim int, engine Engine, out sink.Sink) error {
+	pt, err := load(filepath.Join(dir, bucketName(b)), t)
+	if err != nil {
+		return err
+	}
+	if pt.NumTuples() == 0 {
+		return nil
+	}
+	f := &filterSink{next: out, dim: dim, keepFixed: true}
+	if err := engine(pt, f); err != nil {
+		return fmt.Errorf("partition: bucket %d: %w", b, err)
+	}
+	return nil
+}
+
+// cubeBucketsParallel is pass 1 with up to `workers` partitions in memory at
+// once, their emissions serialized into out through a merging sink. After a
+// bucket fails no further buckets start (in-flight ones finish), matching
+// the sequential path's fail-fast behavior.
+func cubeBucketsParallel(dir string, nb, workers int, t *table.Table, dim int, engine Engine, out sink.Sink) error {
+	merger := sink.NewMerger(out)
+	buckets := make(chan int)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mw := merger.Worker()
+			for b := range buckets {
+				if err := cubeBucket(dir, b, t, dim, engine, mw); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+			mw.Flush()
+		}()
+	}
+	for b := 0; b < nb; b++ {
+		if failed.Load() {
+			break
+		}
+		buckets <- b
+	}
+	close(buckets)
+	wg.Wait()
+	return firstErr
 }
 
 // filterSink keeps cells whose partition dimension is fixed (pass 1).

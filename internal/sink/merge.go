@@ -1,0 +1,93 @@
+package sink
+
+import (
+	"sync"
+
+	"ccubing/internal/core"
+)
+
+// Merger funnels cells emitted by concurrent workers into one downstream
+// sink that need not be goroutine-safe. Each worker goroutine takes its own
+// handle from Worker(); emissions buffer locally in the handle and flush in
+// batches under the merger's lock, so the downstream sink only ever sees
+// serialized calls. The parallel execution driver merges its per-worker
+// outputs through this.
+type Merger struct {
+	mu   sync.Mutex
+	next Sink
+	aux  AuxSink // non-nil when next also accepts measure values
+}
+
+// NewMerger wraps next (which may implement AuxSink to receive measure
+// values).
+func NewMerger(next Sink) *Merger {
+	m := &Merger{next: next}
+	if a, ok := next.(AuxSink); ok {
+		m.aux = a
+	}
+	return m
+}
+
+// flushBatch bounds how many cells a worker buffers between flushes; large
+// enough to amortize the lock, small enough to keep buffers cache-resident.
+const flushBatch = 512
+
+// Worker returns a buffered emission handle for one goroutine. Handles are
+// not goroutine-safe themselves; the owner must call Flush when done (cells
+// still buffered at that point would otherwise be lost).
+func (m *Merger) Worker() *MergeWorker {
+	return &MergeWorker{m: m}
+}
+
+// mergedCell is one buffered emission: width values starting at off in the
+// worker's value arena.
+type mergedCell struct {
+	off   int32
+	width int32
+	count int64
+	aux   float64
+}
+
+// MergeWorker is a single-goroutine Sink handle produced by Merger.Worker.
+type MergeWorker struct {
+	m     *Merger
+	vals  []core.Value
+	cells []mergedCell
+}
+
+// Emit implements Sink.
+func (w *MergeWorker) Emit(vals []core.Value, count int64) { w.EmitAux(vals, count, 0) }
+
+// EmitAux implements AuxSink.
+func (w *MergeWorker) EmitAux(vals []core.Value, count int64, aux float64) {
+	w.cells = append(w.cells, mergedCell{
+		off:   int32(len(w.vals)),
+		width: int32(len(vals)),
+		count: count,
+		aux:   aux,
+	})
+	w.vals = append(w.vals, vals...)
+	if len(w.cells) >= flushBatch {
+		w.Flush()
+	}
+}
+
+// Flush drains the buffer into the downstream sink under the merger's lock.
+func (w *MergeWorker) Flush() {
+	if len(w.cells) == 0 {
+		return
+	}
+	m := w.m
+	m.mu.Lock()
+	for _, c := range w.cells {
+		vals := w.vals[c.off : c.off+c.width]
+		if m.aux != nil {
+			m.aux.EmitAux(vals, c.count, c.aux)
+		} else {
+			m.next.Emit(vals, c.count)
+		}
+	}
+	m.mu.Unlock()
+	w.cells = w.cells[:0]
+	w.vals = w.vals[:0]
+}
