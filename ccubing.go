@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"ccubing/internal/core"
@@ -389,20 +391,27 @@ func (ds *Dataset) SetMeasure(vals []float64) error {
 // FormatCell renders a cell using the dataset's dictionaries (or raw codes
 // when the dataset was built from coded values).
 func (ds *Dataset) FormatCell(c Cell) string {
-	s := "("
+	var b strings.Builder
+	b.WriteByte('(')
 	for d, v := range c.Values {
 		if d > 0 {
-			s += ", "
+			b.WriteString(", ")
 		}
-		if v == Star {
-			s += "*"
-		} else if ds.dicts != nil {
-			s += ds.dicts[d].Name(v)
-		} else {
-			s += fmt.Sprintf("%s=%d", ds.t.Names[d], v)
+		switch {
+		case v == Star:
+			b.WriteByte('*')
+		case ds.dicts != nil:
+			b.WriteString(ds.dicts[d].Name(v))
+		default:
+			b.WriteString(ds.t.Names[d])
+			b.WriteByte('=')
+			b.WriteString(strconv.Itoa(int(v)))
 		}
 	}
-	return fmt.Sprintf("%s : %d)", s, c.Count)
+	b.WriteString(" : ")
+	b.WriteString(strconv.FormatInt(c.Count, 10))
+	b.WriteByte(')')
+	return b.String()
 }
 
 // ReadCSV loads a dataset from CSV with a header row of dimension names.
@@ -486,6 +495,43 @@ type SyntheticConfig struct {
 	Skew       float64 // Zipf exponent, 0 = uniform
 	Dependence float64 // target dependence R (paper Sec. 5.3); 0 = none
 	Seed       int64
+}
+
+// ParseSyntheticSpec parses the command-line synthetic dataset notation
+// shared by ccube, ccgen and ccserve: comma-separated key=value pairs over
+// T, D, C, S (skew), R (dependence) and seed, e.g.
+// "T=100000,D=8,C=100,S=1,R=0,seed=1". Omitted keys keep the defaults
+// T=10000, D=6, C=10, seed=1.
+func ParseSyntheticSpec(s string) (SyntheticConfig, error) {
+	cfg := SyntheticConfig{T: 10000, D: 6, C: 10, Seed: 1}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return cfg, fmt.Errorf("ccubing: bad synth component %q", kv)
+		}
+		k, v := parts[0], parts[1]
+		var err error
+		switch k {
+		case "T":
+			cfg.T, err = strconv.Atoi(v)
+		case "D":
+			cfg.D, err = strconv.Atoi(v)
+		case "C":
+			cfg.C, err = strconv.Atoi(v)
+		case "S":
+			cfg.Skew, err = strconv.ParseFloat(v, 64)
+		case "R":
+			cfg.Dependence, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			err = fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("ccubing: bad synth component %q: %v", kv, err)
+		}
+	}
+	return cfg, nil
 }
 
 // Synthetic generates a dataset (deterministic per config).

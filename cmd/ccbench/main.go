@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"ccubing/internal/expt"
 )
@@ -29,13 +28,10 @@ func main() {
 		fig     = flag.String("fig", "all", "figure to run: fig03..fig18, or all")
 		scale   = flag.Float64("scale", 0.1, "tuple-count scale factor (1.0 = paper scale)")
 		list    = flag.Bool("list", false, "list figures and exit")
-		workers = flag.Int("workers", 1, "engine goroutines per run (1 = sequential as in the paper, 0 = all CPU cores)")
+		workers = flag.Int("workers", 1, "engine goroutines per run (0/1 = sequential as in the paper, n>1 = n workers, negative = all CPU cores)")
 	)
 	flag.Parse()
-	if *workers == 0 {
-		*workers = runtime.NumCPU()
-	}
-	expt.SetWorkers(*workers)
+	resolved := expt.SetWorkers(*workers)
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -58,7 +54,7 @@ func main() {
 		}
 		figs = []expt.Figure{f}
 	}
-	fmt.Fprintf(w, "ccbench scale=%g (1.0 = paper scale) workers=%d\n\n", *scale, *workers)
+	fmt.Fprintf(w, "ccbench scale=%g (1.0 = paper scale) workers=%d\n\n", *scale, resolved)
 	for _, f := range figs {
 		w.Flush()
 		if err := expt.Report(w, f); err != nil {

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ccubing"
 	"ccubing/internal/gen"
 	"ccubing/internal/table"
 )
@@ -61,43 +62,15 @@ func main() {
 }
 
 func buildSynth(s string) (*table.Table, error) {
-	cfg := gen.Config{T: 10000, D: 6, C: 10, Seed: 1}
-	var dep float64
-	for _, kv := range strings.Split(s, ",") {
-		parts := strings.SplitN(kv, "=", 2)
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("bad synth component %q", kv)
-		}
-		k, v := parts[0], parts[1]
-		var err error
-		switch k {
-		case "T":
-			cfg.T, err = strconv.Atoi(v)
-		case "D":
-			cfg.D, err = strconv.Atoi(v)
-		case "C":
-			cfg.C, err = strconv.Atoi(v)
-		case "S":
-			cfg.S, err = strconv.ParseFloat(v, 64)
-		case "R":
-			dep, err = strconv.ParseFloat(v, 64)
-		case "seed":
-			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
-		default:
-			err = fmt.Errorf("unknown key %q", k)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("bad synth component %q: %v", kv, err)
-		}
+	cfg, err := ccubing.ParseSyntheticSpec(s)
+	if err != nil {
+		return nil, err
 	}
-	if dep > 0 {
-		cards := make([]int, cfg.D)
-		for i := range cards {
-			cards[i] = cfg.C
-		}
-		cfg.Rules = gen.RulesForDependence(dep, cards, cfg.Seed+1)
+	ds, err := ccubing.Synthetic(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return gen.Synthetic(cfg)
+	return ds.Table(), nil
 }
 
 func buildWeather(s string) (*table.Table, error) {

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccubing"
+)
+
+// testCube materializes a small labeled cube.
+func testCube(t *testing.T, minsup int64) (*ccubing.Cube, *ccubing.Dataset) {
+	t.Helper()
+	rows := [][]string{}
+	for _, city := range []string{"oslo", "oslo", "oslo", "paris", "paris", "rome"} {
+		for _, prod := range []string{"pen", "ink"} {
+			rows = append(rows, []string{city, prod, "2025"})
+		}
+	}
+	rows = append(rows, []string{"rome", "pen", "2024"})
+	ds, err := ccubing.NewDataset([]string{"city", "product", "year"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: minsup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube, ds
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", path, err)
+		}
+	}
+	return resp
+}
+
+// TestServeEndToEnd answers point queries over HTTP against a live server —
+// the integration path of the acceptance criteria.
+func TestServeEndToEnd(t *testing.T) {
+	cube, ds := testCube(t, 1)
+	ts := httptest.NewServer(newMux(cube))
+	defer ts.Close()
+
+	if resp := getJSON(t, ts, "/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	var meta cubeResponse
+	getJSON(t, ts, "/v1/cube", &meta)
+	if meta.Dims != 3 || !meta.Labeled || meta.Cells != cube.NumCells() || meta.MinSup != 1 {
+		t.Fatalf("metadata = %+v", meta)
+	}
+
+	// GET point query by label, wildcard included. oslo appears in 6 rows.
+	var qr queryResponse
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,*,*"), &qr)
+	if !qr.Found || qr.Count != 6 {
+		t.Fatalf("oslo,*,* = %+v", qr)
+	}
+	if len(qr.Closure) != 3 || qr.Closure[0] != "oslo" {
+		t.Fatalf("closure = %v", qr.Closure)
+	}
+	// (oslo,*,*) is not closed: all oslo rows share year 2025, so the
+	// closure must bind it.
+	if qr.Closure[2] != "2025" {
+		t.Fatalf("closure should bind year 2025, got %v", qr.Closure)
+	}
+
+	// POST by labels and by coded values agree with the library.
+	for _, labels := range [][]string{
+		{"rome", "pen", "*"},
+		{"*", "ink", "2025"},
+		{"paris", "*", "2025"},
+	} {
+		var want int64
+		wantOK := false
+		if vals, err := cube.ParseCell(labels); err == nil {
+			want, wantOK = cube.Query(vals)
+		}
+		var pr queryResponse
+		postJSON(t, ts, "/v1/query", queryRequest{Cell: labels}, &pr)
+		if pr.Found != wantOK || pr.Count != want {
+			t.Fatalf("POST %v = %+v, want (%d,%v)", labels, pr, want, wantOK)
+		}
+	}
+	vals, err := cube.ParseCell([]string{"rome", "*", "2024"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr queryResponse
+	postJSON(t, ts, "/v1/query", queryRequest{Values: vals}, &pr)
+	if !pr.Found || pr.Count != 1 {
+		t.Fatalf("values query = %+v", pr)
+	}
+
+	// Unknown label: found=false, not an error.
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("atlantis,*,*"), &qr)
+	if qr.Found {
+		t.Fatalf("atlantis = %+v", qr)
+	}
+
+	// Slice: every closed cell under city=oslo.
+	var sr sliceResponse
+	getJSON(t, ts, "/v1/slice?cell="+url.QueryEscape("oslo,*,*"), &sr)
+	if len(sr.Cells) == 0 || sr.Truncated {
+		t.Fatalf("slice = %+v", sr)
+	}
+	for _, c := range sr.Cells {
+		if c.Cell[0] != "oslo" {
+			t.Fatalf("slice cell %v escapes the slice", c.Cell)
+		}
+	}
+	var sr1 sliceResponse
+	getJSON(t, ts, "/v1/slice?cell="+url.QueryEscape("oslo,*,*")+"&limit=1", &sr1)
+	if len(sr1.Cells) != 1 || !sr1.Truncated {
+		t.Fatalf("limited slice = %+v", sr1)
+	}
+	// limit=0 means "default", matching the POST body contract.
+	var sr0 sliceResponse
+	getJSON(t, ts, "/v1/slice?cell="+url.QueryEscape("oslo,*,*")+"&limit=0", &sr0)
+	if len(sr0.Cells) != len(sr.Cells) {
+		t.Fatalf("limit=0 slice = %d cells, want default %d", len(sr0.Cells), len(sr.Cells))
+	}
+
+	// Bad requests are 400 with a JSON error.
+	for _, path := range []string{
+		"/v1/query",          // missing cell
+		"/v1/query?cell=a,b", // wrong arity
+		"/v1/slice?cell=a&limit=x",
+	} {
+		resp := getJSON(t, ts, path, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: %d, want 400", path, resp.StatusCode)
+		}
+	}
+	if resp := postJSON(t, ts, "/v1/query", map[string]any{}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty POST: %d, want 400", resp.StatusCode)
+	}
+
+	// Cross-check a brute-force count through the full HTTP path.
+	tb := ds.Table()
+	var rome2025 int64
+	for tid := 0; tid < tb.NumTuples(); tid++ {
+		if tb.Cols[0][tid] == mustCode(t, cube, 0, "rome") && tb.Cols[2][tid] == mustCode(t, cube, 2, "2025") {
+			rome2025++
+		}
+	}
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("rome,*,2025"), &qr)
+	if !qr.Found || qr.Count != rome2025 {
+		t.Fatalf("rome,*,2025 = %+v, want %d", qr, rome2025)
+	}
+}
+
+func mustCode(t *testing.T, cube *ccubing.Cube, dim int, label string) int32 {
+	t.Helper()
+	labels := make([]string, cube.NumDims())
+	for i := range labels {
+		labels[i] = "*"
+	}
+	labels[dim] = label
+	vals, err := cube.ParseCell(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals[dim]
+}
+
+// TestServeFromSnapshot serves a cube loaded from a ccube -store snapshot.
+func TestServeFromSnapshot(t *testing.T) {
+	cube, _ := testCube(t, 2)
+	path := filepath.Join(t.TempDir(), "cube.ccube")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := buildCube(path, "", "", "", "auto", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(loaded))
+	defer ts.Close()
+	var qr queryResponse
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,pen,*"), &qr)
+	want, ok := cube.Query(mustVals(t, cube, "oslo", "pen", "*"))
+	if qr.Found != ok || qr.Count != want {
+		t.Fatalf("snapshot-served query = %+v, want (%d,%v)", qr, want, ok)
+	}
+	// minsup survives the round trip.
+	var meta cubeResponse
+	getJSON(t, ts, "/v1/cube", &meta)
+	if meta.MinSup != 2 {
+		t.Fatalf("minsup = %d, want 2", meta.MinSup)
+	}
+}
+
+func mustVals(t *testing.T, cube *ccubing.Cube, labels ...string) []int32 {
+	t.Helper()
+	vals, err := cube.ParseCell(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+// TestServeCodedCube queries a dictionary-less cube by coded values.
+func TestServeCodedCube(t *testing.T) {
+	ds, err := ccubing.Synthetic(ccubing.SyntheticConfig{T: 300, D: 3, C: 5, Skew: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(cube))
+	defer ts.Close()
+	var qr queryResponse
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("0,*,*"), &qr)
+	want, ok := cube.Query([]int32{0, ccubing.Star, ccubing.Star})
+	if qr.Found != ok || qr.Count != want {
+		t.Fatalf("coded query = %+v, want (%d,%v)", qr, want, ok)
+	}
+	if resp := getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("x,*,*"), nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-numeric coded query: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBuildCubeValidation pins source-selection errors.
+func TestBuildCubeValidation(t *testing.T) {
+	if _, err := buildCube("", "", "", "", "auto", 1, 1); err == nil {
+		t.Fatal("no source must fail")
+	}
+	if _, err := buildCube("x", "y", "", "", "auto", 1, 1); err == nil {
+		t.Fatal("two sources must fail")
+	}
+	if _, err := buildCube("", "", "T=50,D=3,C=4", "", "zigzag", 1, 1); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+	cube, err := buildCube("", "", "T=50,D=3,C=4,seed=2", "", "auto", 1, 1)
+	if err != nil || cube.NumDims() != 3 {
+		t.Fatalf("synth build: %v", err)
+	}
+	if cube.NumCells() <= 0 {
+		t.Fatal("empty cube")
+	}
+}

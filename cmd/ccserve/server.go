@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ccubing"
+)
+
+// server wraps a materialized cube with the HTTP query surface. The cube is
+// immutable and concurrency-safe, so handlers need no locking.
+type server struct {
+	cube *ccubing.Cube
+}
+
+// newMux builds the routing table:
+//
+//	GET  /healthz       liveness probe
+//	GET  /v1/cube       cube metadata
+//	GET  /v1/query      ?cell=v0,v1,*,v3 (labels when the cube has
+//	                    dictionaries, coded values otherwise; * = wildcard)
+//	POST /v1/query      {"cell": ["a","*"]} or {"values": [3,-1]}
+//	GET  /v1/slice      ?cell=...&limit=N
+//	POST /v1/slice      {"cell": [...], "limit": N}
+func newMux(cube *ccubing.Cube) *http.ServeMux {
+	s := &server{cube: cube}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/cube", s.handleCube)
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/slice", s.handleSlice)
+	mux.HandleFunc("POST /v1/slice", s.handleSlice)
+	return mux
+}
+
+// queryRequest is the JSON body of /v1/query and /v1/slice. Exactly one of
+// Cell (labels, "*" = wildcard) and Values (dictionary codes, -1 = wildcard)
+// must be set.
+type queryRequest struct {
+	Cell   []string `json:"cell,omitempty"`
+	Values []int32  `json:"values,omitempty"`
+	Limit  int      `json:"limit,omitempty"`
+}
+
+type queryResponse struct {
+	Found   bool     `json:"found"`
+	Count   int64    `json:"count"`
+	Closure []string `json:"closure,omitempty"`
+	Aux     *float64 `json:"aux,omitempty"`
+}
+
+type sliceCell struct {
+	Cell  []string `json:"cell"`
+	Count int64    `json:"count"`
+	Aux   *float64 `json:"aux,omitempty"`
+}
+
+type sliceResponse struct {
+	Cells     []sliceCell `json:"cells"`
+	Truncated bool        `json:"truncated"`
+}
+
+type cubeResponse struct {
+	Dims     int      `json:"dims"`
+	Names    []string `json:"names"`
+	Cells    int64    `json:"cells"`
+	Cuboids  int      `json:"cuboids"`
+	MinSup   int64    `json:"minsup"`
+	Labeled  bool     `json:"labeled"`
+	Measure  bool     `json:"measure"`
+	SizeByte int64    `json:"size_bytes"`
+}
+
+func (s *server) handleCube(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, cubeResponse{
+		Dims:     s.cube.NumDims(),
+		Names:    s.cube.Names(),
+		Cells:    s.cube.NumCells(),
+		Cuboids:  s.cube.NumCuboids(),
+		MinSup:   s.cube.MinSup(),
+		Labeled:  s.cube.Labeled(),
+		Measure:  s.cube.HasMeasure(),
+		SizeByte: s.cube.Bytes(),
+	})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	_, vals, miss, err := s.parseRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if miss { // unknown label: the cell is necessarily empty
+		writeJSON(w, http.StatusOK, queryResponse{Found: false})
+		return
+	}
+	cell, ok := s.cube.Lookup(vals)
+	if !ok {
+		writeJSON(w, http.StatusOK, queryResponse{Found: false})
+		return
+	}
+	resp := queryResponse{Found: true, Count: cell.Count, Closure: s.cube.Labels(cell.Values)}
+	if s.cube.HasMeasure() {
+		aux := cell.Aux
+		resp.Aux = &aux
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+const defaultSliceLimit = 1000
+
+func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	req, vals, miss, err := s.parseRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit := defaultSliceLimit
+	if req.Limit > 0 {
+		limit = req.Limit
+	}
+	resp := sliceResponse{Cells: []sliceCell{}}
+	if !miss {
+		s.cube.Slice(vals, func(c ccubing.Cell) bool {
+			if len(resp.Cells) >= limit {
+				resp.Truncated = true
+				return false
+			}
+			sc := sliceCell{Cell: s.cube.Labels(c.Values), Count: c.Count}
+			if s.cube.HasMeasure() {
+				aux := c.Aux
+				sc.Aux = &aux
+			}
+			resp.Cells = append(resp.Cells, sc)
+			return true
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseRequest resolves the queried cell from either the GET query
+// parameters or the JSON body. miss reports an unknown label: a well-formed
+// query whose cell is provably empty.
+func (s *server) parseRequest(r *http.Request) (req queryRequest, vals []int32, miss bool, err error) {
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		cell := q.Get("cell")
+		if cell == "" {
+			return req, nil, false, fmt.Errorf("missing cell parameter")
+		}
+		req.Cell = strings.Split(cell, ",")
+		// Same contract as the POST body: negative or non-numeric limits are
+		// errors, 0 (or absent) means the default.
+		if ls := q.Get("limit"); ls != "" {
+			if req.Limit, err = strconv.Atoi(ls); err != nil || req.Limit < 0 {
+				return req, nil, false, fmt.Errorf("bad limit %q", ls)
+			}
+		}
+	} else {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, nil, false, fmt.Errorf("bad JSON body: %v", err)
+		}
+		if (req.Cell == nil) == (req.Values == nil) {
+			return req, nil, false, fmt.Errorf(`exactly one of "cell" and "values" is required`)
+		}
+		if req.Limit < 0 {
+			return req, nil, false, fmt.Errorf("bad limit %d", req.Limit)
+		}
+	}
+	if req.Values != nil {
+		if len(req.Values) != s.cube.NumDims() {
+			return req, nil, false, fmt.Errorf("cell has %d values, want %d", len(req.Values), s.cube.NumDims())
+		}
+		return req, req.Values, false, nil
+	}
+	if !s.cube.Labeled() {
+		// Coded cube: parse the components as integers ("*" = wildcard).
+		if len(req.Cell) != s.cube.NumDims() {
+			return req, nil, false, fmt.Errorf("cell has %d components, want %d", len(req.Cell), s.cube.NumDims())
+		}
+		vals = make([]int32, len(req.Cell))
+		for d, c := range req.Cell {
+			if c == "*" {
+				vals[d] = ccubing.Star
+				continue
+			}
+			v, err := strconv.ParseInt(c, 10, 32)
+			if err != nil || v < 0 {
+				return req, nil, false, fmt.Errorf("bad value %q for dimension %s", c, s.cube.Names()[d])
+			}
+			vals[d] = int32(v)
+		}
+		return req, vals, false, nil
+	}
+	vals, err = s.cube.ParseCell(req.Cell)
+	if err != nil {
+		if errors.Is(err, ccubing.ErrUnknownLabel) {
+			return req, nil, true, nil
+		}
+		return req, nil, false, err
+	}
+	return req, vals, false, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

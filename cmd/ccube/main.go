@@ -4,11 +4,13 @@
 // Usage:
 //
 //	ccube -csv data.csv -minsup 10 -closed -alg stararray
-//	ccube -synth T=100000,D=8,C=100,S=1,R=0,seed=1 -minsup 4 -closed -workers 0
+//	ccube -synth T=100000,D=8,C=100,S=1,R=0,seed=1 -minsup 4 -closed -workers -1
 //	ccube -weather 100000,8 -minsup 10 -closed -rules
+//	ccube -csv data.csv -minsup 10 -store cube.ccube -quiet
 //
-// Output rows are "v0,v1,*,v3,count" with dictionary labels resolved for CSV
-// inputs; a summary line goes to stderr.
+// Output rows are "v0,v1,*,v3,count"; a summary line goes to stderr. -store
+// materializes the closed cube (implying -closed) and writes a snapshot that
+// ccserve -snapshot serves directly.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -33,7 +36,8 @@ func main() {
 		ordName = flag.String("order", "Org", "dimension order: Org|Card|Entropy")
 		quiet   = flag.Bool("quiet", false, "suppress cell output (timing only)")
 		doRules = flag.Bool("rules", false, "mine closed rules from the result (closed mode)")
-		workers = flag.Int("workers", 1, "engine goroutines (1 = sequential, 0 = all CPU cores)")
+		workers = flag.Int("workers", 1, "engine goroutines (0/1 = sequential, n>1 = n workers, negative = all CPU cores)")
+		store   = flag.String("store", "", "materialize the closed cube and write a snapshot to this path (implies -closed)")
 	)
 	flag.Parse()
 
@@ -52,37 +56,60 @@ func main() {
 
 	opt := ccubing.Options{
 		MinSup:    *minsup,
-		Closed:    *closed,
+		Closed:    *closed || *store != "",
 		Algorithm: alg,
 		Order:     ord,
-		Workers:   *workers,
-	}
-	if *workers == 0 {
-		opt.Workers = -1 // Options maps negative to runtime.NumCPU()
+		Workers:   *workers, // library convention: 0/1 sequential, negative = NumCPU
 	}
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 
 	var cells []ccubing.Cell
-	visit := func(c ccubing.Cell) {
-		if !*quiet {
-			writeCell(w, c)
+	var st ccubing.Stats
+	if *store != "" {
+		// Materialize into the serving store, snapshot it, and derive the
+		// streamed output (and rule input) from the stored cells.
+		cube, err := ccubing.Materialize(ds, opt)
+		if err != nil {
+			fatal(err)
 		}
-		if *doRules {
-			vals := make([]int32, len(c.Values))
-			copy(vals, c.Values)
-			cells = append(cells, ccubing.Cell{Values: vals, Count: c.Count})
+		if err := saveCube(cube, *store); err != nil {
+			fatal(err)
 		}
-	}
-	st, err := ccubing.Compute(ds, opt, visit)
-	if err != nil {
-		fatal(err)
+		cube.Cells(func(c ccubing.Cell) bool {
+			if !*quiet {
+				writeCell(w, c)
+			}
+			if *doRules {
+				cells = append(cells, c)
+			}
+			return true
+		})
+		st = cube.Stats()
+		fmt.Fprintf(os.Stderr, "ccube: stored %d closed cells (%d cuboids, %d bytes in memory) in %s\n",
+			cube.NumCells(), cube.NumCuboids(), cube.Bytes(), *store)
+	} else {
+		visit := func(c ccubing.Cell) {
+			if !*quiet {
+				writeCell(w, c)
+			}
+			if *doRules {
+				vals := make([]int32, len(c.Values))
+				copy(vals, c.Values)
+				cells = append(cells, ccubing.Cell{Values: vals, Count: c.Count})
+			}
+		}
+		var err error
+		st, err = ccubing.Compute(ds, opt, visit)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "ccube: %s  tuples=%d dims=%d minsup=%d closed=%v  cells=%d size=%.2fMB elapsed=%s\n",
 		st.Algorithm, ds.NumTuples(), ds.NumDims(), opt.MinSup, opt.Closed, st.Cells, st.MB(), st.Elapsed)
 
 	if *doRules {
-		if !*closed {
+		if !opt.Closed {
 			fatal(fmt.Errorf("-rules requires -closed"))
 		}
 		rs, err := ccubing.MineRules(ds, cells)
@@ -136,35 +163,7 @@ func loadDataset(csvPath, synth, weather string) (*ccubing.Dataset, error) {
 }
 
 func parseSynth(s string) (ccubing.SyntheticConfig, error) {
-	cfg := ccubing.SyntheticConfig{T: 10000, D: 6, C: 10, Seed: 1}
-	for _, kv := range strings.Split(s, ",") {
-		parts := strings.SplitN(kv, "=", 2)
-		if len(parts) != 2 {
-			return cfg, fmt.Errorf("bad synth component %q", kv)
-		}
-		k, v := parts[0], parts[1]
-		var err error
-		switch k {
-		case "T":
-			cfg.T, err = strconv.Atoi(v)
-		case "D":
-			cfg.D, err = strconv.Atoi(v)
-		case "C":
-			cfg.C, err = strconv.Atoi(v)
-		case "S":
-			cfg.Skew, err = strconv.ParseFloat(v, 64)
-		case "R":
-			cfg.Dependence, err = strconv.ParseFloat(v, 64)
-		case "seed":
-			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
-		default:
-			err = fmt.Errorf("unknown key %q", k)
-		}
-		if err != nil {
-			return cfg, fmt.Errorf("bad synth component %q: %v", kv, err)
-		}
-	}
-	return cfg, nil
+	return ccubing.ParseSyntheticSpec(s)
 }
 
 func parseOrder(s string) (ccubing.OrderStrategy, error) {
@@ -190,6 +189,30 @@ func writeCell(w *bufio.Writer, c ccubing.Cell) {
 	}
 	w.WriteString(strconv.FormatInt(c.Count, 10))
 	w.WriteByte('\n')
+}
+
+// saveCube writes the cube snapshot atomically enough for a CLI: to a temp
+// file in the target directory, renamed into place on success.
+func saveCube(cube *ccubing.Cube, path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	if err := cube.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	// CreateTemp uses 0600; give the snapshot normal output-file permissions
+	// so another user (e.g. the ccserve process) can read it.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }
 
 func fatal(err error) {

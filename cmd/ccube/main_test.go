@@ -3,6 +3,8 @@ package main
 import (
 	"bufio"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -60,6 +62,41 @@ func TestLoadDatasetValidation(t *testing.T) {
 	ds, err = loadDataset("", "", "200,5")
 	if err != nil || ds.NumTuples() != 200 || ds.NumDims() != 5 {
 		t.Fatalf("weather load: %v", err)
+	}
+}
+
+// TestSaveCubeRoundTrip materializes, snapshots via the CLI helper and
+// reloads — the ccube -store → ccserve -snapshot handoff.
+func TestSaveCubeRoundTrip(t *testing.T) {
+	ds, err := loadDataset("", "T=200,D=3,C=5,seed=4", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cube.ccube")
+	if err := saveCube(cube, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := ccubing.LoadCube(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumCells() != cube.NumCells() || loaded.MinSup() != 2 {
+		t.Fatalf("loaded %d cells minsup=%d, want %d cells minsup=2", loaded.NumCells(), loaded.MinSup(), cube.NumCells())
+	}
+	q := []int32{0, ccubing.Star, ccubing.Star}
+	w1, ok1 := cube.Query(q)
+	w2, ok2 := loaded.Query(q)
+	if w1 != w2 || ok1 != ok2 {
+		t.Fatalf("query mismatch: (%d,%v) vs (%d,%v)", w1, ok1, w2, ok2)
 	}
 }
 

@@ -1,0 +1,414 @@
+package ccubing
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"ccubing/internal/core"
+	"ccubing/internal/cubestore"
+	"ccubing/internal/table"
+)
+
+// Cube is a materialized closed (iceberg) cube ready for serving: an
+// immutable, concurrency-safe index over the closed cells that answers point
+// and slice queries for ANY cell — closed or not — by resolving the cell to
+// its closure (quotient-cube semantics, the lossless-compression property of
+// the closed cube). Built by Materialize or loaded from a snapshot with
+// LoadCube; safe for concurrent readers.
+type Cube struct {
+	store  *cubestore.Store
+	names  []string
+	dicts  []*table.Dict // nil when the cube was built from coded values
+	minSup int64
+	alg    Algorithm
+	stats  Stats
+}
+
+// Materialize computes the closed iceberg cube of ds and freezes it into a
+// queryable Cube. Options are interpreted as in Compute, except that Closed
+// is implied (the closed cube is the lossless serving form; Options.Closed
+// is ignored). A complex Measure is supported for every engine: engines
+// without native measure aggregation get the AttachMeasure post-pass.
+func Materialize(ds *Dataset, opt Options) (*Cube, error) {
+	if ds == nil || ds.t == nil {
+		return nil, fmt.Errorf("ccubing: nil dataset")
+	}
+	opt.Closed = true
+	opt = opt.withDefaults()
+	hasAux := opt.Measure != MeasureNone
+	b := cubestore.NewBuilder(ds.NumDims(), hasAux)
+	var st Stats
+	if hasAux {
+		kind := opt.Measure
+		copt := opt
+		copt.Measure = MeasureNone
+		cells, cst, err := ComputeCollect(ds, copt)
+		if err != nil {
+			return nil, err
+		}
+		if err := AttachMeasure(ds, cells, kind); err != nil {
+			return nil, err
+		}
+		for _, c := range cells {
+			b.Add(c.Values, c.Count, c.Aux)
+		}
+		st = cst
+	} else {
+		cst, err := Compute(ds, opt, func(c Cell) { b.Add(c.Values, c.Count, 0) })
+		if err != nil {
+			return nil, err
+		}
+		st = cst
+	}
+	store, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("ccubing: materialize: %w", err)
+	}
+	cube := &Cube{
+		store:  store,
+		names:  append([]string(nil), ds.t.Names...),
+		minSup: opt.MinSup,
+		alg:    st.Algorithm,
+		stats:  st,
+	}
+	if ds.dicts != nil {
+		cube.dicts = make([]*table.Dict, len(ds.dicts))
+		for d, dict := range ds.dicts {
+			cube.dicts[d] = table.DictFromNames(dict.Names())
+		}
+	}
+	return cube, nil
+}
+
+// NumDims returns the cube's dimensionality.
+func (c *Cube) NumDims() int { return c.store.NumDims() }
+
+// Names returns the dimension names (treat as read-only).
+func (c *Cube) Names() []string { return c.names }
+
+// NumCells returns the number of stored closed cells.
+func (c *Cube) NumCells() int64 { return c.store.NumCells() }
+
+// NumCuboids returns the number of non-empty cuboids (distinct
+// fixed-dimension patterns) among the closed cells.
+func (c *Cube) NumCuboids() int { return c.store.NumCuboids() }
+
+// MinSup returns the iceberg threshold the cube was computed with: queries
+// for cells below it miss.
+func (c *Cube) MinSup() int64 { return c.minSup }
+
+// Algorithm returns the engine that computed the cube (zero for loaded
+// snapshots saved before computation metadata existed).
+func (c *Cube) Algorithm() Algorithm { return c.alg }
+
+// HasMeasure reports whether cells carry a complex-measure value.
+func (c *Cube) HasMeasure() bool { return c.store.HasAux() }
+
+// Labeled reports whether the cube carries dictionaries, i.e. was built from
+// a labeled dataset (CSV or NewDataset) and answers queries by label.
+func (c *Cube) Labeled() bool { return c.dicts != nil }
+
+// Stats returns the build statistics (zero for loaded snapshots).
+func (c *Cube) Stats() Stats { return c.stats }
+
+// Bytes returns the approximate in-memory size of the cell store.
+func (c *Cube) Bytes() int64 { return c.store.Bytes() }
+
+// Query returns the count of an arbitrary cell (Star marks wildcard
+// dimensions). The second result is false when the cell is empty or fell
+// below the cube's iceberg threshold. Cost is bounded by binary-search
+// probes of the covering cuboids — no base-relation rescan, no exponential
+// tree walk. Safe for concurrent use. Like Lookup and Slice, it panics when
+// vals does not have exactly NumDims entries (a shape bug, not a miss).
+func (c *Cube) Query(vals []int32) (int64, bool) {
+	return c.store.Query(vals)
+}
+
+// Lookup resolves an arbitrary cell to its closure: the most specific closed
+// cell covering it, which carries the cell's own count (and measure value).
+// ok is false when the cell is empty or below the iceberg threshold.
+func (c *Cube) Lookup(vals []int32) (Cell, bool) {
+	cc, ok := c.store.Lookup(vals)
+	if !ok {
+		return Cell{}, false
+	}
+	return Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux}, true
+}
+
+// Slice visits every stored closed cell inside the sub-cube the query pins
+// down (cells matching the bound values and fixing at least those
+// dimensions). Return false from visit to stop early. Panics on wrong-arity
+// vals, like Query.
+func (c *Cube) Slice(vals []int32, visit func(Cell) bool) {
+	c.store.Slice(vals, func(cc core.Cell) bool {
+		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux})
+	})
+}
+
+// Cells visits every stored closed cell (cuboid mask ascending, packed key
+// ascending within a cuboid).
+func (c *Cube) Cells(visit func(Cell) bool) {
+	c.store.Walk(func(cc core.Cell) bool {
+		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux})
+	})
+}
+
+// ErrUnknownLabel reports a query label that never occurred in the relation
+// the cube was built from; the queried cell is necessarily empty.
+var ErrUnknownLabel = errors.New("unknown label")
+
+// ParseCell maps one label per dimension ("*" = wildcard) to coded values
+// for Query/Lookup/Slice. Unknown labels return an error wrapping
+// ErrUnknownLabel; cubes built from coded values (no dictionaries) reject
+// label queries outright.
+func (c *Cube) ParseCell(labels []string) ([]int32, error) {
+	if c.dicts == nil {
+		return nil, fmt.Errorf("ccubing: cube has no dictionaries; query by coded values")
+	}
+	if len(labels) != c.NumDims() {
+		return nil, fmt.Errorf("ccubing: cell has %d labels, want %d", len(labels), c.NumDims())
+	}
+	vals := make([]int32, len(labels))
+	for d, s := range labels {
+		if s == "*" {
+			vals[d] = Star
+			continue
+		}
+		code, ok := c.dicts[d].Lookup(s)
+		if !ok {
+			return nil, fmt.Errorf("ccubing: %w %q on dimension %s", ErrUnknownLabel, s, c.names[d])
+		}
+		vals[d] = code
+	}
+	return vals, nil
+}
+
+// Labels renders coded values as labels ("*" for Star). For cubes without
+// dictionaries it falls back to decimal codes.
+func (c *Cube) Labels(vals []int32) []string {
+	out := make([]string, len(vals))
+	for d, v := range vals {
+		switch {
+		case v == Star:
+			out[d] = "*"
+		case c.dicts != nil:
+			out[d] = c.dicts[d].Name(v)
+		default:
+			out[d] = fmt.Sprintf("%d", v)
+		}
+	}
+	return out
+}
+
+// QueryLabels is Query by dictionary labels ("*" = wildcard). Unknown labels
+// are honest misses (the cell is empty), not errors; the error reports
+// structural misuse (wrong arity, cube without dictionaries).
+func (c *Cube) QueryLabels(labels []string) (int64, bool, error) {
+	vals, err := c.ParseCell(labels)
+	if err != nil {
+		if errors.Is(err, ErrUnknownLabel) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	count, ok := c.Query(vals)
+	return count, ok, nil
+}
+
+// Cube snapshot format: a metadata header (length-prefixed, CRC-protected)
+// followed by the cell-store payload (internal/cubestore's versioned,
+// checksummed snapshot). The header holds the iceberg threshold, computing
+// algorithm, dimension names and, when present, the per-dimension
+// dictionaries, so CSV-built cubes answer label queries after a round trip.
+const cubeMagic = "CCUBE\x00\x00"
+
+// CubeSnapshotVersion is the current Cube snapshot format version.
+const CubeSnapshotVersion = 1
+
+// Save writes a snapshot of the cube to w. Output is deterministic: saving,
+// loading and saving again produces identical bytes.
+func (c *Cube) Save(w io.Writer) error {
+	var head bytes.Buffer
+	putUvarint := func(v uint64) {
+		var b [binary.MaxVarintLen64]byte
+		head.Write(b[:binary.PutUvarint(b[:], v)])
+	}
+	putString := func(s string) {
+		putUvarint(uint64(len(s)))
+		head.WriteString(s)
+	}
+	putUvarint(uint64(c.minSup))
+	head.WriteByte(byte(c.alg))
+	putUvarint(uint64(len(c.names)))
+	for _, n := range c.names {
+		putString(n)
+	}
+	if c.dicts == nil {
+		head.WriteByte(0)
+	} else {
+		head.WriteByte(1)
+		for _, d := range c.dicts {
+			names := d.Names()
+			putUvarint(uint64(len(names)))
+			for _, n := range names {
+				putString(n)
+			}
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(cubeMagic); err != nil {
+		return fmt.Errorf("ccubing: save: %w", err)
+	}
+	if err := bw.WriteByte(CubeSnapshotVersion); err != nil {
+		return fmt.Errorf("ccubing: save: %w", err)
+	}
+	var b [binary.MaxVarintLen64]byte
+	if _, err := bw.Write(b[:binary.PutUvarint(b[:], uint64(head.Len()))]); err != nil {
+		return fmt.Errorf("ccubing: save: %w", err)
+	}
+	if _, err := bw.Write(head.Bytes()); err != nil {
+		return fmt.Errorf("ccubing: save: %w", err)
+	}
+	binary.LittleEndian.PutUint32(b[:4], crc32.ChecksumIEEE(head.Bytes()))
+	if _, err := bw.Write(b[:4]); err != nil {
+		return fmt.Errorf("ccubing: save: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ccubing: save: %w", err)
+	}
+	return c.store.Save(w)
+}
+
+// LoadCube reads a snapshot written by Cube.Save, validating versions and
+// checksums. The loaded cube answers queries identically to the saved one.
+func LoadCube(r io.Reader) (*Cube, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(cubeMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("ccubing: load: %w", err)
+	}
+	if string(head[:len(cubeMagic)]) != cubeMagic {
+		return nil, fmt.Errorf("ccubing: load: not a cube snapshot (magic %q)", head[:len(cubeMagic)])
+	}
+	if head[len(cubeMagic)] != CubeSnapshotVersion {
+		return nil, fmt.Errorf("ccubing: load: unsupported snapshot version %d (want %d)", head[len(cubeMagic)], CubeSnapshotVersion)
+	}
+	hlen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("ccubing: load: %w", err)
+	}
+	if hlen > 1<<30 {
+		return nil, fmt.Errorf("ccubing: load: implausible header size %d", hlen)
+	}
+	// Chunked read: a corrupt length prefix fails on EOF instead of
+	// pre-allocating the declared size.
+	hbuf, err := cubestore.ReadAllChunked(br, int(hlen))
+	if err != nil {
+		return nil, fmt.Errorf("ccubing: load: header: %w", err)
+	}
+	var crcBytes [4]byte
+	if _, err := io.ReadFull(br, crcBytes[:]); err != nil {
+		return nil, fmt.Errorf("ccubing: load: header checksum: %w", err)
+	}
+	if got, want := binary.LittleEndian.Uint32(crcBytes[:]), crc32.ChecksumIEEE(hbuf); got != want {
+		return nil, fmt.Errorf("ccubing: load: header checksum mismatch (%#x != %#x)", got, want)
+	}
+
+	hr := bytes.NewReader(hbuf)
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(hr)
+		if err != nil {
+			return "", err
+		}
+		if n > uint64(hr.Len()) {
+			return "", fmt.Errorf("string length %d exceeds header", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(hr, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	minSup, err := binary.ReadUvarint(hr)
+	if err != nil {
+		return nil, fmt.Errorf("ccubing: load: header: %w", err)
+	}
+	algByte, err := hr.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("ccubing: load: header: %w", err)
+	}
+	nd, err := binary.ReadUvarint(hr)
+	if err != nil {
+		return nil, fmt.Errorf("ccubing: load: header: %w", err)
+	}
+	if nd == 0 || nd > uint64(MaxDims) {
+		return nil, fmt.Errorf("ccubing: load: %d dimensions out of range", nd)
+	}
+	cube := &Cube{minSup: int64(minSup), alg: Algorithm(algByte)}
+	cube.names = make([]string, nd)
+	for d := range cube.names {
+		if cube.names[d], err = readString(); err != nil {
+			return nil, fmt.Errorf("ccubing: load: names: %w", err)
+		}
+	}
+	hasDicts, err := hr.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("ccubing: load: header: %w", err)
+	}
+	switch hasDicts {
+	case 0:
+	case 1:
+		cube.dicts = make([]*table.Dict, nd)
+		for d := range cube.dicts {
+			n, err := binary.ReadUvarint(hr)
+			if err != nil {
+				return nil, fmt.Errorf("ccubing: load: dictionaries: %w", err)
+			}
+			// Each label costs at least one length byte, so a count beyond
+			// the remaining header is corruption — reject before allocating.
+			if n > uint64(hr.Len()) {
+				return nil, fmt.Errorf("ccubing: load: dictionary %d: implausible label count %d", d, n)
+			}
+			names := make([]string, n)
+			for i := range names {
+				if names[i], err = readString(); err != nil {
+					return nil, fmt.Errorf("ccubing: load: dictionaries: %w", err)
+				}
+			}
+			cube.dicts[d] = table.DictFromNames(names)
+		}
+	default:
+		return nil, fmt.Errorf("ccubing: load: bad dictionary flag %d", hasDicts)
+	}
+	store, err := cubestore.Load(br)
+	if err != nil {
+		return nil, fmt.Errorf("ccubing: load: %w", err)
+	}
+	if store.NumDims() != int(nd) {
+		return nil, fmt.Errorf("ccubing: load: store has %d dimensions, header %d", store.NumDims(), nd)
+	}
+	cube.store = store
+	cube.stats = Stats{Algorithm: cube.alg, Cells: store.NumCells()}
+	return cube, nil
+}
+
+// FormatCell renders a cell with the cube's dictionaries, mirroring
+// Dataset.FormatCell for serving-side output.
+func (c *Cube) FormatCell(cell Cell) string {
+	var b bytes.Buffer
+	b.WriteByte('(')
+	for d, s := range c.Labels(cell.Values) {
+		if d > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s)
+	}
+	fmt.Fprintf(&b, " : %d)", cell.Count)
+	return b.String()
+}

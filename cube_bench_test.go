@@ -1,0 +1,170 @@
+package ccubing
+
+// Serving-layer benchmarks: concurrent Cube.Query throughput and the cost of
+// freezing closed cells into the cubestore versus building the QC-tree
+// baseline from the same cells. scripts/bench.sh records these (with
+// -benchmem) into BENCH_<date>.json.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ccubing/internal/core"
+	"ccubing/internal/cubestore"
+	"ccubing/internal/qctree"
+)
+
+// benchCubeDataset is sized for stable serving benchmarks: ~50k tuples,
+// moderate cardinality, mild skew.
+func benchCubeDataset(b *testing.B) *Dataset {
+	b.Helper()
+	ds, err := Synthetic(SyntheticConfig{T: 50_000, D: 6, C: 20, Skew: 1.1, Seed: 23})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkCubeQuery measures point-query throughput on a materialized cube,
+// sequentially and with RunParallel across GOMAXPROCS goroutines (the store
+// is immutable, so concurrent readers share it lock-free).
+func BenchmarkCubeQuery(b *testing.B) {
+	ds := benchCubeDataset(b)
+	cube, err := Materialize(ds, Options{MinSup: 8, Workers: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := ds.Table()
+	// Pre-draw a query mix: full points, partial cells, sparse cells.
+	const nq = 4096
+	queries := make([][]int32, nq)
+	rng := rand.New(rand.NewSource(1))
+	for i := range queries {
+		q := make([]int32, tb.NumDims())
+		for d := range q {
+			if rng.Intn(3) == 0 {
+				q[d] = Star
+			} else {
+				q[d] = tb.Cols[d][rng.Intn(tb.NumTuples())]
+			}
+		}
+		queries[i] = q
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cube.Query(queries[i%nq])
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := rand.Int()
+			for pb.Next() {
+				cube.Query(queries[i%nq])
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkStoreBuild compares freezing an already-computed closed cell set
+// into the cubestore against qctree.FromCells from the same cells. Note the
+// qctree arm builds tree + its cubestore query index (what Tree.Query needs
+// since this release): it is the queryable-to-queryable comparison. For the
+// bare tree structure the original Quotient Cube system built, see
+// internal/qctree's BenchmarkBuildComparison.
+func BenchmarkStoreBuild(b *testing.B) {
+	ds := benchCubeDataset(b)
+	for _, minsup := range []int64{32, 8} {
+		cells, _, err := ComputeCollect(ds, Options{MinSup: minsup, Closed: true, Workers: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ccells := make([]core.Cell, len(cells))
+		for i, c := range cells {
+			ccells[i] = core.Cell{Values: c.Values, Count: c.Count}
+		}
+		b.Run(fmt.Sprintf("cubestore/cells=%d", len(cells)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sb := cubestore.NewBuilder(ds.NumDims(), false)
+				for _, c := range ccells {
+					sb.Add(c.Values, c.Count, 0)
+				}
+				if _, err := sb.Build(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("qctree/cells=%d", len(cells)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := qctree.FromCells(ds.NumDims(), ccells); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMaterialize measures the full pipeline: compute + freeze + the
+// snapshot round trip cost is covered by BenchmarkCubeSnapshot.
+func BenchmarkMaterialize(b *testing.B) {
+	ds := benchCubeDataset(b)
+	for _, w := range []int{1, -1} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Materialize(ds, Options{MinSup: 8, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCubeSnapshot measures Save and Load of a materialized cube.
+func BenchmarkCubeSnapshot(b *testing.B) {
+	ds := benchCubeDataset(b)
+	cube, err := Materialize(ds, Options{MinSup: 8, Workers: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf discardCounter
+	if err := cube.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("save", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(buf.n)
+		for i := 0; i < b.N; i++ {
+			var d discardCounter
+			if err := cube.Save(&d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Load needs real bytes.
+	var blob bytes.Buffer
+	if err := cube.Save(&blob); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("load", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(blob.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := LoadCube(bytes.NewReader(blob.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+type discardCounter struct{ n int64 }
+
+func (d *discardCounter) Write(p []byte) (int, error) {
+	d.n += int64(len(p))
+	return len(p), nil
+}

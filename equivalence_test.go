@@ -1,0 +1,146 @@
+package ccubing
+
+// Seeded randomized cross-engine equivalence: beyond parallel_test.go's two
+// fixed datasets, this sweeps engines × dimension orders × worker counts ×
+// min_sup × closed/iceberg × measures over small random relations, asserting
+// every configuration emits the identical sorted cell set (and, for native-
+// measure engines, measure values matching the AttachMeasure post-pass).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomEquivalenceDataset draws a small relation with random shape.
+func randomEquivalenceDataset(t *testing.T, rng *rand.Rand) *Dataset {
+	t.Helper()
+	nd := 3 + rng.Intn(3)
+	cards := make([]int, nd)
+	for d := range cards {
+		cards[d] = 2 + rng.Intn(8)
+	}
+	cfg := SyntheticConfig{
+		T:     150 + rng.Intn(400),
+		Cards: cards,
+		Skew:  rng.Float64() * 1.5,
+		Seed:  rng.Int63(),
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Dependence = 1 + rng.Float64()*2
+	}
+	ds, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestCrossEngineEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	closedEngines := []Algorithm{AlgMM, AlgStar, AlgStarArray, AlgQCDFS, AlgQCTree, AlgOBBUC}
+	icebergEngines := []Algorithm{AlgMM, AlgStar, AlgStarArray, AlgBUC}
+	orders := []OrderStrategy{OrderOriginal, OrderByEntropy}
+	workerCounts := []int{0, 3}
+
+	for trial := 0; trial < 3; trial++ {
+		ds := randomEquivalenceDataset(t, rng)
+		minsups := []int64{1, int64(2 + rng.Intn(4))}
+		for _, closed := range []bool{true, false} {
+			engines := icebergEngines
+			reference := AlgBUC
+			if closed {
+				engines = closedEngines
+				reference = AlgQCDFS
+			}
+			for _, minsup := range minsups {
+				want, _, err := ComputeCollect(ds, Options{MinSup: minsup, Closed: closed, Algorithm: reference})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, alg := range engines {
+					for _, ord := range orders {
+						for _, w := range workerCounts {
+							opt := Options{
+								MinSup: minsup, Closed: closed,
+								Algorithm: alg, Order: ord, Workers: w,
+							}
+							name := fmt.Sprintf("trial%d/%v/closed=%v/minsup=%d/%v/workers=%d",
+								trial, alg, closed, minsup, ord, w)
+							got, _, err := ComputeCollect(ds, opt)
+							if err != nil {
+								t.Fatalf("%s: %v", name, err)
+							}
+							if len(got) != len(want) {
+								t.Fatalf("%s: %d cells, reference %v has %d",
+									name, len(got), reference, len(want))
+							}
+							got, want = sortedCells(got), sortedCells(want)
+							for i := range got {
+								if got[i].Count != want[i].Count {
+									t.Fatalf("%s: cell %d count %d, want %d (%v)",
+										name, i, got[i].Count, want[i].Count, want[i].Values)
+								}
+								for d := range got[i].Values {
+									if got[i].Values[d] != want[i].Values[d] {
+										t.Fatalf("%s: cell %d values %v, want %v",
+											name, i, got[i].Values, want[i].Values)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrossEngineMeasuresRandomized checks the measure dimension of the
+// sweep: native aggregation (BUC iceberg, QC-DFS closed) must agree with the
+// AttachMeasure post-pass every other engine relies on, across random
+// relations and measure kinds.
+func TestCrossEngineMeasuresRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(774))
+	kinds := []MeasureKind{MeasureSum, MeasureMin, MeasureMax, MeasureAvg}
+	for trial := 0; trial < 3; trial++ {
+		ds := randomEquivalenceDataset(t, rng)
+		aux := make([]float64, ds.NumTuples())
+		for i := range aux {
+			aux[i] = float64(rng.Intn(64)) / 4
+		}
+		if err := ds.SetMeasure(aux); err != nil {
+			t.Fatal(err)
+		}
+		kind := kinds[rng.Intn(len(kinds))]
+		for _, mode := range []struct {
+			alg    Algorithm
+			closed bool
+		}{{AlgBUC, false}, {AlgQCDFS, true}} {
+			opt := Options{MinSup: 2, Closed: mode.closed, Algorithm: mode.alg, Measure: kind}
+			native, _, err := ComputeCollect(ds, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Measure = MeasureNone
+			post, _, err := ComputeCollect(ds, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := AttachMeasure(ds, post, kind); err != nil {
+				t.Fatal(err)
+			}
+			native, post = sortedCells(native), sortedCells(post)
+			if len(native) != len(post) {
+				t.Fatalf("trial %d %v: %d native cells vs %d post cells", trial, mode.alg, len(native), len(post))
+			}
+			for i := range native {
+				if native[i].Count != post[i].Count || native[i].Aux != post[i].Aux {
+					t.Fatalf("trial %d %v %v: cell %v native (%d,%g), post-pass (%d,%g)",
+						trial, mode.alg, kind, native[i].Values,
+						native[i].Count, native[i].Aux, post[i].Count, post[i].Aux)
+				}
+			}
+		}
+	}
+}

@@ -37,6 +37,41 @@ func Example() {
 	// (a1, b1, c1, * : 2)
 }
 
+// ExampleMaterialize freezes the closed cube of the paper's Table 1 into a
+// serving store and queries a NON-closed cell by label: its count is the
+// count of its closure — the lossless-compression property.
+func ExampleMaterialize() {
+	ds, err := ccubing.NewDataset(
+		[]string{"A", "B", "C", "D"},
+		[][]string{
+			{"a1", "b1", "c1", "d1"},
+			{"a1", "b1", "c1", "d3"},
+			{"a1", "b2", "c2", "d2"},
+		})
+	if err != nil {
+		panic(err)
+	}
+	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: 2})
+	if err != nil {
+		panic(err)
+	}
+	// (a1, b1, *, *) is not closed (its closure is (a1, b1, c1, *)), and
+	// (a1, b2, *, *) is below min_sup.
+	for _, labels := range [][]string{
+		{"a1", "b1", "*", "*"},
+		{"a1", "b2", "*", "*"},
+	} {
+		count, ok, err := cube.QueryLabels(labels)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(labels, count, ok)
+	}
+	// Output:
+	// [a1 b1 * *] 2 true
+	// [a1 b2 * *] 0 false
+}
+
 // ExampleCompute_iceberg computes a plain (non-closed) iceberg cube with a
 // streaming visitor, counting cells without retaining them.
 func ExampleCompute_iceberg() {

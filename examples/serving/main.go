@@ -1,0 +1,83 @@
+// Serving: materialize a closed cube once, snapshot it, reload it, and
+// answer point and slice queries — the workflow behind cmd/ccserve. The
+// closed cube is lossless: any cell's count (closed or not) is recovered
+// from its closure, so the store answers arbitrary group-bys without the
+// base relation.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"ccubing"
+)
+
+func main() {
+	// A small sales relation with string dimensions.
+	rows := [][]string{
+		{"oslo", "pen", "2024"}, {"oslo", "pen", "2025"},
+		{"oslo", "ink", "2025"}, {"paris", "pen", "2025"},
+		{"paris", "ink", "2025"}, {"paris", "ink", "2024"},
+		{"rome", "pen", "2025"}, {"rome", "pen", "2025"},
+	}
+	ds, err := ccubing.NewDataset([]string{"city", "product", "year"}, rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Materialize the full closed cube (Closed is implied) and snapshot it.
+	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snapshot bytes.Buffer
+	if err := cube.Save(&snapshot); err != nil {
+		log.Fatal(err)
+	}
+	snapBytes := snapshot.Len()
+	served, err := ccubing.LoadCube(&snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d closed cells across %d cuboids (%d bytes snapshotted)\n\n",
+		served.NumCells(), served.NumCuboids(), snapBytes)
+
+	// Point queries by label; (rome, *, *) is NOT closed — every rome row
+	// sells pens in 2025, so its closure binds both.
+	for _, q := range [][]string{
+		{"oslo", "*", "*"},
+		{"rome", "*", "*"},
+		{"*", "ink", "2025"},
+		{"atlantis", "*", "*"},
+	} {
+		count, ok, err := served.QueryLabels(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s -> count=%d found=%v\n", strings.Join(q, ","), count, ok)
+	}
+
+	// The closure of a non-closed cell carries the full answer.
+	vals, err := served.ParseCell([]string{"rome", "*", "*"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cell, ok := served.Lookup(vals); ok {
+		fmt.Printf("\nclosure of (rome, *, *): %v : %d\n", served.Labels(cell.Values), cell.Count)
+	}
+
+	// Slice: every closed cell inside the paris sub-cube.
+	fmt.Println("\nclosed cells with city=paris:")
+	vals, err = served.ParseCell([]string{"paris", "*", "*"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	served.Slice(vals, func(c ccubing.Cell) bool {
+		fmt.Printf("  %v : %d\n", served.Labels(c.Values), c.Count)
+		return true
+	})
+}

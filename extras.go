@@ -128,16 +128,46 @@ func MineRules(ds *Dataset, cells []Cell) ([]Rule, error) {
 	return out, nil
 }
 
-// PartitionOptions configures ComputePartitioned.
+// PartitionOptions configures ComputePartitioned. The zero value picks the
+// partitioning dimension automatically.
 type PartitionOptions struct {
-	// Dim is the partitioning dimension (paper Sec. 6.3 partitions on the
-	// values of one dimension). Defaults to the dimension with the highest
-	// cardinality when negative.
+	// Dim is the 0-based partitioning dimension (paper Sec. 6.3 partitions on
+	// the values of one dimension), honored only when ExplicitDim is set and
+	// validated against the dataset's dimensionality. Without ExplicitDim the
+	// highest-cardinality dimension is picked automatically; a positive Dim
+	// without ExplicitDim is rejected (it would silently be ignored), while
+	// the historical auto-pick sentinel Dim: -1 remains accepted.
 	Dim int
+	// ExplicitDim makes Dim authoritative. The flag exists so that the zero
+	// value of PartitionOptions auto-picks instead of silently partitioning
+	// on dimension 0.
+	ExplicitDim bool
 	// Buckets bounds the number of partition files (default 16).
 	Buckets int
 	// TempDir receives partition files (default: the system temp dir).
 	TempDir string
+}
+
+// resolveDim validates popt against the dataset and returns the partitioning
+// dimension.
+func (popt PartitionOptions) resolveDim(ds *Dataset) (int, error) {
+	nd := ds.t.NumDims()
+	if popt.ExplicitDim {
+		if popt.Dim < 0 || popt.Dim >= nd {
+			return 0, fmt.Errorf("ccubing: partition dimension %d out of range [0,%d)", popt.Dim, nd)
+		}
+		return popt.Dim, nil
+	}
+	if popt.Dim > 0 {
+		return 0, fmt.Errorf("ccubing: PartitionOptions.Dim %d set without ExplicitDim; set ExplicitDim, or leave Dim zero to auto-pick", popt.Dim)
+	}
+	dim := 0
+	for d := 1; d < nd; d++ {
+		if ds.t.Cards[d] > ds.t.Cards[dim] {
+			dim = d
+		}
+	}
+	return dim, nil
 }
 
 // ComputePartitioned is Compute for relations whose cubing working set
@@ -165,14 +195,9 @@ func ComputePartitioned(ds *Dataset, opt Options, popt PartitionOptions, visit f
 	if opt.Measure != MeasureNone {
 		return st, fmt.Errorf("ccubing: partitioned runs do not support native measures; use AttachMeasure")
 	}
-	dim := popt.Dim
-	if dim < 0 {
-		dim = 0
-		for d := 1; d < ds.t.NumDims(); d++ {
-			if ds.t.Cards[d] > ds.t.Cards[dim] {
-				dim = d
-			}
-		}
+	dim, err := popt.resolveDim(ds)
+	if err != nil {
+		return st, err
 	}
 	out := newVisitSink(visit, identityPerm(ds.t.NumDims()), ds.t.NumDims(), opt, &st)
 	run := func(t *table.Table, s sink.Sink) error { return eng.Run(t, ecfg, s) }

@@ -1,6 +1,7 @@
 package ccubing
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -160,6 +161,68 @@ func TestComputePartitionedMatchesCompute(t *testing.T) {
 		if st.Cells != int64(len(parted)) {
 			t.Fatalf("stats cells = %d, emitted %d", st.Cells, len(parted))
 		}
+	}
+}
+
+// TestPartitionOptionsValidation pins the PartitionOptions.Dim contract: the
+// zero value auto-picks (no silent dimension-0 partitioning), out-of-range
+// explicit dimensions fail with a ccubing:-prefixed error, and a positive Dim
+// without ExplicitDim is rejected instead of silently ignored.
+func TestPartitionOptionsValidation(t *testing.T) {
+	// Cardinalities chosen so auto-pick selects dimension 2, not 0.
+	ds, err := Synthetic(SyntheticConfig{T: 400, Cards: []int{3, 4, 9, 5}, Skew: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{MinSup: 2, Closed: true, Algorithm: AlgStarArray}
+	run := func(popt PartitionOptions) ([]Cell, error) {
+		var got []Cell
+		popt.Buckets = 4
+		popt.TempDir = t.TempDir()
+		_, err := ComputePartitioned(ds, opt, popt, func(c Cell) {
+			vals := make([]int32, len(c.Values))
+			copy(vals, c.Values)
+			got = append(got, Cell{Values: vals, Count: c.Count})
+		})
+		return got, err
+	}
+
+	want, _ := collect(t, ds, opt)
+
+	// Zero value and the historical -1 sentinel both auto-pick; explicit
+	// selection of the same dimension agrees cell-for-cell.
+	for _, popt := range []PartitionOptions{
+		{},
+		{Dim: -1},
+		{Dim: 2, ExplicitDim: true},
+		{Dim: 0, ExplicitDim: true},
+	} {
+		got, err := run(popt)
+		if err != nil {
+			t.Fatalf("%+v: %v", popt, err)
+		}
+		if !sameCells(got, want) {
+			t.Fatalf("%+v: partitioned output differs (%d vs %d cells)", popt, len(got), len(want))
+		}
+	}
+
+	// Out-of-range explicit dimensions: clear facade-level errors.
+	for _, popt := range []PartitionOptions{
+		{Dim: 4, ExplicitDim: true},
+		{Dim: -1, ExplicitDim: true},
+	} {
+		if _, err := run(popt); err == nil {
+			t.Fatalf("%+v: want out-of-range error", popt)
+		} else if !strings.HasPrefix(err.Error(), "ccubing:") {
+			t.Fatalf("%+v: error %q lacks ccubing: prefix", popt, err)
+		}
+	}
+
+	// Positive Dim without ExplicitDim: loud rejection, not silent auto-pick.
+	if _, err := run(PartitionOptions{Dim: 2}); err == nil {
+		t.Fatal("Dim without ExplicitDim: want error")
+	} else if !strings.Contains(err.Error(), "ExplicitDim") {
+		t.Fatalf("error %q should point at ExplicitDim", err)
 	}
 }
 

@@ -48,7 +48,7 @@ func TestWeatherPartitionedAgree(t *testing.T) {
 	var parted []Cell
 	_, err = ComputePartitioned(ds,
 		Options{MinSup: 3, Closed: true, Algorithm: AlgStarArray},
-		PartitionOptions{Dim: 3, Buckets: 8, TempDir: t.TempDir()},
+		PartitionOptions{Dim: 3, ExplicitDim: true, Buckets: 8, TempDir: t.TempDir()},
 		func(c Cell) {
 			vals := make([]int32, len(c.Values))
 			copy(vals, c.Values)

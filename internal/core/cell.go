@@ -50,6 +50,16 @@ func AppendValue(b []byte, v Value) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
+// ValueWidth is the number of bytes one value occupies in the packed-key
+// encoding of CellKey/AppendValue.
+const ValueWidth = 4
+
+// DecodeValue reads the value encoded at the start of b, inverting
+// AppendValue. It panics when b holds fewer than ValueWidth bytes.
+func DecodeValue(b []byte) Value {
+	return Value(binary.LittleEndian.Uint32(b))
+}
+
 // String renders the cell in the paper's notation, e.g. (a1, *, c3 : 17)
 // using dimension index + value index names.
 func (c Cell) String() string {

@@ -1,0 +1,387 @@
+// Package cubestore stores a computed closed (iceberg) cube in a form built
+// for serving point and slice queries. The closed cube is a lossless
+// compression of the full cube (quotient-cube semantics): the count of ANY
+// cell — closed or not — equals the count of its closure, the most specific
+// closed cell covering it. The store therefore answers arbitrary group-by
+// point queries without the base relation and without the QC-tree's
+// worst-case-exponential drill-down walk.
+//
+// Layout: cells are grouped per cuboid, i.e. per fixed-dimension mask. Each
+// group holds the cells' fixed values as packed keys (the codec of
+// core.AppendValue, 4 bytes per fixed dimension, dimensions ascending),
+// sorted lexicographically, with parallel count and optional measure arrays.
+// A point query probes the query's own cuboid with one binary search (a hit
+// is the cell itself, hence exact) and otherwise probes each covering cuboid
+// — fixed-dimension superset groups — narrowing by binary search on the
+// longest bound prefix and taking the maximum count over covering cells,
+// which is the closure's count. A miss means the cell is empty or fell below
+// the iceberg threshold the cube was computed with.
+//
+// A Store is immutable after Build and safe for concurrent readers.
+package cubestore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"ccubing/internal/core"
+)
+
+// group holds one cuboid: all stored cells fixing exactly the dimensions in
+// mask. keys is the row-major packed-key matrix (rows() rows of width bytes),
+// sorted lexicographically; counts and aux are parallel to the rows.
+type group struct {
+	mask   core.Mask
+	dims   []int // mask's dimensions, ascending
+	width  int   // bytes per key: core.ValueWidth * len(dims)
+	keys   []byte
+	counts []int64
+	aux    []float64 // nil when the store carries no measure
+}
+
+func (g *group) rows() int { return len(g.counts) }
+
+func (g *group) row(i int) []byte { return g.keys[i*g.width : (i+1)*g.width] }
+
+// find binary-searches for an exact key, returning its row or -1.
+func (g *group) find(key []byte) int {
+	n := g.rows()
+	if g.width == 0 {
+		// The apex cuboid has a single, keyless row.
+		if n > 0 {
+			return 0
+		}
+		return -1
+	}
+	i := sort.Search(n, func(i int) bool { return bytes.Compare(g.row(i), key) >= 0 })
+	if i < n && bytes.Equal(g.row(i), key) {
+		return i
+	}
+	return -1
+}
+
+// prefixRange returns the half-open row range whose keys start with prefix.
+func (g *group) prefixRange(prefix []byte) (int, int) {
+	n := g.rows()
+	p := len(prefix)
+	if p == 0 {
+		return 0, n
+	}
+	lo := sort.Search(n, func(i int) bool { return bytes.Compare(g.row(i)[:p], prefix) >= 0 })
+	hi := sort.Search(n, func(i int) bool { return bytes.Compare(g.row(i)[:p], prefix) > 0 })
+	return lo, hi
+}
+
+// Store is an immutable, concurrency-safe closed-cube query index.
+type Store struct {
+	nd     int
+	hasAux bool
+	groups []*group // ascending by mask
+	byMask map[core.Mask]*group
+	cells  int64
+}
+
+// NumDims returns the dimensionality of the stored cube.
+func (s *Store) NumDims() int { return s.nd }
+
+// NumCells returns the number of stored closed cells.
+func (s *Store) NumCells() int64 { return s.cells }
+
+// NumCuboids returns the number of non-empty cuboid groups.
+func (s *Store) NumCuboids() int { return len(s.groups) }
+
+// HasAux reports whether cells carry a complex-measure value.
+func (s *Store) HasAux() bool { return s.hasAux }
+
+// Bytes returns the approximate in-memory payload size: packed keys plus
+// count and measure arrays.
+func (s *Store) Bytes() int64 {
+	var b int64
+	for _, g := range s.groups {
+		b += int64(len(g.keys)) + 8*int64(len(g.counts)) + 8*int64(len(g.aux))
+	}
+	return b
+}
+
+// queryMask computes the fixed-dimension mask of a query vector. A query of
+// the wrong arity is a programmer error, not a miss: it panics (like an
+// out-of-range index) so shape bugs surface instead of reading as
+// below-threshold cells.
+func (s *Store) queryMask(vals []core.Value) core.Mask {
+	if len(vals) != s.nd {
+		panic(fmt.Sprintf("cubestore: query has %d dimensions, store has %d", len(vals), s.nd))
+	}
+	var q core.Mask
+	for d, v := range vals {
+		if v != core.Star {
+			q = q.With(d)
+		}
+	}
+	return q
+}
+
+// packDims packs vals at the given dimensions onto dst.
+func packDims(dst []byte, vals []core.Value, dims []int) []byte {
+	for _, d := range dims {
+		dst = core.AppendValue(dst, vals[d])
+	}
+	return dst
+}
+
+// probe scans one covering group for cells matching the query values on the
+// query's bound dimensions, reporting the best (maximum-count) matching row,
+// or -1. q must be a subset of g.mask.
+func (g *group) probe(q core.Mask, vals []core.Value, best int64) (int, int64) {
+	// The leading run of g's dimensions that the query binds forms a key
+	// prefix, narrowing the scan by binary search.
+	p := 0
+	for p < len(g.dims) && q.Has(g.dims[p]) {
+		p++
+	}
+	var prefix []byte
+	if p > 0 {
+		prefix = packDims(make([]byte, 0, p*core.ValueWidth), vals, g.dims[:p])
+	}
+	lo, hi := g.prefixRange(prefix)
+	if lo >= hi {
+		return -1, best
+	}
+	// Remaining bound dimensions to filter on within the range.
+	type fieldMatch struct {
+		off int
+		val [core.ValueWidth]byte
+	}
+	var rest []fieldMatch
+	for j := p; j < len(g.dims); j++ {
+		if q.Has(g.dims[j]) {
+			var f fieldMatch
+			f.off = j * core.ValueWidth
+			core.AppendValue(f.val[:0], vals[g.dims[j]])
+			rest = append(rest, f)
+		}
+	}
+	bestRow := -1
+	for i := lo; i < hi; i++ {
+		if g.counts[i] <= best {
+			continue
+		}
+		row := g.row(i)
+		ok := true
+		for _, f := range rest {
+			if !bytes.Equal(row[f.off:f.off+core.ValueWidth], f.val[:]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best = g.counts[i]
+			bestRow = i
+		}
+	}
+	return bestRow, best
+}
+
+// Query returns the count of an arbitrary cell (core.Star marks wildcard
+// dimensions). The second result is false when the cell is empty or fell
+// below the iceberg threshold of the stored cube. It panics if vals does not
+// have exactly NumDims entries.
+func (s *Store) Query(vals []core.Value) (int64, bool) {
+	c, ok := s.Lookup(vals)
+	return c.Count, ok
+}
+
+// Lookup resolves an arbitrary cell to its closure: the stored closed cell
+// covering it with the same count (and measure value). The returned cell's
+// Values slice is freshly allocated. ok is false when the cell is empty or
+// below the stored cube's iceberg threshold. It panics if vals does not have
+// exactly NumDims entries.
+func (s *Store) Lookup(vals []core.Value) (core.Cell, bool) {
+	q := s.queryMask(vals)
+	// Fast path: the queried cell is itself closed — a hit in its own cuboid
+	// is exact (covering cells in superset cuboids never exceed its count).
+	if g := s.byMask[q]; g != nil {
+		key := packDims(make([]byte, 0, len(g.dims)*core.ValueWidth), vals, g.dims)
+		if i := g.find(key); i >= 0 {
+			return s.cellAt(g, i), true
+		}
+	}
+	// The cell is not closed (or absent): its closure lives in a cuboid
+	// fixing a strict superset of the query's dimensions. Among covering
+	// cells the closure has the maximum count.
+	best := int64(-1)
+	var bestG *group
+	bestRow := -1
+	for _, g := range s.groups {
+		if g.mask&q != q || g.mask == q {
+			continue
+		}
+		if row, b := g.probe(q, vals, best); row >= 0 {
+			best, bestG, bestRow = b, g, row
+		}
+	}
+	if bestRow < 0 {
+		return core.Cell{}, false
+	}
+	return s.cellAt(bestG, bestRow), true
+}
+
+// cellAt materializes row i of g as a full-width cell.
+func (s *Store) cellAt(g *group, i int) core.Cell {
+	vals := make([]core.Value, s.nd)
+	for d := range vals {
+		vals[d] = core.Star
+	}
+	row := g.row(i)
+	for j, d := range g.dims {
+		vals[d] = core.DecodeValue(row[j*core.ValueWidth:])
+	}
+	c := core.Cell{Values: vals, Count: g.counts[i]}
+	if g.aux != nil {
+		c.Aux = g.aux[i]
+	}
+	return c
+}
+
+// Slice visits every stored closed cell inside the sub-cube the query pins
+// down: cells fixing a superset of the query's bound dimensions with matching
+// values. Visiting order is cuboid mask ascending, packed key ascending
+// within a cuboid. Each visited cell is freshly allocated; return false from
+// visit to stop early. It panics if vals does not have exactly NumDims
+// entries, like Query.
+func (s *Store) Slice(vals []core.Value, visit func(core.Cell) bool) {
+	q := s.queryMask(vals)
+	for _, g := range s.groups {
+		if g.mask&q != q {
+			continue
+		}
+		p := 0
+		for p < len(g.dims) && q.Has(g.dims[p]) {
+			p++
+		}
+		var prefix []byte
+		if p > 0 {
+			prefix = packDims(make([]byte, 0, p*core.ValueWidth), vals, g.dims[:p])
+		}
+		lo, hi := g.prefixRange(prefix)
+	rows:
+		for i := lo; i < hi; i++ {
+			row := g.row(i)
+			for j := p; j < len(g.dims); j++ {
+				if !q.Has(g.dims[j]) {
+					continue
+				}
+				if core.DecodeValue(row[j*core.ValueWidth:]) != vals[g.dims[j]] {
+					continue rows
+				}
+			}
+			if !visit(s.cellAt(g, i)) {
+				return
+			}
+		}
+	}
+}
+
+// Walk visits every stored cell (cuboid mask ascending, key ascending).
+func (s *Store) Walk(visit func(core.Cell) bool) {
+	for _, g := range s.groups {
+		for i := 0; i < g.rows(); i++ {
+			if !visit(s.cellAt(g, i)) {
+				return
+			}
+		}
+	}
+}
+
+// Builder accumulates closed cells and freezes them into a Store.
+type Builder struct {
+	nd     int
+	hasAux bool
+	groups map[core.Mask]*group
+}
+
+// NewBuilder returns a builder for an nd-dimensional cube; hasAux reserves a
+// complex-measure value per cell.
+func NewBuilder(nd int, hasAux bool) *Builder {
+	return &Builder{nd: nd, hasAux: hasAux, groups: make(map[core.Mask]*group)}
+}
+
+// Add records one closed cell. vals is copied; aux is ignored unless the
+// builder was created with hasAux.
+func (b *Builder) Add(vals []core.Value, count int64, aux float64) {
+	mask := core.AllMask(vals) // wildcard bits
+	fixed := core.LowBits(b.nd) &^ mask
+	g := b.groups[fixed]
+	if g == nil {
+		g = &group{mask: fixed}
+		g.dims = fixed.Dims(nil)
+		g.width = core.ValueWidth * len(g.dims)
+		b.groups[fixed] = g
+	}
+	g.keys = packDims(g.keys, vals, g.dims)
+	g.counts = append(g.counts, count)
+	if b.hasAux {
+		g.aux = append(g.aux, aux)
+	}
+}
+
+// Build sorts every cuboid group and returns the immutable store. It errors
+// on duplicate cells (a closed cube contains each cell once) and leaves the
+// builder unusable afterwards.
+func (b *Builder) Build() (*Store, error) {
+	s := &Store{
+		nd:     b.nd,
+		hasAux: b.hasAux,
+		groups: make([]*group, 0, len(b.groups)),
+		byMask: make(map[core.Mask]*group, len(b.groups)),
+	}
+	for _, g := range b.groups {
+		if err := g.sortRows(); err != nil {
+			return nil, err
+		}
+		s.groups = append(s.groups, g)
+		s.byMask[g.mask] = g
+		s.cells += int64(g.rows())
+	}
+	sort.Slice(s.groups, func(i, j int) bool { return s.groups[i].mask < s.groups[j].mask })
+	b.groups = nil
+	return s, nil
+}
+
+// sortRows orders the group's rows by packed key and rejects duplicates.
+func (g *group) sortRows() error {
+	n := g.rows()
+	if g.width == 0 {
+		if n > 1 {
+			return fmt.Errorf("cubestore: duplicate apex cell")
+		}
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return bytes.Compare(g.row(idx[a]), g.row(idx[b])) < 0
+	})
+	keys := make([]byte, 0, len(g.keys))
+	counts := make([]int64, 0, n)
+	var aux []float64
+	if g.aux != nil {
+		aux = make([]float64, 0, n)
+	}
+	for _, i := range idx {
+		keys = append(keys, g.row(i)...)
+		counts = append(counts, g.counts[i])
+		if g.aux != nil {
+			aux = append(aux, g.aux[i])
+		}
+	}
+	for i := 1; i < n; i++ {
+		if bytes.Equal(keys[(i-1)*g.width:i*g.width], keys[i*g.width:(i+1)*g.width]) {
+			return fmt.Errorf("cubestore: duplicate cell in cuboid mask %#x", uint64(g.mask))
+		}
+	}
+	g.keys, g.counts, g.aux = keys, counts, aux
+	return nil
+}

@@ -1,0 +1,348 @@
+package cubestore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ccubing/internal/core"
+	"ccubing/internal/gen"
+	"ccubing/internal/qcdfs"
+	"ccubing/internal/sink"
+	"ccubing/internal/table"
+)
+
+// buildFromClosed computes the closed iceberg cube of tbl with QC-DFS and
+// freezes it into a store.
+func buildFromClosed(t testing.TB, tbl *table.Table, minsup int64) *Store {
+	t.Helper()
+	col := &sink.Collector{}
+	if err := qcdfs.Run(tbl, qcdfs.Config{MinSup: minsup}, col); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(tbl.NumDims(), false)
+	for _, c := range col.Cells {
+		b.Add(c.Values, c.Count, 0)
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCells() != int64(len(col.Cells)) {
+		t.Fatalf("store holds %d cells, built from %d", s.NumCells(), len(col.Cells))
+	}
+	return s
+}
+
+// bruteCount counts the tuples of tbl matching a query pattern.
+func bruteCount(tbl *table.Table, vals []core.Value) int64 {
+	var n int64
+	for tid := 0; tid < tbl.NumTuples(); tid++ {
+		ok := true
+		for d, v := range vals {
+			if v != core.Star && tbl.Cols[d][tid] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+func testTable(t testing.TB, T int, cards []int, skew float64, seed int64) *table.Table {
+	t.Helper()
+	tbl, err := gen.Synthetic(gen.Config{T: T, Cards: cards, S: skew, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// randomQuery draws a query cell; bound values are biased toward values that
+// actually occur so both hits and misses are exercised.
+func randomQuery(rng *rand.Rand, tbl *table.Table) []core.Value {
+	nd := tbl.NumDims()
+	vals := make([]core.Value, nd)
+	for d := 0; d < nd; d++ {
+		switch rng.Intn(3) {
+		case 0:
+			vals[d] = core.Star
+		case 1: // a value from a real tuple: likely non-empty
+			vals[d] = tbl.Cols[d][rng.Intn(tbl.NumTuples())]
+		default: // any in-card value: may be empty
+			vals[d] = core.Value(rng.Intn(tbl.Cards[d]))
+		}
+	}
+	return vals
+}
+
+// TestQueryAgainstBruteForce fuzzes Query/Lookup against tuple counting:
+// every non-empty cell at or above min_sup must resolve to its exact count;
+// empty or below-threshold cells must miss.
+func TestQueryAgainstBruteForce(t *testing.T) {
+	for _, minsup := range []int64{1, 3} {
+		tbl := testTable(t, 800, []int{9, 7, 5, 6}, 1.1, int64(minsup))
+		s := buildFromClosed(t, tbl, minsup)
+		rng := rand.New(rand.NewSource(42 + minsup))
+		for i := 0; i < 3000; i++ {
+			q := randomQuery(rng, tbl)
+			want := bruteCount(tbl, q)
+			got, ok := s.Query(q)
+			if want >= minsup {
+				if !ok || got != want {
+					t.Fatalf("minsup=%d query %v: got (%d,%v), want (%d,true)", minsup, q, got, ok, want)
+				}
+				cell, ok := s.Lookup(q)
+				if !ok || cell.Count != want {
+					t.Fatalf("minsup=%d lookup %v: got (%v,%v)", minsup, q, cell, ok)
+				}
+				// The closure must cover the query and have the same count.
+				for d, v := range q {
+					if v != core.Star && cell.Values[d] != v {
+						t.Fatalf("closure %v does not cover query %v", cell.Values, q)
+					}
+				}
+			} else if ok {
+				t.Fatalf("minsup=%d query %v: got (%d,true), want miss (count %d)", minsup, q, got, want)
+			}
+		}
+	}
+}
+
+// TestSliceMatchesWalkFilter checks Slice against filtering a full Walk.
+func TestSliceMatchesWalkFilter(t *testing.T) {
+	tbl := testTable(t, 500, []int{6, 5, 4}, 0.8, 17)
+	s := buildFromClosed(t, tbl, 1)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		q := randomQuery(rng, tbl)
+		want := map[string]int64{}
+		s.Walk(func(c core.Cell) bool {
+			for d, v := range q {
+				if v != core.Star && c.Values[d] != v {
+					return true
+				}
+			}
+			want[c.Key()] = c.Count
+			return true
+		})
+		got := map[string]int64{}
+		s.Slice(q, func(c core.Cell) bool {
+			got[c.Key()] = c.Count
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("slice %v: %d cells, want %d", q, len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("slice %v: count mismatch for %q", q, k)
+			}
+		}
+	}
+}
+
+// TestConcurrentQueries exercises the store from many goroutines; run under
+// -race this pins the immutability/concurrency-safety claim.
+func TestConcurrentQueries(t *testing.T) {
+	tbl := testTable(t, 600, []int{8, 6, 5, 4}, 1.0, 3)
+	s := buildFromClosed(t, tbl, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				q := randomQuery(rng, tbl)
+				want := bruteCount(tbl, q)
+				got, ok := s.Query(q)
+				if want >= 2 && (!ok || got != want) {
+					t.Errorf("query %v: got (%d,%v), want (%d,true)", q, got, ok, want)
+					return
+				}
+				if want < 2 && ok {
+					t.Errorf("query %v: got (%d,true), want miss", q, got)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+// TestBuilderRejectsDuplicates pins the duplicate-cell error.
+func TestBuilderRejectsDuplicates(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.Add([]core.Value{1, core.Star}, 3, 0)
+	b.Add([]core.Value{1, core.Star}, 3, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate cell must fail Build")
+	}
+}
+
+// TestSnapshotRoundTrip checks Save → Load → Save byte identity and that the
+// loaded store answers identically.
+func TestSnapshotRoundTrip(t *testing.T) {
+	tbl := testTable(t, 700, []int{7, 6, 5, 4}, 1.2, 11)
+	// Include aux values to cover the measure arrays.
+	col := &sink.Collector{}
+	if err := qcdfs.Run(tbl, qcdfs.Config{MinSup: 2}, col); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(tbl.NumDims(), true)
+	for i, c := range col.Cells {
+		b.Add(c.Values, c.Count, float64(i)*0.5)
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf1 bytes.Buffer
+	if err := s.Save(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("snapshot not byte-identical after round trip (%d vs %d bytes)", buf1.Len(), buf2.Len())
+	}
+	if loaded.NumCells() != s.NumCells() || loaded.NumDims() != s.NumDims() || !loaded.HasAux() {
+		t.Fatalf("loaded store shape mismatch")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		q := randomQuery(rng, tbl)
+		c1, ok1 := s.Lookup(q)
+		c2, ok2 := loaded.Lookup(q)
+		if ok1 != ok2 || c1.Count != c2.Count || c1.Aux != c2.Aux {
+			t.Fatalf("query %v: original (%v,%v), loaded (%v,%v)", q, c1, ok1, c2, ok2)
+		}
+	}
+}
+
+// TestSnapshotHighDimensionMask round-trips a 64-dimension store whose masks
+// set the top bit (dimension 63) — the unsigned mask-ordering edge.
+func TestSnapshotHighDimensionMask(t *testing.T) {
+	b := NewBuilder(core.MaxDims, false)
+	vals := make([]core.Value, core.MaxDims)
+	for d := range vals {
+		vals[d] = core.Star
+	}
+	b.Add(vals, 5, 0) // apex
+	vals[core.MaxDims-1] = 1
+	b.Add(vals, 3, 0) // fixes dimension 63: mask top bit set
+	vals[0] = 2
+	b.Add(vals, 2, 0)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := loaded.Query(vals); !ok || got != 2 {
+		t.Fatalf("dim-63 cell = (%d,%v), want (2,true)", got, ok)
+	}
+	vals[0] = core.Star
+	if got, ok := loaded.Query(vals); !ok || got != 3 {
+		t.Fatalf("dim-63-only cell = (%d,%v), want (3,true)", got, ok)
+	}
+}
+
+// TestSnapshotCorruption checks truncation and bit flips are detected.
+func TestSnapshotCorruption(t *testing.T) {
+	tbl := testTable(t, 300, []int{5, 4, 3}, 0.5, 2)
+	s := buildFromClosed(t, tbl, 1)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Load(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated snapshot must fail")
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := Load(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("corrupted snapshot must fail")
+	}
+	bad := append([]byte(nil), raw...)
+	bad[7] = 99 // version byte
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown version must fail")
+	}
+}
+
+// TestSnapshotEveryByteFlip flips each snapshot byte in turn: every mutation
+// must yield a load error (CRC32 catches any single-byte change), and none
+// may panic — corrupt length prefixes must fail validation, not makeslice.
+func TestSnapshotEveryByteFlip(t *testing.T) {
+	tbl := testTable(t, 200, []int{5, 4, 3}, 0.7, 8)
+	s := buildFromClosed(t, tbl, 1)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0xff
+		if _, err := Load(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flipped byte %d of %d accepted", i, len(raw))
+		}
+	}
+}
+
+func TestQueryShapeMismatch(t *testing.T) {
+	tbl := testTable(t, 100, []int{4, 3}, 0, 1)
+	s := buildFromClosed(t, tbl, 1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s with wrong arity must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Query", func() { s.Query([]core.Value{0}) })
+	mustPanic("Lookup", func() { s.Lookup([]core.Value{0, 1, 2}) })
+	mustPanic("Slice", func() { s.Slice([]core.Value{0}, func(core.Cell) bool { return true }) })
+}
+
+func ExampleStore_Query() {
+	tbl, _ := table.FromRows([][]core.Value{
+		{0, 0, 1},
+		{0, 1, 1},
+		{1, 0, 1},
+	})
+	col := &sink.Collector{}
+	_ = qcdfs.Run(tbl, qcdfs.Config{MinSup: 1}, col)
+	b := NewBuilder(3, false)
+	for _, c := range col.Cells {
+		b.Add(c.Values, c.Count, 0)
+	}
+	s, _ := b.Build()
+	// (0, *, *) is not closed: every matching tuple has 1 on dim 2, so its
+	// closure is (0, *, 1) — same count, resolved by the covering probe.
+	count, ok := s.Query([]core.Value{0, core.Star, core.Star})
+	fmt.Println(count, ok)
+	// Output: 2 true
+}

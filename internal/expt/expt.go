@@ -8,6 +8,7 @@ package expt
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"ccubing/internal/engine"
@@ -37,14 +38,21 @@ type Algo struct {
 // SetWorkers before running any figure (not safe mid-run).
 var workers = 1
 
-// SetWorkers routes subsequent algorithm runs through the parallel sharded
-// driver with n goroutines (n <= 1 restores direct sequential runs). Call it
-// once before running figures.
-func SetWorkers(n int) {
-	if n < 1 {
-		n = 1
+// SetWorkers follows the ccubing.Options.Workers convention: 0 and 1 run
+// engines sequentially (as the paper did), larger values route runs through
+// the parallel sharded driver with that many goroutines, and negative values
+// use runtime.NumCPU(). It returns the resolved goroutine count. Call it
+// once before running figures (not safe mid-run).
+func SetWorkers(n int) int {
+	switch {
+	case n < 0:
+		workers = runtime.NumCPU()
+	case n == 0:
+		workers = 1
+	default:
+		workers = n
 	}
-	workers = n
+	return workers
 }
 
 // runEngine builds an Algo body dispatching through the engine registry,

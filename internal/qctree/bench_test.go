@@ -1,0 +1,69 @@
+package qctree
+
+// Build-cost comparison between the two queryable materializations of a
+// closed cube, with the QC-tree measured in isolation: FromCells now
+// constructs a cubestore index alongside the node structure, so timing it
+// would fold a full store build into the "QC-tree" number. treeOnly
+// reproduces the bare structure the original Quotient Cube system built.
+
+import (
+	"fmt"
+	"testing"
+
+	"ccubing/internal/core"
+	"ccubing/internal/cubestore"
+	"ccubing/internal/gen"
+	"ccubing/internal/qcdfs"
+	"ccubing/internal/sink"
+)
+
+// treeOnly inserts cells without the cubestore side-index (sb nil).
+func treeOnly(nd int, cells []core.Cell) *Tree {
+	t := &Tree{root: &node{dim: -1}, nd: nd}
+	for _, c := range cells {
+		t.insert(c.Values, c.Count)
+	}
+	return t
+}
+
+// BenchmarkBuildComparison times, from the same closed cell set: the bare
+// QC-tree (the paper baseline's structure), the cubestore (the serving
+// index), and FromCells (tree + index, what Tree.Query needs today).
+func BenchmarkBuildComparison(b *testing.B) {
+	tbl := gen.MustSynthetic(gen.Config{T: 30000, D: 6, C: 20, S: 1.1, Seed: 13})
+	for _, minsup := range []int64{32, 8} {
+		col := &sink.Collector{}
+		if err := qcdfs.Run(tbl, qcdfs.Config{MinSup: minsup}, col); err != nil {
+			b.Fatal(err)
+		}
+		cells := col.Cells
+		b.Run(fmt.Sprintf("qctree-only/cells=%d", len(cells)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if tr := treeOnly(tbl.NumDims(), cells); tr.Nodes() == 0 {
+					b.Fatal("empty tree")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cubestore-only/cells=%d", len(cells)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sb := cubestore.NewBuilder(tbl.NumDims(), false)
+				for _, c := range cells {
+					sb.Add(c.Values, c.Count, 0)
+				}
+				if _, err := sb.Build(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("qctree-with-index/cells=%d", len(cells)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := FromCells(tbl.NumDims(), cells); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

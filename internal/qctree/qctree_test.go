@@ -2,6 +2,7 @@ package qctree
 
 import (
 	"testing"
+	"time"
 
 	"ccubing/internal/core"
 	"ccubing/internal/gen"
@@ -113,5 +114,108 @@ func TestBuildErrors(t *testing.T) {
 	tb := paperTable(t)
 	if _, err := Build(tb, 0); err == nil {
 		t.Fatal("min_sup 0 must error")
+	}
+}
+
+// TestQueryMatchesWalk cross-checks the cubestore-backed Query against the
+// original drill-down walk on a dataset small enough for the walk.
+func TestQueryMatchesWalk(t *testing.T) {
+	tb := gen.MustSynthetic(gen.Config{T: 300, D: 5, C: 4, S: 1.2, Seed: 9})
+	tree, err := Build(tb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]core.Value, tb.NumDims())
+	var sweep func(d int)
+	sweep = func(d int) {
+		if d == len(vals) {
+			wc, wok := tree.walkQuery(vals)
+			gc, gok := tree.Query(vals)
+			if wok != gok || wc != gc {
+				t.Fatalf("query %v: probe (%d,%v), walk (%d,%v)", vals, gc, gok, wc, wok)
+			}
+			return
+		}
+		for v := core.Value(-1); v < core.Value(tb.Cards[d]); v++ {
+			if v == -1 {
+				vals[d] = core.Star
+			} else {
+				vals[d] = v
+			}
+			sweep(d + 1)
+		}
+	}
+	sweep(0)
+}
+
+// TestQueryPathologicalShape is the drill-down regression test: the full
+// cross product over D binary dimensions makes EVERY cell closed, so the
+// tree holds 3^D nodes and the historical walk visits essentially all of
+// them whenever a query leaves leading dimensions free (a 1-bound-dimension
+// query explored ~3^D nodes; at D=12 that is >500k node visits per query).
+// The cubestore-backed Query resolves each probe with binary searches; the
+// whole battery must finish in interactive time and return exact counts,
+// which have the closed form 2^(D - bound dims) here.
+func TestQueryPathologicalShape(t *testing.T) {
+	const D = 12
+	// Materialize all 3^D closed cells directly (count = 2^free) instead of
+	// running an engine over the 2^D-tuple relation.
+	var cells []core.Cell
+	vals := make([]core.Value, D)
+	var emit func(d, free int)
+	emit = func(d, free int) {
+		if d == D {
+			v := make([]core.Value, D)
+			copy(v, vals)
+			cells = append(cells, core.Cell{Values: v, Count: 1 << uint(free)})
+			return
+		}
+		vals[d] = core.Star
+		emit(d+1, free+1)
+		for v := core.Value(0); v < 2; v++ {
+			vals[d] = v
+			emit(d+1, free)
+		}
+	}
+	emit(0, 0)
+	tree, err := FromCells(D, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every nonempty bound-pair path is a node (the apex lives at the root):
+	// 3^D - 1 of them.
+	if want := int64(len(cells)) - 1; tree.Nodes() != want {
+		t.Fatalf("tree has %d nodes, want %d", tree.Nodes(), want)
+	}
+
+	start := time.Now()
+	queries := 0
+	q := make([]core.Value, D)
+	for last := 0; last < D; last++ {
+		for v := core.Value(0); v < 2; v++ {
+			for i := range q {
+				q[i] = core.Star
+			}
+			q[last] = v // one bound dimension: worst case for the walk
+			got, ok := tree.Query(q)
+			if !ok || got != 1<<uint(D-1) {
+				t.Fatalf("query bound dim %d: (%d,%v), want (%d,true)", last, got, ok, 1<<uint(D-1))
+			}
+			queries++
+			// A couple of bound dimensions, still leaving leading ones free.
+			if last >= 2 {
+				q[last/2] = v
+				got, ok = tree.Query(q)
+				if !ok || got != 1<<uint(D-2) {
+					t.Fatalf("two-dim query: (%d,%v), want (%d,true)", got, ok, 1<<uint(D-2))
+				}
+				queries++
+			}
+		}
+	}
+	// Generous bound: the old walk needed hundreds of millions of node
+	// visits for this battery; the probe needs a few thousand comparisons.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("%d pathological queries took %s; drill-down blowup is back", queries, elapsed)
 	}
 }

@@ -44,3 +44,21 @@ func (d *Dict) Name(c core.Value) string {
 
 // Len returns the number of distinct labels seen.
 func (d *Dict) Len() int { return len(d.names) }
+
+// Names returns the labels in code order (code i maps to Names()[i]). The
+// returned slice is a copy.
+func (d *Dict) Names() []string {
+	out := make([]string, len(d.names))
+	copy(out, d.names)
+	return out
+}
+
+// DictFromNames rebuilds a dictionary from labels in code order, the inverse
+// of Names. Duplicate labels keep their first code.
+func DictFromNames(names []string) *Dict {
+	d := NewDict()
+	for _, s := range names {
+		d.Code(s)
+	}
+	return d
+}

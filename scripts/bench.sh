@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs the key benchmarks with -benchmem and records the results as
+# BENCH_<iso-date>.json in the repo root, so the performance trajectory
+# accumulates over time. Invoked on demand from CI (workflow_dispatch) or
+# locally:
+#
+#   ./scripts/bench.sh                 # default benchtime (3x)
+#   BENCHTIME=10x ./scripts/bench.sh   # longer runs
+#   BENCH_FILTER='BenchmarkCubeQuery' ./scripts/bench.sh
+#
+# Output schema: {"date", "go", "cpus", "benchmarks": [{"name", "iterations",
+# "ns_per_op", "bytes_per_op", "allocs_per_op", "mb_per_s"}]}.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-3x}"
+filter="${BENCH_FILTER:-BenchmarkCubeQuery|BenchmarkStoreBuild|BenchmarkBuildComparison|BenchmarkMaterialize|BenchmarkCubeSnapshot|BenchmarkParallelWorkers}"
+out="BENCH_$(date -u +%Y-%m-%d).json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" ./... | tee "$raw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" -v cpus="$(nproc 2>/dev/null || echo 0)" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [", date, gover, cpus
+    first = 1
+}
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = ""; bytes = ""; allocs = ""; mbs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "MB/s")      mbs = $i
+    }
+    if (ns == "") next
+    if (!first) printf ","
+    first = 0
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (mbs != "")    printf ", \"mb_per_s\": %s", mbs
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)" >&2
