@@ -266,6 +266,137 @@ func TestServeCodedCube(t *testing.T) {
 	}
 }
 
+// TestAggregateEndpoint drives /v1/aggregate — range + set predicates,
+// group-by and top-k — against brute-force recomputation over the relation,
+// the integration path of the acceptance criteria.
+func TestAggregateEndpoint(t *testing.T) {
+	cube, ds := testCube(t, 1)
+	ts := httptest.NewServer(newMux(cube))
+	defer ts.Close()
+	tb := ds.Table()
+
+	// Brute force: count tuples per city among (pen|ink, 2024..2025) rows.
+	codeOf := func(dim int, label string) int32 { return mustCode(t, cube, dim, label) }
+	match := func(tid int) bool {
+		p := tb.Cols[1][tid]
+		y := tb.Cols[2][tid]
+		return (p == codeOf(1, "pen") || p == codeOf(1, "ink")) &&
+			(y == codeOf(2, "2024") || y == codeOf(2, "2025"))
+	}
+	wantByCity := map[string]int64{}
+	var total int64
+	for tid := 0; tid < tb.NumTuples(); tid++ {
+		if match(tid) {
+			wantByCity[cube.Labels([]int32{tb.Cols[0][tid], ccubing.Star, ccubing.Star})[0]]++
+			total++
+		}
+	}
+
+	// POST: group-by city under the predicates.
+	var ar aggregateResponse
+	postJSON(t, ts, "/v1/aggregate", aggregateRequest{
+		Where:   []string{"*", "pen|ink", "2024..2025"},
+		GroupBy: []string{"city"},
+	}, &ar)
+	if len(ar.Rows) != len(wantByCity) {
+		t.Fatalf("aggregate rows = %+v, want %d groups", ar.Rows, len(wantByCity))
+	}
+	for _, row := range ar.Rows {
+		if want := wantByCity[row.Cell[0]]; row.Count != want {
+			t.Fatalf("group %v = %d, want %d", row.Cell, row.Count, want)
+		}
+	}
+	for i := 1; i < len(ar.Rows); i++ {
+		if ar.Rows[i].Count > ar.Rows[i-1].Count {
+			t.Fatalf("rows not ranked: %+v", ar.Rows)
+		}
+	}
+
+	// GET with top_k=1: the single best group.
+	var top aggregateResponse
+	getJSON(t, ts, "/v1/aggregate?where="+url.QueryEscape("*,pen|ink,2024..2025")+"&group_by=city&top_k=1&order_by=count", &top)
+	if len(top.Rows) != 1 || top.Rows[0].Count != ar.Rows[0].Count {
+		t.Fatalf("top-1 = %+v, want %+v", top.Rows, ar.Rows[0])
+	}
+
+	// No group-by: one grand-total row under the range predicate.
+	var tot aggregateResponse
+	postJSON(t, ts, "/v1/aggregate", aggregateRequest{Where: []string{"*", "pen|ink", "2024..2025"}}, &tot)
+	if len(tot.Rows) != 1 || tot.Rows[0].Count != total {
+		t.Fatalf("grand total = %+v, want %d", tot.Rows, total)
+	}
+
+	// Bad requests are 400.
+	for _, path := range []string{
+		"/v1/aggregate?where=a,b",       // wrong arity
+		"/v1/aggregate?group_by=nope",   // unknown dimension
+		"/v1/aggregate?top_k=-1",        // negative top-k
+		"/v1/aggregate?order_by=zigzag", // unknown ranking
+		"/v1/aggregate?order_by=aux",    // no measure to rank by
+		"/v1/aggregate?aux_agg=avg",     // non-decomposable combiner
+	} {
+		if resp := getJSON(t, ts, path, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestValuesValidation pins the coded-values contract on both methods:
+// arbitrary negative entries are rejected with 400 (only Star marks a
+// wildcard), and GET accepts the values= form sharing that validation.
+func TestValuesValidation(t *testing.T) {
+	ds, err := ccubing.Synthetic(ccubing.SyntheticConfig{T: 300, D: 3, C: 5, Skew: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(cube))
+	defer ts.Close()
+
+	// POST with a negative non-Star entry: 400, not a silent miss.
+	for _, vals := range [][]int32{
+		{-2, 0, 1},
+		{0, -7, ccubing.Star},
+	} {
+		if resp := postJSON(t, ts, "/v1/query", queryRequest{Values: vals}, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST values %v: %d, want 400", vals, resp.StatusCode)
+		}
+		if resp := postJSON(t, ts, "/v1/slice", queryRequest{Values: vals}, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST slice values %v: %d, want 400", vals, resp.StatusCode)
+		}
+	}
+
+	// GET values= answers like the library (Star = -1 wildcard).
+	var qr queryResponse
+	getJSON(t, ts, "/v1/query?values=0,-1,2", &qr)
+	want, ok := cube.Query([]int32{0, ccubing.Star, 2})
+	if qr.Found != ok || qr.Count != want {
+		t.Fatalf("GET values query = %+v, want (%d,%v)", qr, want, ok)
+	}
+	var sr sliceResponse
+	getJSON(t, ts, "/v1/slice?values=0,-1,-1", &sr)
+	wantCells := 0
+	cube.Slice([]int32{0, ccubing.Star, ccubing.Star}, func(ccubing.Cell) bool { wantCells++; return true })
+	if len(sr.Cells) != wantCells {
+		t.Fatalf("GET values slice = %d cells, want %d", len(sr.Cells), wantCells)
+	}
+
+	// GET validation shares the POST contract.
+	for _, path := range []string{
+		"/v1/query?values=0,-2,1",           // negative non-Star
+		"/v1/query?values=0,1",              // wrong arity
+		"/v1/query?values=0,x,1",            // non-numeric
+		"/v1/query?cell=0,1,2&values=0,1,2", // both forms
+	} {
+		if resp := getJSON(t, ts, path, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
 // TestBuildCubeValidation pins source-selection errors.
 func TestBuildCubeValidation(t *testing.T) {
 	if _, err := buildCube("", "", "", "", "auto", 1, 1); err == nil {

@@ -23,9 +23,13 @@ type server struct {
 //	GET  /v1/cube       cube metadata
 //	GET  /v1/query      ?cell=v0,v1,*,v3 (labels when the cube has
 //	                    dictionaries, coded values otherwise; * = wildcard)
+//	                    or ?values=3,-1,7 (dictionary codes, -1 = wildcard)
 //	POST /v1/query      {"cell": ["a","*"]} or {"values": [3,-1]}
-//	GET  /v1/slice      ?cell=...&limit=N
+//	GET  /v1/slice      ?cell=...&limit=N (or ?values=..., like /v1/query)
 //	POST /v1/slice      {"cell": [...], "limit": N}
+//	GET  /v1/aggregate  ?where=*,a|b,x..y&group_by=d1,d2&top_k=5&order_by=count
+//	POST /v1/aggregate  {"where": [...], "group_by": [...], "top_k": 5,
+//	                    "order_by": "count"|"aux", "aux_agg": "sum"|"min"|"max"}
 func newMux(cube *ccubing.Cube) *http.ServeMux {
 	s := &server{cube: cube}
 	mux := http.NewServeMux()
@@ -38,6 +42,8 @@ func newMux(cube *ccubing.Cube) *http.ServeMux {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/slice", s.handleSlice)
 	mux.HandleFunc("POST /v1/slice", s.handleSlice)
+	mux.HandleFunc("GET /v1/aggregate", s.handleAggregate)
+	mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
 	return mux
 }
 
@@ -152,11 +158,22 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 func (s *server) parseRequest(r *http.Request) (req queryRequest, vals []int32, miss bool, err error) {
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
-		cell := q.Get("cell")
-		if cell == "" {
-			return req, nil, false, fmt.Errorf("missing cell parameter")
+		cell, values := q.Get("cell"), q.Get("values")
+		if (cell == "") == (values == "") {
+			return req, nil, false, fmt.Errorf(`exactly one of the "cell" and "values" parameters is required`)
 		}
-		req.Cell = strings.Split(cell, ",")
+		if cell != "" {
+			req.Cell = strings.Split(cell, ",")
+		} else {
+			// Coded form, sharing the POST body's validation below.
+			for _, part := range strings.Split(values, ",") {
+				v, err := strconv.ParseInt(part, 10, 32)
+				if err != nil {
+					return req, nil, false, fmt.Errorf("bad coded value %q", part)
+				}
+				req.Values = append(req.Values, int32(v))
+			}
+		}
 		// Same contract as the POST body: negative or non-numeric limits are
 		// errors, 0 (or absent) means the default.
 		if ls := q.Get("limit"); ls != "" {
@@ -176,8 +193,8 @@ func (s *server) parseRequest(r *http.Request) (req queryRequest, vals []int32, 
 		}
 	}
 	if req.Values != nil {
-		if len(req.Values) != s.cube.NumDims() {
-			return req, nil, false, fmt.Errorf("cell has %d values, want %d", len(req.Values), s.cube.NumDims())
+		if err := s.validateValues(req.Values); err != nil {
+			return req, nil, false, err
 		}
 		return req, req.Values, false, nil
 	}
@@ -208,6 +225,111 @@ func (s *server) parseRequest(r *http.Request) (req queryRequest, vals []int32, 
 		return req, nil, false, err
 	}
 	return req, vals, false, nil
+}
+
+// validateValues checks a coded cell vector: correct arity, and every entry
+// either a non-negative dictionary code or the wildcard sentinel. Arbitrary
+// negative entries would silently pack garbage keys and read as misses.
+func (s *server) validateValues(vals []int32) error {
+	if len(vals) != s.cube.NumDims() {
+		return fmt.Errorf("cell has %d values, want %d", len(vals), s.cube.NumDims())
+	}
+	for d, v := range vals {
+		if v < 0 && v != ccubing.Star {
+			return fmt.Errorf("bad value %d for dimension %s (codes are non-negative; %d = wildcard)",
+				v, s.cube.Names()[d], ccubing.Star)
+		}
+	}
+	return nil
+}
+
+// aggregateRequest is the JSON body (and GET parameter set) of /v1/aggregate.
+type aggregateRequest struct {
+	// Where holds one predicate component per dimension ("*" wildcard, "v"
+	// exact, "lo..hi" range, "a|b" set — labels on labeled cubes, codes
+	// otherwise); omitted means all wildcards.
+	Where   []string `json:"where,omitempty"`
+	GroupBy []string `json:"group_by,omitempty"`
+	TopK    int      `json:"top_k,omitempty"`
+	OrderBy string   `json:"order_by,omitempty"` // "count" (default) or "aux"
+	AuxAgg  string   `json:"aux_agg,omitempty"`  // "sum" (default), "min", "max"
+}
+
+type aggregateRow struct {
+	Cell  []string `json:"cell"`
+	Count int64    `json:"count"`
+	Aux   *float64 `json:"aux,omitempty"`
+}
+
+type aggregateResponse struct {
+	Rows []aggregateRow `json:"rows"`
+}
+
+func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	var req aggregateRequest
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		if where := q.Get("where"); where != "" {
+			req.Where = strings.Split(where, ",")
+		}
+		if gb := q.Get("group_by"); gb != "" {
+			req.GroupBy = strings.Split(gb, ",")
+		}
+		if tk := q.Get("top_k"); tk != "" {
+			v, err := strconv.Atoi(tk)
+			if err != nil || v < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad top_k %q", tk))
+				return
+			}
+			req.TopK = v
+		}
+		req.OrderBy = q.Get("order_by")
+		req.AuxAgg = q.Get("aux_agg")
+	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err))
+		return
+	}
+	if req.TopK < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad top_k %d", req.TopK))
+		return
+	}
+	opt := ccubing.AggregateOptions{GroupBy: req.GroupBy, TopK: req.TopK}
+	var err error
+	if opt.By, err = ccubing.ParseOrderBy(req.OrderBy); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if opt.AuxAgg, err = ccubing.ParseAuxAgg(req.AuxAgg); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	where := req.Where
+	if where == nil {
+		where = make([]string, s.cube.NumDims())
+		for d := range where {
+			where[d] = "*"
+		}
+	}
+	spec, err := s.cube.ParseSpec(where)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows, err := s.cube.Aggregate(spec, opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := aggregateResponse{Rows: make([]aggregateRow, 0, len(rows))}
+	for _, c := range rows {
+		row := aggregateRow{Cell: s.cube.Labels(c.Values), Count: c.Count}
+		if s.cube.HasMeasure() {
+			aux := c.Aux
+			row.Aux = &aux
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

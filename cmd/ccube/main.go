@@ -38,6 +38,10 @@ func main() {
 		doRules = flag.Bool("rules", false, "mine closed rules from the result (closed mode)")
 		workers = flag.Int("workers", 1, "engine goroutines (0/1 = sequential, n>1 = n workers, negative = all CPU cores)")
 		store   = flag.String("store", "", "materialize the closed cube and write a snapshot to this path (implies -closed)")
+		sel     = flag.String("select", "", "sub-cube selection, one predicate per dimension: * | value | lo..hi | a|b|c (implies -closed; output is the matching closed cells, or aggregate rows with -groupby/-topk)")
+		groupBy = flag.String("groupby", "", "comma-separated dimension names (or indices) to group the -select result by")
+		topk    = flag.Int("topk", 0, "keep only the k best aggregate rows (with -select)")
+		byFlag  = flag.String("by", "count", "top-k ranking measure: count|aux")
 	)
 	flag.Parse()
 
@@ -56,7 +60,7 @@ func main() {
 
 	opt := ccubing.Options{
 		MinSup:    *minsup,
-		Closed:    *closed || *store != "",
+		Closed:    *closed || *store != "" || *sel != "",
 		Algorithm: alg,
 		Order:     ord,
 		Workers:   *workers, // library convention: 0/1 sequential, negative = NumCPU
@@ -66,28 +70,39 @@ func main() {
 
 	var cells []ccubing.Cell
 	var st ccubing.Stats
-	if *store != "" {
-		// Materialize into the serving store, snapshot it, and derive the
-		// streamed output (and rule input) from the stored cells.
+	if *store != "" || *sel != "" {
+		// Materialize into the serving store; snapshot, query and the
+		// streamed output (and rule input) all derive from the stored cells.
 		cube, err := ccubing.Materialize(ds, opt)
 		if err != nil {
 			fatal(err)
 		}
-		if err := saveCube(cube, *store); err != nil {
-			fatal(err)
+		if *store != "" {
+			if err := saveCube(cube, *store); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "ccube: stored %d closed cells (%d cuboids, %d bytes in memory) in %s\n",
+				cube.NumCells(), cube.NumCuboids(), cube.Bytes(), *store)
 		}
-		cube.Cells(func(c ccubing.Cell) bool {
-			if !*quiet {
-				writeCell(w, c)
-			}
+		if *sel != "" {
 			if *doRules {
-				cells = append(cells, c)
+				fatal(fmt.Errorf("-rules cannot combine with -select"))
 			}
-			return true
-		})
+			if err := runSelect(w, cube, *sel, *groupBy, *topk, *byFlag, *quiet); err != nil {
+				fatal(err)
+			}
+		} else {
+			cube.Cells(func(c ccubing.Cell) bool {
+				if !*quiet {
+					writeCell(w, c)
+				}
+				if *doRules {
+					cells = append(cells, c)
+				}
+				return true
+			})
+		}
 		st = cube.Stats()
-		fmt.Fprintf(os.Stderr, "ccube: stored %d closed cells (%d cuboids, %d bytes in memory) in %s\n",
-			cube.NumCells(), cube.NumCuboids(), cube.Bytes(), *store)
 	} else {
 		visit := func(c ccubing.Cell) {
 			if !*quiet {
@@ -122,6 +137,51 @@ func main() {
 			fmt.Fprintln(w, "# rule:", r.String())
 		}
 	}
+}
+
+// runSelect executes the -select query over the materialized cube: a
+// predicate slice of the closed cells, or — with -groupby/-topk — a group-by
+// aggregation, streamed in the same "v0,v1,*,count" row format (suppressed
+// by -quiet, summary on stderr either way).
+func runSelect(w *bufio.Writer, cube *ccubing.Cube, sel, groupBy string, topk int, by string, quiet bool) error {
+	spec, err := cube.ParseSpec(strings.Split(sel, ","))
+	if err != nil {
+		return err
+	}
+	orderBy, err := ccubing.ParseOrderBy(by)
+	if err != nil {
+		return err
+	}
+	if groupBy == "" && topk == 0 {
+		n := 0
+		err := cube.Select(spec, func(c ccubing.Cell) bool {
+			if !quiet {
+				writeCell(w, c)
+			}
+			n++
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ccube: select matched %d closed cells\n", n)
+		return nil
+	}
+	opt := ccubing.AggregateOptions{TopK: topk, By: orderBy}
+	if groupBy != "" {
+		opt.GroupBy = strings.Split(groupBy, ",")
+	}
+	rows, err := cube.Aggregate(spec, opt)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		for _, c := range rows {
+			writeCell(w, c)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ccube: aggregate produced %d rows\n", len(rows))
+	return nil
 }
 
 func loadDataset(csvPath, synth, weather string) (*ccubing.Dataset, error) {

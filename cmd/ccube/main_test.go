@@ -100,6 +100,96 @@ func TestSaveCubeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunSelect drives the -select path: predicate slice, group-by
+// aggregation and top-k, checked against the library's brute-force answer.
+func TestRunSelect(t *testing.T) {
+	ds, err := loadDataset("", "T=400,D=3,C=5,seed=8", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Predicate slice: the output rows are exactly the matching closed cells.
+	var sb strings.Builder
+	w := newTestWriter(&sb)
+	if err := runSelect(w, cube, "1,*,0..2", "", 0, "count", false); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	spec, err := cube.ParseSpec([]string{"1", "*", "0..2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	if err := cube.Select(spec, func(ccubing.Cell) bool { want++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != want {
+		t.Fatalf("select wrote %d rows, want %d", got, want)
+	}
+
+	// Group-by with top-k: ranked rows, one per group, truncated to k.
+	sb.Reset()
+	w = newTestWriter(&sb)
+	if err := runSelect(w, cube, "*,*,0..2", "dim0", 2, "count", false); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("top-2 wrote %d rows: %q", len(lines), sb.String())
+	}
+	aggSpec, err := cube.ParseSpec([]string{"*", "*", "0..2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cube.Aggregate(aggSpec, ccubing.AggregateOptions{GroupBy: []string{"dim0"}, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		var rsb strings.Builder
+		rw := newTestWriter(&rsb)
+		writeCell(rw, r)
+		rw.Flush()
+		if lines[i]+"\n" != rsb.String() {
+			t.Fatalf("row %d = %q, want %q", i, lines[i], strings.TrimSuffix(rsb.String(), "\n"))
+		}
+	}
+
+	// -quiet suppresses the row output but keeps the stderr summary path.
+	sb.Reset()
+	w = newTestWriter(&sb)
+	if err := runSelect(w, cube, "1,*,0..2", "", 0, "count", true); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if sb.Len() != 0 {
+		t.Fatalf("quiet select wrote %q", sb.String())
+	}
+
+	// Errors surface instead of silently producing empty output.
+	if err := runSelect(w, cube, "1,*", "", 0, "count", false); err == nil {
+		t.Fatal("wrong-arity select must error")
+	}
+	// -by is validated even on the plain select path (no -groupby/-topk).
+	if err := runSelect(w, cube, "*,*,*", "", 0, "zigzag", false); err == nil {
+		t.Fatal("unknown -by must error on the select path too")
+	}
+	if err := runSelect(w, cube, "*,*,*", "nope", 0, "count", false); err == nil {
+		t.Fatal("unknown group-by dimension must error")
+	}
+	if err := runSelect(w, cube, "*,*,*", "dim0", 1, "zigzag", false); err == nil {
+		t.Fatal("unknown -by must error")
+	}
+	if err := runSelect(w, cube, "*,*,*", "dim0", 1, "aux", false); err == nil {
+		t.Fatal("-by aux without a measure must error")
+	}
+}
+
 func TestWriteCell(t *testing.T) {
 	var sb strings.Builder
 	w := newTestWriter(&sb)

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"strconv"
+	"strings"
 
 	"ccubing/internal/core"
 	"ccubing/internal/cubestore"
@@ -396,6 +398,291 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	cube.store = store
 	cube.stats = Stats{Algorithm: cube.alg, Cells: store.NumCells()}
 	return cube, nil
+}
+
+// PredOp discriminates the per-dimension predicate forms of a QuerySpec.
+type PredOp int
+
+const (
+	// PredAny matches every value (wildcard dimension).
+	PredAny PredOp = iota
+	// PredEq matches exactly Value.
+	PredEq
+	// PredRange matches coded values in the inclusive interval [Lo, Hi].
+	PredRange
+	// PredIn matches any coded value in Set; an empty set matches nothing.
+	PredIn
+)
+
+// Predicate constrains one dimension of a sub-cube selection.
+type Predicate struct {
+	Op     PredOp
+	Value  int32   // PredEq
+	Lo, Hi int32   // PredRange, inclusive
+	Set    []int32 // PredIn
+}
+
+// QuerySpec is a conjunctive sub-cube selection: one predicate per dimension,
+// the cube algebra's sub-cube operation (predicates over dimensions) rather
+// than a single cell. Build one directly or parse it with Cube.ParseSpec.
+type QuerySpec []Predicate
+
+// OrderBy ranks aggregate rows for top-k truncation.
+type OrderBy int
+
+const (
+	// ByCount ranks by aggregated count, descending.
+	ByCount OrderBy = iota
+	// ByAux ranks by the aggregated measure value, descending.
+	ByAux
+)
+
+// AggregateOptions configures Cube.Aggregate.
+type AggregateOptions struct {
+	// GroupBy lists dimensions (by name, or decimal index for nameless data)
+	// whose value combinations form the result rows; empty computes one
+	// grand-total row under the predicates.
+	GroupBy []string
+	// TopK keeps only the k best rows by By; 0 keeps every group.
+	TopK int
+	// By picks the top-k ranking measure.
+	By OrderBy
+	// AuxAgg picks how measure values combine across a group: MeasureSum
+	// (also the MeasureNone default), MeasureMin or MeasureMax. It must match
+	// the measure the cube was materialized with for the aggregated Aux to be
+	// meaningful; MeasureAvg is not decomposable over closed cells and is
+	// rejected.
+	AuxAgg MeasureKind
+}
+
+// ParseOrderBy resolves the ranking names shared by the serving surfaces
+// (ccserve's order_by, ccube's -by): "count" (or empty) and "aux" (alias
+// "measure").
+func ParseOrderBy(s string) (OrderBy, error) {
+	switch s {
+	case "", "count":
+		return ByCount, nil
+	case "aux", "measure":
+		return ByAux, nil
+	}
+	return ByCount, fmt.Errorf("ccubing: unknown order-by %q (want count or aux)", s)
+}
+
+// ParseAuxAgg resolves the measure-combiner names shared by the serving
+// surfaces: "sum" (or empty), "min" and "max".
+func ParseAuxAgg(s string) (MeasureKind, error) {
+	switch s {
+	case "", "sum":
+		return MeasureSum, nil
+	case "min":
+		return MeasureMin, nil
+	case "max":
+		return MeasureMax, nil
+	}
+	return MeasureNone, fmt.Errorf("ccubing: unknown aux-agg %q (want sum, min or max)", s)
+}
+
+// ParseSpec builds a QuerySpec from one component per dimension, label-aware
+// for cubes with dictionaries and coded otherwise:
+//
+//	"*" or ""       wildcard
+//	"v"             exact value
+//	"lo..hi"        inclusive range — numeric on coded cubes, lexicographic
+//	                over dictionary labels on labeled cubes
+//	"a|b|c"         value set
+//
+// Unknown labels are honest misses, not errors: they resolve to predicates
+// matching nothing (the cell set is provably empty), mirroring QueryLabels.
+// Labels containing "|" or ".." cannot be expressed in this syntax; build the
+// QuerySpec directly for those.
+func (c *Cube) ParseSpec(components []string) (QuerySpec, error) {
+	if len(components) != c.NumDims() {
+		return nil, fmt.Errorf("ccubing: spec has %d components, want %d", len(components), c.NumDims())
+	}
+	spec := make(QuerySpec, len(components))
+	for d, comp := range components {
+		p, err := c.parsePred(d, comp)
+		if err != nil {
+			return nil, err
+		}
+		spec[d] = p
+	}
+	return spec, nil
+}
+
+func (c *Cube) parsePred(d int, comp string) (Predicate, error) {
+	switch {
+	case comp == "*" || comp == "":
+		return Predicate{Op: PredAny}, nil
+	case strings.Contains(comp, ".."):
+		parts := strings.SplitN(comp, "..", 2)
+		lo, hi := parts[0], parts[1]
+		if c.dicts == nil {
+			l, err1 := parseCode(lo)
+			h, err2 := parseCode(hi)
+			if err1 != nil || err2 != nil {
+				return Predicate{}, fmt.Errorf("ccubing: bad range %q on dimension %s", comp, c.names[d])
+			}
+			return Predicate{Op: PredRange, Lo: l, Hi: h}, nil
+		}
+		// Labeled: a lexicographic label interval resolves to the set of
+		// dictionary codes whose label falls inside it (dictionary codes are
+		// assigned in first-occurrence order, so a code range is meaningless).
+		var set []int32
+		for code, name := range c.dicts[d].Names() {
+			if name >= lo && name <= hi {
+				set = append(set, int32(code))
+			}
+		}
+		return Predicate{Op: PredIn, Set: set}, nil
+	case strings.Contains(comp, "|"):
+		var set []int32
+		for _, part := range strings.Split(comp, "|") {
+			if c.dicts == nil {
+				v, err := parseCode(part)
+				if err != nil {
+					return Predicate{}, fmt.Errorf("ccubing: bad value %q on dimension %s", part, c.names[d])
+				}
+				set = append(set, v)
+			} else if code, ok := c.dicts[d].Lookup(part); ok {
+				set = append(set, code) // unknown labels match nothing: drop
+			}
+		}
+		return Predicate{Op: PredIn, Set: set}, nil
+	default:
+		if c.dicts == nil {
+			v, err := parseCode(comp)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("ccubing: bad value %q on dimension %s", comp, c.names[d])
+			}
+			return Predicate{Op: PredEq, Value: v}, nil
+		}
+		code, ok := c.dicts[d].Lookup(comp)
+		if !ok {
+			return Predicate{Op: PredIn}, nil // empty set: provably empty
+		}
+		return Predicate{Op: PredEq, Value: code}, nil
+	}
+}
+
+// parseCode parses a non-negative coded dimension value.
+func parseCode(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad coded value %q", s)
+	}
+	return int32(v), nil
+}
+
+// storeSpec validates a QuerySpec and lowers it to the store's form.
+func (c *Cube) storeSpec(spec QuerySpec) (cubestore.Spec, error) {
+	if len(spec) != c.NumDims() {
+		return cubestore.Spec{}, fmt.Errorf("ccubing: spec has %d predicates, want %d", len(spec), c.NumDims())
+	}
+	out := cubestore.Spec{Preds: make([]cubestore.Pred, len(spec))}
+	for d, p := range spec {
+		sp := cubestore.Pred{Val: p.Value, Lo: p.Lo, Hi: p.Hi, Set: p.Set}
+		switch p.Op {
+		case PredAny:
+			sp.Kind = cubestore.PredAny
+		case PredEq:
+			sp.Kind = cubestore.PredEq
+		case PredRange:
+			sp.Kind = cubestore.PredRange
+		case PredIn:
+			sp.Kind = cubestore.PredIn
+		default:
+			return cubestore.Spec{}, fmt.Errorf("ccubing: unknown predicate op %d on dimension %s", p.Op, c.names[d])
+		}
+		out.Preds[d] = sp
+	}
+	return out, nil
+}
+
+// Select visits every stored closed cell matching the spec — the predicate
+// generalization of Slice: each constrained dimension must be fixed by the
+// cell to a satisfying value. Exact at any iceberg threshold. Return false
+// from visit to stop early.
+func (c *Cube) Select(spec QuerySpec, visit func(Cell) bool) error {
+	ss, err := c.storeSpec(spec)
+	if err != nil {
+		return err
+	}
+	c.store.Select(ss, func(cc core.Cell) bool {
+		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux})
+	})
+	return nil
+}
+
+// Aggregate answers a group-by query under per-dimension predicates: one row
+// per distinct value combination on the GroupBy dimensions among matching
+// tuples, carrying the exact aggregated count (and measure, combined per
+// AuxAgg). Rows fix exactly the GroupBy dimensions and arrive ranked best
+// first (ties by value, so results are deterministic); TopK truncates.
+//
+// Counts are exact for cubes materialized at MinSup 1; on iceberg cubes,
+// combinations below the threshold are absent and the aggregates are lower
+// bounds. See the cubestore documentation for the closure-dedup execution.
+func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) ([]Cell, error) {
+	ss, err := c.storeSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if opt.TopK < 0 {
+		return nil, fmt.Errorf("ccubing: negative top-k %d", opt.TopK)
+	}
+	sopt := cubestore.AggOptions{TopK: opt.TopK}
+	switch opt.By {
+	case ByCount:
+		sopt.By = cubestore.ByCount
+	case ByAux:
+		if !c.HasMeasure() {
+			return nil, fmt.Errorf("ccubing: cube has no measure to rank by")
+		}
+		sopt.By = cubestore.ByAux
+	default:
+		return nil, fmt.Errorf("ccubing: unknown order-by %d", opt.By)
+	}
+	switch opt.AuxAgg {
+	case MeasureNone, MeasureSum:
+		sopt.AuxAgg = cubestore.AuxSum
+	case MeasureMin:
+		sopt.AuxAgg = cubestore.AuxMin
+	case MeasureMax:
+		sopt.AuxAgg = cubestore.AuxMax
+	default:
+		return nil, fmt.Errorf("ccubing: measure kind %v cannot aggregate over closed cells", opt.AuxAgg)
+	}
+	seen := make(map[int]bool, len(opt.GroupBy))
+	for _, name := range opt.GroupBy {
+		d, err := c.resolveDim(name)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[d] {
+			seen[d] = true
+			sopt.GroupBy = append(sopt.GroupBy, d)
+		}
+	}
+	rows := c.store.Aggregate(ss, sopt)
+	out := make([]Cell, len(rows))
+	for i, r := range rows {
+		out[i] = Cell{Values: r.Values, Count: r.Count, Aux: r.Aux}
+	}
+	return out, nil
+}
+
+// resolveDim maps a dimension name (or decimal index) to its position.
+func (c *Cube) resolveDim(name string) (int, error) {
+	for d, n := range c.names {
+		if n == name {
+			return d, nil
+		}
+	}
+	if d, err := strconv.Atoi(name); err == nil && d >= 0 && d < c.NumDims() {
+		return d, nil
+	}
+	return 0, fmt.Errorf("ccubing: unknown dimension %q", name)
 }
 
 // FormatCell renders a cell with the cube's dictionaries, mirroring

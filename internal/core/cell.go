@@ -54,6 +54,16 @@ func AppendValue(b []byte, v Value) []byte {
 // encoding of CellKey/AppendValue.
 const ValueWidth = 4
 
+// AppendValues appends the packed-key encoding of vals at the given
+// dimensions to dst, in the order dims lists them: the per-cuboid partial-key
+// form of CellKey shared by the serving store and its aggregate engine.
+func AppendValues(dst []byte, vals []Value, dims []int) []byte {
+	for _, d := range dims {
+		dst = AppendValue(dst, vals[d])
+	}
+	return dst
+}
+
 // DecodeValue reads the value encoded at the start of b, inverting
 // AppendValue. It panics when b holds fewer than ValueWidth bytes.
 func DecodeValue(b []byte) Value {

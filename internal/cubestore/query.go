@@ -1,0 +1,338 @@
+package cubestore
+
+import (
+	"fmt"
+	"sort"
+
+	"ccubing/internal/core"
+)
+
+// This file implements the aggregate query engine over the closed-cube store:
+// per-dimension predicates (exact, range, value set, wildcard), predicate
+// slices (Select) and group-by / top-k aggregation (Aggregate). The engine
+// exploits the quotient-cube property twice: candidate cells are enumerated
+// from the stored closed cells via the cuboid-lattice index, and every
+// distinct group-by combination is resolved to its exact count through one
+// closure lookup — deduplicated by combination, so a cell covered by closed
+// cells in several cuboids is never double-counted.
+
+// PredKind discriminates the per-dimension predicate forms.
+type PredKind uint8
+
+const (
+	// PredAny matches every value (wildcard dimension).
+	PredAny PredKind = iota
+	// PredEq matches exactly Val.
+	PredEq
+	// PredRange matches values in the inclusive interval [Lo, Hi].
+	PredRange
+	// PredIn matches any value in Set.
+	PredIn
+)
+
+// Pred is one dimension's predicate.
+type Pred struct {
+	Kind   PredKind
+	Val    core.Value   // PredEq
+	Lo, Hi core.Value   // PredRange, inclusive; Lo > Hi matches nothing
+	Set    []core.Value // PredIn; empty matches nothing
+}
+
+// Bound reports whether the predicate constrains its dimension.
+func (p Pred) Bound() bool { return p.Kind != PredAny }
+
+// Match reports whether v satisfies the predicate.
+func (p Pred) Match(v core.Value) bool {
+	switch p.Kind {
+	case PredAny:
+		return true
+	case PredEq:
+		return v == p.Val
+	case PredRange:
+		return v >= p.Lo && v <= p.Hi
+	default:
+		for _, sv := range p.Set {
+			if v == sv {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Spec is a conjunctive sub-cube selection: one predicate per dimension.
+type Spec struct {
+	Preds []Pred
+}
+
+// boundMask returns the mask of constrained dimensions; panics on arity
+// mismatch, like queryMask.
+func (s *Store) boundMask(spec Spec) core.Mask {
+	if len(spec.Preds) != s.nd {
+		panic(fmt.Sprintf("cubestore: spec has %d dimensions, store has %d", len(spec.Preds), s.nd))
+	}
+	var m core.Mask
+	for d, p := range spec.Preds {
+		if p.Bound() {
+			m = m.With(d)
+		}
+	}
+	return m
+}
+
+// Select visits every stored closed cell matching the spec: cells that fix
+// each constrained dimension with a value satisfying its predicate (the
+// predicate generalization of Slice). Visiting order is cuboid mask
+// ascending, packed key ascending within a cuboid; return false from visit to
+// stop early. Exact at any iceberg threshold, since it filters stored cells.
+// Panics when the spec does not have exactly NumDims predicates.
+func (s *Store) Select(spec Spec, visit func(core.Cell) bool) {
+	q := s.boundMask(spec)
+	for _, g := range s.candidates(q) {
+		if g.mask&q != q {
+			continue
+		}
+		s.probes.Add(1)
+		// A leading run of exact predicates forms a key prefix, narrowing the
+		// row range by binary search as in Slice.
+		p := 0
+		var prefix []byte
+		for p < len(g.dims) && spec.Preds[g.dims[p]].Kind == PredEq {
+			prefix = core.AppendValue(prefix, spec.Preds[g.dims[p]].Val)
+			p++
+		}
+		lo, hi := g.prefixRange(prefix)
+	rows:
+		for i := lo; i < hi; i++ {
+			row := g.row(i)
+			for j := p; j < len(g.dims); j++ {
+				pred := spec.Preds[g.dims[j]]
+				if !pred.Bound() {
+					continue
+				}
+				if !pred.Match(core.DecodeValue(row[j*core.ValueWidth:])) {
+					continue rows
+				}
+			}
+			if !visit(s.cellAt(g, i)) {
+				return
+			}
+		}
+	}
+}
+
+// AggBy picks the ranking measure of a top-k aggregation.
+type AggBy uint8
+
+const (
+	// ByCount ranks groups by aggregated count, descending.
+	ByCount AggBy = iota
+	// ByAux ranks groups by the aggregated measure value, descending.
+	ByAux
+)
+
+// AuxAgg picks how measure values combine across the cells of one group.
+type AuxAgg uint8
+
+const (
+	// AuxSum adds measure values (correct for sum-aggregated cubes).
+	AuxSum AuxAgg = iota
+	// AuxMin keeps the minimum (correct for min-aggregated cubes).
+	AuxMin
+	// AuxMax keeps the maximum (correct for max-aggregated cubes).
+	AuxMax
+)
+
+// AggOptions configures Aggregate.
+type AggOptions struct {
+	// GroupBy lists the dimensions whose value combinations form the result
+	// rows; empty computes one grand-total row under the spec's predicates.
+	GroupBy []int
+	// TopK truncates the result to the k best rows by By; 0 keeps all rows.
+	TopK int
+	// By ranks rows for TopK (and orders the truncated result best-first).
+	By AggBy
+	// AuxAgg combines measure values across a group; must match the measure
+	// kind the cube was aggregated with for the result to be meaningful.
+	AuxAgg AuxAgg
+}
+
+// Aggregate answers a group-by query under per-dimension predicates: for
+// every distinct value combination on the GroupBy dimensions among tuples
+// satisfying the spec, the aggregated count (and measure). Result rows fix
+// exactly the GroupBy dimensions, Star elsewhere.
+//
+// Execution enumerates the distinct value combinations over the union of
+// GroupBy and constrained dimensions from the stored closed cells (lattice
+// candidates only), deduplicates them — a combination covered by closed cells
+// in several cuboids counts once — and resolves each combination to its exact
+// count via its closure. Combinations partition the matching tuples, so the
+// per-group sums are exact for cubes computed at min_sup 1; on iceberg cubes,
+// combinations whose count fell below the threshold are absent and the
+// aggregates are lower bounds (the iceberg semantics of the store).
+//
+// Rows are ordered by descending rank (count or measure per opt.By) with ties
+// broken by packed group key ascending, so results are deterministic; without
+// TopK the same order is used. Panics when the spec's arity or a GroupBy
+// dimension is out of range.
+func (s *Store) Aggregate(spec Spec, opt AggOptions) []core.Cell {
+	q := s.boundMask(spec)
+	var gm core.Mask
+	for _, d := range opt.GroupBy {
+		if d < 0 || d >= s.nd {
+			panic(fmt.Sprintf("cubestore: group-by dimension %d out of range (store has %d)", d, s.nd))
+		}
+		gm = gm.With(d)
+	}
+	gc := gm | q // enumeration cuboid: group-by plus constrained dimensions
+	gcDims := gc.Dims(nil)
+	gmDims := gm.Dims(nil)
+
+	// Grand total without predicates: the apex cell, one closure lookup.
+	vals := make([]core.Value, s.nd)
+	if gc == 0 {
+		for d := range vals {
+			vals[d] = core.Star
+		}
+		c, ok := s.Lookup(vals)
+		if !ok {
+			return nil
+		}
+		return []core.Cell{{Values: valuesAt(s.nd, nil, nil), Count: c.Count, Aux: c.Aux}}
+	}
+
+	// Pass 1: enumerate the distinct pred-satisfying value combinations on
+	// the gc dimensions from the stored cells fixing all of them. Every
+	// above-threshold combination appears (its closure fixes a superset of gc
+	// with the combination's values), and the map deduplicates combinations
+	// covered by cells from several cuboids.
+	combos := map[string]struct{}{}
+	keyBuf := make([]byte, 0, len(gcDims)*core.ValueWidth)
+	for _, g := range s.candidates(gc) {
+		if g.mask&gc != gc {
+			continue
+		}
+		s.probes.Add(1)
+		// A leading run of exact predicates narrows the row range by binary
+		// search, as in Select.
+		p := 0
+		var prefix []byte
+		for p < len(g.dims) && spec.Preds[g.dims[p]].Kind == PredEq {
+			prefix = core.AppendValue(prefix, spec.Preds[g.dims[p]].Val)
+			p++
+		}
+		lo, hi := g.prefixRange(prefix)
+		// Positions of the gc dimensions inside this group's key layout.
+		pos := make([]int, 0, len(gcDims))
+		for j, d := range g.dims {
+			if gc.Has(d) {
+				pos = append(pos, j)
+			}
+		}
+	rows:
+		for i := lo; i < hi; i++ {
+			row := g.row(i)
+			key := keyBuf[:0]
+			for _, j := range pos {
+				v := core.DecodeValue(row[j*core.ValueWidth:])
+				if j >= p && !spec.Preds[g.dims[j]].Match(v) {
+					continue rows
+				}
+				key = append(key, row[j*core.ValueWidth:(j+1)*core.ValueWidth]...)
+			}
+			combos[string(key)] = struct{}{}
+		}
+	}
+
+	// Pass 2: resolve each combination through its closure (exact count and
+	// measure) and fold it into its group.
+	type agg struct {
+		count int64
+		aux   float64
+		n     int64 // combinations folded in, for min/max seeding
+	}
+	groupRows := map[string]*agg{}
+	for key := range combos {
+		for d := range vals {
+			vals[d] = core.Star
+		}
+		for k, d := range gcDims {
+			vals[d] = core.DecodeValue([]byte(key)[k*core.ValueWidth:])
+		}
+		c, ok := s.Lookup(vals)
+		if !ok {
+			// Unreachable for combinations sourced from stored cells (their
+			// closure is stored); guard anyway so a corrupt store degrades to
+			// an undercount rather than a panic.
+			continue
+		}
+		gkey := string(core.AppendValues(make([]byte, 0, len(gmDims)*core.ValueWidth), vals, gmDims))
+		a := groupRows[gkey]
+		if a == nil {
+			a = &agg{}
+			groupRows[gkey] = a
+		}
+		a.count += c.Count
+		switch {
+		case a.n == 0:
+			a.aux = c.Aux
+		case opt.AuxAgg == AuxMin:
+			if c.Aux < a.aux {
+				a.aux = c.Aux
+			}
+		case opt.AuxAgg == AuxMax:
+			if c.Aux > a.aux {
+				a.aux = c.Aux
+			}
+		default:
+			a.aux += c.Aux
+		}
+		a.n++
+	}
+
+	type outRow struct {
+		cell core.Cell
+		key  string // packed group key, reused as the sort tie-break
+	}
+	rows := make([]outRow, 0, len(groupRows))
+	for gkey, a := range groupRows {
+		rows = append(rows, outRow{
+			cell: core.Cell{Values: valuesAt(s.nd, gmDims, []byte(gkey)), Count: a.count, Aux: a.aux},
+			key:  gkey,
+		})
+	}
+	rank := func(c core.Cell) float64 {
+		if opt.By == ByAux {
+			return c.Aux
+		}
+		return float64(c.Count)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ri, rj := rank(rows[i].cell), rank(rows[j].cell)
+		if ri != rj {
+			return ri > rj
+		}
+		return rows[i].key < rows[j].key
+	})
+	if opt.TopK > 0 && len(rows) > opt.TopK {
+		rows = rows[:opt.TopK]
+	}
+	out := make([]core.Cell, len(rows))
+	for i, r := range rows {
+		out[i] = r.cell
+	}
+	return out
+}
+
+// valuesAt builds a full-width value vector fixing dims with the packed key's
+// values and Star elsewhere.
+func valuesAt(nd int, dims []int, key []byte) []core.Value {
+	vals := make([]core.Value, nd)
+	for d := range vals {
+		vals[d] = core.Star
+	}
+	for k, d := range dims {
+		vals[d] = core.DecodeValue(key[k*core.ValueWidth:])
+	}
+	return vals
+}

@@ -1,0 +1,370 @@
+package cubestore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ccubing/internal/core"
+)
+
+// randomPred draws one predicate over a dimension of cardinality card.
+func randomPred(rng *rand.Rand, card int) Pred {
+	switch rng.Intn(4) {
+	case 0:
+		return Pred{Kind: PredAny}
+	case 1:
+		return Pred{Kind: PredEq, Val: core.Value(rng.Intn(card))}
+	case 2:
+		lo := core.Value(rng.Intn(card))
+		hi := lo + core.Value(rng.Intn(card))
+		return Pred{Kind: PredRange, Lo: lo, Hi: hi}
+	default:
+		n := 1 + rng.Intn(3)
+		set := make([]core.Value, n)
+		for i := range set {
+			set[i] = core.Value(rng.Intn(card))
+		}
+		return Pred{Kind: PredIn, Set: set}
+	}
+}
+
+func randomSpec(rng *rand.Rand, cards []int) Spec {
+	preds := make([]Pred, len(cards))
+	for d, c := range cards {
+		preds[d] = randomPred(rng, c)
+	}
+	return Spec{Preds: preds}
+}
+
+// TestSelectMatchesWalkFilter checks Select against filtering a full Walk
+// with the same predicates.
+func TestSelectMatchesWalkFilter(t *testing.T) {
+	cards := []int{6, 5, 4, 3}
+	tbl := testTable(t, 600, cards, 0.9, 21)
+	s := buildFromClosed(t, tbl, 1)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 300; i++ {
+		spec := randomSpec(rng, cards)
+		want := map[string]int64{}
+		s.Walk(func(c core.Cell) bool {
+			for d, p := range spec.Preds {
+				if !p.Bound() {
+					continue
+				}
+				if c.Values[d] == core.Star || !p.Match(c.Values[d]) {
+					return true
+				}
+			}
+			want[c.Key()] = c.Count
+			return true
+		})
+		got := map[string]int64{}
+		s.Select(spec, func(c core.Cell) bool {
+			got[c.Key()] = c.Count
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("spec %d: %d cells, want %d", i, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("spec %d: count mismatch for %q", i, k)
+			}
+		}
+	}
+}
+
+// bruteAggregate computes the group-by answer directly from the relation:
+// count of matching tuples per distinct GroupBy value combination.
+func bruteAggregate(tbl *tableLike, spec Spec, groupBy []int) map[string]int64 {
+	out := map[string]int64{}
+	for tid := 0; tid < tbl.n; tid++ {
+		ok := true
+		for d, p := range spec.Preds {
+			if !p.Match(tbl.cols[d][tid]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		key := make([]byte, 0, len(groupBy)*core.ValueWidth)
+		for _, d := range groupBy {
+			key = core.AppendValue(key, tbl.cols[d][tid])
+		}
+		out[string(key)]++
+	}
+	return out
+}
+
+// tableLike avoids importing internal/table twice in helpers.
+type tableLike struct {
+	cols [][]core.Value
+	n    int
+}
+
+// TestAggregateAgainstBruteForce fuzzes Aggregate (range/set/exact predicates
+// with varying group-by dimension sets) against direct tuple counting. At
+// min_sup 1 the closed cube is lossless, so every group and count must match
+// exactly.
+func TestAggregateAgainstBruteForce(t *testing.T) {
+	cards := []int{6, 5, 4, 3}
+	tbl := testTable(t, 500, cards, 1.0, 13)
+	s := buildFromClosed(t, tbl, 1)
+	like := &tableLike{cols: tbl.Cols, n: tbl.NumTuples()}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		spec := randomSpec(rng, cards)
+		var groupBy []int
+		for d := range cards {
+			if rng.Intn(2) == 0 {
+				groupBy = append(groupBy, d)
+			}
+		}
+		want := bruteAggregate(like, spec, groupBy)
+		rows := s.Aggregate(spec, AggOptions{GroupBy: groupBy})
+		if len(rows) != len(want) {
+			t.Fatalf("spec %d groupBy %v: %d rows, want %d", i, groupBy, len(rows), len(want))
+		}
+		for _, r := range rows {
+			key := make([]byte, 0, len(groupBy)*core.ValueWidth)
+			for _, d := range groupBy {
+				if r.Values[d] == core.Star {
+					t.Fatalf("spec %d: row %v leaves group-by dimension %d unbound", i, r.Values, d)
+				}
+				key = core.AppendValue(key, r.Values[d])
+			}
+			// Non-group dimensions must be wildcards.
+			gm := core.Mask(0)
+			for _, d := range groupBy {
+				gm = gm.With(d)
+			}
+			for d, v := range r.Values {
+				if !gm.Has(d) && v != core.Star {
+					t.Fatalf("spec %d: row %v binds non-group dimension %d", i, r.Values, d)
+				}
+			}
+			if want[string(key)] != r.Count {
+				t.Fatalf("spec %d groupBy %v: group %v = %d, want %d", i, groupBy, r.Values, r.Count, want[string(key)])
+			}
+		}
+	}
+}
+
+// TestAggregateTopK checks ranking, determinism and truncation.
+func TestAggregateTopK(t *testing.T) {
+	cards := []int{7, 5, 4}
+	tbl := testTable(t, 400, cards, 1.3, 5)
+	s := buildFromClosed(t, tbl, 1)
+	spec := Spec{Preds: []Pred{{Kind: PredAny}, {Kind: PredAny}, {Kind: PredAny}}}
+	all := s.Aggregate(spec, AggOptions{GroupBy: []int{0}})
+	for i := 1; i < len(all); i++ {
+		if all[i].Count > all[i-1].Count {
+			t.Fatalf("rows not count-descending at %d: %v", i, all)
+		}
+		if all[i].Count == all[i-1].Count && all[i].Values[0] < all[i-1].Values[0] {
+			t.Fatalf("equal-count tie not key-ascending at %d", i)
+		}
+	}
+	for k := 1; k <= len(all); k++ {
+		topk := s.Aggregate(spec, AggOptions{GroupBy: []int{0}, TopK: k})
+		if len(topk) != k {
+			t.Fatalf("TopK(%d) returned %d rows", k, len(topk))
+		}
+		for i := range topk {
+			if fmt.Sprint(topk[i]) != fmt.Sprint(all[i]) {
+				t.Fatalf("TopK(%d) row %d = %v, want %v", k, i, topk[i], all[i])
+			}
+		}
+	}
+	// Grand total: no group-by, no predicates = apex count.
+	total := s.Aggregate(spec, AggOptions{})
+	if len(total) != 1 || total[0].Count != int64(tbl.NumTuples()) {
+		t.Fatalf("grand total = %v, want single row of %d", total, tbl.NumTuples())
+	}
+}
+
+// TestLatticeProbeBound pins the acceptance criterion for the cuboid-lattice
+// index: on a cube with ≥10 dimensions, a 1-bound-dimension covering probe
+// visits only the groups fixing that dimension — strictly fewer than
+// NumCuboids(), which the pre-index implementation scanned.
+func TestLatticeProbeBound(t *testing.T) {
+	cards := make([]int, 10)
+	for d := range cards {
+		cards[d] = 3
+	}
+	tbl := testTable(t, 2000, cards, 0, 7)
+	s := buildFromClosed(t, tbl, 4)
+	if s.NumDims() < 10 {
+		t.Fatalf("want >= 10 dims, got %d", s.NumDims())
+	}
+	// The query binds dimension 0 to an out-of-domain value: it misses, so
+	// the covering scan inspects every candidate group — the worst case.
+	q := make([]core.Value, s.NumDims())
+	for d := range q {
+		q[d] = core.Star
+	}
+	q[0] = core.Value(cards[0]) // out of domain: a guaranteed miss
+	before := s.Probes()
+	if _, ok := s.Lookup(q); ok {
+		t.Fatal("out-of-domain value must miss")
+	}
+	probed := s.Probes() - before
+	if probed <= 0 {
+		t.Fatal("covering scan did not probe any group")
+	}
+	if probed >= int64(s.NumCuboids()) {
+		t.Fatalf("probed %d groups, want strictly fewer than NumCuboids=%d", probed, s.NumCuboids())
+	}
+	// The bound is exactly the lattice list for dimension 0 (minus the
+	// query's own cuboid, which the fast path owns).
+	withD0 := 0
+	for _, g := range s.groups {
+		if g.mask.Has(0) {
+			withD0++
+		}
+	}
+	if probed > int64(withD0) {
+		t.Fatalf("probed %d groups, lattice bound is %d", probed, withD0)
+	}
+}
+
+// TestLatticeEmptyDimensionList pins the tightest candidate bound: a query
+// binding a dimension no stored cell fixes has zero covering groups, so the
+// covering scan must probe nothing.
+func TestLatticeEmptyDimensionList(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.Add([]core.Value{core.Star, core.Star, core.Star}, 4, 0)
+	b.Add([]core.Value{1, core.Star, core.Star}, 2, 0)
+	b.Add([]core.Value{1, 2, core.Star}, 2, 0) // dimension 2 never fixed
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Probes()
+	if _, ok := s.Lookup([]core.Value{core.Star, core.Star, 5}); ok {
+		t.Fatal("query binding an unfixed dimension must miss")
+	}
+	if probed := s.Probes() - before; probed != 0 {
+		t.Fatalf("probed %d groups, want 0 (byDim list for dimension 2 is empty)", probed)
+	}
+}
+
+// TestLookupTieBreakMostSpecific pins the deterministic tie-break: when two
+// covering cells carry the query's count, they aggregate the same tuples, so
+// the most specific one is the true closure and must win regardless of scan
+// order. The pair is built directly (the less specific cell is not closed —
+// the scenario a consistent closed cube avoids but Builder accepts).
+func TestLookupTieBreakMostSpecific(t *testing.T) {
+	b := NewBuilder(3, false)
+	// (1,2,*) and (1,2,3): equal counts, so every tuple under (1,2,*) has
+	// value 3 on the last dimension — the closure of (1,*,*) is (1,2,3).
+	b.Add([]core.Value{1, 2, core.Star}, 5, 0)
+	b.Add([]core.Value{1, 2, 3}, 5, 0)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := s.Lookup([]core.Value{1, core.Star, core.Star})
+	if !ok || c.Count != 5 {
+		t.Fatalf("lookup = (%v,%v), want count 5", c, ok)
+	}
+	want := []core.Value{1, 2, 3}
+	for d, v := range want {
+		if c.Values[d] != v {
+			t.Fatalf("closure = %v, want %v (most specific covering cell)", c.Values, want)
+		}
+	}
+	// With a strictly larger count on the less specific cell, count still
+	// dominates specificity.
+	b2 := NewBuilder(3, false)
+	b2.Add([]core.Value{1, 2, core.Star}, 7, 0)
+	b2.Add([]core.Value{1, 2, 3}, 5, 0)
+	s2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, ok := s2.Lookup([]core.Value{1, core.Star, core.Star})
+	if !ok || c2.Count != 7 || c2.Values[2] != core.Star {
+		t.Fatalf("lookup = (%v,%v), want the count-7 cell (1,2,*)", c2, ok)
+	}
+}
+
+// TestLookupTieBreakOrderIndependent rebuilds the tie store with the
+// insertion order reversed: the resolved closure must be identical.
+func TestLookupTieBreakOrderIndependent(t *testing.T) {
+	build := func(rev bool) *Store {
+		cells := [][]core.Value{{1, 2, core.Star}, {1, 2, 3}}
+		if rev {
+			cells[0], cells[1] = cells[1], cells[0]
+		}
+		b := NewBuilder(3, false)
+		for _, v := range cells {
+			b.Add(v, 5, 0)
+		}
+		s, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	q := []core.Value{1, core.Star, core.Star}
+	c1, _ := build(false).Lookup(q)
+	c2, _ := build(true).Lookup(q)
+	if fmt.Sprint(c1.Values) != fmt.Sprint(c2.Values) {
+		t.Fatalf("tie-break depends on build order: %v vs %v", c1.Values, c2.Values)
+	}
+}
+
+// BenchmarkLookupLattice measures covering-probe cost on a sparse
+// 12-dimensional cube with a single bound dimension — the regime where the
+// pre-index Lookup scanned every cuboid group. probes/op is reported so the
+// bench series records the candidate bound directly.
+func BenchmarkLookupLattice(b *testing.B) {
+	cards := make([]int, 12)
+	for d := range cards {
+		cards[d] = 4
+	}
+	tbl := testTable(b, 4000, cards, 0.5, 3)
+	s := buildFromClosed(b, tbl, 8)
+	q := make([]core.Value, s.NumDims())
+	for d := range q {
+		q[d] = core.Star
+	}
+	q[0] = core.Value(cards[0]) // miss: full candidate scan each op
+	start := s.Probes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Lookup(q)
+	}
+	b.StopTimer()
+	perOp := float64(s.Probes()-start) / float64(b.N)
+	b.ReportMetric(perOp, "probes/op")
+	b.ReportMetric(float64(s.NumCuboids()), "cuboids/op")
+	// The acceptance bound, asserted where it is measured: the lattice index
+	// must probe strictly fewer groups than a full cuboid scan would.
+	if perOp >= float64(s.NumCuboids()) {
+		b.Fatalf("probed %.0f groups/op, want strictly fewer than NumCuboids=%d", perOp, s.NumCuboids())
+	}
+}
+
+// BenchmarkAggregateGroupBy measures a predicate group-by over the store.
+func BenchmarkAggregateGroupBy(b *testing.B) {
+	cards := []int{50, 20, 10, 8, 6}
+	tbl := testTable(b, 20000, cards, 1.0, 17)
+	s := buildFromClosed(b, tbl, 4)
+	spec := Spec{Preds: []Pred{
+		{Kind: PredRange, Lo: 0, Hi: 24},
+		{Kind: PredAny},
+		{Kind: PredIn, Set: []core.Value{1, 3, 5}},
+		{Kind: PredAny},
+		{Kind: PredAny},
+	}}
+	opt := AggOptions{GroupBy: []int{1}, TopK: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Aggregate(spec, opt)
+	}
+}

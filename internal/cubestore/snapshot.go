@@ -268,6 +268,7 @@ func load(cr *crcReader) (*Store, error) {
 	if got := binary.LittleEndian.Uint32(tail[:]); got != want {
 		return nil, fmt.Errorf("cubestore: load: checksum mismatch (%#x != %#x)", got, want)
 	}
+	s.buildIndex()
 	return s, nil
 }
 

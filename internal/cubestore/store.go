@@ -11,19 +11,30 @@
 // core.AppendValue, 4 bytes per fixed dimension, dimensions ascending),
 // sorted lexicographically, with parallel count and optional measure arrays.
 // A point query probes the query's own cuboid with one binary search (a hit
-// is the cell itself, hence exact) and otherwise probes each covering cuboid
+// is the cell itself, hence exact) and otherwise probes the covering cuboids
 // — fixed-dimension superset groups — narrowing by binary search on the
 // longest bound prefix and taking the maximum count over covering cells,
-// which is the closure's count. A miss means the cell is empty or fell below
-// the iceberg threshold the cube was computed with.
+// which is the closure's count (equal-count ties resolve to the most
+// specific cell, the true closure). Covering scans go through the
+// cuboid-lattice index: per-dimension lists of the groups fixing that
+// dimension, of which the query's shortest is walked — bounding probe cost
+// by the candidate count instead of NumCuboids. A miss means the cell is
+// empty or fell below the iceberg threshold the cube was computed with.
 //
-// A Store is immutable after Build and safe for concurrent readers.
+// Beyond point and slice probes, the store answers predicate sub-cube
+// selections (Select) and group-by / top-k aggregation (Aggregate); see
+// query.go.
+//
+// A Store is immutable after Build and safe for concurrent readers (the
+// probe counter is atomic).
 package cubestore
 
 import (
 	"bytes"
 	"fmt"
+	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"ccubing/internal/core"
 )
@@ -79,7 +90,16 @@ type Store struct {
 	hasAux bool
 	groups []*group // ascending by mask
 	byMask map[core.Mask]*group
-	cells  int64
+	// byDim is the cuboid-lattice index: byDim[d] lists the groups whose mask
+	// fixes dimension d, ascending by mask. Covering probes iterate the
+	// shortest list among a query's bound dimensions instead of every group,
+	// bounding probe cost by the candidate count.
+	byDim [][]*group
+	cells int64
+	// probes counts covering-group probes performed by Lookup, Slice, Select
+	// and Aggregate since the store was built — an observability counter, the
+	// only mutable field (atomic, safe under concurrent readers).
+	probes atomic.Int64
 }
 
 // NumDims returns the dimensionality of the stored cube.
@@ -93,6 +113,43 @@ func (s *Store) NumCuboids() int { return len(s.groups) }
 
 // HasAux reports whether cells carry a complex-measure value.
 func (s *Store) HasAux() bool { return s.hasAux }
+
+// Probes returns the cumulative number of cuboid groups probed by covering
+// scans (Lookup misses of the exact cuboid, Slice, Select, Aggregate) since
+// the store was built. Monotonic; the delta across a query bounds the
+// lattice-indexed probe cost and is asserted by tests and benchmarks.
+func (s *Store) Probes() int64 { return s.probes.Load() }
+
+// candidates returns the groups whose mask can cover q (mask ⊇ q), ascending
+// by mask: the shortest per-dimension lattice list among q's bound
+// dimensions. Entries still need the mask-superset check — the list is a
+// superset of the covering groups, but its length, not NumCuboids, bounds the
+// scan. A fully-wildcard query is covered by every group.
+func (s *Store) candidates(q core.Mask) []*group {
+	if q == 0 {
+		return s.groups
+	}
+	best := s.byDim[bits.TrailingZeros64(uint64(q))]
+	for m := uint64(q) & (uint64(q) - 1); m != 0; m &= m - 1 {
+		// An empty list is the tightest bound of all: no group fixes that
+		// dimension, so nothing can cover q.
+		if l := s.byDim[bits.TrailingZeros64(m)]; len(l) < len(best) {
+			best = l
+		}
+	}
+	return best
+}
+
+// buildIndex derives the cuboid-lattice index from the sorted group list;
+// called by Build and Load.
+func (s *Store) buildIndex() {
+	s.byDim = make([][]*group, s.nd)
+	for _, g := range s.groups {
+		for _, d := range g.dims {
+			s.byDim[d] = append(s.byDim[d], g)
+		}
+	}
+}
 
 // Bytes returns the approximate in-memory payload size: packed keys plus
 // count and measure arrays.
@@ -121,18 +178,11 @@ func (s *Store) queryMask(vals []core.Value) core.Mask {
 	return q
 }
 
-// packDims packs vals at the given dimensions onto dst.
-func packDims(dst []byte, vals []core.Value, dims []int) []byte {
-	for _, d := range dims {
-		dst = core.AppendValue(dst, vals[d])
-	}
-	return dst
-}
-
 // probe scans one covering group for cells matching the query values on the
 // query's bound dimensions, reporting the best (maximum-count) matching row,
-// or -1. q must be a subset of g.mask.
-func (g *group) probe(q core.Mask, vals []core.Value, best int64) (int, int64) {
+// or -1. Rows counting no more than floor are skipped, so callers encode the
+// tie-break policy in the floor they pass. q must be a subset of g.mask.
+func (g *group) probe(q core.Mask, vals []core.Value, floor int64) (int, int64) {
 	// The leading run of g's dimensions that the query binds forms a key
 	// prefix, narrowing the scan by binary search.
 	p := 0
@@ -141,11 +191,11 @@ func (g *group) probe(q core.Mask, vals []core.Value, best int64) (int, int64) {
 	}
 	var prefix []byte
 	if p > 0 {
-		prefix = packDims(make([]byte, 0, p*core.ValueWidth), vals, g.dims[:p])
+		prefix = core.AppendValues(make([]byte, 0, p*core.ValueWidth), vals, g.dims[:p])
 	}
 	lo, hi := g.prefixRange(prefix)
 	if lo >= hi {
-		return -1, best
+		return -1, floor
 	}
 	// Remaining bound dimensions to filter on within the range.
 	type fieldMatch struct {
@@ -163,7 +213,7 @@ func (g *group) probe(q core.Mask, vals []core.Value, best int64) (int, int64) {
 	}
 	bestRow := -1
 	for i := lo; i < hi; i++ {
-		if g.counts[i] <= best {
+		if g.counts[i] <= floor {
 			continue
 		}
 		row := g.row(i)
@@ -175,11 +225,11 @@ func (g *group) probe(q core.Mask, vals []core.Value, best int64) (int, int64) {
 			}
 		}
 		if ok {
-			best = g.counts[i]
+			floor = g.counts[i]
 			bestRow = i
 		}
 	}
-	return bestRow, best
+	return bestRow, floor
 }
 
 // Query returns the count of an arbitrary cell (core.Star marks wildcard
@@ -201,25 +251,40 @@ func (s *Store) Lookup(vals []core.Value) (core.Cell, bool) {
 	// Fast path: the queried cell is itself closed — a hit in its own cuboid
 	// is exact (covering cells in superset cuboids never exceed its count).
 	if g := s.byMask[q]; g != nil {
-		key := packDims(make([]byte, 0, len(g.dims)*core.ValueWidth), vals, g.dims)
+		key := core.AppendValues(make([]byte, 0, len(g.dims)*core.ValueWidth), vals, g.dims)
 		if i := g.find(key); i >= 0 {
 			return s.cellAt(g, i), true
 		}
 	}
 	// The cell is not closed (or absent): its closure lives in a cuboid
 	// fixing a strict superset of the query's dimensions. Among covering
-	// cells the closure has the maximum count.
+	// cells the closure has the maximum count; equal-count ties break toward
+	// the most specific (largest-mask) covering cell — with equal counts the
+	// covering cells aggregate the same tuples, so the most specific one IS
+	// the closure, and the tie-break keeps the returned cell deterministic
+	// and exact even for stores holding non-closed cells. The lattice index
+	// bounds the scan to candidate groups instead of all NumCuboids groups.
 	best := int64(-1)
+	bestSpec := -1
 	var bestG *group
 	bestRow := -1
-	for _, g := range s.groups {
+	var probed int64
+	for _, g := range s.candidates(q) {
 		if g.mask&q != q || g.mask == q {
 			continue
 		}
-		if row, b := g.probe(q, vals, best); row >= 0 {
-			best, bestG, bestRow = b, g, row
+		probed++
+		// A group at most as specific as the current best can only win with a
+		// strictly larger count; a more specific one also wins a count tie.
+		floor := best
+		if len(g.dims) > bestSpec {
+			floor = best - 1
+		}
+		if row, b := g.probe(q, vals, floor); row >= 0 {
+			best, bestSpec, bestG, bestRow = b, len(g.dims), g, row
 		}
 	}
+	s.probes.Add(probed)
 	if bestRow < 0 {
 		return core.Cell{}, false
 	}
@@ -251,17 +316,18 @@ func (s *Store) cellAt(g *group, i int) core.Cell {
 // entries, like Query.
 func (s *Store) Slice(vals []core.Value, visit func(core.Cell) bool) {
 	q := s.queryMask(vals)
-	for _, g := range s.groups {
+	for _, g := range s.candidates(q) {
 		if g.mask&q != q {
 			continue
 		}
+		s.probes.Add(1)
 		p := 0
 		for p < len(g.dims) && q.Has(g.dims[p]) {
 			p++
 		}
 		var prefix []byte
 		if p > 0 {
-			prefix = packDims(make([]byte, 0, p*core.ValueWidth), vals, g.dims[:p])
+			prefix = core.AppendValues(make([]byte, 0, p*core.ValueWidth), vals, g.dims[:p])
 		}
 		lo, hi := g.prefixRange(prefix)
 	rows:
@@ -318,7 +384,7 @@ func (b *Builder) Add(vals []core.Value, count int64, aux float64) {
 		g.width = core.ValueWidth * len(g.dims)
 		b.groups[fixed] = g
 	}
-	g.keys = packDims(g.keys, vals, g.dims)
+	g.keys = core.AppendValues(g.keys, vals, g.dims)
 	g.counts = append(g.counts, count)
 	if b.hasAux {
 		g.aux = append(g.aux, aux)
@@ -344,6 +410,7 @@ func (b *Builder) Build() (*Store, error) {
 		s.cells += int64(g.rows())
 	}
 	sort.Slice(s.groups, func(i, j int) bool { return s.groups[i].mask < s.groups[j].mask })
+	s.buildIndex()
 	b.groups = nil
 	return s, nil
 }

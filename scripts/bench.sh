@@ -14,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-3x}"
-filter="${BENCH_FILTER:-BenchmarkCubeQuery|BenchmarkStoreBuild|BenchmarkBuildComparison|BenchmarkMaterialize|BenchmarkCubeSnapshot|BenchmarkParallelWorkers}"
+filter="${BENCH_FILTER:-BenchmarkCubeQuery|BenchmarkStoreBuild|BenchmarkBuildComparison|BenchmarkMaterialize|BenchmarkCubeSnapshot|BenchmarkParallelWorkers|BenchmarkLookupLattice|BenchmarkAggregateGroupBy}"
 out="BENCH_$(date -u +%Y-%m-%d).json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
