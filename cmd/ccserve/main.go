@@ -8,6 +8,7 @@
 //	ccserve -csv data.csv -minsup 10 -addr :8080
 //	ccserve -synth T=100000,D=6,C=50,S=1,seed=1 -minsup 4 -workers -1
 //	ccserve -snapshot cube.ccube -addr :8080
+//	ccserve -csv data.csv -refresh-rows 1000 -refresh-interval 30s -wal delta.wal
 //
 // Endpoints (JSON):
 //
@@ -17,9 +18,17 @@
 //	POST /v1/query  {"cell": ["a","*","b"]} or {"values": [3,-1,7]}
 //	GET  /v1/slice?cell=a,*,*&limit=50  closed cells inside a sub-cube
 //	POST /v1/slice  {"cell": [...], "limit": 50}
+//	GET  /v1/aggregate                  predicate group-by / top-k
+//	POST /v1/append                     buffer rows for refresh (JSON or NDJSON)
+//	POST /v1/refresh                    fold the delta in (partition-scoped)
+//	POST /v1/reload                     warm snapshot reload
+//	GET  /v1/stats                      generation, backlog, latency, counters
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to 10 seconds.
+// Cubes built from data (-csv/-synth/-weather) are live: /v1/append buffers
+// tuples and /v1/refresh (or -refresh-rows / -refresh-interval) folds them
+// in by recomputing only the touched leading-dimension partitions and
+// swapping the store atomically. The server shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests for up to 10 seconds.
 package main
 
 import (
@@ -49,6 +58,10 @@ func main() {
 		algName  = flag.String("alg", "auto", "algorithm: auto|mm|star|stararray|qcdfs|qctree|obbuc")
 		minsup   = flag.Int64("minsup", 1, "iceberg threshold on count")
 		workers  = flag.Int("workers", 1, "engine goroutines (0/1 = sequential, n>1 = n workers, negative = all CPU cores)")
+
+		refreshRows  = flag.Int("refresh-rows", 0, "auto-refresh when the append backlog reaches this many rows (0 = off)")
+		refreshEvery = flag.Duration("refresh-interval", 0, "auto-refresh on this period (0 = off)")
+		walPath      = flag.String("wal", "", "write-ahead log for pending (unrefreshed) appends; refreshed rows persist only via snapshots")
 	)
 	flag.Parse()
 
@@ -56,12 +69,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "ccserve: serving %d closed cells (%d dims, %d cuboids, minsup=%d) on %s\n",
-		cube.NumCells(), cube.NumDims(), cube.NumCuboids(), cube.MinSup(), *addr)
+	if *refreshRows > 0 || *refreshEvery > 0 || *walPath != "" {
+		if !cube.Refreshable() {
+			fatal(errors.New("-refresh-rows/-refresh-interval/-wal need a cube built from data (-csv/-synth/-weather), not -snapshot"))
+		}
+		if err := cube.AutoRefresh(ccubing.AutoRefreshOptions{
+			Rows:     *refreshRows,
+			Interval: *refreshEvery,
+			WAL:      *walPath,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	defer cube.Close()
+	fmt.Fprintf(os.Stderr, "ccserve: serving %d closed cells (%d dims, %d cuboids, minsup=%d, generation=%d) on %s\n",
+		cube.NumCells(), cube.NumDims(), cube.NumCuboids(), cube.MinSup(), cube.Generation(), *addr)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(cube),
+		Handler:           newMux(cube, *snapshot),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -72,7 +72,7 @@ func postJSON(t *testing.T, ts *httptest.Server, path string, body, out any) *ht
 // the integration path of the acceptance criteria.
 func TestServeEndToEnd(t *testing.T) {
 	cube, ds := testCube(t, 1)
-	ts := httptest.NewServer(newMux(cube))
+	ts := httptest.NewServer(newMux(cube, ""))
 	defer ts.Close()
 
 	if resp := getJSON(t, ts, "/healthz", nil); resp.StatusCode != http.StatusOK {
@@ -218,7 +218,7 @@ func TestServeFromSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(loaded))
+	ts := httptest.NewServer(newMux(loaded, ""))
 	defer ts.Close()
 	var qr queryResponse
 	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,pen,*"), &qr)
@@ -253,7 +253,7 @@ func TestServeCodedCube(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(cube))
+	ts := httptest.NewServer(newMux(cube, ""))
 	defer ts.Close()
 	var qr queryResponse
 	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("0,*,*"), &qr)
@@ -271,7 +271,7 @@ func TestServeCodedCube(t *testing.T) {
 // the integration path of the acceptance criteria.
 func TestAggregateEndpoint(t *testing.T) {
 	cube, ds := testCube(t, 1)
-	ts := httptest.NewServer(newMux(cube))
+	ts := httptest.NewServer(newMux(cube, ""))
 	defer ts.Close()
 	tb := ds.Table()
 
@@ -353,7 +353,7 @@ func TestValuesValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(cube))
+	ts := httptest.NewServer(newMux(cube, ""))
 	defer ts.Close()
 
 	// POST with a negative non-Star entry: 400, not a silent miss.

@@ -1,0 +1,302 @@
+package main
+
+// Tests for the live-refresh serving surface: /v1/append, /v1/refresh,
+// /v1/reload, /v1/stats, plus the request hygiene satellites (405 with an
+// Allow header on wrong-method hits, 413 on oversized bodies).
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccubing"
+)
+
+// TestAppendRefreshEndToEnd drives append → refresh → query over HTTP and
+// checks the served counts track the grown relation.
+func TestAppendRefreshEndToEnd(t *testing.T) {
+	cube, _ := testCube(t, 1)
+	ts := httptest.NewServer(newMux(cube, ""))
+	defer ts.Close()
+
+	var before queryResponse
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,*,*"), &before)
+	if !before.Found || before.Count != 6 {
+		t.Fatalf("pre-append oslo = %+v", before)
+	}
+
+	// Batch append by labels, new city included; backlog grows, store not yet.
+	var ar appendResponse
+	postJSON(t, ts, "/v1/append", appendRequest{
+		Rows: [][]string{{"oslo", "pen", "2026"}, {"lisbon", "ink", "2026"}},
+	}, &ar)
+	if ar.Appended != 2 || ar.Backlog != 2 || ar.Refreshed || ar.Generation != 0 {
+		t.Fatalf("append = %+v", ar)
+	}
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,*,*"), &before)
+	if before.Count != 6 {
+		t.Fatalf("append must not change served counts before refresh: %+v", before)
+	}
+
+	// Refresh folds the delta in; the response carries the partition split.
+	var rr refreshResponse
+	postJSON(t, ts, "/v1/refresh", struct{}{}, &rr)
+	if rr.Generation != 1 || rr.Appended != 2 {
+		t.Fatalf("refresh = %+v", rr)
+	}
+	if rr.PartitionsRecomputed >= rr.PartitionsTotal {
+		t.Fatalf("refresh recomputed every partition: %+v", rr)
+	}
+	var after queryResponse
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,*,*"), &after)
+	if !after.Found || after.Count != 7 {
+		t.Fatalf("post-refresh oslo = %+v, want 7", after)
+	}
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("lisbon,*,*"), &after)
+	if !after.Found || after.Count != 1 {
+		t.Fatalf("post-refresh lisbon = %+v, want 1", after)
+	}
+
+	// Append with inline refresh: one round trip.
+	postJSON(t, ts, "/v1/append", appendRequest{
+		Rows:    [][]string{{"lisbon", "pen", "2026"}},
+		Refresh: true,
+	}, &ar)
+	if !ar.Refreshed || ar.Generation != 2 || ar.Backlog != 0 {
+		t.Fatalf("append+refresh = %+v", ar)
+	}
+
+	// Metadata and stats reflect the live state.
+	var meta cubeResponse
+	getJSON(t, ts, "/v1/cube", &meta)
+	if meta.Generation != 2 || !meta.Live || meta.SourceRows != 16 {
+		t.Fatalf("metadata = %+v", meta)
+	}
+	var st statsResponse
+	getJSON(t, ts, "/v1/stats", &st)
+	if st.Generation != 2 || st.Refreshes != 2 || st.Backlog != 0 || !st.Live {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Requests["query"] == 0 || st.Requests["append"] != 2 || st.Requests["refresh"] != 1 {
+		t.Fatalf("request counters = %+v", st.Requests)
+	}
+	if st.LastRefreshMs < 0 {
+		t.Fatalf("refresh latency = %v", st.LastRefreshMs)
+	}
+}
+
+// TestAppendNDJSONEndpoint streams NDJSON rows through /v1/append.
+func TestAppendNDJSONEndpoint(t *testing.T) {
+	cube, _ := testCube(t, 1)
+	ts := httptest.NewServer(newMux(cube, ""))
+	defer ts.Close()
+	body := "[\"oslo\",\"pen\",\"2025\"]\n[\"oslo\",\"pen\",\"2025\"]\n"
+	resp, err := ts.Client().Post(ts.URL+"/v1/append", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ar appendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || ar.Appended != 2 || ar.Backlog != 2 {
+		t.Fatalf("ndjson append: status=%d resp=%+v", resp.StatusCode, ar)
+	}
+	var rr refreshResponse
+	postJSON(t, ts, "/v1/refresh", struct{}{}, &rr)
+	var qr queryResponse
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,pen,2025"), &qr)
+	if qr.Count != 5 { // 3 in the base relation + 2 appended
+		t.Fatalf("oslo,pen,2025 = %+v, want 5", qr)
+	}
+}
+
+// TestStaticCubeConflicts pins 409 on append/refresh against a
+// snapshot-loaded cube.
+func TestStaticCubeConflicts(t *testing.T) {
+	cube, _ := testCube(t, 1)
+	path := filepath.Join(t.TempDir(), "cube.ccube")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, err := buildCube(path, "", "", "", "auto", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(loaded, path))
+	defer ts.Close()
+	if resp := postJSON(t, ts, "/v1/append", appendRequest{Values: [][]int32{{0, 0, 0}}}, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("append on static cube: %d, want 409", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts, "/v1/refresh", struct{}{}, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("refresh on static cube: %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestReloadEndpoint covers the warm snapshot reload path: a refreshed cube
+// is saved, a server over the stale snapshot reloads it, and validation
+// rejects foreign snapshots and generation regressions.
+func TestReloadEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "stale.ccube")
+	fresher := filepath.Join(dir, "fresh.ccube")
+
+	cube, _ := testCube(t, 1)
+	save := func(c *ccubing.Cube, path string) {
+		t.Helper()
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Save(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save(cube, stale)
+	if _, err := cube.Append([][]string{{"oslo", "pen", "2030"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cube.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	save(cube, fresher)
+
+	served, err := buildCube(stale, "", "", "", "auto", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(served, stale))
+	defer ts.Close()
+
+	// Reload the fresher snapshot by explicit path.
+	var rl reloadResponse
+	if resp := postJSON(t, ts, "/v1/reload", reloadRequest{Path: fresher}, &rl); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d", resp.StatusCode)
+	}
+	if rl.Generation != 1 || rl.SourceRows != 14 {
+		t.Fatalf("reload = %+v", rl)
+	}
+	var qr queryResponse
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,pen,2030"), &qr)
+	if !qr.Found || qr.Count != 1 {
+		t.Fatalf("reloaded cube misses the refreshed cell: %+v", qr)
+	}
+
+	// Generation regression (back to the stale gen-0 snapshot) is rejected.
+	if resp := postJSON(t, ts, "/v1/reload", reloadRequest{Path: stale}, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("regressing reload: %d, want 409", resp.StatusCode)
+	}
+
+	// A reload over a live cube with buffered appends is rejected without
+	// force (the backlog would be silently discarded).
+	liveTS := httptest.NewServer(newMux(cube, fresher))
+	defer liveTS.Close()
+	var ar appendResponse
+	postJSON(t, liveTS, "/v1/append", appendRequest{Rows: [][]string{{"oslo", "pen", "2031"}}}, &ar)
+	if ar.Backlog != 1 {
+		t.Fatalf("backlog = %d, want 1", ar.Backlog)
+	}
+	if resp := postJSON(t, liveTS, "/v1/reload", reloadRequest{Path: fresher}, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("reload over backlog: %d, want 409", resp.StatusCode)
+	}
+	if resp := postJSON(t, liveTS, "/v1/reload", reloadRequest{Path: fresher, Force: true}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("forced reload over backlog: %d, want 200", resp.StatusCode)
+	}
+
+	// A snapshot of a different cube is rejected.
+	other, err := ccubing.NewDataset([]string{"x", "y"}, [][]string{{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherCube, err := ccubing.Materialize(other, ccubing.Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "foreign.ccube")
+	save(otherCube, foreign)
+	if resp := postJSON(t, ts, "/v1/reload", reloadRequest{Path: foreign}, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("foreign reload: %d, want 409", resp.StatusCode)
+	}
+
+	// Empty body defaults to the startup snapshot path... which now regresses.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/reload", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("default-path reload: %d, want 409 (stale snapshot)", resp.StatusCode)
+	}
+}
+
+// TestMethodNotAllowed pins 405 + Allow on wrong-method hits for every v1
+// endpoint.
+func TestMethodNotAllowed(t *testing.T) {
+	cube, _ := testCube(t, 1)
+	ts := httptest.NewServer(newMux(cube, ""))
+	defer ts.Close()
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodDelete, "/v1/query"},
+		{http.MethodPut, "/v1/slice"},
+		{http.MethodDelete, "/v1/aggregate"},
+		{http.MethodGet, "/v1/append"},
+		{http.MethodGet, "/v1/refresh"},
+		{http.MethodGet, "/v1/reload"},
+		{http.MethodPost, "/v1/stats"},
+		{http.MethodPost, "/v1/cube"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if resp.Header.Get("Allow") == "" {
+			t.Fatalf("%s %s: 405 without an Allow header", tc.method, tc.path)
+		}
+	}
+}
+
+// TestOversizedBody pins 413 via http.MaxBytesReader on the POST endpoints.
+func TestOversizedBody(t *testing.T) {
+	cube, _ := testCube(t, 1)
+	ts := httptest.NewServer(newMux(cube, ""))
+	defer ts.Close()
+	// A > 1 MiB query body blows the ceiling mid-decode.
+	big := `{"cell": ["` + strings.Repeat("x", maxQueryBody+1024) + `","*","*"]}`
+	for _, path := range []string{"/v1/query", "/v1/slice", "/v1/aggregate"} {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s with %d bytes: %d, want 413", path, len(big), resp.StatusCode)
+		}
+	}
+}

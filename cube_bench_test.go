@@ -9,6 +9,8 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"ccubing/internal/core"
@@ -16,11 +18,23 @@ import (
 	"ccubing/internal/qctree"
 )
 
+// benchSeed pins the dataset seed of every facade benchmark so runs are
+// comparable across the BENCH_<date>.json series. scripts/bench.sh exports
+// CCUBING_BENCH_SEED (default 23) and records it in the output.
+func benchSeed() int64 {
+	if s := os.Getenv("CCUBING_BENCH_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 23
+}
+
 // benchCubeDataset is sized for stable serving benchmarks: ~50k tuples,
 // moderate cardinality, mild skew.
 func benchCubeDataset(b *testing.B) *Dataset {
 	b.Helper()
-	ds, err := Synthetic(SyntheticConfig{T: 50_000, D: 6, C: 20, Skew: 1.1, Seed: 23})
+	ds, err := Synthetic(SyntheticConfig{T: 50_000, D: 6, C: 20, Skew: 1.1, Seed: benchSeed()})
 	if err != nil {
 		b.Fatal(err)
 	}

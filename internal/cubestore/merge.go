@@ -1,0 +1,179 @@
+package cubestore
+
+import (
+	"bytes"
+	"fmt"
+
+	"ccubing/internal/core"
+)
+
+// This file implements the group-level merge constructor behind incremental
+// refresh (internal/refresh): a new store assembled from the cells of an
+// existing store whose partitions were untouched by a delta, plus freshly
+// recomputed cells for the touched partitions.
+//
+// The partition argument mirrors the sharded-computation invariant of
+// internal/parallel and internal/partition: a closed cell fixing the
+// partition dimension aggregates tuples of exactly one partition, so its
+// count, measure and closedness are unaffected by appends to other
+// partitions. Cells with a wildcard on the partition dimension may aggregate
+// tuples of any partition, so an append anywhere can change them; they are
+// always replaced.
+
+// MergePartitions builds a new store from s by splitting its cells on dim:
+//
+//   - cells fixing dim to a value for which replaced reports false are
+//     retained (copied group-wise, keeping their sorted order — no re-sort);
+//   - cells fixing dim to a replaced value, and every cell with a wildcard
+//     on dim, are dropped;
+//   - the fresh cells are added in their place.
+//
+// Fresh cells must have exactly NumDims values and either leave dim wildcard
+// or fix it to a replaced value — otherwise a fresh cell could silently
+// coexist with a retained cell of the same partition, breaking the closed
+// cube's one-cell-per-group-by invariant; such cells are rejected. Duplicate
+// keys (within the fresh cells, or between fresh and retained cells) are
+// also an error. Aux values of fresh cells are stored iff s carries a
+// measure. The merged store is canonical: its snapshot is byte-identical to
+// one built from scratch over the same cell set.
+func (s *Store) MergePartitions(dim int, replaced func(core.Value) bool, fresh []core.Cell) (*Store, error) {
+	if dim < 0 || dim >= s.nd {
+		return nil, fmt.Errorf("cubestore: merge: dimension %d out of range (store has %d)", dim, s.nd)
+	}
+	// Accumulate the fresh cells into per-cuboid groups and sort each, the
+	// same canonicalization Build performs.
+	fb := NewBuilder(s.nd, s.hasAux)
+	for _, c := range fresh {
+		if len(c.Values) != s.nd {
+			return nil, fmt.Errorf("cubestore: merge: fresh cell has %d dimensions, store has %d", len(c.Values), s.nd)
+		}
+		if v := c.Values[dim]; v != core.Star && !replaced(v) {
+			return nil, fmt.Errorf("cubestore: merge: fresh cell fixes dimension %d to unreplaced value %d", dim, v)
+		}
+		fb.Add(c.Values, c.Count, c.Aux)
+	}
+	freshGroups := fb.groups
+	fb.groups = nil
+	for _, g := range freshGroups {
+		if err := g.sortRows(); err != nil {
+			return nil, fmt.Errorf("cubestore: merge: %w", err)
+		}
+	}
+
+	out := &Store{
+		nd:     s.nd,
+		hasAux: s.hasAux,
+		byMask: make(map[core.Mask]*group),
+	}
+	for _, g := range s.groups {
+		if !g.mask.Has(dim) {
+			continue // wildcard on dim: replaced wholesale by fresh cells
+		}
+		kept := retainRows(g, dim, replaced)
+		fg := freshGroups[g.mask]
+		delete(freshGroups, g.mask)
+		merged, err := mergeGroupPair(kept, fg)
+		if err != nil {
+			return nil, err
+		}
+		if merged != nil && merged.rows() > 0 {
+			out.groups = append(out.groups, merged)
+		}
+	}
+	for _, fg := range freshGroups {
+		if fg.rows() > 0 {
+			out.groups = append(out.groups, fg)
+		}
+	}
+	sortGroups(out.groups)
+	for _, g := range out.groups {
+		out.byMask[g.mask] = g
+		out.cells += int64(g.rows())
+	}
+	out.buildIndex()
+	return out, nil
+}
+
+// retainRows copies the rows of g whose value on dim is not replaced,
+// preserving their sorted order. g must fix dim. Returns nil when nothing
+// survives.
+func retainRows(g *group, dim int, replaced func(core.Value) bool) *group {
+	j := -1
+	for k, d := range g.dims {
+		if d == dim {
+			j = k
+			break
+		}
+	}
+	off := j * core.ValueWidth
+	kept := &group{mask: g.mask, dims: g.dims, width: g.width}
+	for i := 0; i < g.rows(); i++ {
+		row := g.row(i)
+		if replaced(core.DecodeValue(row[off:])) {
+			continue
+		}
+		kept.keys = append(kept.keys, row...)
+		kept.counts = append(kept.counts, g.counts[i])
+		if g.aux != nil {
+			kept.aux = append(kept.aux, g.aux[i])
+		}
+	}
+	if kept.rows() == 0 {
+		return nil
+	}
+	return kept
+}
+
+// mergeGroupPair linearly merges two sorted groups of the same cuboid into
+// one, rejecting duplicate keys. Either side may be nil.
+func mergeGroupPair(a, b *group) (*group, error) {
+	if a == nil {
+		return b, nil
+	}
+	if b == nil {
+		return a, nil
+	}
+	if a.width == 0 {
+		// The apex cuboid holds at most one row; both sides non-empty means a
+		// duplicate (retainRows and Builder never emit empty groups).
+		return nil, fmt.Errorf("cubestore: merge: duplicate apex cell")
+	}
+	n, m := a.rows(), b.rows()
+	out := &group{mask: a.mask, dims: a.dims, width: a.width}
+	out.keys = make([]byte, 0, len(a.keys)+len(b.keys))
+	out.counts = make([]int64, 0, n+m)
+	if a.aux != nil || b.aux != nil {
+		out.aux = make([]float64, 0, n+m)
+	}
+	take := func(g *group, i int) {
+		out.keys = append(out.keys, g.row(i)...)
+		out.counts = append(out.counts, g.counts[i])
+		if out.aux != nil {
+			var v float64
+			if g.aux != nil {
+				v = g.aux[i]
+			}
+			out.aux = append(out.aux, v)
+		}
+	}
+	i, j := 0, 0
+	for i < n && j < m {
+		switch bytes.Compare(a.row(i), b.row(j)) {
+		case -1:
+			take(a, i)
+			i++
+		case 1:
+			take(b, j)
+			j++
+		default:
+			return nil, fmt.Errorf("cubestore: merge: duplicate cell in cuboid mask %#x", uint64(a.mask))
+		}
+	}
+	for ; i < n; i++ {
+		take(a, i)
+	}
+	for ; j < m; j++ {
+		take(b, j)
+	}
+	return out, nil
+}

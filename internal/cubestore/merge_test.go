@@ -1,0 +1,171 @@
+package cubestore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ccubing/internal/core"
+	"ccubing/internal/qcdfs"
+	"ccubing/internal/sink"
+	"ccubing/internal/table"
+)
+
+// closedCells computes the closed iceberg cube of tbl with QC-DFS.
+func closedCells(t testing.TB, tbl *table.Table, minsup int64) []core.Cell {
+	t.Helper()
+	col := &sink.Collector{}
+	if err := qcdfs.Run(tbl, qcdfs.Config{MinSup: minsup}, col); err != nil {
+		t.Fatal(err)
+	}
+	return col.Cells
+}
+
+// storeBytes canonicalizes a store as its snapshot bytes.
+func storeBytes(t testing.TB, s *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergePartitionsMatchesRebuild fuzzes the merge constructor: the closed
+// cube of a grown relation assembled by merging (retained cells of untouched
+// partitions + recomputed cells of touched partitions and the wildcard slice)
+// must be byte-identical to the store built from scratch.
+func TestMergePartitionsMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, minsup := range []int64{1, 3} {
+		for trial := 0; trial < 10; trial++ {
+			cards := []int{4 + rng.Intn(5), 5, 4, 3}
+			nd := len(cards)
+			dim := 0
+			base := testTable(t, 300+rng.Intn(200), cards, 0.8, int64(trial+10*int(minsup)))
+
+			// Grow the relation: appended tuples touch a strict subset of the
+			// leading-dimension partitions (including possibly a new value).
+			touched := map[core.Value]bool{core.Value(rng.Intn(cards[dim])): true}
+			if rng.Intn(2) == 0 {
+				touched[core.Value(cards[dim])] = true // brand-new partition
+			}
+			var touchedVals []core.Value
+			for v := range touched {
+				touchedVals = append(touchedVals, v)
+			}
+			nDelta := 30 + rng.Intn(40)
+			full := table.New(nd, base.NumTuples()+nDelta)
+			copy(full.Names, base.Names)
+			for d := 0; d < nd; d++ {
+				copy(full.Cols[d], base.Cols[d])
+			}
+			for i := 0; i < nDelta; i++ {
+				tid := base.NumTuples() + i
+				full.Cols[dim][tid] = touchedVals[rng.Intn(len(touchedVals))]
+				for d := 1; d < nd; d++ {
+					full.Cols[d][tid] = core.Value(rng.Intn(cards[d]))
+				}
+			}
+			full.Recount()
+
+			// From-scratch store of the full relation: the reference.
+			fullCells := closedCells(t, full, minsup)
+			rb := NewBuilder(nd, false)
+			for _, c := range fullCells {
+				rb.Add(c.Values, c.Count, 0)
+			}
+			want, err := rb.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Merge path: old store + the full relation's cells restricted to
+			// replaced partitions and the wildcard slice.
+			old := buildFromClosed(t, base, minsup)
+			var fresh []core.Cell
+			for _, c := range fullCells {
+				if v := c.Values[dim]; v == core.Star || touched[v] {
+					fresh = append(fresh, c)
+				}
+			}
+			got, err := old.MergePartitions(dim, func(v core.Value) bool { return touched[v] }, fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(storeBytes(t, got), storeBytes(t, want)) {
+				t.Fatalf("minsup=%d trial %d: merged store differs from rebuild (%d vs %d cells)",
+					minsup, trial, got.NumCells(), want.NumCells())
+			}
+		}
+	}
+}
+
+// TestMergePartitionsAux checks measure values survive retention and merge.
+func TestMergePartitionsAux(t *testing.T) {
+	b := NewBuilder(2, true)
+	b.Add([]core.Value{0, 1}, 2, 1.5)
+	b.Add([]core.Value{1, 1}, 3, 2.5)
+	b.Add([]core.Value{0, core.Star}, 2, 1.5)
+	b.Add([]core.Value{core.Star, 1}, 5, 4.0)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := []core.Cell{
+		{Values: []core.Value{1, 1}, Count: 4, Aux: 9.5},
+		{Values: []core.Value{1, 0}, Count: 1, Aux: 0.5},
+		{Values: []core.Value{core.Star, 1}, Count: 6, Aux: 11.0},
+	}
+	m, err := s.MergePartitions(0, func(v core.Value) bool { return v == 1 }, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		q     []core.Value
+		count int64
+		aux   float64
+	}{
+		{[]core.Value{0, 1}, 2, 1.5},          // retained
+		{[]core.Value{1, 1}, 4, 9.5},          // replaced
+		{[]core.Value{1, 0}, 1, 0.5},          // new cell in a replaced partition
+		{[]core.Value{core.Star, 1}, 6, 11.0}, // wildcard slice rebuilt
+	} {
+		c, ok := m.Lookup(tc.q)
+		if !ok || c.Count != tc.count || c.Aux != tc.aux {
+			t.Fatalf("lookup %v = (%v, %v), want count %d aux %g", tc.q, c, ok, tc.count, tc.aux)
+		}
+	}
+	// Retained: (0,1) and (0,*); fresh: the three replacement cells.
+	if m.NumCells() != 5 {
+		t.Fatalf("merged cells = %d, want 5", m.NumCells())
+	}
+}
+
+// TestMergePartitionsRejects pins the misuse errors: wrong arity, a fresh
+// cell fixing the partition dimension to an unreplaced value, duplicates.
+func TestMergePartitionsRejects(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.Add([]core.Value{0, 1}, 2, 0)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaced := func(v core.Value) bool { return v == 1 }
+	if _, err := s.MergePartitions(5, replaced, nil); err == nil {
+		t.Fatal("out-of-range dimension must fail")
+	}
+	if _, err := s.MergePartitions(0, replaced, []core.Cell{{Values: []core.Value{1}}}); err == nil {
+		t.Fatal("wrong-arity fresh cell must fail")
+	}
+	if _, err := s.MergePartitions(0, replaced, []core.Cell{{Values: []core.Value{0, 2}, Count: 1}}); err == nil {
+		t.Fatal("fresh cell in an unreplaced partition must fail")
+	}
+	dup := []core.Cell{
+		{Values: []core.Value{1, 2}, Count: 1},
+		{Values: []core.Value{1, 2}, Count: 1},
+	}
+	if _, err := s.MergePartitions(0, replaced, dup); err == nil {
+		t.Fatal("duplicate fresh cells must fail")
+	}
+}

@@ -220,14 +220,38 @@ func TestLatticeProbeBound(t *testing.T) {
 	}
 	// The bound is exactly the lattice list for dimension 0 (minus the
 	// query's own cuboid, which the fast path owns).
-	withD0 := 0
+	withD0, withD1, withBoth := 0, 0, 0
 	for _, g := range s.groups {
 		if g.mask.Has(0) {
 			withD0++
 		}
+		if g.mask.Has(1) {
+			withD1++
+		}
+		if g.mask.Has(0) && g.mask.Has(1) {
+			withBoth++
+		}
 	}
 	if probed > int64(withD0) {
 		t.Fatalf("probed %d groups, lattice bound is %d", probed, withD0)
+	}
+
+	// Two bound dimensions: the candidate list is the intersection of the two
+	// shortest per-dimension lists, strictly tighter than either list alone.
+	if withBoth >= withD0 || withBoth >= withD1 {
+		t.Fatalf("dataset does not discriminate: |d0∧d1|=%d, |d0|=%d, |d1|=%d", withBoth, withD0, withD1)
+	}
+	q[1] = 0 // in-domain; d0 stays out of domain, so the probe still misses
+	before = s.Probes()
+	if _, ok := s.Lookup(q); ok {
+		t.Fatal("out-of-domain value must miss")
+	}
+	probed = s.Probes() - before
+	if probed <= 0 {
+		t.Fatal("two-dimension covering scan did not probe any group")
+	}
+	if probed > int64(withBoth) {
+		t.Fatalf("probed %d groups, intersection bound is %d", probed, withBoth)
 	}
 }
 

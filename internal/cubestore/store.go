@@ -121,23 +121,51 @@ func (s *Store) HasAux() bool { return s.hasAux }
 func (s *Store) Probes() int64 { return s.probes.Load() }
 
 // candidates returns the groups whose mask can cover q (mask ⊇ q), ascending
-// by mask: the shortest per-dimension lattice list among q's bound
-// dimensions. Entries still need the mask-superset check — the list is a
-// superset of the covering groups, but its length, not NumCuboids, bounds the
-// scan. A fully-wildcard query is covered by every group.
+// by mask: the intersection of the two shortest per-dimension lattice lists
+// among q's bound dimensions (every covering group fixes all bound
+// dimensions, so it appears in both). Entries still need the mask-superset
+// check — the result is a superset of the covering groups, but its length,
+// not NumCuboids, bounds the scan. With a single bound dimension that
+// dimension's list is returned directly (no allocation); a fully-wildcard
+// query is covered by every group.
 func (s *Store) candidates(q core.Mask) []*group {
 	if q == 0 {
 		return s.groups
 	}
-	best := s.byDim[bits.TrailingZeros64(uint64(q))]
-	for m := uint64(q) & (uint64(q) - 1); m != 0; m &= m - 1 {
-		// An empty list is the tightest bound of all: no group fixes that
-		// dimension, so nothing can cover q.
-		if l := s.byDim[bits.TrailingZeros64(m)]; len(l) < len(best) {
-			best = l
+	var best, second []*group
+	first := true
+	for m := uint64(q); m != 0; m &= m - 1 {
+		l := s.byDim[bits.TrailingZeros64(m)]
+		switch {
+		case first:
+			best, first = l, false
+		case len(l) < len(best):
+			best, second = l, best
+		case second == nil || len(l) < len(second):
+			second = l
 		}
 	}
-	return best
+	// An empty list is the tightest bound of all: no group fixes that
+	// dimension, so nothing can cover q.
+	if len(best) == 0 || second == nil {
+		return best
+	}
+	// Both lists ascend by mask (buildIndex appends in group order), so the
+	// intersection is a linear merge.
+	out := make([]*group, 0, len(best))
+	for i, j := 0, 0; i < len(best) && j < len(second); {
+		switch {
+		case best[i] == second[j]:
+			out = append(out, best[i])
+			i++
+			j++
+		case best[i].mask < second[j].mask:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
 }
 
 // buildIndex derives the cuboid-lattice index from the sorted group list;
@@ -409,10 +437,16 @@ func (b *Builder) Build() (*Store, error) {
 		s.byMask[g.mask] = g
 		s.cells += int64(g.rows())
 	}
-	sort.Slice(s.groups, func(i, j int) bool { return s.groups[i].mask < s.groups[j].mask })
+	sortGroups(s.groups)
 	s.buildIndex()
 	b.groups = nil
 	return s, nil
+}
+
+// sortGroups orders a group list into the store's canonical order, masks
+// ascending.
+func sortGroups(groups []*group) {
+	sort.Slice(groups, func(i, j int) bool { return groups[i].mask < groups[j].mask })
 }
 
 // sortRows orders the group's rows by packed key and rejects duplicates.

@@ -87,7 +87,7 @@ func Run(t *table.Table, eng engine.Engine, ecfg engine.Config, cfg Config, out 
 		ns = 1
 	}
 
-	shards := shardTables(t, dim, ns)
+	shards := ShardTables(t, dim, ns)
 	projDims := make([]int, 0, nd-1)
 	for d := 0; d < nd; d++ {
 		if d != dim {
@@ -135,20 +135,26 @@ func Run(t *table.Table, eng engine.Engine, ecfg engine.Config, cfg Config, out 
 			return nil
 		})
 	}
-	if err := runPool(workers, jobs); err != nil {
+	if err := RunPool(workers, jobs); err != nil {
 		return err
 	}
 
 	if ecfg.Closed {
-		emitClosedSurvivors(t, dim, projDims, candidates, workers, merger)
+		w := merger.Worker()
+		for _, c := range ClosedSurvivors(t, dim, projDims, candidates, workers) {
+			w.EmitAux(c.Values, c.Count, c.Aux)
+		}
+		w.Flush()
 	}
 	return nil
 }
 
-// shardTables splits t into ns sub-tables on dimension dim (value % ns picks
-// the shard), copying tuples column by column. Shards inherit the parent's
-// schema and cardinalities.
-func shardTables(t *table.Table, dim, ns int) []*table.Table {
+// ShardTables splits t into ns sub-tables on dimension dim (value % ns picks
+// the shard, so every tuple sharing a dimension value lands in the same
+// shard), copying tuples column by column. Shards inherit the parent's
+// schema and cardinalities. Empty shards are omitted. Shared with
+// internal/refresh, which shards only the partitions a delta touched.
+func ShardTables(t *table.Table, dim, ns int) []*table.Table {
 	n := t.NumTuples()
 	nd := t.NumDims()
 	counts := make([]int, ns)
@@ -189,9 +195,9 @@ func shardTables(t *table.Table, dim, ns int) []*table.Table {
 	return shards
 }
 
-// runPool executes jobs on `workers` goroutines, returning the first error.
+// RunPool executes jobs on `workers` goroutines, returning the first error.
 // After a job fails no further jobs start (in-flight ones finish).
-func runPool(workers int, jobs []func() error) error {
+func RunPool(workers int, jobs []func() error) error {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -265,14 +271,21 @@ type maskGroup struct {
 	index map[string]int // packed fixed values -> candidate index
 }
 
-// emitClosedSurvivors finishes the closed-mode final pass: it drops every
-// candidate whose tuples all share one value on the partition dimension (the
-// cell fixing that value covers it with equal count, so it is not closed)
-// and emits the rest. The decision aggregates a first-value/conflict pair
-// per candidate over one scan of the relation, parallelized by tuple range.
-func emitClosedSurvivors(t *table.Table, dim int, projDims []int, candidates []core.Cell, workers int, merger *sink.Merger) {
+// ClosedSurvivors finishes the closed-mode final pass over the projection
+// cube: given the closed candidates computed on the relation projected
+// without dim (values in projDims order), it drops every candidate whose
+// tuples all share one value on the partition dimension (the cell fixing
+// that value covers it with equal count, so it is not closed) and returns
+// the rest, widened back to t's dimensionality with a wildcard at dim. The
+// decision aggregates a first-value/conflict pair per candidate over one
+// scan of the relation, parallelized by tuple range. Shared with
+// internal/refresh, which rebuilds the wildcard slice on every refresh.
+func ClosedSurvivors(t *table.Table, dim int, projDims []int, candidates []core.Cell, workers int) []core.Cell {
 	if len(candidates) == 0 {
-		return
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	groups := buildMaskGroups(projDims, candidates)
 
@@ -303,8 +316,7 @@ func emitClosedSurvivors(t *table.Table, dim int, projDims []int, candidates []c
 	}
 	wg.Wait()
 
-	w := merger.Worker()
-	scratch := make([]core.Value, t.NumDims())
+	var out []core.Cell
 	for ci, cand := range candidates {
 		first := core.Value(-1)
 		conflict := false
@@ -321,12 +333,13 @@ func emitClosedSurvivors(t *table.Table, dim int, projDims []int, candidates []c
 		if !conflict {
 			continue // one shared value on dim covers the candidate
 		}
-		copy(scratch[:dim], cand.Values[:dim])
-		scratch[dim] = core.Star
-		copy(scratch[dim+1:], cand.Values[dim:])
-		w.EmitAux(scratch, cand.Count, cand.Aux)
+		vals := make([]core.Value, t.NumDims())
+		copy(vals[:dim], cand.Values[:dim])
+		vals[dim] = core.Star
+		copy(vals[dim+1:], cand.Values[dim:])
+		out = append(out, core.Cell{Values: vals, Count: cand.Count, Aux: cand.Aux})
 	}
-	w.Flush()
+	return out
 }
 
 // buildMaskGroups groups candidates by their fixed-dimension pattern and

@@ -1,0 +1,204 @@
+package refresh
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"ccubing/internal/core"
+)
+
+// Log is the write-ahead delta buffer of a refresh Manager: appended tuples
+// accumulate in memory — and, when a WAL path is configured, in an on-disk
+// log — until a refresh folds them into the relation. The WAL makes pending
+// (not yet refreshed) appends survive a process restart: a new Manager over
+// the same base relation replays them into the buffer.
+//
+// File format: "CCWAL\x00" magic, version byte, nd byte, hasAux byte, then
+// one record per tuple — nd little-endian uint32 values, plus a float64 bit
+// pattern when hasAux. A partial trailing record (a crash mid-append) is
+// dropped on replay, the usual write-ahead-log recovery contract. A Log is
+// not goroutine-safe; the Manager serializes access.
+type deltaLog struct {
+	nd     int
+	hasAux bool
+	vals   []core.Value // flattened, nd per row
+	aux    []float64    // parallel to rows when hasAux
+	f      *os.File
+}
+
+const walMagic = "CCWAL\x00"
+
+// walVersion is the WAL file format version.
+const walVersion = 1
+
+func newDeltaLog(nd int, hasAux bool) *deltaLog {
+	return &deltaLog{nd: nd, hasAux: hasAux}
+}
+
+// recordSize returns the byte size of one tuple record.
+func (l *deltaLog) recordSize() int {
+	n := 4 * l.nd
+	if l.hasAux {
+		n += 8
+	}
+	return n
+}
+
+// openWAL attaches an on-disk log at path, replaying any pending records
+// into the in-memory buffer (dropping a partial trailing record), and leaves
+// the file open for appends. It returns the number of replayed rows.
+func (l *deltaLog) openWAL(path string) (int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("refresh: wal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return 0, fmt.Errorf("refresh: wal: %w", err)
+	}
+	l.f = f
+	if info.Size() == 0 {
+		if err := l.writeHeader(); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	head := make([]byte, len(walMagic)+3)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return 0, fmt.Errorf("refresh: wal header: %w", err)
+	}
+	if string(head[:len(walMagic)]) != walMagic {
+		return 0, fmt.Errorf("refresh: wal: bad magic %q", head[:len(walMagic)])
+	}
+	if head[len(walMagic)] != walVersion {
+		return 0, fmt.Errorf("refresh: wal: unsupported version %d (want %d)", head[len(walMagic)], walVersion)
+	}
+	if int(head[len(walMagic)+1]) != l.nd {
+		return 0, fmt.Errorf("refresh: wal: %d dimensions, relation has %d", head[len(walMagic)+1], l.nd)
+	}
+	if (head[len(walMagic)+2] == 1) != l.hasAux {
+		return 0, fmt.Errorf("refresh: wal: measure flag mismatch")
+	}
+	body, err := io.ReadAll(f)
+	if err != nil {
+		return 0, fmt.Errorf("refresh: wal: %w", err)
+	}
+	rec := l.recordSize()
+	n := len(body) / rec // partial tail (crash mid-append) is dropped
+	for i := 0; i < n; i++ {
+		off := i * rec
+		for d := 0; d < l.nd; d++ {
+			l.vals = append(l.vals, core.Value(binary.LittleEndian.Uint32(body[off+4*d:])))
+		}
+		if l.hasAux {
+			l.aux = append(l.aux, math.Float64frombits(binary.LittleEndian.Uint64(body[off+4*l.nd:])))
+		}
+	}
+	if len(body)%rec != 0 {
+		// Truncate the torn record so subsequent appends extend a valid log.
+		if err := f.Truncate(int64(len(head) + n*rec)); err != nil {
+			return n, fmt.Errorf("refresh: wal: %w", err)
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			return n, fmt.Errorf("refresh: wal: %w", err)
+		}
+	}
+	return n, nil
+}
+
+func (l *deltaLog) writeHeader() error {
+	head := append([]byte(walMagic), walVersion, byte(l.nd), 0)
+	if l.hasAux {
+		head[len(head)-1] = 1
+	}
+	if _, err := l.f.Write(head); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	return nil
+}
+
+// append buffers flattened rows (len a multiple of nd), writing them through
+// to the WAL first when one is attached.
+func (l *deltaLog) append(rows []core.Value, aux []float64) error {
+	if l.f != nil {
+		buf := make([]byte, 0, len(rows)/l.nd*l.recordSize())
+		for i := 0; i < len(rows)/l.nd; i++ {
+			for d := 0; d < l.nd; d++ {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(rows[i*l.nd+d]))
+			}
+			if l.hasAux {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(aux[i]))
+			}
+		}
+		if _, err := l.f.Write(buf); err != nil {
+			return fmt.Errorf("refresh: wal: %w", err)
+		}
+	}
+	l.vals = append(l.vals, rows...)
+	if l.hasAux {
+		l.aux = append(l.aux, aux...)
+	}
+	return nil
+}
+
+// rows returns the number of buffered tuples.
+func (l *deltaLog) rows() int {
+	if l.nd == 0 {
+		return 0
+	}
+	return len(l.vals) / l.nd
+}
+
+// steal hands the buffered delta to a refresh and resets the buffer. The WAL
+// file is untouched until rewrite confirms the refresh published.
+func (l *deltaLog) steal() ([]core.Value, []float64) {
+	vals, aux := l.vals, l.aux
+	l.vals, l.aux = nil, nil
+	return vals, aux
+}
+
+// unsteal puts a stolen batch back in front of the buffer after a failed
+// refresh, so the delta is retried rather than lost.
+func (l *deltaLog) unsteal(rows []core.Value, aux []float64) {
+	l.vals = append(rows, l.vals...)
+	if l.hasAux {
+		l.aux = append(aux, l.aux...)
+	}
+}
+
+// rewrite rewrites the WAL to hold exactly the current buffer (the rows that
+// arrived during the refresh), dropping the folded prefix. Called after a
+// refresh publishes.
+func (l *deltaLog) rewrite() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	if err := l.writeHeader(); err != nil {
+		return err
+	}
+	if len(l.vals) == 0 {
+		return nil
+	}
+	vals, aux := l.vals, l.aux
+	l.vals, l.aux = nil, nil
+	return l.append(vals, aux)
+}
+
+func (l *deltaLog) close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,688 @@
+// Package refresh keeps a served closed cube fresh as its relation grows:
+// appended tuples buffer in a write-ahead delta log and, on trigger (row
+// threshold, timer, or explicit flush), a refresh recomputes only the
+// partitions of the leading (partition) dimension whose values appear in
+// the delta, merges the rebuilt closed-cell groups with the untouched ones
+// into a fresh cubestore.Store, and publishes the result with an atomic
+// pointer swap — in-flight queries finish on the old store while new
+// queries see the new one.
+//
+// Correctness rests on the partition invariant shared with internal/parallel
+// and internal/partition (paper Sec. 6.3): a closed cell fixing the
+// partition dimension aggregates tuples of exactly one partition, so cells
+// of untouched partitions are byte-identical before and after the append and
+// can be retained; cells of touched partitions are recomputed from those
+// partitions' tuples; and cells with a wildcard on the partition dimension —
+// which any append may change — are rebuilt from the projection cube plus
+// the aggregation-based agreement check of parallel.ClosedSurvivors. The
+// refreshed store is canonical: byte-identical to a from-scratch
+// materialization of the grown relation.
+package refresh
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccubing/internal/core"
+	"ccubing/internal/cubestore"
+	"ccubing/internal/engine"
+	"ccubing/internal/parallel"
+	"ccubing/internal/sink"
+	"ccubing/internal/table"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Dim is the partition dimension; refreshes recompute only the partitions
+	// (values of this dimension) the delta touches. Defaults to 0, the
+	// leading dimension.
+	Dim int
+	// Eng and ECfg run the recomputation; ECfg.Closed must be set (the
+	// serving store holds the closed cube).
+	Eng  engine.Engine
+	ECfg engine.Config
+	// Workers bounds the recompute goroutines; values below 1 run
+	// sequentially.
+	Workers int
+	// Shards bounds how many shards the touched partitions split into;
+	// defaults to 4×Workers, capped by the number of touched partitions.
+	Shards int
+	// AttachAux, when set, fills the Aux of freshly recomputed cells from the
+	// relation (the facade's complex-measure post-pass).
+	AttachAux func(*table.Table, []core.Cell) error
+	// Generation seeds the published snapshot's generation counter.
+	Generation uint64
+	// WAL, when non-empty, persists pending (unrefreshed) appends to this
+	// file; a new Manager over the same base relation replays them. Rows a
+	// refresh has folded in leave the WAL — durability of the refreshed
+	// store is the snapshot's job (save one after refreshing), not the
+	// log's.
+	WAL string
+	// CardSlack bounds how far a coded append may grow a dimension's domain
+	// beyond the published cardinality (defaults to 4096 when zero). Without
+	// a bound, one hostile row fixing a value near MaxInt32 would force
+	// cardinality-sized allocations on refresh.
+	CardSlack int
+}
+
+// defaultCardSlack is the Config.CardSlack default.
+const defaultCardSlack = 4096
+
+// Snapshot is one published serving state: an immutable store, the frozen
+// dictionaries that decode it (nil for coded relations), and the metadata
+// that identifies it. Readers obtain it from Manager.Snapshot with one
+// atomic load; every field is immutable from then on.
+type Snapshot struct {
+	Store *cubestore.Store
+	Dicts []*table.Dict
+	// Generation counts published refreshes; it increases by exactly one per
+	// refresh that folded at least one row.
+	Generation uint64
+	// Rows is the number of tuples of the relation this snapshot serves.
+	Rows int64
+}
+
+// Stats describes one refresh.
+type Stats struct {
+	// Generation is the generation the refresh published (unchanged when the
+	// delta was empty).
+	Generation uint64
+	// Appended is the number of delta rows folded in.
+	Appended int
+	// PartitionsRecomputed and PartitionsTotal count the touched and total
+	// distinct partition-dimension values; their ratio is the work saved
+	// versus a full rebuild.
+	PartitionsRecomputed int
+	PartitionsTotal      int
+	// CellsRetained and CellsRebuilt split the published store's cells into
+	// those copied from the previous store and those recomputed.
+	CellsRetained int64
+	CellsRebuilt  int64
+	// Elapsed is the wall-clock refresh time.
+	Elapsed time.Duration
+}
+
+// Metrics is the cumulative observability view served by /v1/stats.
+type Metrics struct {
+	Generation uint64
+	Rows       int64
+	Backlog    int
+	Refreshes  int64
+	Last       Stats
+	LastError  string
+}
+
+// Manager owns the live-refresh state of one cube: the current relation, the
+// delta log, and the published snapshot. Appends and refreshes may run
+// concurrently with any number of snapshot readers; appends are serialized
+// with each other, refreshes with each other. A delta arriving while a
+// refresh is computing stays buffered for the next refresh.
+type Manager struct {
+	cfg    Config
+	nd     int
+	hasAux bool // the relation carries a measure column
+
+	appendMu sync.Mutex // guards log, dicts, cards, autoRows
+	log      *deltaLog
+	dicts    []*table.Dict // staging dictionaries, grown by labeled appends
+	cards    []int         // published per-dimension cardinalities (append validation)
+	autoRows int
+
+	flushMu sync.Mutex // serializes refreshes; guards base
+	base    *table.Table
+
+	snap atomic.Pointer[Snapshot]
+
+	statsMu   sync.Mutex
+	last      Stats
+	refreshes int64
+	lastErr   string
+
+	timerMu sync.Mutex
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewManager wraps a materialized store and its source relation. base is
+// retained (appends never mutate it — refreshes copy); dicts, when the
+// relation is labeled, become the published snapshot's frozen dictionaries
+// and must not be mutated by the caller afterwards. When cfg.WAL names a
+// file with pending appends, they are replayed into the delta log.
+func NewManager(base *table.Table, store *cubestore.Store, dicts []*table.Dict, cfg Config) (*Manager, error) {
+	if base == nil || store == nil {
+		return nil, fmt.Errorf("refresh: nil relation or store")
+	}
+	if base.NumDims() != store.NumDims() {
+		return nil, fmt.Errorf("refresh: relation has %d dimensions, store %d", base.NumDims(), store.NumDims())
+	}
+	if cfg.Eng == nil || !cfg.ECfg.Closed {
+		return nil, fmt.Errorf("refresh: a closed-mode engine is required")
+	}
+	if cfg.Dim < 0 || cfg.Dim >= base.NumDims() {
+		return nil, fmt.Errorf("refresh: partition dimension %d out of range", cfg.Dim)
+	}
+	if cfg.CardSlack <= 0 {
+		cfg.CardSlack = defaultCardSlack
+	}
+	m := &Manager{
+		cfg:    cfg,
+		nd:     base.NumDims(),
+		hasAux: base.Aux != nil,
+		base:   base,
+		cards:  append([]int(nil), base.Cards...),
+	}
+	m.log = newDeltaLog(m.nd, m.hasAux)
+	if dicts != nil {
+		m.dicts = make([]*table.Dict, len(dicts))
+		for d, dict := range dicts {
+			m.dicts[d] = table.DictFromNames(dict.Names())
+		}
+	}
+	if cfg.WAL != "" {
+		if err := m.attachWAL(cfg.WAL); err != nil {
+			return nil, err
+		}
+	}
+	m.snap.Store(&Snapshot{
+		Store:      store,
+		Dicts:      dicts,
+		Generation: cfg.Generation,
+		Rows:       int64(base.NumTuples()),
+	})
+	return m, nil
+}
+
+// Snapshot returns the current serving state with one atomic load.
+func (m *Manager) Snapshot() *Snapshot { return m.snap.Load() }
+
+// attachWAL opens (and replays) the write-ahead log at path, then persists
+// any rows that were buffered before the log was attached. Caller must not
+// hold appendMu.
+func (m *Manager) attachWAL(path string) error {
+	m.appendMu.Lock()
+	defer m.appendMu.Unlock()
+	if m.log.f != nil {
+		return fmt.Errorf("refresh: wal already attached")
+	}
+	if _, err := m.log.openWAL(path); err != nil {
+		return err
+	}
+	// Replayed labeled rows must decode with the dictionaries we have; codes
+	// the staging dictionaries have never assigned would serve phantom
+	// labels.
+	if m.dicts != nil {
+		for i := 0; i < m.log.rows(); i++ {
+			for d := 0; d < m.nd; d++ {
+				if v := m.log.vals[i*m.nd+d]; int(v) >= m.dicts[d].Len() {
+					return fmt.Errorf("refresh: wal row %d: code %d unknown to dimension %d's dictionary (replay needs the original base relation)", i, v, d)
+				}
+			}
+		}
+	}
+	// Rows appended before the WAL existed are in memory only; rewrite the
+	// file so it holds the full pending delta.
+	return m.log.rewrite()
+}
+
+// EnableWAL attaches a write-ahead log after construction (the facade's
+// AutoRefresh path), replaying any pending rows it holds.
+func (m *Manager) EnableWAL(path string) error { return m.attachWAL(path) }
+
+// RowThreshold returns the configured auto-refresh row threshold (0 = off).
+func (m *Manager) RowThreshold() int {
+	m.appendMu.Lock()
+	defer m.appendMu.Unlock()
+	return m.autoRows
+}
+
+// Backlog returns the number of buffered delta rows awaiting a refresh.
+func (m *Manager) Backlog() int {
+	m.appendMu.Lock()
+	defer m.appendMu.Unlock()
+	return m.log.rows()
+}
+
+// Append buffers coded rows. For labeled relations every value must be a
+// code the dictionaries know (append by label instead to introduce new
+// ones); for coded relations values may exceed the published cardinality by
+// at most CardSlack — new values grow the dimension's domain on refresh,
+// the bound keeps a hostile value from forcing cardinality-sized
+// allocations. aux carries one measure value per row iff the relation has a
+// measure column. It returns the number of rows appended and whether the
+// append triggered a synchronous refresh (the configured row threshold was
+// reached).
+func (m *Manager) Append(rows [][]core.Value, aux []float64) (int, bool, error) {
+	if err := m.validateAux(len(rows), aux); err != nil {
+		return 0, false, err
+	}
+	m.appendMu.Lock()
+	flat := make([]core.Value, 0, len(rows)*m.nd)
+	for i, row := range rows {
+		if len(row) != m.nd {
+			m.appendMu.Unlock()
+			return 0, false, fmt.Errorf("refresh: row %d has %d values, want %d", i, len(row), m.nd)
+		}
+		for d, v := range row {
+			if v < 0 {
+				m.appendMu.Unlock()
+				return 0, false, fmt.Errorf("refresh: row %d dimension %d: negative value %d", i, d, v)
+			}
+			if m.dicts != nil && int(v) >= m.dicts[d].Len() {
+				m.appendMu.Unlock()
+				return 0, false, fmt.Errorf("refresh: row %d dimension %d: code %d unknown to the dictionary (append by label to add it)", i, d, v)
+			}
+			if m.dicts == nil && int64(v) >= int64(m.cards[d])+int64(m.cfg.CardSlack) {
+				m.appendMu.Unlock()
+				return 0, false, fmt.Errorf("refresh: row %d dimension %d: value %d exceeds cardinality %d by more than the growth bound %d",
+					i, d, v, m.cards[d], m.cfg.CardSlack)
+			}
+		}
+		flat = append(flat, row...)
+	}
+	return m.appendLocked(flat, aux)
+}
+
+// AppendLabeled buffers labeled rows, dictionary-coding each field; unseen
+// labels extend the staging dictionaries and are published with the next
+// refresh. The whole batch is validated before any label is coded, so a
+// rejected batch leaves no phantom labels behind.
+func (m *Manager) AppendLabeled(rows [][]string, aux []float64) (int, bool, error) {
+	if err := m.validateAux(len(rows), aux); err != nil {
+		return 0, false, err
+	}
+	m.appendMu.Lock()
+	if m.dicts == nil {
+		m.appendMu.Unlock()
+		return 0, false, fmt.Errorf("refresh: relation has no dictionaries; append coded values")
+	}
+	for i, row := range rows {
+		if len(row) != m.nd {
+			m.appendMu.Unlock()
+			return 0, false, fmt.Errorf("refresh: row %d has %d fields, want %d", i, len(row), m.nd)
+		}
+	}
+	flat := make([]core.Value, 0, len(rows)*m.nd)
+	for _, row := range rows {
+		for d, s := range row {
+			flat = append(flat, m.dicts[d].Code(s))
+		}
+	}
+	return m.appendLocked(flat, aux)
+}
+
+func (m *Manager) validateAux(rows int, aux []float64) error {
+	if m.hasAux && len(aux) != rows {
+		return fmt.Errorf("refresh: relation has a measure column; %d aux values for %d rows", len(aux), rows)
+	}
+	if !m.hasAux && aux != nil {
+		return fmt.Errorf("refresh: relation has no measure column; aux values not accepted")
+	}
+	return nil
+}
+
+// appendLocked finishes an append: the caller holds appendMu, which is
+// released here. The row-threshold trigger flushes synchronously, outside
+// the append lock, so appends on other goroutines keep flowing into the next
+// delta while the refresh computes.
+func (m *Manager) appendLocked(flat []core.Value, aux []float64) (int, bool, error) {
+	n := len(flat) / m.nd
+	if err := m.log.append(flat, aux); err != nil {
+		m.appendMu.Unlock()
+		return 0, false, err
+	}
+	trigger := m.autoRows > 0 && m.log.rows() >= m.autoRows
+	m.appendMu.Unlock()
+	if !trigger {
+		return n, false, nil
+	}
+	if _, err := m.Flush(); err != nil {
+		return n, false, fmt.Errorf("refresh: threshold refresh: %w", err)
+	}
+	return n, true, nil
+}
+
+// AutoRefresh configures the refresh triggers: rows > 0 flushes
+// synchronously inside the append that reaches that backlog; interval > 0
+// starts a background timer flushing on that period (stop it with Close).
+// Either may be zero to disable that trigger.
+func (m *Manager) AutoRefresh(rows int, interval time.Duration) error {
+	if rows < 0 {
+		return fmt.Errorf("refresh: negative row threshold %d", rows)
+	}
+	m.appendMu.Lock()
+	m.autoRows = rows
+	m.appendMu.Unlock()
+	if interval <= 0 {
+		return nil
+	}
+	m.timerMu.Lock()
+	defer m.timerMu.Unlock()
+	if m.stop != nil {
+		return fmt.Errorf("refresh: timer already running")
+	}
+	stop := make(chan struct{})
+	m.stop = stop
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if _, err := m.Flush(); err != nil {
+					m.statsMu.Lock()
+					m.lastErr = err.Error()
+					m.statsMu.Unlock()
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// Close stops the timer goroutine (flushing nothing) and closes the WAL.
+func (m *Manager) Close() error {
+	m.timerMu.Lock()
+	if m.stop != nil {
+		close(m.stop)
+		m.stop = nil
+	}
+	m.timerMu.Unlock()
+	m.wg.Wait()
+	m.appendMu.Lock()
+	defer m.appendMu.Unlock()
+	return m.log.close()
+}
+
+// Metrics returns the cumulative refresh counters.
+func (m *Manager) Metrics() Metrics {
+	s := m.Snapshot()
+	backlog := m.Backlog()
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return Metrics{
+		Generation: s.Generation,
+		Rows:       s.Rows,
+		Backlog:    backlog,
+		Refreshes:  m.refreshes,
+		Last:       m.last,
+		LastError:  m.lastErr,
+	}
+}
+
+// Flush folds the buffered delta into the relation, recomputes the touched
+// partitions and the wildcard slice, merges with the untouched cells, and
+// publishes the new snapshot. An empty delta is a no-op that keeps the
+// current generation. On error the delta is returned to the buffer for a
+// later retry and the published snapshot is unchanged.
+func (m *Manager) Flush() (Stats, error) {
+	m.flushMu.Lock()
+	defer m.flushMu.Unlock()
+	start := time.Now()
+
+	m.appendMu.Lock()
+	rows, aux := m.log.steal()
+	var frozen []*table.Dict
+	if m.dicts != nil {
+		frozen = make([]*table.Dict, len(m.dicts))
+		for d, dict := range m.dicts {
+			frozen[d] = table.DictFromNames(dict.Names())
+		}
+	}
+	m.appendMu.Unlock()
+
+	cur := m.snap.Load()
+	n := len(rows) / m.nd
+	if n == 0 {
+		return Stats{Generation: cur.Generation}, nil
+	}
+
+	newBase := appendRows(m.base, rows, aux, frozen)
+	dim := m.cfg.Dim
+	affected := make(map[core.Value]bool)
+	for i := 0; i < n; i++ {
+		affected[rows[i*m.nd+dim]] = true
+	}
+
+	newStore, rebuilt, err := m.rebuild(cur.Store, newBase, affected)
+	if err != nil {
+		m.appendMu.Lock()
+		m.log.unsteal(rows, aux)
+		m.appendMu.Unlock()
+		return Stats{}, err
+	}
+
+	next := &Snapshot{
+		Store:      newStore,
+		Dicts:      frozen,
+		Generation: cur.Generation + 1,
+		Rows:       int64(newBase.NumTuples()),
+	}
+	m.snap.Store(next)
+	m.base = newBase
+
+	m.appendMu.Lock()
+	werr := m.log.rewrite()
+	copy(m.cards, newBase.Cards) // published cardinalities bound future appends
+	m.appendMu.Unlock()
+
+	st := Stats{
+		Generation:           next.Generation,
+		Appended:             n,
+		PartitionsRecomputed: len(affected),
+		PartitionsTotal:      distinctValues(newBase, dim),
+		CellsRetained:        newStore.NumCells() - rebuilt,
+		CellsRebuilt:         rebuilt,
+		Elapsed:              time.Since(start),
+	}
+	m.statsMu.Lock()
+	m.last = st
+	m.refreshes++
+	m.lastErr = ""
+	if werr != nil {
+		// The refresh published, but the on-disk log no longer matches the
+		// buffer; keep that visible in Metrics, not just in this one return.
+		m.lastErr = werr.Error()
+	}
+	m.statsMu.Unlock()
+	if werr != nil {
+		return st, fmt.Errorf("refresh: published generation %d but wal rewrite failed: %w", st.Generation, werr)
+	}
+	return st, nil
+}
+
+// rebuild computes the new store for the grown relation: partition-scoped
+// recompute plus group-level merge, or a full recompute when the relation
+// cannot be decomposed (fewer than two dimensions).
+func (m *Manager) rebuild(old *cubestore.Store, t *table.Table, affected map[core.Value]bool) (*cubestore.Store, int64, error) {
+	if m.nd < 2 {
+		fresh, err := m.computeAll(t)
+		if err != nil {
+			return nil, 0, err
+		}
+		s, err := buildStore(m.nd, old.HasAux(), fresh)
+		return s, int64(len(fresh)), err
+	}
+	fresh, err := m.recompute(t, affected)
+	if err != nil {
+		return nil, 0, err
+	}
+	s, err := old.MergePartitions(m.cfg.Dim, func(v core.Value) bool { return affected[v] }, fresh)
+	return s, int64(len(fresh)), err
+}
+
+// recompute produces the replacement cells of a refresh: the closed cells
+// fixing the partition dimension to a touched value (cubed shard-by-shard
+// over the touched partitions' tuples only) and the whole wildcard slice
+// (projection cube plus the agreement check). The engine runs on up to
+// Workers goroutines.
+func (m *Manager) recompute(t *table.Table, affected map[core.Value]bool) ([]core.Cell, error) {
+	dim := m.cfg.Dim
+	workers := m.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Sub-relation: every tuple of a touched partition. Cells fixing dim to a
+	// touched value aggregate only these tuples, so cubing the sub-relation
+	// yields their globally correct counts and closedness.
+	var tids []core.TID
+	col := t.Cols[dim]
+	for tid := 0; tid < t.NumTuples(); tid++ {
+		if affected[col[tid]] {
+			tids = append(tids, core.TID(tid))
+		}
+	}
+	sub := t.Subset(tids)
+	ns := m.cfg.Shards
+	if ns <= 0 {
+		ns = 4 * workers
+	}
+	if ns > len(affected) {
+		ns = len(affected)
+	}
+	if ns < 1 {
+		ns = 1
+	}
+	shards := parallel.ShardTables(sub, dim, ns)
+
+	projDims := make([]int, 0, m.nd-1)
+	for d := 0; d < m.nd; d++ {
+		if d != dim {
+			projDims = append(projDims, d)
+		}
+	}
+	proj, err := t.Project(projDims)
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	var fresh []core.Cell
+	var candidates []core.Cell
+	// The projection pass sees every tuple and is usually the longest job; it
+	// goes first so the pool stays busy.
+	jobs := make([]func() error, 0, len(shards)+1)
+	jobs = append(jobs, func() error {
+		c := &sink.AuxCollector{}
+		if err := m.cfg.Eng.Run(proj, m.cfg.ECfg, c); err != nil {
+			return fmt.Errorf("refresh: projection pass: %w", err)
+		}
+		mu.Lock()
+		candidates = c.Cells
+		mu.Unlock()
+		return nil
+	})
+	for _, st := range shards {
+		st := st
+		jobs = append(jobs, func() error {
+			c := &sink.AuxCollector{}
+			if err := m.cfg.Eng.Run(st, m.cfg.ECfg, &fixedOnly{next: c, dim: dim}); err != nil {
+				return fmt.Errorf("refresh: partition shard: %w", err)
+			}
+			mu.Lock()
+			fresh = append(fresh, c.Cells...)
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err := parallel.RunPool(workers, jobs); err != nil {
+		return nil, err
+	}
+	fresh = append(fresh, parallel.ClosedSurvivors(t, dim, projDims, candidates, workers)...)
+	if m.cfg.AttachAux != nil {
+		if err := m.cfg.AttachAux(t, fresh); err != nil {
+			return nil, err
+		}
+	}
+	return fresh, nil
+}
+
+// computeAll cubes the whole relation (the non-decomposable fallback).
+func (m *Manager) computeAll(t *table.Table) ([]core.Cell, error) {
+	c := &sink.AuxCollector{}
+	if err := m.cfg.Eng.Run(t, m.cfg.ECfg, c); err != nil {
+		return nil, fmt.Errorf("refresh: %w", err)
+	}
+	if m.cfg.AttachAux != nil {
+		if err := m.cfg.AttachAux(t, c.Cells); err != nil {
+			return nil, err
+		}
+	}
+	return c.Cells, nil
+}
+
+// fixedOnly keeps cells fixing the partition dimension (shard runs), the
+// filter of internal/parallel's shard jobs.
+type fixedOnly struct {
+	next sink.AuxSink
+	dim  int
+}
+
+func (f *fixedOnly) Emit(vals []core.Value, count int64) { f.EmitAux(vals, count, 0) }
+
+func (f *fixedOnly) EmitAux(vals []core.Value, count int64, aux float64) {
+	if vals[f.dim] != core.Star {
+		f.next.EmitAux(vals, count, aux)
+	}
+}
+
+// appendRows builds the grown relation: base's tuples followed by the delta,
+// columns copied (the base table is never mutated — it may be shared with
+// the caller's dataset). Cardinalities grow to cover the delta's values and
+// the staging dictionaries.
+func appendRows(t *table.Table, rows []core.Value, aux []float64, dicts []*table.Dict) *table.Table {
+	nd := t.NumDims()
+	n := t.NumTuples()
+	dn := len(rows) / nd
+	nt := table.New(nd, n+dn)
+	copy(nt.Names, t.Names)
+	for d := 0; d < nd; d++ {
+		copy(nt.Cols[d], t.Cols[d])
+		card := t.Cards[d]
+		for i := 0; i < dn; i++ {
+			v := rows[i*nd+d]
+			nt.Cols[d][n+i] = v
+			if int(v)+1 > card {
+				card = int(v) + 1
+			}
+		}
+		if dicts != nil && dicts[d].Len() > card {
+			card = dicts[d].Len()
+		}
+		nt.Cards[d] = card
+	}
+	if t.Aux != nil {
+		nt.Aux = make([]float64, n+dn)
+		copy(nt.Aux, t.Aux)
+		copy(nt.Aux[n:], aux)
+	}
+	return nt
+}
+
+// buildStore freezes cells into a store from scratch.
+func buildStore(nd int, hasAux bool, cells []core.Cell) (*cubestore.Store, error) {
+	b := cubestore.NewBuilder(nd, hasAux)
+	for _, c := range cells {
+		b.Add(c.Values, c.Count, c.Aux)
+	}
+	return b.Build()
+}
+
+// distinctValues counts the distinct values of one dimension.
+func distinctValues(t *table.Table, dim int) int {
+	seen := make([]bool, t.Cards[dim])
+	n := 0
+	for _, v := range t.Cols[dim] {
+		if !seen[v] {
+			seen[v] = true
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+package ccubing
+
+// Refresh benchmarks: partition-scoped incremental refresh versus the full
+// rebuild it replaces, on a delta touching ≤10% of the leading-dimension
+// partitions. scripts/bench.sh records both arms (with -benchmem) into
+// BENCH_<date>.json, so the series tracks the refresh advantage over time.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchRefreshSetup builds the base rows and a delta confined to `touched`
+// of the leading dimension's `leadCard` partitions.
+func benchRefreshSetup(b *testing.B, touched int) (base, delta [][]int32) {
+	b.Helper()
+	const (
+		baseRows  = 40_000
+		deltaRows = 2_000
+		leadCard  = 64
+	)
+	cards := []int{leadCard, 12, 12, 12, 8}
+	rng := rand.New(rand.NewSource(benchSeed()))
+	rows := func(n int, lead func() int32) [][]int32 {
+		out := make([][]int32, n)
+		for i := range out {
+			row := make([]int32, len(cards))
+			row[0] = lead()
+			for d := 1; d < len(cards); d++ {
+				row[d] = int32(rng.Intn(cards[d]))
+			}
+			out[i] = row
+		}
+		return out
+	}
+	base = rows(baseRows, func() int32 { return int32(rng.Intn(leadCard)) })
+	delta = rows(deltaRows, func() int32 { return int32(rng.Intn(touched)) })
+	return base, delta
+}
+
+// BenchmarkRefresh measures one incremental refresh (append + partition-
+// scoped recompute + merge + swap) against materializing the grown relation
+// from scratch — the only alternative before the refresh subsystem. The
+// delta touches 4 of 64 leading-dimension partitions (~6%), the regime the
+// acceptance criterion names.
+func BenchmarkRefresh(b *testing.B) {
+	const minsup, workers = 4, 4
+	base, delta := benchRefreshSetup(b, 4)
+	baseDS, err := NewDatasetFromValues(nil, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := append(append([][]int32{}, base...), delta...)
+	fullDS, err := NewDatasetFromValues(nil, full)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run(fmt.Sprintf("incremental/delta=%d", len(delta)), func(b *testing.B) {
+		b.ReportAllocs()
+		var last RefreshStats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cube, err := Materialize(baseDS, Options{MinSup: minsup, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cube.AppendValues(delta, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if last, err = cube.Refresh(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(last.PartitionsRecomputed), "parts-recomputed/op")
+		b.ReportMetric(float64(last.PartitionsTotal), "parts-total/op")
+	})
+	b.Run(fmt.Sprintf("rebuild/delta=%d", len(delta)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Materialize(fullDS, Options{MinSup: minsup, Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRefreshAppend measures raw delta-log ingestion (no refresh).
+func BenchmarkRefreshAppend(b *testing.B) {
+	base, delta := benchRefreshSetup(b, 4)
+	baseDS, err := NewDatasetFromValues(nil, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube, err := Materialize(baseDS, Options{MinSup: 4, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.AppendValues(delta, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.SetBytes(int64(len(delta) * len(delta[0]) * 4))
+}

@@ -7,23 +7,28 @@
 #   ./scripts/bench.sh                 # default benchtime (3x)
 #   BENCHTIME=10x ./scripts/bench.sh   # longer runs
 #   BENCH_FILTER='BenchmarkCubeQuery' ./scripts/bench.sh
+#   BENCH_SEED=42 ./scripts/bench.sh   # alternate dataset seed
 #
-# Output schema: {"date", "go", "cpus", "benchmarks": [{"name", "iterations",
-# "ns_per_op", "bytes_per_op", "allocs_per_op", "mb_per_s"}]}.
+# The dataset seed is pinned (CCUBING_BENCH_SEED, default 23) so runs are
+# comparable across the series; it is recorded in the output.
+#
+# Output schema: {"date", "go", "cpus", "seed", "benchmarks": [{"name",
+# "iterations", "ns_per_op", "bytes_per_op", "allocs_per_op", "mb_per_s"}]}.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-3x}"
-filter="${BENCH_FILTER:-BenchmarkCubeQuery|BenchmarkStoreBuild|BenchmarkBuildComparison|BenchmarkMaterialize|BenchmarkCubeSnapshot|BenchmarkParallelWorkers|BenchmarkLookupLattice|BenchmarkAggregateGroupBy}"
+export CCUBING_BENCH_SEED="${BENCH_SEED:-23}"
+filter="${BENCH_FILTER:-BenchmarkCubeQuery|BenchmarkStoreBuild|BenchmarkBuildComparison|BenchmarkMaterialize|BenchmarkCubeSnapshot|BenchmarkParallelWorkers|BenchmarkLookupLattice|BenchmarkAggregateGroupBy|BenchmarkRefresh}"
 out="BENCH_$(date -u +%Y-%m-%d).json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" ./... | tee "$raw" >&2
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" -v cpus="$(nproc 2>/dev/null || echo 0)" '
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" -v cpus="$(nproc 2>/dev/null || echo 0)" -v seed="$CCUBING_BENCH_SEED" '
 BEGIN {
-    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [", date, gover, cpus
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpus\": %s,\n  \"seed\": %s,\n  \"benchmarks\": [", date, gover, cpus, seed
     first = 1
 }
 /^Benchmark/ {
