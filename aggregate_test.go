@@ -220,7 +220,10 @@ func TestCubeAggregateEquivalence(t *testing.T) {
 				}
 				a.count++
 			}
-			rows, err := cube.Aggregate(spec, AggregateOptions{GroupBy: groupNames, AuxAgg: kind})
+			rows, exact, err := cube.Aggregate(spec, AggregateOptions{GroupBy: groupNames, AuxAgg: kind})
+			if !exact {
+				t.Fatal("minsup-1 aggregate must report exact")
+			}
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -266,7 +269,7 @@ func TestCubeAggregateTopKByAux(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := make(QuerySpec, 3)
-	all, err := cube.Aggregate(spec, AggregateOptions{GroupBy: []string{ds.Names()[0]}, By: ByAux})
+	all, _, err := cube.Aggregate(spec, AggregateOptions{GroupBy: []string{ds.Names()[0]}, By: ByAux})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +278,7 @@ func TestCubeAggregateTopKByAux(t *testing.T) {
 			t.Fatalf("rows not aux-descending at %d", i)
 		}
 	}
-	top, err := cube.Aggregate(spec, AggregateOptions{GroupBy: []string{ds.Names()[0]}, By: ByAux, TopK: 3})
+	top, _, err := cube.Aggregate(spec, AggregateOptions{GroupBy: []string{ds.Names()[0]}, By: ByAux, TopK: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +290,7 @@ func TestCubeAggregateTopKByAux(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plain.Aggregate(spec, AggregateOptions{By: ByAux}); err == nil {
+	if _, _, err := plain.Aggregate(spec, AggregateOptions{By: ByAux}); err == nil {
 		t.Fatal("ByAux without a measure must error")
 	}
 }
@@ -320,7 +323,7 @@ func TestCubeParseSpec(t *testing.T) {
 	if spec[1].Op != PredIn || len(spec[1].Set) != 2 {
 		t.Fatalf("label range predicate = %+v (want the two codes of 2024, 2025)", spec[1])
 	}
-	rowsOut, err := cube.Aggregate(spec, AggregateOptions{GroupBy: []string{"city"}})
+	rowsOut, _, err := cube.Aggregate(spec, AggregateOptions{GroupBy: []string{"city"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +375,7 @@ func TestCubeParseSpec(t *testing.T) {
 		t.Fatalf("coded set = %+v", cspec[1])
 	}
 	// Unknown group-by dimension is an error.
-	if _, err := cube.Aggregate(make(QuerySpec, 2), AggregateOptions{GroupBy: []string{"nope"}}); err == nil {
+	if _, _, err := cube.Aggregate(make(QuerySpec, 2), AggregateOptions{GroupBy: []string{"nope"}}); err == nil {
 		t.Fatal("unknown group-by dimension must error")
 	}
 }

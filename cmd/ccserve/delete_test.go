@@ -1,0 +1,224 @@
+package main
+
+// Tests for the mutation serving surface added with tombstone deltas:
+// /v1/delete and /v1/update (shared append body validation, NDJSON
+// streaming, static-cube conflicts, stats counters) and the token-bucket
+// rate limit on mutating endpoints.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"strings"
+	"testing"
+
+	"ccubing"
+)
+
+// TestDeleteUpdateEndpoints drives delete → update → refresh over HTTP and
+// checks the served counts track the edited relation.
+func TestDeleteUpdateEndpoints(t *testing.T) {
+	cube, _ := testCube(t, 1)
+	ts := httptest.NewServer(newMux(cube, "", 0))
+	defer ts.Close()
+
+	// The fixture holds three (oslo,pen,2025) tuples; tombstone one.
+	var dr deleteResponse
+	if resp := postJSON(t, ts, "/v1/delete", appendRequest{
+		Rows: [][]string{{"oslo", "pen", "2025"}},
+	}, &dr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	if dr.Deleted != 1 || dr.Backlog != 1 || dr.Refreshed {
+		t.Fatalf("delete = %+v", dr)
+	}
+	// Update one (paris,ink,2025) to (paris,ink,2024), with inline refresh.
+	var ur updateResponse
+	if resp := postJSON(t, ts, "/v1/update", updateRequest{
+		OldRows: [][]string{{"paris", "ink", "2025"}},
+		NewRows: [][]string{{"paris", "ink", "2024"}},
+		Refresh: true,
+	}, &ur); resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	if ur.Updated != 1 || !ur.Refreshed || ur.Generation != 1 || ur.Backlog != 0 {
+		t.Fatalf("update = %+v", ur)
+	}
+
+	var qr queryResponse
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,pen,2025"), &qr)
+	if !qr.Found || qr.Count != 2 {
+		t.Fatalf("oslo,pen,2025 after delete = %+v, want 2", qr)
+	}
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("paris,ink,2024"), &qr)
+	if !qr.Found || qr.Count != 1 {
+		t.Fatalf("paris,ink,2024 after update = %+v, want 1", qr)
+	}
+	// The fixture held two (paris,ink,2025) tuples; one was updated away.
+	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("paris,ink,2025"), &qr)
+	if !qr.Found || qr.Count != 1 {
+		t.Fatalf("paris,ink,2025 after update = %+v, want 1", qr)
+	}
+
+	// NDJSON tombstone stream, same format as /v1/append.
+	resp, err := ts.Client().Post(ts.URL+"/v1/delete", "application/x-ndjson",
+		strings.NewReader("[\"rome\",\"pen\",\"2024\"]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || dr.Deleted != 1 || dr.Backlog != 1 {
+		t.Fatalf("ndjson delete: status=%d resp=%+v", resp.StatusCode, dr)
+	}
+	// The refresh response reports the tombstones it folded.
+	var rr refreshResponse
+	postJSON(t, ts, "/v1/refresh", struct{}{}, &rr)
+	if rr.Deleted != 1 || rr.Appended != 0 {
+		t.Fatalf("refresh after tombstone = %+v, want 1 deleted", rr)
+	}
+
+	// Shared validation with /v1/append: both or neither body form is 400,
+	// and a tombstone for an absent tuple is 400 with a clear error.
+	if resp := postJSON(t, ts, "/v1/delete", appendRequest{}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty delete body: %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts, "/v1/delete", appendRequest{
+		Rows:   [][]string{{"oslo", "pen", "2025"}},
+		Values: [][]int32{{0, 0, 0}},
+	}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("both-forms delete body: %d, want 400", resp.StatusCode)
+	}
+	var er errorResponse
+	if resp := postJSON(t, ts, "/v1/delete", appendRequest{
+		Rows: [][]string{{"oslo", "pen", "1999"}},
+	}, &er); resp.StatusCode != http.StatusBadRequest || !strings.Contains(er.Error, "no such tuple") {
+		t.Fatalf("absent tombstone: %d %q, want 400 naming the miss", resp.StatusCode, er.Error)
+	}
+	if resp := postJSON(t, ts, "/v1/update", updateRequest{
+		OldRows:   [][]string{{"oslo", "pen", "2025"}},
+		NewRows:   [][]string{{"oslo", "pen", "2026"}},
+		OldValues: [][]int32{{0, 0, 0}},
+		NewValues: [][]int32{{0, 0, 1}},
+	}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed-form update body: %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts, "/v1/update", updateRequest{
+		OldRows: [][]string{{"oslo", "pen", "2025"}},
+		NewRows: [][]string{},
+	}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched update arity: %d, want 400", resp.StatusCode)
+	}
+
+	// Stats count the new endpoints and no rate limiting happened.
+	var st statsResponse
+	getJSON(t, ts, "/v1/stats", &st)
+	if st.Requests["delete"] != 5 || st.Requests["update"] != 3 {
+		t.Fatalf("request counters = %+v", st.Requests)
+	}
+	if st.RateLimited != 0 {
+		t.Fatalf("rate_limited = %d on an unlimited server", st.RateLimited)
+	}
+}
+
+// TestMutateStaticCubeConflict pins 409 for delete/update against a
+// snapshot-loaded cube, like append.
+func TestMutateStaticCubeConflict(t *testing.T) {
+	cube, _ := testCube(t, 1)
+	path := saveTo(t, cube)
+	loaded, err := buildCube(path, "", "", "", "auto", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(loaded, path, 0))
+	defer ts.Close()
+	if resp := postJSON(t, ts, "/v1/delete", appendRequest{Rows: [][]string{{"oslo", "pen", "2025"}}}, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("delete on static cube: %d, want 409", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts, "/v1/update", updateRequest{
+		OldRows: [][]string{{"oslo", "pen", "2025"}},
+		NewRows: [][]string{{"oslo", "ink", "2025"}},
+	}, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("update on static cube: %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestRateLimit pins the token bucket on mutating endpoints: burst spends,
+// over-budget mutations get 429 with a Retry-After hint, read endpoints
+// stay unlimited, and /v1/stats counts the turn-aways.
+func TestRateLimit(t *testing.T) {
+	cube, _ := testCube(t, 1)
+	// 0.001 tokens/second, burst 1: the first mutation passes, every further
+	// one inside the test window is turned away.
+	ts := httptest.NewServer(newMux(cube, "", 0.001))
+	defer ts.Close()
+
+	if resp := postJSON(t, ts, "/v1/refresh", struct{}{}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first mutation: %d, want 200 (burst)", resp.StatusCode)
+	}
+	rejected := 0
+	for _, call := range []func() *http.Response{
+		func() *http.Response { return postJSON(t, ts, "/v1/refresh", struct{}{}, nil) },
+		func() *http.Response {
+			return postJSON(t, ts, "/v1/append", appendRequest{Rows: [][]string{{"oslo", "pen", "2025"}}}, nil)
+		},
+		func() *http.Response {
+			return postJSON(t, ts, "/v1/delete", appendRequest{Rows: [][]string{{"oslo", "pen", "2025"}}}, nil)
+		},
+		func() *http.Response {
+			return postJSON(t, ts, "/v1/update", updateRequest{
+				OldRows: [][]string{{"oslo", "pen", "2025"}}, NewRows: [][]string{{"oslo", "ink", "2025"}},
+			}, nil)
+		},
+		func() *http.Response { return postJSON(t, ts, "/v1/reload", reloadRequest{}, nil) },
+	} {
+		resp := call()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("over-budget mutation: %d, want 429", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+		rejected++
+	}
+	// Reads are never limited.
+	for i := 0; i < 5; i++ {
+		var qr queryResponse
+		if resp := getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,*,*"), &qr); resp.StatusCode != http.StatusOK {
+			t.Fatalf("read under rate limit: %d", resp.StatusCode)
+		}
+	}
+	var st statsResponse
+	getJSON(t, ts, "/v1/stats", &st)
+	if st.RateLimited != int64(rejected) {
+		t.Fatalf("rate_limited = %d, want %d", st.RateLimited, rejected)
+	}
+	// The bucket's arithmetic: a sub-token balance reports the wait until
+	// the next whole token.
+	b := newTokenBucket(2)
+	for ok := true; ok; ok, _ = b.take() {
+	}
+	if ok, retry := b.take(); ok || retry <= 0 {
+		t.Fatalf("drained bucket take = (%v, %v), want a positive wait", ok, retry)
+	}
+}
+
+// saveTo writes a cube snapshot into a temp file and returns the path.
+func saveTo(t *testing.T, cube *ccubing.Cube) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "cube*.ccube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return f.Name()
+}

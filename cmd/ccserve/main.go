@@ -20,15 +20,20 @@
 //	POST /v1/slice  {"cell": [...], "limit": 50}
 //	GET  /v1/aggregate                  predicate group-by / top-k
 //	POST /v1/append                     buffer rows for refresh (JSON or NDJSON)
+//	POST /v1/delete                     buffer tombstones (same shapes)
+//	POST /v1/update                     buffer atomic delete+append pairs
 //	POST /v1/refresh                    fold the delta in (partition-scoped)
 //	POST /v1/reload                     warm snapshot reload
 //	GET  /v1/stats                      generation, backlog, latency, counters
 //
 // Cubes built from data (-csv/-synth/-weather) are live: /v1/append buffers
-// tuples and /v1/refresh (or -refresh-rows / -refresh-interval) folds them
-// in by recomputing only the touched leading-dimension partitions and
-// swapping the store atomically. The server shuts down gracefully on
-// SIGINT/SIGTERM, draining in-flight requests for up to 10 seconds.
+// tuples, /v1/delete and /v1/update buffer tombstones and replacements, and
+// /v1/refresh (or -refresh-rows / -refresh-interval) folds them in by
+// recomputing only the touched leading-dimension partitions and swapping
+// the store atomically. -rate bounds the mutating endpoints to that many
+// requests per second (token bucket; over-budget calls get 429 with
+// Retry-After). The server shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight requests for up to 10 seconds.
 package main
 
 import (
@@ -59,11 +64,15 @@ func main() {
 		minsup   = flag.Int64("minsup", 1, "iceberg threshold on count")
 		workers  = flag.Int("workers", 1, "engine goroutines (0/1 = sequential, n>1 = n workers, negative = all CPU cores)")
 
-		refreshRows  = flag.Int("refresh-rows", 0, "auto-refresh when the append backlog reaches this many rows (0 = off)")
+		refreshRows  = flag.Int("refresh-rows", 0, "auto-refresh when the delta backlog reaches this many rows (0 = off)")
 		refreshEvery = flag.Duration("refresh-interval", 0, "auto-refresh on this period (0 = off)")
-		walPath      = flag.String("wal", "", "write-ahead log for pending (unrefreshed) appends; refreshed rows persist only via snapshots")
+		walPath      = flag.String("wal", "", "write-ahead log for pending (unrefreshed) delta rows; refreshed rows persist only via snapshots")
+		rate         = flag.Float64("rate", 0, "token-bucket limit on mutating endpoints (append/delete/update/refresh/reload), requests per second (0 = unlimited)")
 	)
 	flag.Parse()
+	if *rate < 0 {
+		fatal(fmt.Errorf("negative -rate %g", *rate))
+	}
 
 	cube, err := buildCube(*snapshot, *csvPath, *synth, *weather, *algName, *minsup, *workers)
 	if err != nil {
@@ -87,7 +96,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(cube, *snapshot),
+		Handler:           newMux(cube, *snapshot, *rate),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -72,7 +72,7 @@ func postJSON(t *testing.T, ts *httptest.Server, path string, body, out any) *ht
 // the integration path of the acceptance criteria.
 func TestServeEndToEnd(t *testing.T) {
 	cube, ds := testCube(t, 1)
-	ts := httptest.NewServer(newMux(cube, ""))
+	ts := httptest.NewServer(newMux(cube, "", 0))
 	defer ts.Close()
 
 	if resp := getJSON(t, ts, "/healthz", nil); resp.StatusCode != http.StatusOK {
@@ -218,7 +218,7 @@ func TestServeFromSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(loaded, ""))
+	ts := httptest.NewServer(newMux(loaded, "", 0))
 	defer ts.Close()
 	var qr queryResponse
 	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,pen,*"), &qr)
@@ -253,7 +253,7 @@ func TestServeCodedCube(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(cube, ""))
+	ts := httptest.NewServer(newMux(cube, "", 0))
 	defer ts.Close()
 	var qr queryResponse
 	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("0,*,*"), &qr)
@@ -271,7 +271,7 @@ func TestServeCodedCube(t *testing.T) {
 // the integration path of the acceptance criteria.
 func TestAggregateEndpoint(t *testing.T) {
 	cube, ds := testCube(t, 1)
-	ts := httptest.NewServer(newMux(cube, ""))
+	ts := httptest.NewServer(newMux(cube, "", 0))
 	defer ts.Close()
 	tb := ds.Table()
 
@@ -301,6 +301,9 @@ func TestAggregateEndpoint(t *testing.T) {
 	if len(ar.Rows) != len(wantByCity) {
 		t.Fatalf("aggregate rows = %+v, want %d groups", ar.Rows, len(wantByCity))
 	}
+	if !ar.Exact {
+		t.Fatal("minsup-1 aggregate must report exact")
+	}
 	for _, row := range ar.Rows {
 		if want := wantByCity[row.Cell[0]]; row.Count != want {
 			t.Fatalf("group %v = %d, want %d", row.Cell, row.Count, want)
@@ -324,6 +327,17 @@ func TestAggregateEndpoint(t *testing.T) {
 	postJSON(t, ts, "/v1/aggregate", aggregateRequest{Where: []string{"*", "pen|ink", "2024..2025"}}, &tot)
 	if len(tot.Rows) != 1 || tot.Rows[0].Count != total {
 		t.Fatalf("grand total = %+v, want %d", tot.Rows, total)
+	}
+
+	// On an iceberg cube the same query reports exact=false: combinations
+	// below the threshold are absent and counts are lower bounds.
+	iceberg, _ := testCube(t, 3)
+	its := httptest.NewServer(newMux(iceberg, "", 0))
+	defer its.Close()
+	var iar aggregateResponse
+	postJSON(t, its, "/v1/aggregate", aggregateRequest{GroupBy: []string{"city"}}, &iar)
+	if iar.Exact {
+		t.Fatal("iceberg aggregate must report exact=false")
 	}
 
 	// Bad requests are 400.
@@ -353,7 +367,7 @@ func TestValuesValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(cube, ""))
+	ts := httptest.NewServer(newMux(cube, "", 0))
 	defer ts.Close()
 
 	// POST with a negative non-Star entry: 400, not a silent miss.

@@ -22,7 +22,7 @@ import (
 // checks the served counts track the grown relation.
 func TestAppendRefreshEndToEnd(t *testing.T) {
 	cube, _ := testCube(t, 1)
-	ts := httptest.NewServer(newMux(cube, ""))
+	ts := httptest.NewServer(newMux(cube, "", 0))
 	defer ts.Close()
 
 	var before queryResponse
@@ -94,7 +94,7 @@ func TestAppendRefreshEndToEnd(t *testing.T) {
 // TestAppendNDJSONEndpoint streams NDJSON rows through /v1/append.
 func TestAppendNDJSONEndpoint(t *testing.T) {
 	cube, _ := testCube(t, 1)
-	ts := httptest.NewServer(newMux(cube, ""))
+	ts := httptest.NewServer(newMux(cube, "", 0))
 	defer ts.Close()
 	body := "[\"oslo\",\"pen\",\"2025\"]\n[\"oslo\",\"pen\",\"2025\"]\n"
 	resp, err := ts.Client().Post(ts.URL+"/v1/append", "application/x-ndjson", strings.NewReader(body))
@@ -135,7 +135,7 @@ func TestStaticCubeConflicts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(loaded, path))
+	ts := httptest.NewServer(newMux(loaded, path, 0))
 	defer ts.Close()
 	if resp := postJSON(t, ts, "/v1/append", appendRequest{Values: [][]int32{{0, 0, 0}}}, nil); resp.StatusCode != http.StatusConflict {
 		t.Fatalf("append on static cube: %d, want 409", resp.StatusCode)
@@ -180,7 +180,7 @@ func TestReloadEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(served, stale))
+	ts := httptest.NewServer(newMux(served, stale, 0))
 	defer ts.Close()
 
 	// Reload the fresher snapshot by explicit path.
@@ -204,7 +204,7 @@ func TestReloadEndpoint(t *testing.T) {
 
 	// A reload over a live cube with buffered appends is rejected without
 	// force (the backlog would be silently discarded).
-	liveTS := httptest.NewServer(newMux(cube, fresher))
+	liveTS := httptest.NewServer(newMux(cube, fresher, 0))
 	defer liveTS.Close()
 	var ar appendResponse
 	postJSON(t, liveTS, "/v1/append", appendRequest{Rows: [][]string{{"oslo", "pen", "2031"}}}, &ar)
@@ -252,13 +252,15 @@ func TestReloadEndpoint(t *testing.T) {
 // endpoint.
 func TestMethodNotAllowed(t *testing.T) {
 	cube, _ := testCube(t, 1)
-	ts := httptest.NewServer(newMux(cube, ""))
+	ts := httptest.NewServer(newMux(cube, "", 0))
 	defer ts.Close()
 	for _, tc := range []struct{ method, path string }{
 		{http.MethodDelete, "/v1/query"},
 		{http.MethodPut, "/v1/slice"},
 		{http.MethodDelete, "/v1/aggregate"},
 		{http.MethodGet, "/v1/append"},
+		{http.MethodGet, "/v1/delete"},
+		{http.MethodGet, "/v1/update"},
 		{http.MethodGet, "/v1/refresh"},
 		{http.MethodGet, "/v1/reload"},
 		{http.MethodPost, "/v1/stats"},
@@ -285,7 +287,7 @@ func TestMethodNotAllowed(t *testing.T) {
 // TestOversizedBody pins 413 via http.MaxBytesReader on the POST endpoints.
 func TestOversizedBody(t *testing.T) {
 	cube, _ := testCube(t, 1)
-	ts := httptest.NewServer(newMux(cube, ""))
+	ts := httptest.NewServer(newMux(cube, "", 0))
 	defer ts.Close()
 	// A > 1 MiB query body blows the ceiling mid-decode.
 	big := `{"cell": ["` + strings.Repeat("x", maxQueryBody+1024) + `","*","*"]}`

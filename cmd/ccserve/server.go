@@ -6,28 +6,88 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"ccubing"
 )
 
-// server wraps a cube with the HTTP query-and-refresh surface. The cube
+// server wraps a cube with the HTTP query-and-mutate surface. The cube
 // itself swaps its store atomically on refresh; the server-level pointer
 // additionally swaps the whole cube on a warm snapshot reload. Handlers load
 // the pointer once per request, so every answer comes from one cube and one
 // generation.
 type server struct {
 	cube     atomic.Pointer[ccubing.Cube]
-	snapshot string    // -snapshot path, the default /v1/reload source
-	start    time.Time // process start, for /v1/stats uptime
+	snapshot string       // -snapshot path, the default /v1/reload source
+	start    time.Time    // process start, for /v1/stats uptime
+	limiter  *tokenBucket // rate limit on mutating endpoints; nil = unlimited
 
 	// Per-endpoint request counters, exposed by /v1/stats.
-	nCube, nQuery, nSlice, nAggregate, nAppend, nRefresh, nReload, nStats atomic.Int64
+	nCube, nQuery, nSlice, nAggregate, nAppend, nDelete, nUpdate, nRefresh, nReload, nStats atomic.Int64
+	nRateLimited                                                                            atomic.Int64
+}
+
+// tokenBucket rate-limits the mutating endpoints: rate tokens/second refill
+// a bucket of burst capacity; a request spends one token or is turned away
+// with the time until the next one.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64) *tokenBucket {
+	burst := math.Ceil(rate)
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// take spends one token, or reports how long until one accrues.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// allowMutation gates a mutating request through the token bucket; on
+// rejection it writes 429 with a Retry-After hint and counts the turn-away.
+func (s *server) allowMutation(w http.ResponseWriter) bool {
+	if s.limiter == nil {
+		return true
+	}
+	ok, retry := s.limiter.take()
+	if ok {
+		return true
+	}
+	s.nRateLimited.Add(1)
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, fmt.Errorf("rate limit exceeded; retry in %ds", secs))
+	return false
 }
 
 // Request-body ceilings: queries are small; appends carry batches of rows.
@@ -53,6 +113,11 @@ const (
 //	POST /v1/append     {"rows": [["a","b"],...]} or {"values": [[1,2],...]},
 //	                    optional "aux": [...] and "refresh": true — or an
 //	                    application/x-ndjson stream, one tuple per line
+//	POST /v1/delete     same body shapes as /v1/append; each tuple is a
+//	                    tombstone removing one matching occurrence
+//	POST /v1/update     {"old_rows": [...], "new_rows": [...]} (labels) or
+//	                    {"old_values": [...], "new_values": [...]} (codes),
+//	                    optional "old_aux"/"new_aux" and "refresh": true
 //	POST /v1/refresh    fold the buffered delta in (partition-scoped)
 //	POST /v1/reload     {"path": "..."} warm snapshot reload (defaults to the
 //	                    -snapshot path); validated against the serving cube
@@ -60,9 +125,14 @@ const (
 //	                    query counters
 //
 // Wrong-method hits on the v1 endpoints get 405 with an Allow header (the
-// Go 1.22 ServeMux method-pattern contract).
-func newMux(cube *ccubing.Cube, snapshotPath string) *http.ServeMux {
+// Go 1.22 ServeMux method-pattern contract). Mutating endpoints (append,
+// delete, update, refresh, reload) share a token bucket of rate requests
+// per second (0 = unlimited); over-budget requests get 429 with Retry-After.
+func newMux(cube *ccubing.Cube, snapshotPath string, rate float64) *http.ServeMux {
 	s := &server{snapshot: snapshotPath, start: time.Now()}
+	if rate > 0 {
+		s.limiter = newTokenBucket(rate)
+	}
 	s.cube.Store(cube)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -77,6 +147,8 @@ func newMux(cube *ccubing.Cube, snapshotPath string) *http.ServeMux {
 	mux.HandleFunc("GET /v1/aggregate", s.handleAggregate)
 	mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
 	mux.HandleFunc("POST /v1/append", s.handleAppend)
+	mux.HandleFunc("POST /v1/delete", s.handleDelete)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -312,6 +384,9 @@ type aggregateRow struct {
 
 type aggregateResponse struct {
 	Rows []aggregateRow `json:"rows"`
+	// Exact is false on iceberg cubes (minsup > 1), where combinations below
+	// the threshold are absent and every aggregate is a lower bound.
+	Exact bool `json:"exact"`
 }
 
 func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
@@ -369,12 +444,12 @@ func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rows, err := cube.Aggregate(spec, opt)
+	rows, exact, err := cube.Aggregate(spec, opt)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := aggregateResponse{Rows: make([]aggregateRow, 0, len(rows))}
+	resp := aggregateResponse{Rows: make([]aggregateRow, 0, len(rows)), Exact: exact}
 	for _, c := range rows {
 		row := aggregateRow{Cell: cube.Labels(c.Values), Count: c.Count}
 		if cube.HasMeasure() {
@@ -386,9 +461,10 @@ func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// appendRequest is the JSON body of /v1/append. Exactly one of Rows (labels)
-// and Values (dictionary codes) must be set; Aux carries one measure value
-// per row on measure cubes; Refresh folds the delta in before responding.
+// appendRequest is the JSON body of /v1/append and /v1/delete. Exactly one
+// of Rows (labels) and Values (dictionary codes) must be set; Aux carries
+// one measure value per row on measure cubes; Refresh folds the delta in
+// before responding.
 type appendRequest struct {
 	Rows    [][]string `json:"rows,omitempty"`
 	Values  [][]int32  `json:"values,omitempty"`
@@ -405,23 +481,51 @@ type appendResponse struct {
 	Refreshed bool `json:"refreshed"`
 }
 
+type deleteResponse struct {
+	Deleted    int    `json:"deleted"`
+	Backlog    int    `json:"backlog"`
+	Generation uint64 `json:"generation"`
+	Refreshed  bool   `json:"refreshed"`
+}
+
 func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	s.nAppend.Add(1)
+	s.mutateRows(w, r, false)
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.nDelete.Add(1)
+	s.mutateRows(w, r, true)
+}
+
+// mutateRows is the shared body of /v1/append and /v1/delete: same request
+// shapes (JSON batch or NDJSON stream), same validation, same size ceiling —
+// tombstone selects whether tuples join or leave the relation.
+func (s *server) mutateRows(w http.ResponseWriter, r *http.Request, tombstone bool) {
+	if !s.allowMutation(w) {
+		return
+	}
 	cube := s.cube.Load()
 	if !cube.Refreshable() {
-		writeError(w, http.StatusConflict, fmt.Errorf("cube is static (snapshot-loaded); serve from data to append"))
+		writeError(w, http.StatusConflict, fmt.Errorf("cube is static (snapshot-loaded); serve from data to mutate"))
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxAppendBody)
 	genBefore := cube.Generation()
-	var appended int
+	var count int
 	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "ndjson") {
-		n, err := cube.AppendNDJSON(r.Body)
+		var n int
+		var err error
+		if tombstone {
+			n, err = cube.DeleteNDJSON(r.Body)
+		} else {
+			n, err = cube.AppendNDJSON(r.Body)
+		}
 		if err != nil {
 			writeError(w, decodeStatus(err), err)
 			return
 		}
-		appended = n
+		count = n
 	} else {
 		var req appendRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -434,16 +538,21 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		var n int
 		var err error
-		if req.Rows != nil {
+		switch {
+		case req.Rows != nil && tombstone:
+			n, err = cube.DeleteLabels(req.Rows, req.Aux)
+		case req.Rows != nil:
 			n, err = cube.Append(req.Rows, req.Aux)
-		} else {
+		case tombstone:
+			n, err = cube.Delete(req.Values, req.Aux)
+		default:
 			n, err = cube.AppendValues(req.Values, req.Aux)
 		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeMutateError(w, n, err)
 			return
 		}
-		appended = n
+		count = n
 		if req.Refresh {
 			if _, err := cube.Refresh(); err != nil {
 				writeError(w, http.StatusInternalServerError, err)
@@ -452,8 +561,88 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	gen := cube.Generation()
+	if tombstone {
+		writeJSON(w, http.StatusOK, deleteResponse{
+			Deleted:    count,
+			Backlog:    cube.Backlog(),
+			Generation: gen,
+			Refreshed:  gen != genBefore,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, appendResponse{
-		Appended:   appended,
+		Appended:   count,
+		Backlog:    cube.Backlog(),
+		Generation: gen,
+		Refreshed:  gen != genBefore,
+	})
+}
+
+// updateRequest is the JSON body of /v1/update: parallel old/new batches in
+// exactly one of the labeled (old_rows/new_rows) and coded
+// (old_values/new_values) forms, with per-row measure values on measure
+// cubes. Each pair atomically replaces one occurrence of the old tuple with
+// the new one on the next refresh.
+type updateRequest struct {
+	OldRows   [][]string `json:"old_rows,omitempty"`
+	NewRows   [][]string `json:"new_rows,omitempty"`
+	OldValues [][]int32  `json:"old_values,omitempty"`
+	NewValues [][]int32  `json:"new_values,omitempty"`
+	OldAux    []float64  `json:"old_aux,omitempty"`
+	NewAux    []float64  `json:"new_aux,omitempty"`
+	Refresh   bool       `json:"refresh,omitempty"`
+}
+
+type updateResponse struct {
+	Updated    int    `json:"updated"`
+	Backlog    int    `json:"backlog"`
+	Generation uint64 `json:"generation"`
+	Refreshed  bool   `json:"refreshed"`
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	s.nUpdate.Add(1)
+	if !s.allowMutation(w) {
+		return
+	}
+	cube := s.cube.Load()
+	if !cube.Refreshable() {
+		writeError(w, http.StatusConflict, fmt.Errorf("cube is static (snapshot-loaded); serve from data to mutate"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxAppendBody)
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, decodeStatus(err), fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	labeled := req.OldRows != nil || req.NewRows != nil
+	coded := req.OldValues != nil || req.NewValues != nil
+	if labeled == coded {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`exactly one of "old_rows"/"new_rows" and "old_values"/"new_values" is required`))
+		return
+	}
+	genBefore := cube.Generation()
+	var n int
+	var err error
+	if labeled {
+		n, err = cube.UpdateLabels(req.OldRows, req.NewRows, req.OldAux, req.NewAux)
+	} else {
+		n, err = cube.Update(req.OldValues, req.NewValues, req.OldAux, req.NewAux)
+	}
+	if err != nil {
+		writeMutateError(w, n, err)
+		return
+	}
+	if req.Refresh {
+		if _, err := cube.Refresh(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	gen := cube.Generation()
+	writeJSON(w, http.StatusOK, updateResponse{
+		Updated:    n,
 		Backlog:    cube.Backlog(),
 		Generation: gen,
 		Refreshed:  gen != genBefore,
@@ -463,6 +652,7 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 type refreshResponse struct {
 	Generation           uint64  `json:"generation"`
 	Appended             int     `json:"appended"`
+	Deleted              int     `json:"deleted"`
 	PartitionsRecomputed int     `json:"partitions_recomputed"`
 	PartitionsTotal      int     `json:"partitions_total"`
 	CellsRetained        int64   `json:"cells_retained"`
@@ -472,6 +662,9 @@ type refreshResponse struct {
 
 func (s *server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	s.nRefresh.Add(1)
+	if !s.allowMutation(w) {
+		return
+	}
 	cube := s.cube.Load()
 	if !cube.Refreshable() {
 		writeError(w, http.StatusConflict, fmt.Errorf("cube is static (snapshot-loaded); serve from data to refresh"))
@@ -485,6 +678,7 @@ func (s *server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, refreshResponse{
 		Generation:           st.Generation,
 		Appended:             st.Appended,
+		Deleted:              st.Deleted,
 		PartitionsRecomputed: st.PartitionsRecomputed,
 		PartitionsTotal:      st.PartitionsTotal,
 		CellsRetained:        st.CellsRetained,
@@ -516,6 +710,9 @@ type reloadResponse struct {
 // regress the generation; in-flight queries finish on the old cube.
 func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.nReload.Add(1)
+	if !s.allowMutation(w) {
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
 	var req reloadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
@@ -574,6 +771,7 @@ type statsResponse struct {
 	LastRefreshMs    float64          `json:"last_refresh_ms"`
 	LastRefreshError string           `json:"last_refresh_error,omitempty"`
 	UptimeMs         int64            `json:"uptime_ms"`
+	RateLimited      int64            `json:"rate_limited"`
 	Requests         map[string]int64 `json:"requests"`
 }
 
@@ -591,17 +789,34 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LastRefreshMs:    float64(m.Last.Elapsed.Microseconds()) / 1000,
 		LastRefreshError: m.LastError,
 		UptimeMs:         time.Since(s.start).Milliseconds(),
+		RateLimited:      s.nRateLimited.Load(),
 		Requests: map[string]int64{
 			"cube":      s.nCube.Load(),
 			"query":     s.nQuery.Load(),
 			"slice":     s.nSlice.Load(),
 			"aggregate": s.nAggregate.Load(),
 			"append":    s.nAppend.Load(),
+			"delete":    s.nDelete.Load(),
+			"update":    s.nUpdate.Load(),
 			"refresh":   s.nRefresh.Load(),
 			"reload":    s.nReload.Load(),
 			"stats":     s.nStats.Load(),
 		},
 	})
+}
+
+// writeMutateError reports a failed JSON-batch mutation. Batch validation is
+// all-or-nothing, so n > 0 with an error means the rows ARE buffered and the
+// failure was the threshold-triggered refresh — a server-side 500 naming the
+// buffered count, so clients don't retry and double-buffer the batch. n == 0
+// is the usual request rejection.
+func writeMutateError(w http.ResponseWriter, n int, err error) {
+	if n > 0 {
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("%d rows buffered, but the triggered refresh failed (do not resend the batch): %w", n, err))
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 // decodeStatus maps a request-parsing error to its HTTP status: 413 when the

@@ -8,6 +8,7 @@
 //	ccube -weather 100000,8 -minsup 10 -closed -rules
 //	ccube -csv data.csv -minsup 10 -store cube.ccube -quiet
 //	ccube -csv data.csv -append delta.ndjson -refresh-every 500 -store cube.ccube
+//	ccube -csv data.csv -delete gone.ndjson -store cube.ccube
 //
 // Output rows are "v0,v1,*,v3,count"; a summary line goes to stderr. -store
 // materializes the closed cube (implying -closed) and writes a snapshot that
@@ -15,7 +16,9 @@
 // (one tuple per line: an array of labels or coded values, or
 // {"row": [...], "aux": x}) into the materialized cube and folds it in with
 // partition-scoped incremental refresh before any output; -refresh-every N
-// refreshes every N appended rows instead of once at the end.
+// refreshes every N appended rows instead of once at the end. -delete
+// streams tombstones in the same format — each tuple removes one matching
+// occurrence — and may combine with -append (appends fold first).
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 		workers = flag.Int("workers", 1, "engine goroutines (0/1 = sequential, n>1 = n workers, negative = all CPU cores)")
 		store   = flag.String("store", "", "materialize the closed cube and write a snapshot to this path (implies -closed)")
 		appnd   = flag.String("append", "", "NDJSON file of rows to append and fold in with incremental refresh before output (implies -closed)")
+		del     = flag.String("delete", "", "NDJSON file of tombstones to fold in with incremental refresh before output (implies -closed; each tuple removes one matching occurrence)")
 		every   = flag.Int("refresh-every", 0, "with -append: refresh every N appended rows instead of once at the end")
 		sel     = flag.String("select", "", "sub-cube selection, one predicate per dimension: * | value | lo..hi | a|b|c (implies -closed; output is the matching closed cells, or aggregate rows with -groupby/-topk)")
 		groupBy = flag.String("groupby", "", "comma-separated dimension names (or indices) to group the -select result by")
@@ -71,7 +75,7 @@ func main() {
 	}
 	opt := ccubing.Options{
 		MinSup:    *minsup,
-		Closed:    *closed || *store != "" || *sel != "" || *appnd != "",
+		Closed:    *closed || *store != "" || *sel != "" || *appnd != "" || *del != "",
 		Algorithm: alg,
 		Order:     ord,
 		Workers:   *workers, // library convention: 0/1 sequential, negative = NumCPU
@@ -82,7 +86,7 @@ func main() {
 	var cells []ccubing.Cell
 	var st ccubing.Stats
 	tuples := ds.NumTuples()
-	if *store != "" || *sel != "" || *appnd != "" {
+	if *store != "" || *sel != "" || *appnd != "" || *del != "" {
 		// Materialize into the serving store; snapshot, query and the
 		// streamed output (and rule input) all derive from the stored cells.
 		cube, err := ccubing.Materialize(ds, opt)
@@ -92,7 +96,12 @@ func main() {
 		if *appnd != "" {
 			// Fold the delta in before any output, so the snapshot and the
 			// streamed cells describe the refreshed cube.
-			if err := runAppend(cube, *appnd, *every); err != nil {
+			if err := runMutate(cube, *appnd, *every, false); err != nil {
+				fatal(err)
+			}
+		}
+		if *del != "" {
+			if err := runMutate(cube, *del, *every, true); err != nil {
 				fatal(err)
 			}
 		}
@@ -122,7 +131,7 @@ func main() {
 			})
 		}
 		st = cube.Stats()
-		if *appnd != "" {
+		if *appnd != "" || *del != "" {
 			// The summary describes the refreshed cube, not the initial build.
 			tuples = int(cube.SourceRows())
 			st.Cells = cube.NumCells()
@@ -163,11 +172,12 @@ func main() {
 	}
 }
 
-// runAppend streams the NDJSON delta file into the cube and folds it in:
-// with every > 0 a refresh fires inside each append that reaches that many
-// buffered rows (the incremental serving cadence); the final refresh folds
-// the remainder. Per-refresh stats go to stderr.
-func runAppend(cube *ccubing.Cube, path string, every int) error {
+// runMutate streams the NDJSON delta file into the cube — appended tuples,
+// or tombstones with tombstone set — and folds it in: with every > 0 a
+// refresh fires inside each batch that reaches that many buffered rows (the
+// incremental serving cadence); the final refresh folds the remainder.
+// Per-refresh stats go to stderr.
+func runMutate(cube *ccubing.Cube, path string, every int, tombstone bool) error {
 	if every < 0 {
 		return fmt.Errorf("negative -refresh-every %d", every)
 	}
@@ -182,7 +192,14 @@ func runAppend(cube *ccubing.Cube, path string, every int) error {
 	}
 	defer f.Close()
 	gen := cube.Generation()
-	n, err := cube.AppendNDJSON(bufio.NewReader(f))
+	verb := "appended"
+	var n int
+	if tombstone {
+		verb = "deleted"
+		n, err = cube.DeleteNDJSON(bufio.NewReader(f))
+	} else {
+		n, err = cube.AppendNDJSON(bufio.NewReader(f))
+	}
 	if err != nil {
 		return err
 	}
@@ -190,8 +207,8 @@ func runAppend(cube *ccubing.Cube, path string, every int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "ccube: appended %d rows in %d refreshes; generation=%d partitions=%d/%d retained=%d rebuilt=%d last=%s\n",
-		n, st.Generation-gen, st.Generation, st.PartitionsRecomputed, st.PartitionsTotal,
+	fmt.Fprintf(os.Stderr, "ccube: %s %d rows in %d refreshes; generation=%d partitions=%d/%d retained=%d rebuilt=%d last=%s\n",
+		verb, n, st.Generation-gen, st.Generation, st.PartitionsRecomputed, st.PartitionsTotal,
 		st.CellsRetained, st.CellsRebuilt, st.Elapsed.Round(time.Microsecond))
 	return nil
 }
@@ -228,7 +245,7 @@ func runSelect(w *bufio.Writer, cube *ccubing.Cube, sel, groupBy string, topk in
 	if groupBy != "" {
 		opt.GroupBy = strings.Split(groupBy, ",")
 	}
-	rows, err := cube.Aggregate(spec, opt)
+	rows, exact, err := cube.Aggregate(spec, opt)
 	if err != nil {
 		return err
 	}
@@ -237,7 +254,11 @@ func runSelect(w *bufio.Writer, cube *ccubing.Cube, sel, groupBy string, topk in
 			writeCell(w, c)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "ccube: aggregate produced %d rows\n", len(rows))
+	note := ""
+	if !exact {
+		note = " (iceberg cube: counts are lower bounds)"
+	}
+	fmt.Fprintf(os.Stderr, "ccube: aggregate produced %d rows%s\n", len(rows), note)
 	return nil
 }
 

@@ -146,7 +146,7 @@ func TestRunSelect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := cube.Aggregate(aggSpec, ccubing.AggregateOptions{GroupBy: []string{"dim0"}, TopK: 2})
+	rows, _, err := cube.Aggregate(aggSpec, ccubing.AggregateOptions{GroupBy: []string{"dim0"}, TopK: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestRunAppend(t *testing.T) {
 	if err := os.WriteFile(delta, []byte(sb.String()), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runAppend(cube, delta, 10); err != nil {
+	if err := runMutate(cube, delta, 10, false); err != nil {
 		t.Fatal(err)
 	}
 	// 25 rows at -refresh-every 10: two threshold refreshes plus the final
@@ -237,7 +237,55 @@ func TestRunAppend(t *testing.T) {
 	if !ok || count < 25 {
 		t.Fatalf("appended cell = (%d,%v), want at least 25", count, ok)
 	}
-	if err := runAppend(cube, filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+	if err := runMutate(cube, filepath.Join(t.TempDir(), "missing"), 0, false); err == nil {
 		t.Fatal("missing delta file must fail")
+	}
+}
+
+// TestRunDelete drives the -delete path: an NDJSON tombstone file is folded
+// in and the served counts shrink to match the edited relation.
+func TestRunDelete(t *testing.T) {
+	ds, err := loadDataset("", "T=300,D=3,C=5,seed=12", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tombstone five copies of an existing tuple (appended first so the
+	// multiplicity is guaranteed), plus the appended remainder.
+	delta := filepath.Join(t.TempDir(), "delta.ndjson")
+	if err := os.WriteFile(delta, []byte(strings.Repeat("[1,0,2]\n", 8)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMutate(cube, delta, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	before, ok := cube.Query([]int32{1, 0, 2})
+	if !ok || before < 8 {
+		t.Fatalf("appended cell = (%d,%v), want at least 8", before, ok)
+	}
+	gone := filepath.Join(t.TempDir(), "gone.ndjson")
+	if err := os.WriteFile(gone, []byte(strings.Repeat("[1,0,2]\n", 5)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMutate(cube, gone, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	after, ok := cube.Query([]int32{1, 0, 2})
+	if !ok || after != before-5 {
+		t.Fatalf("cell after -delete = (%d,%v), want %d", after, ok, before-5)
+	}
+	if cube.Backlog() != 0 {
+		t.Fatalf("backlog = %d after runMutate", cube.Backlog())
+	}
+	// A tombstone file overdrawing the relation fails cleanly.
+	over := filepath.Join(t.TempDir(), "over.ndjson")
+	if err := os.WriteFile(over, []byte(strings.Repeat("[1,0,2]\n", 10000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMutate(cube, over, 0, true); err == nil {
+		t.Fatal("overdrawn tombstone file must fail")
 	}
 }

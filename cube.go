@@ -699,20 +699,22 @@ func (c *Cube) Select(spec QuerySpec, visit func(Cell) bool) error {
 
 // Aggregate answers a group-by query under per-dimension predicates: one row
 // per distinct value combination on the GroupBy dimensions among matching
-// tuples, carrying the exact aggregated count (and measure, combined per
-// AuxAgg). Rows fix exactly the GroupBy dimensions and arrive ranked best
-// first (ties by value, so results are deterministic); TopK truncates.
+// tuples, carrying the aggregated count (and measure, combined per AuxAgg).
+// Rows fix exactly the GroupBy dimensions and arrive ranked best first (ties
+// by value, so results are deterministic); TopK truncates.
 //
-// Counts are exact for cubes materialized at MinSup 1; on iceberg cubes,
-// combinations below the threshold are absent and the aggregates are lower
-// bounds. See the cubestore documentation for the closure-dedup execution.
-func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) ([]Cell, error) {
+// The exact result reports whether the aggregates are exact: true for cubes
+// materialized at MinSup 1, false on iceberg cubes, where combinations below
+// the threshold are absent and every aggregate is a lower bound. Serving
+// surfaces forward the flag so clients never mistake a bound for a total.
+// See the cubestore documentation for the closure-dedup execution.
+func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) (rows []Cell, exact bool, err error) {
 	ss, err := c.storeSpec(spec)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if opt.TopK < 0 {
-		return nil, fmt.Errorf("ccubing: negative top-k %d", opt.TopK)
+		return nil, false, fmt.Errorf("ccubing: negative top-k %d", opt.TopK)
 	}
 	st := c.snap()
 	sopt := cubestore.AggOptions{TopK: opt.TopK}
@@ -721,11 +723,11 @@ func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) ([]Cell, error) {
 		sopt.By = cubestore.ByCount
 	case ByAux:
 		if !st.Store.HasAux() {
-			return nil, fmt.Errorf("ccubing: cube has no measure to rank by")
+			return nil, false, fmt.Errorf("ccubing: cube has no measure to rank by")
 		}
 		sopt.By = cubestore.ByAux
 	default:
-		return nil, fmt.Errorf("ccubing: unknown order-by %d", opt.By)
+		return nil, false, fmt.Errorf("ccubing: unknown order-by %d", opt.By)
 	}
 	switch opt.AuxAgg {
 	case MeasureNone, MeasureSum:
@@ -735,25 +737,25 @@ func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) ([]Cell, error) {
 	case MeasureMax:
 		sopt.AuxAgg = cubestore.AuxMax
 	default:
-		return nil, fmt.Errorf("ccubing: measure kind %v cannot aggregate over closed cells", opt.AuxAgg)
+		return nil, false, fmt.Errorf("ccubing: measure kind %v cannot aggregate over closed cells", opt.AuxAgg)
 	}
 	seen := make(map[int]bool, len(opt.GroupBy))
 	for _, name := range opt.GroupBy {
 		d, err := c.resolveDim(name)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if !seen[d] {
 			seen[d] = true
 			sopt.GroupBy = append(sopt.GroupBy, d)
 		}
 	}
-	rows := st.Store.Aggregate(ss, sopt)
-	out := make([]Cell, len(rows))
-	for i, r := range rows {
+	srows := st.Store.Aggregate(ss, sopt)
+	out := make([]Cell, len(srows))
+	for i, r := range srows {
 		out[i] = Cell{Values: r.Values, Count: r.Count, Aux: r.Aux}
 	}
-	return out, nil
+	return out, c.minSup <= 1, nil
 }
 
 // resolveDim maps a dimension name (or decimal index) to its position.

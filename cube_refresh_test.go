@@ -454,7 +454,7 @@ func TestConcurrentQueriesDuringRefresh(t *testing.T) {
 					return
 				}
 				if rng.Intn(8) == 0 {
-					rows, err := cube.Aggregate(grandSpec, AggregateOptions{})
+					rows, _, err := cube.Aggregate(grandSpec, AggregateOptions{})
 					if err != nil || len(rows) != 1 {
 						fail("aggregate: %v rows, err %v", len(rows), err)
 						return

@@ -142,6 +142,61 @@ func TestMergePartitionsAux(t *testing.T) {
 	}
 }
 
+// TestMergePartitionsEmptyReplacement pins the tombstone regime: a replaced
+// partition may contribute no fresh cells at all (every tuple of it was
+// deleted, or iceberg pruning removed the survivors) — its old cells simply
+// vanish, cuboid groups that empty out are dropped, and the merge may even
+// produce a store with zero cells.
+func TestMergePartitionsEmptyReplacement(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.Add([]core.Value{0, 1}, 2, 0)
+	b.Add([]core.Value{1, 1}, 3, 0)
+	b.Add([]core.Value{1, 2}, 1, 0)
+	b.Add([]core.Value{core.Star, 1}, 5, 0)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition 1 vanishes with no replacements; the wildcard slice shrinks
+	// to the surviving partition's projection.
+	fresh := []core.Cell{{Values: []core.Value{core.Star, 1}, Count: 2}}
+	m, err := s.MergePartitions(0, func(v core.Value) bool { return v == 1 }, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() != 2 {
+		t.Fatalf("merged cells = %d, want 2 (retained (0,1), rebuilt (*,1))", m.NumCells())
+	}
+	if _, ok := m.Query([]core.Value{1, 1}); ok {
+		t.Fatal("vanished partition still answers")
+	}
+	if c, ok := m.Lookup([]core.Value{core.Star, 1}); !ok || c.Count != 2 {
+		t.Fatalf("wildcard slice = (%v, %v), want count 2", c, ok)
+	}
+
+	// Degenerate total wipe: every partition replaced, nothing fresh. The
+	// merged store is empty but fully functional.
+	empty, err := s.MergePartitions(0, func(core.Value) bool { return true }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumCells() != 0 || empty.NumCuboids() != 0 {
+		t.Fatalf("wiped store has %d cells in %d cuboids, want 0", empty.NumCells(), empty.NumCuboids())
+	}
+	if _, ok := empty.Query([]core.Value{core.Star, core.Star}); ok {
+		t.Fatal("empty store answered the apex")
+	}
+	// An empty store still snapshots and reloads.
+	img := storeBytes(t, empty)
+	re, err := Load(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumCells() != 0 {
+		t.Fatalf("reloaded empty store has %d cells", re.NumCells())
+	}
+}
+
 // TestMergePartitionsRejects pins the misuse errors: wrong arity, a fresh
 // cell fixing the partition dimension to an unreplaced value, duplicates.
 func TestMergePartitionsRejects(t *testing.T) {

@@ -3,6 +3,7 @@ package refresh
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -10,36 +11,66 @@ import (
 	"ccubing/internal/core"
 )
 
-// Log is the write-ahead delta buffer of a refresh Manager: appended tuples
-// accumulate in memory — and, when a WAL path is configured, in an on-disk
-// log — until a refresh folds them into the relation. The WAL makes pending
-// (not yet refreshed) appends survive a process restart: a new Manager over
-// the same base relation replays them into the buffer.
+// Log is the write-ahead delta buffer of a refresh Manager: pending delta
+// operations — appended tuples, delete tombstones, and update pairs —
+// accumulate in memory and, when a WAL path is configured, in an on-disk
+// log, until a refresh folds them into the relation. The WAL makes pending
+// (not yet refreshed) operations survive a process restart: a new Manager
+// over the same base relation replays them into the buffer.
 //
-// File format: "CCWAL\x00" magic, version byte, nd byte, hasAux byte, then
-// one record per tuple — nd little-endian uint32 values, plus a float64 bit
-// pattern when hasAux. A partial trailing record (a crash mid-append) is
-// dropped on replay, the usual write-ahead-log recovery contract. A Log is
-// not goroutine-safe; the Manager serializes access.
+// File format v2: "CCWAL\x00" magic, version byte, nd byte, hasAux byte,
+// then CRC-framed typed records. Each record is a type byte (recAppend,
+// recDelete, recUpdate), a payload of one tuple (nd little-endian uint32
+// values plus a float64 bit pattern when hasAux) — two tuples for recUpdate,
+// old then new, so an update pair is crash-atomic — and a little-endian
+// CRC32 (IEEE) of the type byte and payload. Replay stops at the first
+// record that is truncated, fails its checksum, or carries an unknown type,
+// and truncates the file there: the usual write-ahead-log recovery contract,
+// extended from "drop the torn tail" to "drop the corrupt tail".
+//
+// Version-1 files (fixed-size append-only records, no CRC) still replay;
+// the Manager rewrites them in the v2 format immediately after attach. A
+// Log is not goroutine-safe; the Manager serializes access.
 type deltaLog struct {
 	nd     int
 	hasAux bool
 	vals   []core.Value // flattened, nd per row
 	aux    []float64    // parallel to rows when hasAux
+	kinds  []byte       // parallel op kinds, one of op*
 	f      *os.File
 }
 
+// In-memory op kinds, one per buffered row. An update is buffered as an
+// adjacent (opUpdateOld, opUpdateNew) pair and journaled as one recUpdate
+// record.
+const (
+	opAppend byte = iota // tuple joins the relation
+	opDelete             // tombstone: one matching occurrence leaves
+	opUpdateOld
+	opUpdateNew
+)
+
+// WAL v2 record types.
+const (
+	recAppend byte = 1
+	recDelete byte = 2
+	recUpdate byte = 3
+)
+
 const walMagic = "CCWAL\x00"
 
-// walVersion is the WAL file format version.
-const walVersion = 1
+// walVersion is the current WAL file format version.
+const walVersion = 2
+
+// walVersionV1 is the legacy append-only format, still replayable.
+const walVersionV1 = 1
 
 func newDeltaLog(nd int, hasAux bool) *deltaLog {
 	return &deltaLog{nd: nd, hasAux: hasAux}
 }
 
-// recordSize returns the byte size of one tuple record.
-func (l *deltaLog) recordSize() int {
+// tupleSize returns the byte size of one encoded tuple.
+func (l *deltaLog) tupleSize() int {
 	n := 4 * l.nd
 	if l.hasAux {
 		n += 8
@@ -48,7 +79,7 @@ func (l *deltaLog) recordSize() int {
 }
 
 // openWAL attaches an on-disk log at path, replaying any pending records
-// into the in-memory buffer (dropping a partial trailing record), and leaves
+// into the in-memory buffer (dropping a torn or corrupt tail), and leaves
 // the file open for appends. It returns the number of replayed rows.
 func (l *deltaLog) openWAL(path string) (int, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
@@ -74,8 +105,9 @@ func (l *deltaLog) openWAL(path string) (int, error) {
 	if string(head[:len(walMagic)]) != walMagic {
 		return 0, fmt.Errorf("refresh: wal: bad magic %q", head[:len(walMagic)])
 	}
-	if head[len(walMagic)] != walVersion {
-		return 0, fmt.Errorf("refresh: wal: unsupported version %d (want %d)", head[len(walMagic)], walVersion)
+	version := head[len(walMagic)]
+	if version != walVersion && version != walVersionV1 {
+		return 0, fmt.Errorf("refresh: wal: unsupported version %d (want %d or %d)", version, walVersionV1, walVersion)
 	}
 	if int(head[len(walMagic)+1]) != l.nd {
 		return 0, fmt.Errorf("refresh: wal: %d dimensions, relation has %d", head[len(walMagic)+1], l.nd)
@@ -87,27 +119,91 @@ func (l *deltaLog) openWAL(path string) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("refresh: wal: %w", err)
 	}
-	rec := l.recordSize()
-	n := len(body) / rec // partial tail (crash mid-append) is dropped
-	for i := 0; i < n; i++ {
-		off := i * rec
-		for d := 0; d < l.nd; d++ {
-			l.vals = append(l.vals, core.Value(binary.LittleEndian.Uint32(body[off+4*d:])))
-		}
-		if l.hasAux {
-			l.aux = append(l.aux, math.Float64frombits(binary.LittleEndian.Uint64(body[off+4*l.nd:])))
-		}
+	var good int // bytes of body holding fully valid records
+	var rows int
+	if version == walVersionV1 {
+		good, rows = l.replayV1(body)
+	} else {
+		good, rows = l.replayV2(body)
 	}
-	if len(body)%rec != 0 {
-		// Truncate the torn record so subsequent appends extend a valid log.
-		if err := f.Truncate(int64(len(head) + n*rec)); err != nil {
-			return n, fmt.Errorf("refresh: wal: %w", err)
+	if good < len(body) {
+		// Truncate the torn/corrupt tail so subsequent appends extend a valid
+		// log.
+		if err := f.Truncate(int64(len(head) + good)); err != nil {
+			return rows, fmt.Errorf("refresh: wal: %w", err)
 		}
 		if _, err := f.Seek(0, io.SeekEnd); err != nil {
-			return n, fmt.Errorf("refresh: wal: %w", err)
+			return rows, fmt.Errorf("refresh: wal: %w", err)
 		}
 	}
-	return n, nil
+	return rows, nil
+}
+
+// replayV1 decodes the legacy fixed-size append-only record stream,
+// returning the length of the valid prefix and the rows buffered.
+func (l *deltaLog) replayV1(body []byte) (good, rows int) {
+	rec := l.tupleSize()
+	n := len(body) / rec // partial tail (crash mid-append) is dropped
+	for i := 0; i < n; i++ {
+		l.decodeTuple(body[i*rec:])
+		l.kinds = append(l.kinds, opAppend)
+	}
+	return n * rec, n
+}
+
+// replayV2 decodes the CRC-framed typed record stream, returning the length
+// of the valid prefix and the rows buffered. Decoding stops at the first
+// truncated record, checksum mismatch, or unknown record type.
+func (l *deltaLog) replayV2(body []byte) (good, rows int) {
+	ts := l.tupleSize()
+	off := 0
+	for off < len(body) {
+		var payload int
+		switch body[off] {
+		case recAppend, recDelete:
+			payload = ts
+		case recUpdate:
+			payload = 2 * ts
+		default:
+			return off, rows // unknown type: corrupt tail
+		}
+		end := off + 1 + payload + 4
+		if end > len(body) {
+			return off, rows // truncated record
+		}
+		sum := crc32.ChecksumIEEE(body[off : off+1+payload])
+		if sum != binary.LittleEndian.Uint32(body[off+1+payload:]) {
+			return off, rows // torn or corrupt record
+		}
+		switch body[off] {
+		case recAppend:
+			l.decodeTuple(body[off+1:])
+			l.kinds = append(l.kinds, opAppend)
+			rows++
+		case recDelete:
+			l.decodeTuple(body[off+1:])
+			l.kinds = append(l.kinds, opDelete)
+			rows++
+		case recUpdate:
+			l.decodeTuple(body[off+1:])
+			l.decodeTuple(body[off+1+ts:])
+			l.kinds = append(l.kinds, opUpdateOld, opUpdateNew)
+			rows += 2
+		}
+		off = end
+	}
+	return off, rows
+}
+
+// decodeTuple appends one encoded tuple (values, then the aux bit pattern
+// when hasAux) to the in-memory buffer.
+func (l *deltaLog) decodeTuple(b []byte) {
+	for d := 0; d < l.nd; d++ {
+		l.vals = append(l.vals, core.Value(binary.LittleEndian.Uint32(b[4*d:])))
+	}
+	if l.hasAux {
+		l.aux = append(l.aux, math.Float64frombits(binary.LittleEndian.Uint64(b[4*l.nd:])))
+	}
 }
 
 func (l *deltaLog) writeHeader() error {
@@ -121,20 +217,54 @@ func (l *deltaLog) writeHeader() error {
 	return nil
 }
 
-// append buffers flattened rows (len a multiple of nd), writing them through
-// to the WAL first when one is attached.
-func (l *deltaLog) append(rows []core.Value, aux []float64) error {
-	if l.f != nil {
-		buf := make([]byte, 0, len(rows)/l.nd*l.recordSize())
-		for i := 0; i < len(rows)/l.nd; i++ {
-			for d := 0; d < l.nd; d++ {
-				buf = binary.LittleEndian.AppendUint32(buf, uint32(rows[i*l.nd+d]))
-			}
-			if l.hasAux {
-				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(aux[i]))
-			}
+// encodeTuple appends one tuple's payload bytes to buf.
+func (l *deltaLog) encodeTuple(buf []byte, row int, vals []core.Value, aux []float64) []byte {
+	for d := 0; d < l.nd; d++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(vals[row*l.nd+d]))
+	}
+	if l.hasAux {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(aux[row]))
+	}
+	return buf
+}
+
+// encodeRecords frames the given rows as v2 records: one recAppend or
+// recDelete per row, with adjacent (opUpdateOld, opUpdateNew) pairs fused
+// into a single crash-atomic recUpdate.
+func (l *deltaLog) encodeRecords(rows []core.Value, aux []float64, kinds []byte) []byte {
+	ts := l.tupleSize()
+	buf := make([]byte, 0, len(kinds)*(1+ts+4))
+	for i := 0; i < len(kinds); i++ {
+		start := len(buf)
+		switch kinds[i] {
+		case opAppend:
+			buf = append(buf, recAppend)
+			buf = l.encodeTuple(buf, i, rows, aux)
+		case opDelete:
+			buf = append(buf, recDelete)
+			buf = l.encodeTuple(buf, i, rows, aux)
+		case opUpdateOld:
+			buf = append(buf, recUpdate)
+			buf = l.encodeTuple(buf, i, rows, aux)
+			i++ // the paired opUpdateNew row
+			buf = l.encodeTuple(buf, i, rows, aux)
 		}
-		if _, err := l.f.Write(buf); err != nil {
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+	}
+	return buf
+}
+
+// append buffers flattened rows (len a multiple of nd) with their op kinds
+// (one per row; nil means all opAppend), writing them through to the WAL
+// first when one is attached. An update pair must arrive as adjacent
+// (opUpdateOld, opUpdateNew) rows.
+func (l *deltaLog) append(rows []core.Value, aux []float64, kinds []byte) error {
+	n := len(rows) / l.nd
+	if kinds == nil {
+		kinds = make([]byte, n)
+	}
+	if l.f != nil {
+		if _, err := l.f.Write(l.encodeRecords(rows, aux, kinds)); err != nil {
 			return fmt.Errorf("refresh: wal: %w", err)
 		}
 	}
@@ -142,37 +272,39 @@ func (l *deltaLog) append(rows []core.Value, aux []float64) error {
 	if l.hasAux {
 		l.aux = append(l.aux, aux...)
 	}
+	l.kinds = append(l.kinds, kinds...)
 	return nil
 }
 
-// rows returns the number of buffered tuples.
+// rows returns the number of buffered delta rows (an update pair counts as
+// two).
 func (l *deltaLog) rows() int {
-	if l.nd == 0 {
-		return 0
-	}
-	return len(l.vals) / l.nd
+	return len(l.kinds)
 }
 
 // steal hands the buffered delta to a refresh and resets the buffer. The WAL
 // file is untouched until rewrite confirms the refresh published.
-func (l *deltaLog) steal() ([]core.Value, []float64) {
-	vals, aux := l.vals, l.aux
-	l.vals, l.aux = nil, nil
-	return vals, aux
+func (l *deltaLog) steal() ([]core.Value, []float64, []byte) {
+	vals, aux, kinds := l.vals, l.aux, l.kinds
+	l.vals, l.aux, l.kinds = nil, nil, nil
+	return vals, aux, kinds
 }
 
 // unsteal puts a stolen batch back in front of the buffer after a failed
 // refresh, so the delta is retried rather than lost.
-func (l *deltaLog) unsteal(rows []core.Value, aux []float64) {
+func (l *deltaLog) unsteal(rows []core.Value, aux []float64, kinds []byte) {
 	l.vals = append(rows, l.vals...)
 	if l.hasAux {
 		l.aux = append(aux, l.aux...)
 	}
+	l.kinds = append(kinds, l.kinds...)
 }
 
 // rewrite rewrites the WAL to hold exactly the current buffer (the rows that
 // arrived during the refresh), dropping the folded prefix. Called after a
-// refresh publishes.
+// refresh publishes. The in-memory buffer is never touched: if the write
+// fails, the buffered rows stay intact for the next refresh (and the error
+// is surfaced so the operator knows the on-disk log lags the buffer).
 func (l *deltaLog) rewrite() error {
 	if l.f == nil {
 		return nil
@@ -186,12 +318,13 @@ func (l *deltaLog) rewrite() error {
 	if err := l.writeHeader(); err != nil {
 		return err
 	}
-	if len(l.vals) == 0 {
+	if len(l.kinds) == 0 {
 		return nil
 	}
-	vals, aux := l.vals, l.aux
-	l.vals, l.aux = nil, nil
-	return l.append(vals, aux)
+	if _, err := l.f.Write(l.encodeRecords(l.vals, l.aux, l.kinds)); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	return nil
 }
 
 func (l *deltaLog) close() error {

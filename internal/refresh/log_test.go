@@ -1,0 +1,307 @@
+package refresh
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ccubing/internal/core"
+)
+
+// logRow is one op for the log tests: values, aux, and the op kind.
+type logRow struct {
+	vals []core.Value
+	aux  float64
+	kind byte
+}
+
+// appendOps buffers rows into l, fusing adjacent update pairs exactly as the
+// Manager does.
+func appendOps(t *testing.T, l *deltaLog, rows []logRow) {
+	t.Helper()
+	var flat []core.Value
+	var aux []float64
+	var kinds []byte
+	for _, r := range rows {
+		flat = append(flat, r.vals...)
+		if l.hasAux {
+			aux = append(aux, r.aux)
+		}
+		kinds = append(kinds, r.kind)
+	}
+	if err := l.append(flat, aux, kinds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func logState(l *deltaLog) ([]core.Value, []float64, []byte) {
+	return append([]core.Value(nil), l.vals...), append([]float64(nil), l.aux...), append([]byte(nil), l.kinds...)
+}
+
+// mixedOps is a delta exercising every record type, with update pairs.
+func mixedOps() []logRow {
+	return []logRow{
+		{vals: []core.Value{1, 2}, aux: 1.5, kind: opAppend},
+		{vals: []core.Value{3, 0}, aux: -2.25, kind: opDelete},
+		{vals: []core.Value{5, 1}, aux: 7, kind: opUpdateOld},
+		{vals: []core.Value{5, 2}, aux: 8, kind: opUpdateNew},
+		{vals: []core.Value{0, 0}, aux: 0, kind: opAppend},
+		{vals: []core.Value{9, 9}, aux: 3.125, kind: opUpdateOld},
+		{vals: []core.Value{9, 8}, aux: 3.25, kind: opUpdateNew},
+		{vals: []core.Value{4, 4}, aux: -0.5, kind: opDelete},
+	}
+}
+
+// TestWALv2RoundTrip pins the v2 format: mixed typed records (with and
+// without a measure column) survive close/reopen byte-exactly.
+func TestWALv2RoundTrip(t *testing.T) {
+	for _, hasAux := range []bool{false, true} {
+		path := filepath.Join(t.TempDir(), "v2.wal")
+		l := newDeltaLog(2, hasAux)
+		if _, err := l.openWAL(path); err != nil {
+			t.Fatal(err)
+		}
+		appendOps(t, l, mixedOps())
+		wantVals, wantAux, wantKinds := logState(l)
+		if err := l.close(); err != nil {
+			t.Fatal(err)
+		}
+
+		r := newDeltaLog(2, hasAux)
+		n, err := r.openWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.close()
+		if n != len(wantKinds) {
+			t.Fatalf("hasAux=%v: replayed %d rows, want %d", hasAux, n, len(wantKinds))
+		}
+		gotVals, gotAux, gotKinds := logState(r)
+		if !reflect.DeepEqual(gotVals, wantVals) || !reflect.DeepEqual(gotKinds, wantKinds) {
+			t.Fatalf("hasAux=%v: replay mismatch:\nvals  %v vs %v\nkinds %v vs %v", hasAux, gotVals, wantVals, gotKinds, wantKinds)
+		}
+		if hasAux && !reflect.DeepEqual(gotAux, wantAux) {
+			t.Fatalf("aux mismatch: %v vs %v", gotAux, wantAux)
+		}
+	}
+}
+
+// TestWALv2CrashFuzz truncates a mixed v2 log at every byte offset: replay
+// must never error, must recover exactly the records wholly contained in the
+// prefix (an update pair is all-or-nothing), and the truncated-then-repaired
+// log must accept appends and replay consistently afterwards.
+func TestWALv2CrashFuzz(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	l := newDeltaLog(3, true)
+	if _, err := l.openWAL(full); err != nil {
+		t.Fatal(err)
+	}
+	ops := []logRow{
+		{vals: []core.Value{1, 2, 3}, aux: 1, kind: opAppend},
+		{vals: []core.Value{4, 5, 6}, aux: 2, kind: opDelete},
+		{vals: []core.Value{7, 8, 9}, aux: 3, kind: opUpdateOld},
+		{vals: []core.Value{7, 8, 0}, aux: 4, kind: opUpdateNew},
+		{vals: []core.Value{2, 2, 2}, aux: 5, kind: opAppend},
+	}
+	appendOps(t, l, ops)
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record boundaries (cumulative row counts at each valid prefix length).
+	headLen := len(walMagic) + 3
+	ts := 3*4 + 8
+	recLens := []int{1 + ts + 4, 1 + ts + 4, 1 + 2*ts + 4, 1 + ts + 4} // append, delete, update(pair), append
+	rowsAt := func(bodyLen int) int {
+		rows, off := 0, 0
+		for i, rl := range recLens {
+			if off+rl > bodyLen {
+				break
+			}
+			off += rl
+			if i == 2 {
+				rows += 2 // the update pair
+			} else {
+				rows++
+			}
+		}
+		return rows
+	}
+
+	for cut := len(img); cut >= headLen; cut-- {
+		path := filepath.Join(dir, "cut.wal")
+		if err := os.WriteFile(path, img[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := newDeltaLog(3, true)
+		n, err := r.openWAL(path)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if want := rowsAt(cut - headLen); n != want {
+			r.close()
+			t.Fatalf("cut=%d: replayed %d rows, want %d", cut, n, want)
+		}
+		// The torn tail was truncated; the log must extend cleanly.
+		appendOps(t, r, []logRow{{vals: []core.Value{6, 6, 6}, aux: 9, kind: opDelete}})
+		wantRows := n + 1
+		if err := r.close(); err != nil {
+			t.Fatal(err)
+		}
+		r2 := newDeltaLog(3, true)
+		n2, err := r2.openWAL(path)
+		if err != nil {
+			t.Fatalf("cut=%d reopen: %v", cut, err)
+		}
+		if n2 != wantRows {
+			t.Fatalf("cut=%d reopen: %d rows, want %d", cut, n2, wantRows)
+		}
+		r2.close()
+	}
+
+	// A flipped byte inside the final record fails its CRC: replay drops
+	// exactly that record.
+	tear := append([]byte(nil), img...)
+	tear[len(tear)-6] ^= 0xff
+	path := filepath.Join(dir, "torn.wal")
+	if err := os.WriteFile(path, tear, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := newDeltaLog(3, true)
+	n, err := r.openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	if want := rowsAt(len(img)-headLen) - 1; n != want {
+		t.Fatalf("corrupt tail: replayed %d rows, want %d", n, want)
+	}
+}
+
+// TestWALv2UnknownRecordType pins the corrupt-tail contract for garbage
+// record types: replay stops there and truncates.
+func TestWALv2UnknownRecordType(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.wal")
+	l := newDeltaLog(2, false)
+	if _, err := l.openWAL(path); err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, []logRow{{vals: []core.Value{1, 1}, kind: opAppend}})
+	// A record with an undefined type byte but otherwise valid framing.
+	if _, err := l.f.Write([]byte{0x7f, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+	r := newDeltaLog(2, false)
+	n, err := r.openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	if n != 1 {
+		t.Fatalf("replayed %d rows, want 1 (unknown-type tail dropped)", n)
+	}
+}
+
+// writeV1WAL crafts a legacy version-1 file: fixed-size append records, no
+// CRC framing.
+func writeV1WAL(t *testing.T, path string, nd int, rows [][]core.Value, tornTail bool) {
+	t.Helper()
+	buf := append([]byte(walMagic), walVersionV1, byte(nd), 0)
+	for _, r := range rows {
+		for _, v := range r {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+	}
+	if tornTail {
+		buf = append(buf, 0xde, 0xad) // crash mid-append
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALv1Replay pins backward compatibility: version-1 logs replay as
+// appends (torn tail dropped), and a rewrite upgrades the file to v2.
+func TestWALv1Replay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.wal")
+	rows := [][]core.Value{{1, 2}, {3, 4}, {0, 5}}
+	writeV1WAL(t, path, 2, rows, true)
+
+	l := newDeltaLog(2, false)
+	n, err := l.openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(rows) {
+		t.Fatalf("replayed %d rows, want %d", n, len(rows))
+	}
+	for _, k := range l.kinds {
+		if k != opAppend {
+			t.Fatalf("v1 replay produced kind %d, want opAppend", k)
+		}
+	}
+	// The attach path rewrites immediately; the file becomes v2.
+	if err := l.rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img[len(walMagic)] != walVersion {
+		t.Fatalf("rewritten version = %d, want %d", img[len(walMagic)], walVersion)
+	}
+	r := newDeltaLog(2, false)
+	n2, err := r.openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	if n2 != len(rows) {
+		t.Fatalf("v2 reopen replayed %d rows, want %d", n2, len(rows))
+	}
+}
+
+// TestRewriteKeepsBufferOnError is the regression test for the buffer-loss
+// bug: when the WAL rewrite fails (the file is gone from under the log), the
+// in-memory rows must survive — they are the only copy of the pending delta.
+func TestRewriteKeepsBufferOnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fail.wal")
+	l := newDeltaLog(2, false)
+	if _, err := l.openWAL(path); err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, []logRow{
+		{vals: []core.Value{1, 2}, kind: opAppend},
+		{vals: []core.Value{3, 4}, kind: opDelete},
+	})
+	wantVals, _, wantKinds := logState(l)
+	// Sabotage the descriptor so every file operation fails.
+	if err := l.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.rewrite(); err == nil {
+		t.Fatal("rewrite on a closed file must fail")
+	}
+	gotVals, _, gotKinds := logState(l)
+	if !reflect.DeepEqual(gotVals, wantVals) || !reflect.DeepEqual(gotKinds, wantKinds) {
+		t.Fatalf("failed rewrite lost the buffer: vals %v vs %v, kinds %v vs %v", gotVals, wantVals, gotKinds, wantKinds)
+	}
+	if l.rows() != 2 {
+		t.Fatalf("rows = %d, want 2", l.rows())
+	}
+	l.f = nil // already closed
+}

@@ -1,26 +1,33 @@
-// Package refresh keeps a served closed cube fresh as its relation grows:
-// appended tuples buffer in a write-ahead delta log and, on trigger (row
-// threshold, timer, or explicit flush), a refresh recomputes only the
-// partitions of the leading (partition) dimension whose values appear in
-// the delta, merges the rebuilt closed-cell groups with the untouched ones
-// into a fresh cubestore.Store, and publishes the result with an atomic
-// pointer swap — in-flight queries finish on the old store while new
-// queries see the new one.
+// Package refresh keeps a served closed cube fresh as its relation mutates:
+// appended tuples, delete tombstones, and update pairs buffer in a
+// write-ahead delta log and, on trigger (row threshold, timer, or explicit
+// flush), a refresh recomputes only the partitions of the leading
+// (partition) dimension whose values appear in the delta, merges the
+// rebuilt closed-cell groups with the untouched ones into a fresh
+// cubestore.Store, and publishes the result with an atomic pointer swap —
+// in-flight queries finish on the old store while new queries see the new
+// one.
 //
 // Correctness rests on the partition invariant shared with internal/parallel
 // and internal/partition (paper Sec. 6.3): a closed cell fixing the
 // partition dimension aggregates tuples of exactly one partition, so cells
-// of untouched partitions are byte-identical before and after the append and
+// of untouched partitions are byte-identical before and after the edit and
 // can be retained; cells of touched partitions are recomputed from those
-// partitions' tuples; and cells with a wildcard on the partition dimension —
-// which any append may change — are rebuilt from the projection cube plus
-// the aggregation-based agreement check of parallel.ClosedSurvivors. The
-// refreshed store is canonical: byte-identical to a from-scratch
-// materialization of the grown relation.
+// partitions' (possibly smaller) tuple sets; and cells with a wildcard on
+// the partition dimension — which any edit may change — are rebuilt from
+// the projection cube plus the aggregation-based agreement check of
+// parallel.ClosedSurvivors. The check is direction-agnostic: it knows
+// nothing about whether the relation grew or shrank, so the same machinery
+// serves appends, deletes, and updates, including partitions that shrink to
+// empty (their cells simply vanish from the merge). The refreshed store is
+// canonical: byte-identical to a from-scratch materialization of the edited
+// relation.
 package refresh
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,8 +96,12 @@ type Stats struct {
 	// Generation is the generation the refresh published (unchanged when the
 	// delta was empty).
 	Generation uint64
-	// Appended is the number of delta rows folded in.
+	// Appended is the number of delta rows added to the relation (an update
+	// contributes its replacement tuple here).
 	Appended int
+	// Deleted is the number of tombstones folded in: tuples removed from the
+	// relation (an update contributes its old tuple here).
+	Deleted int
 	// PartitionsRecomputed and PartitionsTotal count the touched and total
 	// distinct partition-dimension values; their ratio is the work saved
 	// versus a full rebuild.
@@ -130,8 +141,12 @@ type Manager struct {
 	cards    []int         // published per-dimension cardinalities (append validation)
 	autoRows int
 
-	flushMu sync.Mutex // serializes refreshes; guards base
+	flushMu sync.Mutex // serializes refreshes and delete validation; guards base
 	base    *table.Table
+	// baseCounts is the lazily built tuple multiset of base (guarded by
+	// flushMu, invalidated when a refresh replaces base): delete validation
+	// checks tombstones against it plus the pending delta.
+	baseCounts map[string]int
 
 	snap atomic.Pointer[Snapshot]
 
@@ -260,24 +275,9 @@ func (m *Manager) Append(rows [][]core.Value, aux []float64) (int, bool, error) 
 	m.appendMu.Lock()
 	flat := make([]core.Value, 0, len(rows)*m.nd)
 	for i, row := range rows {
-		if len(row) != m.nd {
+		if err := m.validateRow(i, row, false); err != nil {
 			m.appendMu.Unlock()
-			return 0, false, fmt.Errorf("refresh: row %d has %d values, want %d", i, len(row), m.nd)
-		}
-		for d, v := range row {
-			if v < 0 {
-				m.appendMu.Unlock()
-				return 0, false, fmt.Errorf("refresh: row %d dimension %d: negative value %d", i, d, v)
-			}
-			if m.dicts != nil && int(v) >= m.dicts[d].Len() {
-				m.appendMu.Unlock()
-				return 0, false, fmt.Errorf("refresh: row %d dimension %d: code %d unknown to the dictionary (append by label to add it)", i, d, v)
-			}
-			if m.dicts == nil && int64(v) >= int64(m.cards[d])+int64(m.cfg.CardSlack) {
-				m.appendMu.Unlock()
-				return 0, false, fmt.Errorf("refresh: row %d dimension %d: value %d exceeds cardinality %d by more than the growth bound %d",
-					i, d, v, m.cards[d], m.cfg.CardSlack)
-			}
+			return 0, false, err
 		}
 		flat = append(flat, row...)
 	}
@@ -328,7 +328,7 @@ func (m *Manager) validateAux(rows int, aux []float64) error {
 // delta while the refresh computes.
 func (m *Manager) appendLocked(flat []core.Value, aux []float64) (int, bool, error) {
 	n := len(flat) / m.nd
-	if err := m.log.append(flat, aux); err != nil {
+	if err := m.log.append(flat, aux, nil); err != nil {
 		m.appendMu.Unlock()
 		return 0, false, err
 	}
@@ -341,6 +341,378 @@ func (m *Manager) appendLocked(flat []core.Value, aux []float64) (int, bool, err
 		return n, false, fmt.Errorf("refresh: threshold refresh: %w", err)
 	}
 	return n, true, nil
+}
+
+// rowKey packs one tuple into a multiset key. On measure relations the
+// measure value participates: two tuples agreeing on every dimension but
+// carrying different measures are distinct occurrences, and a tombstone
+// names exactly which one leaves.
+func rowKey(buf []byte, vals []core.Value, aux float64, hasAux bool) string {
+	buf = buf[:0]
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	if hasAux {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(aux))
+	}
+	return string(buf)
+}
+
+// baseCountsLocked returns the tuple multiset of the base relation, building
+// it on first use after each refresh. Caller holds flushMu.
+func (m *Manager) baseCountsLocked() map[string]int {
+	if m.baseCounts != nil {
+		return m.baseCounts
+	}
+	counts := make(map[string]int, m.base.NumTuples())
+	buf := make([]byte, 0, 4*m.nd+8)
+	row := make([]core.Value, m.nd)
+	for tid := 0; tid < m.base.NumTuples(); tid++ {
+		var aux float64
+		if m.hasAux {
+			aux = m.base.Aux[tid]
+		}
+		counts[rowKey(buf, m.base.Row(core.TID(tid), row), aux, m.hasAux)]++
+	}
+	m.baseCounts = counts
+	return counts
+}
+
+// deltaOp is one validated delta row awaiting enqueue: its flattened
+// position is implicit in order; kind discriminates tombstones from adds.
+type deltaOp struct {
+	key  string
+	kind byte
+}
+
+// checkAvailable verifies that every tombstone in ops (processed in order)
+// targets a tuple present at that point: present in the base relation, plus
+// the net effect of the already-buffered delta, plus earlier ops of this
+// batch. Caller holds flushMu and appendMu. Returns the index of the first
+// unsatisfiable tombstone, or -1.
+func (m *Manager) checkAvailable(ops []deltaOp) int {
+	base := m.baseCountsLocked()
+	// Net effect of the pending log, restricted to the keys this batch
+	// touches (the log is a bounded backlog; one linear scan).
+	want := make(map[string]bool, len(ops))
+	for _, op := range ops {
+		if op.kind == opDelete || op.kind == opUpdateOld {
+			want[op.key] = true
+		}
+	}
+	net := make(map[string]int, len(want))
+	buf := make([]byte, 0, 4*m.nd+8)
+	for i := 0; i < m.log.rows(); i++ {
+		var aux float64
+		if m.hasAux {
+			aux = m.log.aux[i]
+		}
+		k := rowKey(buf, m.log.vals[i*m.nd:(i+1)*m.nd], aux, m.hasAux)
+		if !want[k] {
+			continue
+		}
+		switch m.log.kinds[i] {
+		case opAppend, opUpdateNew:
+			net[k]++
+		case opDelete, opUpdateOld:
+			net[k]--
+		}
+	}
+	for i, op := range ops {
+		switch op.kind {
+		case opAppend, opUpdateNew:
+			if want[op.key] {
+				net[op.key]++
+			}
+		case opDelete, opUpdateOld:
+			if base[op.key]+net[op.key] <= 0 {
+				return i
+			}
+			net[op.key]--
+		}
+	}
+	return -1
+}
+
+// validateRow checks one coded row's shape and values against the append
+// contract; tombstones skip the cardinality-growth bound (the tuple must
+// already exist, so its values cannot grow a domain).
+func (m *Manager) validateRow(i int, row []core.Value, tombstone bool) error {
+	if len(row) != m.nd {
+		return fmt.Errorf("refresh: row %d has %d values, want %d", i, len(row), m.nd)
+	}
+	for d, v := range row {
+		if v < 0 {
+			return fmt.Errorf("refresh: row %d dimension %d: negative value %d", i, d, v)
+		}
+		if m.dicts != nil && int(v) >= m.dicts[d].Len() {
+			if tombstone {
+				return fmt.Errorf("refresh: row %d dimension %d: code %d unknown to the dictionary; no such tuple to delete", i, d, v)
+			}
+			return fmt.Errorf("refresh: row %d dimension %d: code %d unknown to the dictionary (append by label to add it)", i, d, v)
+		}
+		if m.dicts == nil && !tombstone && int64(v) >= int64(m.cards[d])+int64(m.cfg.CardSlack) {
+			return fmt.Errorf("refresh: row %d dimension %d: value %d exceeds cardinality %d by more than the growth bound %d",
+				i, d, v, m.cards[d], m.cfg.CardSlack)
+		}
+	}
+	return nil
+}
+
+// tombstoneBatch is one resolved delete/update batch awaiting enqueue:
+// parallel flat/aux/kinds (update pairs adjacent), plus an optional commit
+// hook that runs — still under the locks — once availability validation
+// passes (UpdateLabeled publishes its new labels there, so a rejected batch
+// leaves no phantom labels).
+type tombstoneBatch struct {
+	flat   []core.Value
+	aux    []float64
+	kinds  []byte
+	commit func()
+}
+
+// enqueueTombstones validates and buffers a batch that contains tombstones
+// (deletes, or update pairs). It takes flushMu (delete validation reads the
+// base relation) then appendMu, calls build to resolve the batch under both
+// locks, checks every tombstone against base + pending delta, and appends to
+// the log; the threshold-triggered refresh runs after both locks are
+// released. Returns the number of delta rows buffered (an update pair counts
+// as two).
+func (m *Manager) enqueueTombstones(build func() (tombstoneBatch, error)) (int, bool, error) {
+	m.flushMu.Lock()
+	m.appendMu.Lock()
+	batch, err := build()
+	if err != nil {
+		m.appendMu.Unlock()
+		m.flushMu.Unlock()
+		return 0, false, err
+	}
+	n := len(batch.kinds)
+	ops := make([]deltaOp, n)
+	buf := make([]byte, 0, 4*m.nd+8)
+	for i := 0; i < n; i++ {
+		var a float64
+		if m.hasAux {
+			a = batch.aux[i]
+		}
+		ops[i] = deltaOp{key: rowKey(buf, batch.flat[i*m.nd:(i+1)*m.nd], a, m.hasAux), kind: batch.kinds[i]}
+	}
+	if bad := m.checkAvailable(ops); bad >= 0 {
+		m.appendMu.Unlock()
+		m.flushMu.Unlock()
+		return 0, false, fmt.Errorf("refresh: row %d: tuple %v not present in the relation plus the pending delta; nothing to delete",
+			bad, batch.flat[bad*m.nd:(bad+1)*m.nd])
+	}
+	err = m.log.append(batch.flat, batch.aux, batch.kinds)
+	if err == nil && batch.commit != nil {
+		// Publish staged state (UpdateLabeled's new labels) only once the
+		// batch is durably buffered — a failed WAL write must leave no
+		// phantom labels.
+		batch.commit()
+	}
+	trigger := err == nil && m.autoRows > 0 && m.log.rows() >= m.autoRows
+	m.appendMu.Unlock()
+	m.flushMu.Unlock()
+	if err != nil {
+		return 0, false, err
+	}
+	if !trigger {
+		return n, false, nil
+	}
+	if _, err := m.Flush(); err != nil {
+		return n, false, fmt.Errorf("refresh: threshold refresh: %w", err)
+	}
+	return n, true, nil
+}
+
+// Delete buffers tombstones for coded tuples: on the next refresh each row
+// removes one matching occurrence from the relation (match is by the full
+// tuple — and, on measure relations, the measure value, so aux is required
+// there exactly as in Append). A tombstone for a tuple not present in the
+// base relation plus the pending delta is rejected, and the whole batch with
+// it. Returns the number of tombstones buffered and whether the call
+// triggered a synchronous refresh.
+func (m *Manager) Delete(rows [][]core.Value, aux []float64) (int, bool, error) {
+	if err := m.validateAux(len(rows), aux); err != nil {
+		return 0, false, err
+	}
+	return m.enqueueTombstones(func() (tombstoneBatch, error) {
+		flat := make([]core.Value, 0, len(rows)*m.nd)
+		for i, row := range rows {
+			if err := m.validateRow(i, row, true); err != nil {
+				return tombstoneBatch{}, err
+			}
+			flat = append(flat, row...)
+		}
+		kinds := make([]byte, len(rows))
+		for i := range kinds {
+			kinds[i] = opDelete
+		}
+		return tombstoneBatch{flat: flat, aux: aux, kinds: kinds}, nil
+	})
+}
+
+// DeleteLabeled is Delete by labels. Every label must already be in the
+// dictionaries — an unknown label names a tuple that was never in the
+// relation, a clear miss rather than a new code.
+func (m *Manager) DeleteLabeled(rows [][]string, aux []float64) (int, bool, error) {
+	if err := m.validateAux(len(rows), aux); err != nil {
+		return 0, false, err
+	}
+	return m.enqueueTombstones(func() (tombstoneBatch, error) {
+		flat, err := m.codeTombstonesLocked(rows)
+		if err != nil {
+			return tombstoneBatch{}, err
+		}
+		kinds := make([]byte, len(rows))
+		for i := range kinds {
+			kinds[i] = opDelete
+		}
+		return tombstoneBatch{flat: flat, aux: aux, kinds: kinds}, nil
+	})
+}
+
+// codeTombstonesLocked resolves labeled tombstone rows against the staging
+// dictionaries without growing them. Caller holds appendMu.
+func (m *Manager) codeTombstonesLocked(rows [][]string) ([]core.Value, error) {
+	if m.dicts == nil {
+		return nil, fmt.Errorf("refresh: relation has no dictionaries; delete coded values")
+	}
+	flat := make([]core.Value, 0, len(rows)*m.nd)
+	for i, row := range rows {
+		if len(row) != m.nd {
+			return nil, fmt.Errorf("refresh: row %d has %d fields, want %d", i, len(row), m.nd)
+		}
+		for d, s := range row {
+			code, ok := m.dicts[d].Lookup(s)
+			if !ok {
+				return nil, fmt.Errorf("refresh: row %d dimension %d: label %q never occurred; no such tuple to delete", i, d, s)
+			}
+			flat = append(flat, code)
+		}
+	}
+	return flat, nil
+}
+
+// Update buffers coded update pairs: on the next refresh each old row's
+// occurrence is removed and the paired new row added, atomically (a single
+// crash-safe WAL record). Old rows follow the Delete contract (must be
+// present), new rows the Append contract (may grow a coded dimension's
+// domain within the slack). oldAux/newAux are required iff the relation has
+// a measure column. Returns the number of update pairs buffered.
+func (m *Manager) Update(oldRows, newRows [][]core.Value, oldAux, newAux []float64) (int, bool, error) {
+	if len(oldRows) != len(newRows) {
+		return 0, false, fmt.Errorf("refresh: update has %d old rows and %d new rows", len(oldRows), len(newRows))
+	}
+	if err := m.validateAux(len(oldRows), oldAux); err != nil {
+		return 0, false, err
+	}
+	if err := m.validateAux(len(newRows), newAux); err != nil {
+		return 0, false, err
+	}
+	n, trigger, err := m.enqueueTombstones(func() (tombstoneBatch, error) {
+		batch := tombstoneBatch{
+			flat:  make([]core.Value, 0, 2*len(oldRows)*m.nd),
+			kinds: make([]byte, 0, 2*len(oldRows)),
+		}
+		if m.hasAux {
+			batch.aux = make([]float64, 0, 2*len(oldRows))
+		}
+		for i := range oldRows {
+			if err := m.validateRow(i, oldRows[i], true); err != nil {
+				return tombstoneBatch{}, err
+			}
+			if err := m.validateRow(i, newRows[i], false); err != nil {
+				return tombstoneBatch{}, err
+			}
+			batch.flat = append(batch.flat, oldRows[i]...)
+			batch.flat = append(batch.flat, newRows[i]...)
+			if m.hasAux {
+				batch.aux = append(batch.aux, oldAux[i], newAux[i])
+			}
+			batch.kinds = append(batch.kinds, opUpdateOld, opUpdateNew)
+		}
+		return batch, nil
+	})
+	return n / 2, trigger, err
+}
+
+// UpdateLabeled is Update by labels: old rows must use labels the
+// dictionaries already know (they name existing tuples); new rows may
+// introduce labels, which extend the staging dictionaries only after the
+// whole batch validates — a rejected batch leaves no phantom labels. A label
+// introduced by one pair cannot be referenced by a later pair's old row in
+// the same batch; split such chains across calls.
+func (m *Manager) UpdateLabeled(oldRows, newRows [][]string, oldAux, newAux []float64) (int, bool, error) {
+	if len(oldRows) != len(newRows) {
+		return 0, false, fmt.Errorf("refresh: update has %d old rows and %d new rows", len(oldRows), len(newRows))
+	}
+	if err := m.validateAux(len(oldRows), oldAux); err != nil {
+		return 0, false, err
+	}
+	if err := m.validateAux(len(newRows), newAux); err != nil {
+		return 0, false, err
+	}
+	n, trigger, err := m.enqueueTombstones(func() (tombstoneBatch, error) {
+		oldFlat, err := m.codeTombstonesLocked(oldRows)
+		if err != nil {
+			return tombstoneBatch{}, err
+		}
+		for i, row := range newRows {
+			if len(row) != m.nd {
+				return tombstoneBatch{}, fmt.Errorf("refresh: row %d has %d fields, want %d", i, len(row), m.nd)
+			}
+		}
+		// Code new rows tentatively: unseen labels get the codes they WILL
+		// receive (dictionaries grow densely in first-occurrence order), but
+		// the dictionaries themselves only grow in the commit hook, after the
+		// whole batch validates. Holding appendMu across tentative coding,
+		// validation and commit keeps the assignment stable.
+		fresh := make([]map[string]core.Value, m.nd)
+		freshOrder := make([][]string, m.nd)
+		newFlat := make([]core.Value, 0, len(newRows)*m.nd)
+		for _, row := range newRows {
+			for d, s := range row {
+				code, ok := m.dicts[d].Lookup(s)
+				if !ok {
+					if fresh[d] == nil {
+						fresh[d] = make(map[string]core.Value)
+					}
+					code, ok = fresh[d][s]
+					if !ok {
+						code = core.Value(m.dicts[d].Len() + len(freshOrder[d]))
+						fresh[d][s] = code
+						freshOrder[d] = append(freshOrder[d], s)
+					}
+				}
+				newFlat = append(newFlat, code)
+			}
+		}
+		batch := tombstoneBatch{
+			flat:  make([]core.Value, 0, 2*len(oldRows)*m.nd),
+			kinds: make([]byte, 0, 2*len(oldRows)),
+			commit: func() {
+				for d, labels := range freshOrder {
+					for _, s := range labels {
+						m.dicts[d].Code(s)
+					}
+				}
+			},
+		}
+		if m.hasAux {
+			batch.aux = make([]float64, 0, 2*len(oldRows))
+		}
+		for i := range oldRows {
+			batch.flat = append(batch.flat, oldFlat[i*m.nd:(i+1)*m.nd]...)
+			batch.flat = append(batch.flat, newFlat[i*m.nd:(i+1)*m.nd]...)
+			if m.hasAux {
+				batch.aux = append(batch.aux, oldAux[i], newAux[i])
+			}
+			batch.kinds = append(batch.kinds, opUpdateOld, opUpdateNew)
+		}
+		return batch, nil
+	})
+	return n / 2, trigger, err
 }
 
 // AutoRefresh configures the refresh triggers: rows > 0 flushes
@@ -415,18 +787,19 @@ func (m *Manager) Metrics() Metrics {
 	}
 }
 
-// Flush folds the buffered delta into the relation, recomputes the touched
-// partitions and the wildcard slice, merges with the untouched cells, and
-// publishes the new snapshot. An empty delta is a no-op that keeps the
-// current generation. On error the delta is returned to the buffer for a
-// later retry and the published snapshot is unchanged.
+// Flush folds the buffered delta — appends, tombstones, and update pairs —
+// into the relation, recomputes the touched partitions and the wildcard
+// slice, merges with the untouched cells, and publishes the new snapshot. An
+// empty delta is a no-op that keeps the current generation. On error the
+// delta is returned to the buffer for a later retry and the published
+// snapshot is unchanged.
 func (m *Manager) Flush() (Stats, error) {
 	m.flushMu.Lock()
 	defer m.flushMu.Unlock()
 	start := time.Now()
 
 	m.appendMu.Lock()
-	rows, aux := m.log.steal()
+	rows, aux, kinds := m.log.steal()
 	var frozen []*table.Dict
 	if m.dicts != nil {
 		frozen = make([]*table.Dict, len(m.dicts))
@@ -442,44 +815,54 @@ func (m *Manager) Flush() (Stats, error) {
 		return Stats{Generation: cur.Generation}, nil
 	}
 
-	newBase := appendRows(m.base, rows, aux, frozen)
-	dim := m.cfg.Dim
-	affected := make(map[core.Value]bool)
-	for i := 0; i < n; i++ {
-		affected[rows[i*m.nd+dim]] = true
-	}
+	newBase, nAppended, nDeleted, err := applyDelta(m.base, rows, aux, kinds, frozen)
+	if err == nil {
+		dim := m.cfg.Dim
+		affected := make(map[core.Value]bool)
+		for i := 0; i < n; i++ {
+			affected[rows[i*m.nd+dim]] = true
+		}
+		var newStore *cubestore.Store
+		var rebuilt int64
+		newStore, rebuilt, err = m.rebuild(cur.Store, newBase, affected)
+		if err == nil {
+			next := &Snapshot{
+				Store:      newStore,
+				Dicts:      frozen,
+				Generation: cur.Generation + 1,
+				Rows:       int64(newBase.NumTuples()),
+			}
+			m.snap.Store(next)
+			m.base = newBase
+			m.baseCounts = nil // delete validation rebuilds over the new base
 
-	newStore, rebuilt, err := m.rebuild(cur.Store, newBase, affected)
-	if err != nil {
-		m.appendMu.Lock()
-		m.log.unsteal(rows, aux)
-		m.appendMu.Unlock()
-		return Stats{}, err
-	}
+			m.appendMu.Lock()
+			werr := m.log.rewrite()
+			copy(m.cards, newBase.Cards) // published cardinalities bound future appends
+			m.appendMu.Unlock()
 
-	next := &Snapshot{
-		Store:      newStore,
-		Dicts:      frozen,
-		Generation: cur.Generation + 1,
-		Rows:       int64(newBase.NumTuples()),
+			st := Stats{
+				Generation:           next.Generation,
+				Appended:             nAppended,
+				Deleted:              nDeleted,
+				PartitionsRecomputed: len(affected),
+				PartitionsTotal:      distinctValues(newBase, dim),
+				CellsRetained:        newStore.NumCells() - rebuilt,
+				CellsRebuilt:         rebuilt,
+				Elapsed:              time.Since(start),
+			}
+			return m.finishFlush(st, werr)
+		}
 	}
-	m.snap.Store(next)
-	m.base = newBase
-
 	m.appendMu.Lock()
-	werr := m.log.rewrite()
-	copy(m.cards, newBase.Cards) // published cardinalities bound future appends
+	m.log.unsteal(rows, aux, kinds)
 	m.appendMu.Unlock()
+	return Stats{}, err
+}
 
-	st := Stats{
-		Generation:           next.Generation,
-		Appended:             n,
-		PartitionsRecomputed: len(affected),
-		PartitionsTotal:      distinctValues(newBase, dim),
-		CellsRetained:        newStore.NumCells() - rebuilt,
-		CellsRebuilt:         rebuilt,
-		Elapsed:              time.Since(start),
-	}
+// finishFlush records the published refresh's stats and surfaces a WAL
+// rewrite failure without unpublishing.
+func (m *Manager) finishFlush(st Stats, werr error) (Stats, error) {
 	m.statsMu.Lock()
 	m.last = st
 	m.refreshes++
@@ -496,10 +879,16 @@ func (m *Manager) Flush() (Stats, error) {
 	return st, nil
 }
 
-// rebuild computes the new store for the grown relation: partition-scoped
+// rebuild computes the new store for the edited relation: partition-scoped
 // recompute plus group-level merge, or a full recompute when the relation
-// cannot be decomposed (fewer than two dimensions).
+// cannot be decomposed (fewer than two dimensions). A relation whose every
+// tuple was deleted has no cells at all — the engines assume at least one
+// tuple, so that degenerate cube is built directly.
 func (m *Manager) rebuild(old *cubestore.Store, t *table.Table, affected map[core.Value]bool) (*cubestore.Store, int64, error) {
+	if t.NumTuples() == 0 {
+		s, err := buildStore(m.nd, old.HasAux(), nil)
+		return s, 0, err
+	}
 	if m.nd < 2 {
 		fresh, err := m.computeAll(t)
 		if err != nil {
@@ -632,23 +1021,115 @@ func (f *fixedOnly) EmitAux(vals []core.Value, count int64, aux float64) {
 	}
 }
 
-// appendRows builds the grown relation: base's tuples followed by the delta,
-// columns copied (the base table is never mutated — it may be shared with
-// the caller's dataset). Cardinalities grow to cover the delta's values and
-// the staging dictionaries.
+// appendRows builds the grown relation from an append-only delta; see
+// applyDelta for the general (tombstone-bearing) form.
 func appendRows(t *table.Table, rows []core.Value, aux []float64, dicts []*table.Dict) *table.Table {
+	nt, _, _, err := applyDelta(t, rows, aux, nil, dicts)
+	if err != nil {
+		panic(err) // unreachable: an append-only delta cannot leave unmatched tombstones
+	}
+	return nt
+}
+
+// applyDelta builds the edited relation: base's surviving tuples followed by
+// the delta's surviving appends, columns copied (the base table is never
+// mutated — it may be shared with the caller's dataset). kinds discriminates
+// the delta rows (nil = all appends); each tombstone row removes one
+// occurrence matching on every dimension and, when the relation has a
+// measure, the measure value — from the base relation or from an append in
+// the same delta (an appended-then-deleted tuple nets out). Cardinalities
+// never shrink: they grow to cover the delta's values and the staging
+// dictionaries, so deleting a dimension's maximum value keeps the published
+// coding stable. Returns the new relation and the appended/deleted counts;
+// a tombstone with no match is an error (enqueue-time validation makes that
+// unreachable short of a corrupted WAL).
+func applyDelta(t *table.Table, rows []core.Value, aux []float64, kinds []byte, dicts []*table.Dict) (*table.Table, int, int, error) {
 	nd := t.NumDims()
-	n := t.NumTuples()
 	dn := len(rows) / nd
-	nt := table.New(nd, n+dn)
+	hasAux := t.Aux != nil
+
+	// The tombstone multiset, keyed like delete validation.
+	var dels map[string]int
+	nDeleted := 0
+	buf := make([]byte, 0, 4*nd+8)
+	for i := 0; i < dn; i++ {
+		if kinds == nil || (kinds[i] != opDelete && kinds[i] != opUpdateOld) {
+			continue
+		}
+		if dels == nil {
+			dels = make(map[string]int)
+		}
+		var a float64
+		if hasAux {
+			a = aux[i]
+		}
+		dels[rowKey(buf, rows[i*nd:(i+1)*nd], a, hasAux)]++
+		nDeleted++
+	}
+
+	// Survivors: base tuples, then delta appends, each consuming a matching
+	// tombstone when one is pending.
+	keepBase := make([]core.TID, 0, t.NumTuples())
+	row := make([]core.Value, nd)
+	for tid := 0; tid < t.NumTuples(); tid++ {
+		if dels != nil {
+			var a float64
+			if hasAux {
+				a = t.Aux[tid]
+			}
+			k := rowKey(buf, t.Row(core.TID(tid), row), a, hasAux)
+			if dels[k] > 0 {
+				dels[k]--
+				continue
+			}
+		}
+		keepBase = append(keepBase, core.TID(tid))
+	}
+	keepDelta := make([]int, 0, dn)
+	for i := 0; i < dn; i++ {
+		if kinds != nil && (kinds[i] == opDelete || kinds[i] == opUpdateOld) {
+			continue
+		}
+		if dels != nil {
+			var a float64
+			if hasAux {
+				a = aux[i]
+			}
+			k := rowKey(buf, rows[i*nd:(i+1)*nd], a, hasAux)
+			if dels[k] > 0 {
+				dels[k]--
+				continue
+			}
+		}
+		keepDelta = append(keepDelta, i)
+	}
+	for k, left := range dels {
+		if left > 0 {
+			return nil, 0, 0, fmt.Errorf("refresh: %d tombstone(s) for tuple %x match nothing in the relation or delta", left, k)
+		}
+	}
+
+	n := len(keepBase)
+	nt := table.New(nd, n+len(keepDelta))
 	copy(nt.Names, t.Names)
 	for d := 0; d < nd; d++ {
-		copy(nt.Cols[d], t.Cols[d])
+		col := nt.Cols[d]
+		for i, tid := range keepBase {
+			col[i] = t.Cols[d][tid]
+		}
 		card := t.Cards[d]
-		for i := 0; i < dn; i++ {
-			v := rows[i*nd+d]
-			nt.Cols[d][n+i] = v
+		for i, di := range keepDelta {
+			v := rows[di*nd+d]
+			col[n+i] = v
 			if int(v)+1 > card {
+				card = int(v) + 1
+			}
+		}
+		// Tombstoned appends never materialize, but their values were accepted
+		// into the delta's domain; growing over them too keeps cards monotone
+		// regardless of cancellation order.
+		for i := 0; i < dn; i++ {
+			if v := rows[i*nd+d]; int(v)+1 > card {
 				card = int(v) + 1
 			}
 		}
@@ -657,12 +1138,17 @@ func appendRows(t *table.Table, rows []core.Value, aux []float64, dicts []*table
 		}
 		nt.Cards[d] = card
 	}
-	if t.Aux != nil {
-		nt.Aux = make([]float64, n+dn)
-		copy(nt.Aux, t.Aux)
-		copy(nt.Aux[n:], aux)
+	if hasAux {
+		nt.Aux = make([]float64, n+len(keepDelta))
+		for i, tid := range keepBase {
+			nt.Aux[i] = t.Aux[tid]
+		}
+		for i, di := range keepDelta {
+			nt.Aux[n+i] = aux[di]
+		}
 	}
-	return nt
+	nAppended := dn - nDeleted
+	return nt, nAppended, nDeleted, nil
 }
 
 // buildStore freezes cells into a store from scratch.

@@ -85,6 +85,68 @@ func (c *Cube) AppendValues(rows [][]int32, aux []float64) (int, error) {
 	return n, err
 }
 
+// Delete buffers tombstones for coded tuples: on the next refresh each row
+// removes one matching occurrence from the relation. Matching is by the
+// full tuple — and, on measure cubes, the measure value, so aux is required
+// there exactly as in AppendValues (two tuples agreeing on every dimension
+// but carrying different measures are distinct occurrences). A tombstone
+// for a tuple not present in the relation plus the pending delta is
+// rejected with the whole batch. Returns the number of tombstones buffered;
+// a crossed AutoRefresh row threshold refreshes before Delete returns.
+func (c *Cube) Delete(rows [][]int32, aux []float64) (int, error) {
+	if c.mgr == nil {
+		return 0, c.errNotRefreshable()
+	}
+	crows := make([][]core.Value, len(rows))
+	for i, r := range rows {
+		crows[i] = r
+	}
+	n, _, err := c.mgr.Delete(crows, aux)
+	return n, err
+}
+
+// DeleteLabels is Delete by labels. Every label must already be in the
+// dictionaries — an unknown label names a tuple that was never in the
+// relation, reported as an error rather than coded.
+func (c *Cube) DeleteLabels(rows [][]string, aux []float64) (int, error) {
+	if c.mgr == nil {
+		return 0, c.errNotRefreshable()
+	}
+	n, _, err := c.mgr.DeleteLabeled(rows, aux)
+	return n, err
+}
+
+// Update buffers coded update pairs: on the next refresh each old row's
+// occurrence is removed and the paired new row added, atomically (one
+// crash-safe WAL record). Old rows follow the Delete contract, new rows the
+// AppendValues contract. Returns the number of pairs buffered.
+func (c *Cube) Update(oldRows, newRows [][]int32, oldAux, newAux []float64) (int, error) {
+	if c.mgr == nil {
+		return 0, c.errNotRefreshable()
+	}
+	co := make([][]core.Value, len(oldRows))
+	for i, r := range oldRows {
+		co[i] = r
+	}
+	cn := make([][]core.Value, len(newRows))
+	for i, r := range newRows {
+		cn[i] = r
+	}
+	n, _, err := c.mgr.Update(co, cn, oldAux, newAux)
+	return n, err
+}
+
+// UpdateLabels is Update by labels: old rows must use known labels; new
+// rows may introduce labels, published with the next refresh. A rejected
+// batch leaves no phantom labels behind.
+func (c *Cube) UpdateLabels(oldRows, newRows [][]string, oldAux, newAux []float64) (int, error) {
+	if c.mgr == nil {
+		return 0, c.errNotRefreshable()
+	}
+	n, _, err := c.mgr.UpdateLabeled(oldRows, newRows, oldAux, newAux)
+	return n, err
+}
+
 // AppendNDJSON streams newline-delimited JSON rows into the delta log, one
 // tuple per line:
 //
@@ -101,11 +163,42 @@ func (c *Cube) AppendNDJSON(r io.Reader) (int, error) {
 	if c.mgr == nil {
 		return 0, c.errNotRefreshable()
 	}
+	return c.streamNDJSON(r, func(labels [][]string, values [][]core.Value, aux []float64) (int, error) {
+		if labels != nil {
+			n, _, err := c.mgr.AppendLabeled(labels, aux)
+			return n, err
+		}
+		n, _, err := c.mgr.Append(values, aux)
+		return n, err
+	})
+}
+
+// DeleteNDJSON streams newline-delimited JSON tombstones — same line format
+// as AppendNDJSON — into the delta log: each tuple removes one matching
+// occurrence on the next refresh, under the Delete/DeleteLabels contract.
+func (c *Cube) DeleteNDJSON(r io.Reader) (int, error) {
+	if c.mgr == nil {
+		return 0, c.errNotRefreshable()
+	}
+	return c.streamNDJSON(r, func(labels [][]string, values [][]core.Value, aux []float64) (int, error) {
+		if labels != nil {
+			n, _, err := c.mgr.DeleteLabeled(labels, aux)
+			return n, err
+		}
+		n, _, err := c.mgr.Delete(values, aux)
+		return n, err
+	})
+}
+
+// streamNDJSON scans NDJSON tuples and hands them to apply in batches —
+// exactly one of labels and values is non-nil per call, matching the cube's
+// form. Shared by the append and delete streaming paths.
+func (c *Cube) streamNDJSON(r io.Reader, apply func(labels [][]string, values [][]core.Value, aux []float64) (int, error)) (int, error) {
 	labeled := c.snap().Dicts != nil
 	hasAux := c.HasMeasure()
-	// Rows append in batches; when an AutoRefresh row threshold is set, the
-	// batch aligns to it so the refresh cadence matches the threshold instead
-	// of the batch size.
+	// Rows batch up; when an AutoRefresh row threshold is set, the batch
+	// aligns to it so the refresh cadence matches the threshold instead of
+	// the batch size.
 	batchRows := 1024
 	if rt := c.mgr.RowThreshold(); rt > 0 && rt < batchRows {
 		batchRows = rt
@@ -124,9 +217,9 @@ func (c *Cube) AppendNDJSON(r io.Reader) (int, error) {
 			aux = auxVals
 		}
 		if labeled {
-			n, _, err = c.mgr.AppendLabeled(labels, aux)
+			n, err = apply(labels, nil, aux)
 		} else {
-			n, _, err = c.mgr.Append(values, aux)
+			n, err = apply(nil, values, aux)
 		}
 		total += n
 		labels, values, auxVals = labels[:0], values[:0], auxVals[:0]

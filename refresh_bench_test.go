@@ -87,6 +87,63 @@ func BenchmarkRefresh(b *testing.B) {
 	})
 }
 
+// BenchmarkRefreshDelete measures a delete-heavy refresh: tombstones for
+// ~5% of the relation, confined to 4 of 64 leading-dimension partitions,
+// against materializing the shrunken relation from scratch — the tombstone
+// mirror of BenchmarkRefresh.
+func BenchmarkRefreshDelete(b *testing.B) {
+	const minsup, workers = 4, 4
+	base, _ := benchRefreshSetup(b, 4)
+	baseDS, err := NewDatasetFromValues(nil, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Tombstone every copy the delete batch names exactly once: pick rows of
+	// the touched partitions, skipping duplicates already chosen.
+	var dels [][]int32
+	rest := make([][]int32, 0, len(base))
+	for _, row := range base {
+		if row[0] < 4 && len(dels) < 2_000 {
+			dels = append(dels, row)
+		} else {
+			rest = append(rest, row)
+		}
+	}
+	restDS, err := NewDatasetFromValues(nil, rest)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run(fmt.Sprintf("incremental/tombstones=%d", len(dels)), func(b *testing.B) {
+		b.ReportAllocs()
+		var last RefreshStats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cube, err := Materialize(baseDS, Options{MinSup: minsup, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cube.Delete(dels, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if last, err = cube.Refresh(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(last.PartitionsRecomputed), "parts-recomputed/op")
+		b.ReportMetric(float64(last.Deleted), "tombstones/op")
+	})
+	b.Run(fmt.Sprintf("rebuild/tombstones=%d", len(dels)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Materialize(restDS, Options{MinSup: minsup, Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkRefreshAppend measures raw delta-log ingestion (no refresh).
 func BenchmarkRefreshAppend(b *testing.B) {
 	base, delta := benchRefreshSetup(b, 4)

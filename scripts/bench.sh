@@ -19,8 +19,15 @@ cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-3x}"
 export CCUBING_BENCH_SEED="${BENCH_SEED:-23}"
-filter="${BENCH_FILTER:-BenchmarkCubeQuery|BenchmarkStoreBuild|BenchmarkBuildComparison|BenchmarkMaterialize|BenchmarkCubeSnapshot|BenchmarkParallelWorkers|BenchmarkLookupLattice|BenchmarkAggregateGroupBy|BenchmarkRefresh}"
+filter="${BENCH_FILTER:-BenchmarkCubeQuery|BenchmarkStoreBuild|BenchmarkBuildComparison|BenchmarkMaterialize|BenchmarkCubeSnapshot|BenchmarkParallelWorkers|BenchmarkLookupLattice|BenchmarkAggregateGroupBy|BenchmarkRefresh|BenchmarkRefreshDelete}"
+# Never overwrite an earlier run: same-day runs get a .2, .3, ... suffix so
+# the series keeps every data point.
 out="BENCH_$(date -u +%Y-%m-%d).json"
+n=2
+while [ -e "$out" ]; do
+    out="BENCH_$(date -u +%Y-%m-%d).$n.json"
+    n=$((n + 1))
+done
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
