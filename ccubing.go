@@ -36,6 +36,7 @@ import (
 	"ccubing/internal/gen"
 	"ccubing/internal/order"
 	"ccubing/internal/parallel"
+	"ccubing/internal/sink"
 	"ccubing/internal/table"
 
 	// The engine packages register themselves into internal/engine's
@@ -233,37 +234,75 @@ func (s Stats) MB() float64 { return float64(s.Bytes) / (1 << 20) }
 // worker goroutines in nondeterministic order.
 func Compute(ds *Dataset, opt Options, visit func(Cell)) (Stats, error) {
 	opt = opt.withDefaults()
+	plan, err := planCompute(ds, opt)
+	if err != nil {
+		return Stats{Algorithm: plan.alg}, err
+	}
+	st := Stats{Algorithm: plan.alg}
+	out := newVisitSink(visit, plan.perm, plan.t.NumDims(), opt, &st)
+	start := time.Now()
+	err = plan.run(out)
+	st.Elapsed = time.Since(start)
+	return st, err
+}
+
+// computePlan is one resolved cube execution: the engine and its config, the
+// (possibly reordered) relation, the permutation mapping engine dimension
+// positions back to dataset positions, and the worker count.
+type computePlan struct {
+	alg     Algorithm
+	eng     engine.Engine
+	ecfg    engine.Config
+	t       *table.Table
+	perm    []int
+	workers int
+}
+
+// planCompute resolves options to a runnable plan: engine selection and
+// validation, dimension ordering, worker count. Shared by Compute and the
+// direct-to-builder path of Materialize.
+func planCompute(ds *Dataset, opt Options) (computePlan, error) {
 	if ds == nil || ds.t == nil {
-		return Stats{}, fmt.Errorf("ccubing: nil dataset")
+		return computePlan{}, fmt.Errorf("ccubing: nil dataset")
 	}
 	alg := opt.Algorithm
 	if alg == AlgAuto {
 		alg = Advise(ds, opt.MinSup, opt.Closed)
 	}
-	st := Stats{Algorithm: alg}
+	plan := computePlan{alg: alg, workers: resolveWorkers(opt.Workers)}
 	eng, ecfg, err := resolveEngine(ds, opt, alg)
 	if err != nil {
-		return st, err
+		return plan, err
 	}
-
-	t := ds.t
-	perm := order.Permutation(t, OrderOriginal)
+	plan.eng, plan.ecfg = eng, ecfg
+	plan.t = ds.t
+	plan.perm = order.Permutation(plan.t, OrderOriginal)
 	if opt.Order != OrderOriginal && eng.Capabilities().OrderSensitive {
-		t, perm, err = order.Apply(ds.t, opt.Order)
+		plan.t, plan.perm, err = order.Apply(ds.t, opt.Order)
 		if err != nil {
-			return st, err
+			return plan, err
 		}
 	}
+	return plan, nil
+}
 
-	out := newVisitSink(visit, perm, t.NumDims(), opt, &st)
-	start := time.Now()
-	if w := resolveWorkers(opt.Workers); w > 1 {
-		err = parallel.Run(t, eng, ecfg, parallel.Config{Workers: w, Dim: -1}, out)
-	} else {
-		err = eng.Run(t, ecfg, out)
+// run executes the plan into out, sharded across workers when more than one.
+func (p computePlan) run(out sink.Sink) error {
+	if p.workers > 1 {
+		return parallel.Run(p.t, p.eng, p.ecfg, parallel.Config{Workers: p.workers, Dim: -1}, out)
 	}
-	st.Elapsed = time.Since(start)
-	return st, err
+	return p.eng.Run(p.t, p.ecfg, out)
+}
+
+// identity reports whether the plan's permutation is the identity, i.e. cells
+// arrive in dataset dimension order and need no remapping.
+func (p computePlan) identity() bool {
+	for i, d := range p.perm {
+		if i != d {
+			return false
+		}
+	}
+	return true
 }
 
 // resolveEngine looks the algorithm up in the engine registry and validates
@@ -332,6 +371,16 @@ func (v *visitSink) Emit(vals []core.Value, count int64) { v.emit(vals, count, 0
 
 func (v *visitSink) EmitAux(vals []core.Value, count int64, aux float64) {
 	v.emit(vals, count, aux)
+}
+
+// EmitBatch satisfies sink.BatchSink so batched flushes from the parallel
+// merger reach the callback without falling back to per-cell emission
+// upstream; each batched cell still pays the remap, but the flush lock is
+// taken once per batch.
+func (v *visitSink) EmitBatch(arena []core.Value, cells []sink.BatchCell) {
+	for _, c := range cells {
+		v.emit(arena[c.Off:c.Off+c.Width], c.Count, c.Aux)
+	}
 }
 
 func (v *visitSink) emit(vals []core.Value, count int64, aux float64) {

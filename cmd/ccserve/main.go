@@ -68,6 +68,8 @@ func main() {
 		refreshEvery = flag.Duration("refresh-interval", 0, "auto-refresh on this period (0 = off)")
 		walPath      = flag.String("wal", "", "write-ahead log for pending (unrefreshed) delta rows; refreshed rows persist only via snapshots")
 		rate         = flag.Float64("rate", 0, "token-bucket limit on mutating endpoints (append/delete/update/refresh/reload), requests per second (0 = unlimited)")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
+		cacheSize    = flag.Int("query-cache", ccubing.DefaultQueryCacheEntries, "query-result cache capacity in entries (0 = disabled)")
 	)
 	flag.Parse()
 	if *rate < 0 {
@@ -94,9 +96,17 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ccserve: serving %d closed cells (%d dims, %d cuboids, minsup=%d, generation=%d) on %s\n",
 		cube.NumCells(), cube.NumDims(), cube.NumCuboids(), cube.MinSup(), cube.Generation(), *addr)
 
+	if *cacheSize != ccubing.DefaultQueryCacheEntries {
+		cube.SetQueryCache(*cacheSize)
+	}
+	mux := newMux(cube, *snapshot, *rate)
+	if *pprofOn {
+		registerPprof(mux)
+		fmt.Fprintf(os.Stderr, "ccserve: pprof enabled at http://%s/debug/pprof/\n", *addr)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(cube, *snapshot, *rate),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -153,6 +154,18 @@ func newMux(cube *ccubing.Cube, snapshotPath string, rate float64) *http.ServeMu
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
+}
+
+// registerPprof exposes the net/http/pprof endpoints on the serving mux
+// (which is not http.DefaultServeMux, so the package's init registration
+// does not apply). Gated behind the -pprof flag: profiling handlers reveal
+// internals and cost CPU, so they are opt-in.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // queryRequest is the JSON body of /v1/query and /v1/slice. Exactly one of
@@ -772,6 +785,8 @@ type statsResponse struct {
 	LastRefreshError string           `json:"last_refresh_error,omitempty"`
 	UptimeMs         int64            `json:"uptime_ms"`
 	RateLimited      int64            `json:"rate_limited"`
+	CacheHits        int64            `json:"cache_hits"`
+	CacheMisses      int64            `json:"cache_misses"`
 	Requests         map[string]int64 `json:"requests"`
 }
 
@@ -779,6 +794,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.nStats.Add(1)
 	cube := s.cube.Load()
 	m := cube.RefreshMetrics()
+	hits, misses := cube.QueryCacheMetrics()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Generation:       m.Generation,
 		SourceRows:       m.Rows,
@@ -790,6 +806,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LastRefreshError: m.LastError,
 		UptimeMs:         time.Since(s.start).Milliseconds(),
 		RateLimited:      s.nRateLimited.Load(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
 		Requests: map[string]int64{
 			"cube":      s.nCube.Load(),
 			"query":     s.nQuery.Load(),

@@ -8,12 +8,15 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"ccubing/internal/core"
 	"ccubing/internal/cubestore"
+	"ccubing/internal/qcache"
 	"ccubing/internal/refresh"
 	"ccubing/internal/table"
 )
@@ -40,6 +43,26 @@ type Cube struct {
 	stats   Stats
 	mgr     *refresh.Manager                 // live cubes: owns the serving snapshot
 	static  atomic.Pointer[refresh.Snapshot] // snapshot-loaded cubes
+	// cache memoizes query results keyed by (generation, normalized query);
+	// a refresh bumps the generation, so stale answers are unreachable and
+	// age out of the LRU. Nil when caching is disabled (SetQueryCache(0)).
+	cache atomic.Pointer[qcache.Cache]
+}
+
+// DefaultQueryCacheEntries is the query-result cache capacity cubes start
+// with; SetQueryCache resizes or disables it.
+const DefaultQueryCacheEntries = 4096
+
+// SetQueryCache resizes the cube's query-result cache to hold up to n entries
+// (point lookups and aggregate results); n <= 0 disables caching. The cache
+// is replaced wholesale, dropping cached entries and resetting hit/miss
+// counters. Safe to call concurrently with queries.
+func (c *Cube) SetQueryCache(n int) { c.cache.Store(qcache.New(n)) }
+
+// QueryCacheMetrics reports the cumulative hit and miss counts of the current
+// query-result cache; zeros when caching is disabled.
+func (c *Cube) QueryCacheMetrics() (hits, misses int64) {
+	return c.cache.Load().Metrics()
 }
 
 // snap returns the current serving snapshot with one atomic load. Every
@@ -81,11 +104,29 @@ func Materialize(ds *Dataset, opt Options) (*Cube, error) {
 		}
 		st = cst
 	} else {
-		cst, err := Compute(ds, opt, func(c Cell) { b.Add(c.Values, c.Count, 0) })
+		plan, err := planCompute(ds, opt)
 		if err != nil {
 			return nil, err
 		}
-		st = cst
+		st.Algorithm = plan.alg
+		start := time.Now()
+		if plan.identity() {
+			// Zero-copy path: cells arrive in dataset dimension order, so the
+			// engine (and, under Workers>1, the merger's batched flushes) feed
+			// the store builder directly — no per-cell callback or remap.
+			bs := &cubestore.BuilderSink{B: b}
+			if err := plan.run(bs); err != nil {
+				return nil, err
+			}
+			st.Cells = bs.Cells
+			st.Bytes = bs.Cells * (int64(4*ds.NumDims()) + 8)
+		} else {
+			out := newVisitSink(func(c Cell) { b.Add(c.Values, c.Count, 0) }, plan.perm, plan.t.NumDims(), opt, &st)
+			if err := plan.run(out); err != nil {
+				return nil, err
+			}
+		}
+		st.Elapsed = time.Since(start)
 	}
 	store, err := b.Build()
 	if err != nil {
@@ -98,6 +139,7 @@ func Materialize(ds *Dataset, opt Options) (*Cube, error) {
 		measure: opt.Measure,
 		stats:   st,
 	}
+	cube.cache.Store(qcache.New(DefaultQueryCacheEntries))
 	var dicts []*table.Dict
 	if ds.dicts != nil {
 		dicts = make([]*table.Dict, len(ds.dicts))
@@ -175,18 +217,79 @@ func (c *Cube) Bytes() int64 { return c.snap().Store.Bytes() }
 // tree walk. Safe for concurrent use. Like Lookup and Slice, it panics when
 // vals does not have exactly NumDims entries (a shape bug, not a miss).
 func (c *Cube) Query(vals []int32) (int64, bool) {
-	return c.snap().Store.Query(vals)
+	st := c.snap()
+	qc := c.cache.Load()
+	if qc == nil {
+		return st.Store.Query(vals)
+	}
+	e := cachedLookup(qc, st, vals)
+	return e.count, e.ok
 }
 
 // Lookup resolves an arbitrary cell to its closure: the most specific closed
 // cell covering it, which carries the cell's own count (and measure value).
 // ok is false when the cell is empty or below the iceberg threshold.
 func (c *Cube) Lookup(vals []int32) (Cell, bool) {
-	cc, ok := c.snap().Store.Lookup(vals)
-	if !ok {
+	st := c.snap()
+	qc := c.cache.Load()
+	if qc == nil {
+		cc, ok := st.Store.Lookup(vals)
+		if !ok {
+			return Cell{}, false
+		}
+		return Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux}, true
+	}
+	e := cachedLookup(qc, st, vals)
+	if !e.ok {
 		return Cell{}, false
 	}
-	return Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux}, true
+	// Hits hand out a copy: the cached closure values are shared by every
+	// future hit of this entry and must stay immutable.
+	return Cell{Values: append([]int32(nil), e.vals...), Count: e.count, Aux: e.aux}, true
+}
+
+// Cache key kinds, one per query form sharing the cache.
+const (
+	cacheKindLookup = 1 // point query / closure lookup, payload = packed cell values
+	cacheKindAgg    = 2 // aggregate query, payload = normalized spec + options
+)
+
+// lookupEntry is the cached resolution of one cell: its closure (values,
+// count, measure) or a definitive miss. Both Query and Lookup share it — a
+// cell queried then looked up costs one store probe, not two.
+type lookupEntry struct {
+	vals  []int32 // closure values; nil on miss
+	count int64
+	aux   float64
+	ok    bool
+}
+
+// cacheKey starts a cache key: generation, kind byte, then the caller's
+// payload. The generation prefix is the invalidation mechanism — refreshed
+// cubes never see pre-refresh entries.
+func cacheKey(gen uint64, kind byte, payload int) []byte {
+	key := make([]byte, 0, 9+payload)
+	key = binary.BigEndian.AppendUint64(key, gen)
+	return append(key, kind)
+}
+
+// cachedLookup resolves vals through the cache, filling on miss. Negative
+// answers are cached too: an empty cell stays empty for the generation.
+func cachedLookup(qc *qcache.Cache, st *refresh.Snapshot, vals []int32) lookupEntry {
+	key := cacheKey(st.Generation, cacheKindLookup, 4*len(vals))
+	for _, v := range vals {
+		key = binary.BigEndian.AppendUint32(key, uint32(v))
+	}
+	if v, hit := qc.Get(key); hit {
+		return v.(lookupEntry)
+	}
+	cc, ok := st.Store.Lookup(vals)
+	e := lookupEntry{count: cc.Count, aux: cc.Aux, ok: ok}
+	if ok {
+		e.vals = cc.Values
+	}
+	qc.Put(key, e)
+	return e
 }
 
 // Slice visits every stored closed cell inside the sub-cube the query pins
@@ -273,6 +376,10 @@ func (c *Cube) QueryLabels(labels []string) (int64, bool, error) {
 			return 0, false, nil
 		}
 		return 0, false, err
+	}
+	if qc := c.cache.Load(); qc != nil {
+		e := cachedLookup(qc, st, vals)
+		return e.count, e.ok, nil
 	}
 	count, ok := st.Store.Query(vals)
 	return count, ok, nil
@@ -429,6 +536,7 @@ func LoadCube(r io.Reader) (*Cube, error) {
 		return nil, fmt.Errorf("ccubing: load: %d dimensions out of range", nd)
 	}
 	cube := &Cube{minSup: int64(minSup), alg: Algorithm(algByte)}
+	cube.cache.Store(qcache.New(DefaultQueryCacheEntries))
 	cube.names = make([]string, nd)
 	for d := range cube.names {
 		if cube.names[d], err = readString(); err != nil {
@@ -750,12 +858,75 @@ func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) (rows []Cell, exa
 			sopt.GroupBy = append(sopt.GroupBy, d)
 		}
 	}
+	exact = c.minSup <= 1
+	qc := c.cache.Load()
+	var key []byte
+	if qc != nil {
+		key = appendAggKey(cacheKey(st.Generation, cacheKindAgg, 8*c.NumDims()), ss, sopt)
+		if v, hit := qc.Get(key); hit {
+			e := v.(aggEntry)
+			return copyCells(e.rows), e.exact, nil
+		}
+	}
 	srows := st.Store.Aggregate(ss, sopt)
 	out := make([]Cell, len(srows))
 	for i, r := range srows {
 		out[i] = Cell{Values: r.Values, Count: r.Count, Aux: r.Aux}
 	}
-	return out, c.minSup <= 1, nil
+	if qc != nil {
+		// The cached rows become shared; hand the caller a copy, like the hit
+		// path does.
+		qc.Put(key, aggEntry{rows: out, exact: exact})
+		return copyCells(out), exact, nil
+	}
+	return out, exact, nil
+}
+
+// aggEntry is one cached aggregate result.
+type aggEntry struct {
+	rows  []Cell
+	exact bool
+}
+
+// copyCells deep-copies result rows so cached entries stay immutable.
+func copyCells(rows []Cell) []Cell {
+	out := make([]Cell, len(rows))
+	for i, r := range rows {
+		out[i] = Cell{Values: append([]int32(nil), r.Values...), Count: r.Count, Aux: r.Aux}
+	}
+	return out
+}
+
+// appendAggKey serializes a lowered aggregate query in normalized form:
+// predicate sets and group-by dimensions are order-insensitive in the result,
+// so both are sorted before packing — equivalent queries share one entry.
+func appendAggKey(key []byte, ss cubestore.Spec, sopt cubestore.AggOptions) []byte {
+	for _, p := range ss.Preds {
+		key = append(key, byte(p.Kind))
+		switch p.Kind {
+		case cubestore.PredEq:
+			key = binary.BigEndian.AppendUint32(key, uint32(p.Val))
+		case cubestore.PredRange:
+			key = binary.BigEndian.AppendUint32(key, uint32(p.Lo))
+			key = binary.BigEndian.AppendUint32(key, uint32(p.Hi))
+		case cubestore.PredIn:
+			set := append([]int32(nil), p.Set...)
+			sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+			key = binary.BigEndian.AppendUint32(key, uint32(len(set)))
+			for _, v := range set {
+				key = binary.BigEndian.AppendUint32(key, uint32(v))
+			}
+		}
+	}
+	key = append(key, byte(sopt.By), byte(sopt.AuxAgg))
+	key = binary.BigEndian.AppendUint32(key, uint32(sopt.TopK))
+	gb := append([]int(nil), sopt.GroupBy...)
+	sort.Ints(gb)
+	key = binary.BigEndian.AppendUint32(key, uint32(len(gb)))
+	for _, d := range gb {
+		key = binary.BigEndian.AppendUint32(key, uint32(d))
+	}
+	return key
 }
 
 // resolveDim maps a dimension name (or decimal index) to its position.

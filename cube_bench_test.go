@@ -43,13 +43,25 @@ func benchCubeDataset(b *testing.B) *Dataset {
 
 // BenchmarkCubeQuery measures point-query throughput on a materialized cube,
 // sequentially and with RunParallel across GOMAXPROCS goroutines (the store
-// is immutable, so concurrent readers share it lock-free).
+// is immutable, so concurrent readers share it lock-free). The result cache
+// is disabled so both arms measure the raw probe path, comparable with the
+// pre-cache BENCH_*.json baselines.
+//
+// Why the parallel arm used to LOSE to sequential (~2x at the 2026-07-29
+// baseline): every probe bumped one shared atomic probe counter, so
+// concurrent readers serialized on a single contended cache line, and each
+// probe allocated its prefix/rest scratch, serializing further on the
+// allocator. Both are gone — probe counters are striped across padded cache
+// lines and the probe scratch is pooled per store — so the parallel arm now
+// degrades only by scheduling overhead on single-core machines instead of
+// inter-core bouncing.
 func BenchmarkCubeQuery(b *testing.B) {
 	ds := benchCubeDataset(b)
 	cube, err := Materialize(ds, Options{MinSup: 8, Workers: -1})
 	if err != nil {
 		b.Fatal(err)
 	}
+	cube.SetQueryCache(0)
 	tb := ds.Table()
 	// Pre-draw a query mix: full points, partial cells, sparse cells.
 	const nq = 4096
@@ -81,6 +93,52 @@ func BenchmarkCubeQuery(b *testing.B) {
 				i++
 			}
 		})
+	})
+}
+
+// BenchmarkCubeQueryCached measures what the generation-keyed result cache
+// buys on a repeating query mix: cold is the raw probe path (cache
+// disabled), warm answers every query from the primed cache. The mix is the
+// same 4096 queries as BenchmarkCubeQuery, so cold here tracks
+// BenchmarkCubeQuery/sequential.
+func BenchmarkCubeQueryCached(b *testing.B) {
+	ds := benchCubeDataset(b)
+	cube, err := Materialize(ds, Options{MinSup: 8, Workers: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := ds.Table()
+	const nq = 4096
+	queries := make([][]int32, nq)
+	rng := rand.New(rand.NewSource(1))
+	for i := range queries {
+		q := make([]int32, tb.NumDims())
+		for d := range q {
+			if rng.Intn(3) == 0 {
+				q[d] = Star
+			} else {
+				q[d] = tb.Cols[d][rng.Intn(tb.NumTuples())]
+			}
+		}
+		queries[i] = q
+	}
+	b.Run("cold", func(b *testing.B) {
+		cube.SetQueryCache(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cube.Query(queries[i%nq])
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cube.SetQueryCache(2 * nq) // fits the whole mix
+		for _, q := range queries {
+			cube.Query(q)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cube.Query(queries[i%nq])
+		}
 	})
 }
 

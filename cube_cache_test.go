@@ -1,0 +1,161 @@
+package ccubing
+
+// Tests for the generation-keyed query-result cache: correctness of hits,
+// invalidation across refresh (the cached answer must change when the
+// underlying cell changes), isolation of cached entries from caller
+// mutation, and the disable switch.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// cacheTestCube builds a small live cube from coded rows with caching on.
+func cacheTestCube(t *testing.T, rows [][]int32) *Cube {
+	t.Helper()
+	ds, err := NewDatasetFromValues(nil, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := Materialize(ds, Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+// TestQueryCacheInvalidationAcrossRefresh is the cache's acceptance test: a
+// cached answer must change after an append+refresh touching the queried
+// cell, because the new generation keys miss the old entries.
+func TestQueryCacheInvalidationAcrossRefresh(t *testing.T) {
+	cube := cacheTestCube(t, [][]int32{{0, 0}, {0, 1}, {1, 0}})
+	cell := []int32{0, Star}
+
+	if n, ok := cube.Query(cell); !ok || n != 2 {
+		t.Fatalf("Query(0,*) = %d, %v; want 2, true", n, ok)
+	}
+	// Second query must come from the cache.
+	if n, ok := cube.Query(cell); !ok || n != 2 {
+		t.Fatalf("cached Query(0,*) = %d, %v; want 2, true", n, ok)
+	}
+	hits, misses := cube.QueryCacheMetrics()
+	if hits < 1 || misses < 1 {
+		t.Fatalf("cache metrics after repeat query: hits=%d misses=%d; want both >= 1", hits, misses)
+	}
+
+	// Grow the queried cell and refresh: the generation bumps, so the stale
+	// entry is unreachable and the fresh store answers.
+	if _, err := cube.AppendValues([][]int32{{0, 2}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cube.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := cube.Query(cell); !ok || n != 3 {
+		t.Fatalf("Query(0,*) after refresh = %d, %v; want 3, true (stale cache served?)", n, ok)
+	}
+	// And the post-refresh answer caches under the new generation.
+	h0, _ := cube.QueryCacheMetrics()
+	if n, ok := cube.Query(cell); !ok || n != 3 {
+		t.Fatalf("cached Query(0,*) after refresh = %d, %v; want 3, true", n, ok)
+	}
+	if h1, _ := cube.QueryCacheMetrics(); h1 != h0+1 {
+		t.Fatalf("post-refresh repeat was not a cache hit: hits %d -> %d", h0, h1)
+	}
+}
+
+// TestQueryCacheNegativeAnswers checks misses are cached and stay correct:
+// an empty cell must remain a miss on the hit path.
+func TestQueryCacheNegativeAnswers(t *testing.T) {
+	cube := cacheTestCube(t, [][]int32{{0, 0}, {1, 1}})
+	empty := []int32{0, 1}
+	for i := 0; i < 2; i++ {
+		if n, ok := cube.Query(empty); ok || n != 0 {
+			t.Fatalf("pass %d: Query(empty) = %d, %v; want 0, false", i, n, ok)
+		}
+		if _, ok := cube.Lookup(empty); ok {
+			t.Fatalf("pass %d: Lookup(empty) found a cell", i)
+		}
+	}
+}
+
+// TestQueryCacheLookupIsolation checks a Lookup hit hands out values the
+// caller may mutate without corrupting the cached entry.
+func TestQueryCacheLookupIsolation(t *testing.T) {
+	cube := cacheTestCube(t, [][]int32{{0, 0}, {0, 0}, {1, 1}})
+	cell := []int32{0, 0}
+	first, ok := cube.Lookup(cell)
+	if !ok {
+		t.Fatal("Lookup missed a stored cell")
+	}
+	first.Values[0] = 99 // caller scribbles on its copy
+	second, ok := cube.Lookup(cell)
+	if !ok {
+		t.Fatal("cached Lookup missed")
+	}
+	if second.Values[0] != 0 || second.Count != 2 {
+		t.Fatalf("cached entry corrupted by caller mutation: %+v", second)
+	}
+}
+
+// TestQueryCacheAggregate checks aggregate results cache (same rows on the
+// hit path, counted as a hit) and that hit rows are mutation-isolated too.
+func TestQueryCacheAggregate(t *testing.T) {
+	cube := cacheTestCube(t, [][]int32{{0, 0}, {0, 1}, {1, 0}})
+	spec := QuerySpec{{Op: PredAny}, {Op: PredAny}}
+	opt := AggregateOptions{GroupBy: []string{"0"}}
+
+	rows1, exact, err := cube.Aggregate(spec, opt)
+	if err != nil || !exact {
+		t.Fatalf("Aggregate: rows=%v exact=%v err=%v", rows1, exact, err)
+	}
+	h0, _ := cube.QueryCacheMetrics()
+	rows2, _, err := cube.Aggregate(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1, _ := cube.QueryCacheMetrics(); h1 != h0+1 {
+		t.Fatalf("repeat aggregate was not a cache hit: hits %d -> %d", h0, h1)
+	}
+	if !reflect.DeepEqual(rows1, rows2) {
+		t.Fatalf("cached aggregate differs:\nfirst  %v\nsecond %v", rows1, rows2)
+	}
+	rows2[0].Values[0] = 77
+	rows3, _, err := cube.Aggregate(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows1, rows3) {
+		t.Fatalf("cached aggregate corrupted by caller mutation: %v", rows3)
+	}
+
+	// Refresh invalidates aggregates too.
+	if _, err := cube.AppendValues([][]int32{{0, 2}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cube.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	rows4, _, err := cube.Aggregate(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows4[0].Count != 3 {
+		t.Fatalf("aggregate after refresh = %v; want group 0 count 3", rows4)
+	}
+}
+
+// TestQueryCacheDisable checks SetQueryCache(0) turns caching off: metrics
+// stay zero and answers remain correct.
+func TestQueryCacheDisable(t *testing.T) {
+	cube := cacheTestCube(t, [][]int32{{0, 0}, {0, 1}})
+	cube.SetQueryCache(0)
+	for i := 0; i < 2; i++ {
+		if n, ok := cube.Query([]int32{0, Star}); !ok || n != 2 {
+			t.Fatalf("Query with cache off = %d, %v; want 2, true", n, ok)
+		}
+	}
+	if h, m := cube.QueryCacheMetrics(); h != 0 || m != 0 {
+		t.Fatalf("disabled cache reported traffic: hits=%d misses=%d", h, m)
+	}
+}

@@ -1,0 +1,54 @@
+package cubestore
+
+// Steady-state allocation regression tests for the probe path: Query and the
+// covering scan behind Lookup must not allocate per operation (scratch is
+// pooled per store). Bounds allow a fraction of an alloc per op because a GC
+// pass can empty the sync.Pool mid-measurement.
+
+import (
+	"testing"
+
+	"ccubing/internal/core"
+)
+
+func TestQueryAllocsSteadyState(t *testing.T) {
+	cards := []int{8, 6, 5, 4}
+	tbl := testTable(t, 3000, cards, 0.8, 11)
+	s := buildFromClosed(t, tbl, 2)
+
+	hit := []core.Value{tbl.Cols[0][0], core.Star, tbl.Cols[2][0], core.Star}
+	miss := []core.Value{core.Value(cards[0]), core.Star, core.Star, core.Star}
+	s.Query(hit)
+	s.Query(miss)
+
+	if n := testing.AllocsPerRun(1000, func() { s.Query(hit) }); n > 0.5 {
+		t.Fatalf("Query(hit) allocates %v per op; want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { s.Query(miss) }); n > 0.5 {
+		t.Fatalf("Query(miss) allocates %v per op; want 0", n)
+	}
+}
+
+func TestLookupAllocsSteadyState(t *testing.T) {
+	cards := []int{8, 6, 5, 4}
+	tbl := testTable(t, 3000, cards, 0.8, 11)
+	s := buildFromClosed(t, tbl, 2)
+
+	// A miss never materializes a result cell, so the whole covering scan
+	// must be allocation-free.
+	miss := []core.Value{core.Value(cards[0]), core.Star, core.Star, core.Star}
+	s.Lookup(miss)
+	if n := testing.AllocsPerRun(1000, func() { s.Lookup(miss) }); n > 0.5 {
+		t.Fatalf("Lookup(miss) allocates %v per op; want 0", n)
+	}
+
+	// A hit allocates only the returned closure cell (its values slice),
+	// which callers own — the probe machinery itself adds nothing.
+	hit := []core.Value{tbl.Cols[0][0], core.Star, core.Star, core.Star}
+	if _, ok := s.Lookup(hit); !ok {
+		t.Fatal("expected a stored covering cell")
+	}
+	if n := testing.AllocsPerRun(1000, func() { s.Lookup(hit) }); n > 2.5 {
+		t.Fatalf("Lookup(hit) allocates %v per op; want <= 2 (the returned cell)", n)
+	}
+}

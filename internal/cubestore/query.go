@@ -88,19 +88,22 @@ func (s *Store) boundMask(spec Spec) core.Mask {
 // Panics when the spec does not have exactly NumDims predicates.
 func (s *Store) Select(spec Spec, visit func(core.Cell) bool) {
 	q := s.boundMask(spec)
-	for _, g := range s.candidates(q) {
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	for _, g := range s.candidates(q, &sc.cands) {
 		if g.mask&q != q {
 			continue
 		}
-		s.probes.Add(1)
+		sc.probes++
 		// A leading run of exact predicates forms a key prefix, narrowing the
 		// row range by binary search as in Slice.
 		p := 0
-		var prefix []byte
+		prefix := sc.key[:0]
 		for p < len(g.dims) && spec.Preds[g.dims[p]].Kind == PredEq {
 			prefix = core.AppendValue(prefix, spec.Preds[g.dims[p]].Val)
 			p++
 		}
+		sc.key = prefix
 		lo, hi := g.prefixRange(prefix)
 	rows:
 		for i := lo; i < hi; i++ {
@@ -208,22 +211,25 @@ func (s *Store) Aggregate(spec Spec, opt AggOptions) []core.Cell {
 	// covered by cells from several cuboids.
 	combos := map[string]struct{}{}
 	keyBuf := make([]byte, 0, len(gcDims)*core.ValueWidth)
-	for _, g := range s.candidates(gc) {
+	pos := make([]int, 0, core.MaxDims)
+	sc := s.getScratch()
+	for _, g := range s.candidates(gc, &sc.cands) {
 		if g.mask&gc != gc {
 			continue
 		}
-		s.probes.Add(1)
+		sc.probes++
 		// A leading run of exact predicates narrows the row range by binary
 		// search, as in Select.
 		p := 0
-		var prefix []byte
+		prefix := sc.key[:0]
 		for p < len(g.dims) && spec.Preds[g.dims[p]].Kind == PredEq {
 			prefix = core.AppendValue(prefix, spec.Preds[g.dims[p]].Val)
 			p++
 		}
+		sc.key = prefix
 		lo, hi := g.prefixRange(prefix)
 		// Positions of the gc dimensions inside this group's key layout.
-		pos := make([]int, 0, len(gcDims))
+		pos = pos[:0]
 		for j, d := range g.dims {
 			if gc.Has(d) {
 				pos = append(pos, j)
@@ -243,6 +249,9 @@ func (s *Store) Aggregate(spec Spec, opt AggOptions) []core.Cell {
 			combos[string(key)] = struct{}{}
 		}
 	}
+	// Release before the per-combination lookups of pass 2, so they reuse the
+	// same scratch instead of growing the pool.
+	s.putScratch(sc)
 
 	// Pass 2: resolve each combination through its closure (exact count and
 	// measure) and fold it into its group.

@@ -34,9 +34,11 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"ccubing/internal/core"
+	"ccubing/internal/sink"
 )
 
 // group holds one cuboid: all stored cells fixing exactly the dimensions in
@@ -84,6 +86,38 @@ func (g *group) prefixRange(prefix []byte) (int, int) {
 	return lo, hi
 }
 
+// probeStripes is the number of independent cache lines the probe counter is
+// striped over. A single shared atomic serializes every concurrent reader on
+// one cache line (the contention behind the old parallel-query slowdown);
+// each probe scratch is pinned to one stripe instead, and Probes() sums.
+const probeStripes = 8
+
+// stripedCount is one probe-counter stripe, padded to a cache line so
+// neighboring stripes never false-share.
+type stripedCount struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// probeScratch holds the per-call buffers of the probe path — packed-key
+// bytes, the candidate-merge list, the residual field filters — so Lookup,
+// Query, Slice, Select and Aggregate run allocation-free in steady state.
+// Scratches are pooled per store and pinned to a probe-counter stripe.
+type probeScratch struct {
+	key    []byte
+	cands  []*group
+	rest   []fieldMatch
+	probes int64 // probes accumulated by the current call, flushed on release
+	stripe uint32
+}
+
+// fieldMatch is one residual bound-dimension filter of a covering probe: the
+// packed value expected at a byte offset of each candidate row.
+type fieldMatch struct {
+	off int
+	val [core.ValueWidth]byte
+}
+
 // Store is an immutable, concurrency-safe closed-cube query index.
 type Store struct {
 	nd     int
@@ -97,9 +131,35 @@ type Store struct {
 	byDim [][]*group
 	cells int64
 	// probes counts covering-group probes performed by Lookup, Slice, Select
-	// and Aggregate since the store was built — an observability counter, the
-	// only mutable field (atomic, safe under concurrent readers).
-	probes atomic.Int64
+	// and Aggregate since the store was built — an observability counter,
+	// striped across cache lines so concurrent readers don't contend.
+	probes  [probeStripes]stripedCount
+	scratch sync.Pool // *probeScratch
+	stripes atomic.Uint32
+}
+
+// getScratch takes a probe scratch from the pool (allocating buffers sized
+// for this store on a pool miss, with stripes assigned round-robin).
+func (s *Store) getScratch() *probeScratch {
+	if v := s.scratch.Get(); v != nil {
+		return v.(*probeScratch)
+	}
+	return &probeScratch{
+		key:    make([]byte, 0, s.nd*core.ValueWidth),
+		cands:  make([]*group, 0, 64),
+		rest:   make([]fieldMatch, 0, core.MaxDims),
+		stripe: s.stripes.Add(1) % probeStripes,
+	}
+}
+
+// putScratch flushes the scratch's probe tally into its stripe and returns
+// the scratch to the pool.
+func (s *Store) putScratch(sc *probeScratch) {
+	if sc.probes != 0 {
+		s.probes[sc.stripe].n.Add(sc.probes)
+		sc.probes = 0
+	}
+	s.scratch.Put(sc)
 }
 
 // NumDims returns the dimensionality of the stored cube.
@@ -118,7 +178,13 @@ func (s *Store) HasAux() bool { return s.hasAux }
 // scans (Lookup misses of the exact cuboid, Slice, Select, Aggregate) since
 // the store was built. Monotonic; the delta across a query bounds the
 // lattice-indexed probe cost and is asserted by tests and benchmarks.
-func (s *Store) Probes() int64 { return s.probes.Load() }
+func (s *Store) Probes() int64 {
+	var total int64
+	for i := range s.probes {
+		total += s.probes[i].n.Load()
+	}
+	return total
+}
 
 // candidates returns the groups whose mask can cover q (mask ⊇ q), ascending
 // by mask: the intersection of the two shortest per-dimension lattice lists
@@ -126,9 +192,10 @@ func (s *Store) Probes() int64 { return s.probes.Load() }
 // dimensions, so it appears in both). Entries still need the mask-superset
 // check — the result is a superset of the covering groups, but its length,
 // not NumCuboids, bounds the scan. With a single bound dimension that
-// dimension's list is returned directly (no allocation); a fully-wildcard
-// query is covered by every group.
-func (s *Store) candidates(q core.Mask) []*group {
+// dimension's list is returned directly; a fully-wildcard query is covered by
+// every group. The merge path writes into *buf (the caller's scratch,
+// regrown in place), so steady-state calls never allocate.
+func (s *Store) candidates(q core.Mask, buf *[]*group) []*group {
 	if q == 0 {
 		return s.groups
 	}
@@ -152,7 +219,7 @@ func (s *Store) candidates(q core.Mask) []*group {
 	}
 	// Both lists ascend by mask (buildIndex appends in group order), so the
 	// intersection is a linear merge.
-	out := make([]*group, 0, len(best))
+	out := (*buf)[:0]
 	for i, j := 0, 0; i < len(best) && j < len(second); {
 		switch {
 		case best[i] == second[j]:
@@ -165,6 +232,7 @@ func (s *Store) candidates(q core.Mask) []*group {
 			j++
 		}
 	}
+	*buf = out
 	return out
 }
 
@@ -209,28 +277,24 @@ func (s *Store) queryMask(vals []core.Value) core.Mask {
 // probe scans one covering group for cells matching the query values on the
 // query's bound dimensions, reporting the best (maximum-count) matching row,
 // or -1. Rows counting no more than floor are skipped, so callers encode the
-// tie-break policy in the floor they pass. q must be a subset of g.mask.
-func (g *group) probe(q core.Mask, vals []core.Value, floor int64) (int, int64) {
+// tie-break policy in the floor they pass. q must be a subset of g.mask. The
+// scratch supplies the prefix and residual-filter buffers, keeping the probe
+// allocation-free.
+func (g *group) probe(q core.Mask, vals []core.Value, floor int64, sc *probeScratch) (int, int64) {
 	// The leading run of g's dimensions that the query binds forms a key
 	// prefix, narrowing the scan by binary search.
 	p := 0
 	for p < len(g.dims) && q.Has(g.dims[p]) {
 		p++
 	}
-	var prefix []byte
-	if p > 0 {
-		prefix = core.AppendValues(make([]byte, 0, p*core.ValueWidth), vals, g.dims[:p])
-	}
+	prefix := core.AppendValues(sc.key[:0], vals, g.dims[:p])
+	sc.key = prefix
 	lo, hi := g.prefixRange(prefix)
 	if lo >= hi {
 		return -1, floor
 	}
 	// Remaining bound dimensions to filter on within the range.
-	type fieldMatch struct {
-		off int
-		val [core.ValueWidth]byte
-	}
-	var rest []fieldMatch
+	rest := sc.rest[:0]
 	for j := p; j < len(g.dims); j++ {
 		if q.Has(g.dims[j]) {
 			var f fieldMatch
@@ -239,6 +303,7 @@ func (g *group) probe(q core.Mask, vals []core.Value, floor int64) (int, int64) 
 			rest = append(rest, f)
 		}
 	}
+	sc.rest = rest
 	bestRow := -1
 	for i := lo; i < hi; i++ {
 		if g.counts[i] <= floor {
@@ -263,10 +328,17 @@ func (g *group) probe(q core.Mask, vals []core.Value, floor int64) (int, int64) 
 // Query returns the count of an arbitrary cell (core.Star marks wildcard
 // dimensions). The second result is false when the cell is empty or fell
 // below the iceberg threshold of the stored cube. It panics if vals does not
-// have exactly NumDims entries.
+// have exactly NumDims entries. Unlike Lookup it never materializes the
+// closure cell, so steady-state calls are allocation-free.
 func (s *Store) Query(vals []core.Value) (int64, bool) {
-	c, ok := s.Lookup(vals)
-	return c.Count, ok
+	sc := s.getScratch()
+	g, row := s.lookupRow(vals, sc)
+	var count int64
+	if row >= 0 {
+		count = g.counts[row]
+	}
+	s.putScratch(sc)
+	return count, row >= 0
 }
 
 // Lookup resolves an arbitrary cell to its closure: the stored closed cell
@@ -275,13 +347,26 @@ func (s *Store) Query(vals []core.Value) (int64, bool) {
 // below the stored cube's iceberg threshold. It panics if vals does not have
 // exactly NumDims entries.
 func (s *Store) Lookup(vals []core.Value) (core.Cell, bool) {
+	sc := s.getScratch()
+	g, row := s.lookupRow(vals, sc)
+	s.putScratch(sc)
+	if row < 0 {
+		return core.Cell{}, false
+	}
+	return s.cellAt(g, row), true
+}
+
+// lookupRow locates the closure of an arbitrary cell as a (group, row) pair,
+// row -1 on a miss: the shared, allocation-free core of Query and Lookup.
+func (s *Store) lookupRow(vals []core.Value, sc *probeScratch) (*group, int) {
 	q := s.queryMask(vals)
 	// Fast path: the queried cell is itself closed — a hit in its own cuboid
 	// is exact (covering cells in superset cuboids never exceed its count).
 	if g := s.byMask[q]; g != nil {
-		key := core.AppendValues(make([]byte, 0, len(g.dims)*core.ValueWidth), vals, g.dims)
+		key := core.AppendValues(sc.key[:0], vals, g.dims)
+		sc.key = key
 		if i := g.find(key); i >= 0 {
-			return s.cellAt(g, i), true
+			return g, i
 		}
 	}
 	// The cell is not closed (or absent): its closure lives in a cuboid
@@ -296,27 +381,22 @@ func (s *Store) Lookup(vals []core.Value) (core.Cell, bool) {
 	bestSpec := -1
 	var bestG *group
 	bestRow := -1
-	var probed int64
-	for _, g := range s.candidates(q) {
+	for _, g := range s.candidates(q, &sc.cands) {
 		if g.mask&q != q || g.mask == q {
 			continue
 		}
-		probed++
+		sc.probes++
 		// A group at most as specific as the current best can only win with a
 		// strictly larger count; a more specific one also wins a count tie.
 		floor := best
 		if len(g.dims) > bestSpec {
 			floor = best - 1
 		}
-		if row, b := g.probe(q, vals, floor); row >= 0 {
+		if row, b := g.probe(q, vals, floor, sc); row >= 0 {
 			best, bestSpec, bestG, bestRow = b, len(g.dims), g, row
 		}
 	}
-	s.probes.Add(probed)
-	if bestRow < 0 {
-		return core.Cell{}, false
-	}
-	return s.cellAt(bestG, bestRow), true
+	return bestG, bestRow
 }
 
 // cellAt materializes row i of g as a full-width cell.
@@ -344,19 +424,19 @@ func (s *Store) cellAt(g *group, i int) core.Cell {
 // entries, like Query.
 func (s *Store) Slice(vals []core.Value, visit func(core.Cell) bool) {
 	q := s.queryMask(vals)
-	for _, g := range s.candidates(q) {
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	for _, g := range s.candidates(q, &sc.cands) {
 		if g.mask&q != q {
 			continue
 		}
-		s.probes.Add(1)
+		sc.probes++
 		p := 0
 		for p < len(g.dims) && q.Has(g.dims[p]) {
 			p++
 		}
-		var prefix []byte
-		if p > 0 {
-			prefix = core.AppendValues(make([]byte, 0, p*core.ValueWidth), vals, g.dims[:p])
-		}
+		prefix := core.AppendValues(sc.key[:0], vals, g.dims[:p])
+		sc.key = prefix
 		lo, hi := g.prefixRange(prefix)
 	rows:
 		for i := lo; i < hi; i++ {
@@ -417,6 +497,42 @@ func (b *Builder) Add(vals []core.Value, count int64, aux float64) {
 	if b.hasAux {
 		g.aux = append(g.aux, aux)
 	}
+}
+
+// AddBatch records a whole merge-flush batch of cells: each entry's values
+// live at [Off, Off+Width) of the shared arena. The sink.BatchSink fast path
+// of the parallel merge pipeline lands here, one call per flushed batch
+// instead of one Add per cell under the merger's lock.
+func (b *Builder) AddBatch(arena []core.Value, cells []sink.BatchCell) {
+	for _, c := range cells {
+		b.Add(arena[c.Off:c.Off+c.Width], c.Count, c.Aux)
+	}
+}
+
+// BuilderSink adapts a Builder to the sink interfaces (Sink, AuxSink and the
+// BatchSink bulk path), counting the cells it forwards. It is the terminal
+// sink of Materialize-style builds whose dimension order needs no remapping.
+type BuilderSink struct {
+	B     *Builder
+	Cells int64
+}
+
+// Emit implements sink.Sink.
+func (s *BuilderSink) Emit(vals []core.Value, count int64) {
+	s.B.Add(vals, count, 0)
+	s.Cells++
+}
+
+// EmitAux implements sink.AuxSink.
+func (s *BuilderSink) EmitAux(vals []core.Value, count int64, aux float64) {
+	s.B.Add(vals, count, aux)
+	s.Cells++
+}
+
+// EmitBatch implements sink.BatchSink.
+func (s *BuilderSink) EmitBatch(arena []core.Value, cells []sink.BatchCell) {
+	s.B.AddBatch(arena, cells)
+	s.Cells += int64(len(cells))
 }
 
 // Build sorts every cuboid group and returns the immutable store. It errors

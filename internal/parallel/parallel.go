@@ -19,14 +19,16 @@
 // by aggregation, not by output indices or per-cell rescans. One scan of the
 // relation (parallelized over tuple ranges) folds each tuple's partitioning-
 // dimension value into a first-value/conflict aggregate per candidate cell;
-// candidates whose aggregate never saw two distinct values are dropped.
+// candidates whose aggregate never saw two distinct values are dropped. The
+// scan's chunk jobs are submitted into the same worker pool as the shard
+// jobs the moment the projection pass finishes, so the check overlaps shard
+// cubing instead of serializing after it.
 package parallel
 
 import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"ccubing/internal/core"
 	"ccubing/internal/engine"
@@ -100,99 +102,209 @@ func Run(t *table.Table, eng engine.Engine, ecfg engine.Config, cfg Config, out 
 	}
 
 	merger := sink.NewMerger(out)
-	var candidates []core.Cell // closed mode: projected cells pending the dim check
 
 	// The final pass is usually the longest job, so it goes first; shards
 	// follow largest-first to keep the pool balanced under skew.
 	sort.Slice(shards, func(i, j int) bool { return shards[i].NumTuples() > shards[j].NumTuples() })
-	jobs := make([]func() error, 0, len(shards)+1)
-	jobs = append(jobs, func() error {
+	pool := NewPool(workers)
+	var scan *AgreementScan
+	pool.Submit(func() error {
 		if ecfg.Closed {
+			// Closed mode: collect the projection cube's closed candidates and
+			// hand the agreement scan's chunk jobs straight back to the pool,
+			// so the scan overlaps the shard jobs still running.
 			col := &sink.AuxCollector{}
 			if err := eng.Run(pt, ecfg, col); err != nil {
 				return fmt.Errorf("parallel: final pass: %w", err)
 			}
-			candidates = col.Cells
+			scan = NewAgreementScan(t, dim, projDims, col.Cells, workers)
+			if scan != nil {
+				for _, job := range scan.Jobs() {
+					pool.Submit(job)
+				}
+			}
 			return nil
 		}
 		w := merger.Worker()
-		ins := &starInsert{next: w, dim: dim, scratch: make([]core.Value, nd)}
+		ins := &starInsert{next: w, dim: dim, scratch: getValsScratch(nd)}
 		if err := eng.Run(pt, ecfg, ins); err != nil {
 			return fmt.Errorf("parallel: final pass: %w", err)
 		}
-		w.Flush()
+		putValsScratch(ins.scratch)
+		w.Close()
 		return nil
 	})
 	for _, st := range shards {
 		st := st
-		jobs = append(jobs, func() error {
+		pool.Submit(func() error {
 			w := merger.Worker()
 			f := &fixedFilter{next: w, dim: dim}
 			if err := eng.Run(st, ecfg, f); err != nil {
 				return fmt.Errorf("parallel: shard: %w", err)
 			}
-			w.Flush()
+			w.Close()
 			return nil
 		})
 	}
-	if err := RunPool(workers, jobs); err != nil {
+	if err := pool.Wait(); err != nil {
 		return err
 	}
 
-	if ecfg.Closed {
+	if scan != nil {
 		w := merger.Worker()
-		for _, c := range ClosedSurvivors(t, dim, projDims, candidates, workers) {
-			w.EmitAux(c.Values, c.Count, c.Aux)
-		}
-		w.Flush()
+		scan.EmitSurvivors(w)
+		w.Close()
 	}
 	return nil
 }
 
 // ShardTables splits t into ns sub-tables on dimension dim (value % ns picks
 // the shard, so every tuple sharing a dimension value lands in the same
-// shard), copying tuples column by column. Shards inherit the parent's
-// schema and cardinalities. Empty shards are omitted. Shared with
-// internal/refresh, which shards only the partitions a delta touched.
+// shard). The shards are zero-copy views: one permutation pass scatters the
+// relation into a single backing arena grouped by shard, and each shard's
+// columns are sub-slices of it — no per-shard table allocation, and the
+// schema (Names, Cards) is shared with the parent, which engines never
+// mutate. Empty shards are omitted. Shared with internal/refresh, which
+// shards only the partitions a delta touched.
 func ShardTables(t *table.Table, dim, ns int) []*table.Table {
 	n := t.NumTuples()
 	nd := t.NumDims()
 	counts := make([]int, ns)
-	assign := make([]int32, n)
-	pos := make([]int32, n)
+	col := t.Cols[dim]
 	for tid := 0; tid < n; tid++ {
-		s := int(t.Cols[dim][tid]) % ns
-		assign[tid] = int32(s)
-		pos[tid] = int32(counts[s])
-		counts[s]++
+		counts[int(col[tid])%ns]++
+	}
+	offs := make([]int, ns+1)
+	for s := 0; s < ns; s++ {
+		offs[s+1] = offs[s] + counts[s]
+	}
+	// pos[tid] is the tuple's destination row in the permuted arena: shards
+	// occupy consecutive row ranges [offs[s], offs[s+1]).
+	pos := make([]int32, n)
+	next := make([]int, ns)
+	copy(next, offs[:ns])
+	for tid := 0; tid < n; tid++ {
+		s := int(col[tid]) % ns
+		pos[tid] = int32(next[s])
+		next[s]++
+	}
+	// One arena for all dimensions; every shard column is a view into it.
+	arena := make([]core.Value, n*nd)
+	cols := make(core.Columns, nd)
+	for d := 0; d < nd; d++ {
+		dst := arena[d*n : (d+1)*n]
+		src := t.Cols[d]
+		for tid := 0; tid < n; tid++ {
+			dst[pos[tid]] = src[tid]
+		}
+		cols[d] = dst
+	}
+	var auxArena []float64
+	if t.Aux != nil {
+		auxArena = make([]float64, n)
+		for tid := 0; tid < n; tid++ {
+			auxArena[pos[tid]] = t.Aux[tid]
+		}
 	}
 	shards := make([]*table.Table, 0, ns)
-	dst := make([]*table.Table, ns)
 	for s := 0; s < ns; s++ {
 		if counts[s] == 0 {
 			continue
 		}
-		st := table.New(nd, counts[s])
-		copy(st.Names, t.Names)
-		copy(st.Cards, t.Cards)
-		if t.Aux != nil {
-			st.Aux = make([]float64, counts[s])
+		st := &table.Table{
+			Names: t.Names,
+			Cards: t.Cards,
+			Cols:  make(core.Columns, nd),
 		}
-		dst[s] = st
+		for d := 0; d < nd; d++ {
+			st.Cols[d] = cols[d][offs[s]:offs[s+1]]
+		}
+		if auxArena != nil {
+			st.Aux = auxArena[offs[s]:offs[s+1]]
+		}
 		shards = append(shards, st)
 	}
-	for d := 0; d < nd; d++ {
-		src := t.Cols[d]
-		for tid := 0; tid < n; tid++ {
-			dst[assign[tid]].Cols[d][pos[tid]] = src[tid]
-		}
-	}
-	if t.Aux != nil {
-		for tid := 0; tid < n; tid++ {
-			dst[assign[tid]].Aux[pos[tid]] = t.Aux[tid]
-		}
-	}
 	return shards
+}
+
+// Pool is a fixed-size worker pool whose jobs may submit further jobs — the
+// property the closed-mode final pass needs to overlap its agreement scan
+// with still-running shard jobs. After a job fails, queued jobs are dropped
+// (in-flight ones finish) and Wait returns the first error.
+type Pool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []func() error
+	inflight int
+	closed   bool
+	firstErr error
+	wg       sync.WaitGroup
+}
+
+// NewPool starts workers goroutines waiting for Submit.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues a job. Safe to call from running jobs; external submissions
+// must happen before Wait.
+func (p *Pool) Submit(job func() error) {
+	p.mu.Lock()
+	p.queue = append(p.queue, job)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Wait marks the external submission stream closed, waits for the queue to
+// drain (including jobs submitted by jobs) and returns the first job error.
+func (p *Pool) Wait() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+	return p.firstErr
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		if len(p.queue) > 0 {
+			job := p.queue[0]
+			p.queue = p.queue[1:]
+			if p.firstErr != nil {
+				continue // drain without running after a failure
+			}
+			p.inflight++
+			p.mu.Unlock()
+			err := job()
+			p.mu.Lock()
+			p.inflight--
+			if err != nil && p.firstErr == nil {
+				p.firstErr = err
+			}
+			if len(p.queue) == 0 && p.inflight == 0 {
+				// The pool may be idle for good: wake waiters to re-check.
+				p.cond.Broadcast()
+			}
+			continue
+		}
+		if p.closed && p.inflight == 0 {
+			p.mu.Unlock()
+			return
+		}
+		p.cond.Wait()
+	}
 }
 
 // RunPool executes jobs on `workers` goroutines, returning the first error.
@@ -201,36 +313,27 @@ func RunPool(workers int, jobs []func() error) error {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	ch := make(chan func() error)
-	var wg sync.WaitGroup
-	var failed atomic.Bool
-	var mu sync.Mutex
-	var firstErr error
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for job := range ch {
-				if err := job(); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					failed.Store(true)
-				}
-			}
-		}()
-	}
+	p := NewPool(workers)
 	for _, job := range jobs {
-		if failed.Load() {
-			break
-		}
-		ch <- job
+		p.Submit(job)
 	}
-	close(ch)
-	wg.Wait()
-	return firstErr
+	return p.Wait()
+}
+
+// valsScratchPool recycles the full-width value buffers of starInsert and the
+// survivor widening across jobs and refreshes.
+var valsScratchPool = sync.Pool{New: func() any { return new([]core.Value) }}
+
+func getValsScratch(nd int) []core.Value {
+	s := *valsScratchPool.Get().(*[]core.Value)
+	if cap(s) < nd {
+		s = make([]core.Value, nd)
+	}
+	return s[:nd]
+}
+
+func putValsScratch(s []core.Value) {
+	valsScratchPool.Put(&s)
 }
 
 // fixedFilter keeps cells fixing the partition dimension (shard runs).
@@ -271,59 +374,84 @@ type maskGroup struct {
 	index map[string]int // packed fixed values -> candidate index
 }
 
-// ClosedSurvivors finishes the closed-mode final pass over the projection
-// cube: given the closed candidates computed on the relation projected
-// without dim (values in projDims order), it drops every candidate whose
-// tuples all share one value on the partition dimension (the cell fixing
-// that value covers it with equal count, so it is not closed) and returns
-// the rest, widened back to t's dimensionality with a wildcard at dim. The
-// decision aggregates a first-value/conflict pair per candidate over one
-// scan of the relation, parallelized by tuple range. Shared with
-// internal/refresh, which rebuilds the wildcard slice on every refresh.
-func ClosedSurvivors(t *table.Table, dim int, projDims []int, candidates []core.Cell, workers int) []core.Cell {
+// AgreementScan is the closed-mode final-pass check, split into
+// pool-schedulable chunk jobs: given the closed candidates computed on the
+// relation projected without dim, it decides which stay closed once dim
+// returns — a candidate all of whose tuples agree on one dim value is covered
+// (with equal count) by the cell fixing that value, hence not closed. The
+// decision aggregates a first-value/conflict pair per candidate over one scan
+// of the relation, chunked by tuple range so the chunks run concurrently with
+// other pool work.
+type AgreementScan struct {
+	t          *table.Table
+	dim        int
+	candidates []core.Cell
+	groups     []*maskGroup
+	chunks     int
+	firsts     [][]core.Value
+	conflicts  [][]bool
+}
+
+// NewAgreementScan prepares the scan over t's tuples for the given
+// candidates (values in projDims order), split into at most chunks jobs.
+// Returns nil when there are no candidates to check.
+func NewAgreementScan(t *table.Table, dim int, projDims []int, candidates []core.Cell, chunks int) *AgreementScan {
 	if len(candidates) == 0 {
 		return nil
 	}
-	if workers < 1 {
-		workers = 1
+	if chunks < 1 {
+		chunks = 1
 	}
-	groups := buildMaskGroups(projDims, candidates)
-
-	n := t.NumTuples()
-	chunks := workers
-	if chunks > n {
+	if n := t.NumTuples(); chunks > n {
 		chunks = n
 	}
-	// first[c] is the first partition-dimension value seen for candidate c
-	// (-1 until one is seen); conflict[c] flips when a second distinct value
-	// appears, i.e. the candidate is closed on the partition dimension.
-	firsts := make([][]core.Value, chunks)
-	conflicts := make([][]bool, chunks)
-	var wg sync.WaitGroup
-	for c := 0; c < chunks; c++ {
-		lo, hi := c*n/chunks, (c+1)*n/chunks
-		first := make([]core.Value, len(candidates))
-		for i := range first {
-			first[i] = -1
-		}
-		conflict := make([]bool, len(candidates))
-		firsts[c], conflicts[c] = first, conflict
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			scanAgreement(t, dim, groups, lo, hi, first, conflict)
-		}()
+	return &AgreementScan{
+		t:          t,
+		dim:        dim,
+		candidates: candidates,
+		groups:     buildMaskGroups(projDims, candidates),
+		chunks:     chunks,
+		firsts:     make([][]core.Value, chunks),
+		conflicts:  make([][]bool, chunks),
 	}
-	wg.Wait()
+}
 
-	var out []core.Cell
-	for ci, cand := range candidates {
+// Jobs returns the scan's chunk jobs, one per tuple range, each independent
+// and safe to run concurrently (they write disjoint per-chunk aggregates).
+func (a *AgreementScan) Jobs() []func() error {
+	n := a.t.NumTuples()
+	jobs := make([]func() error, a.chunks)
+	for c := 0; c < a.chunks; c++ {
+		c := c
+		jobs[c] = func() error {
+			lo, hi := c*n/a.chunks, (c+1)*n/a.chunks
+			first := make([]core.Value, len(a.candidates))
+			for i := range first {
+				first[i] = -1
+			}
+			conflict := make([]bool, len(a.candidates))
+			scanAgreement(a.t, a.dim, a.groups, lo, hi, first, conflict)
+			a.firsts[c], a.conflicts[c] = first, conflict
+			return nil
+		}
+	}
+	return jobs
+}
+
+// EmitSurvivors merges the chunk aggregates (all Jobs must have completed)
+// and emits each surviving candidate widened back to t's dimensionality with
+// a wildcard at dim. The emitted value slice is scratch, valid only during
+// the call, matching the sink contract.
+func (a *AgreementScan) EmitSurvivors(out sink.AuxSink) {
+	vals := getValsScratch(a.t.NumDims())
+	defer putValsScratch(vals)
+	for ci, cand := range a.candidates {
 		first := core.Value(-1)
 		conflict := false
-		for c := 0; c < chunks && !conflict; c++ {
-			if conflicts[c][ci] {
+		for c := 0; c < a.chunks && !conflict; c++ {
+			if a.conflicts[c][ci] {
 				conflict = true
-			} else if v := firsts[c][ci]; v >= 0 {
+			} else if v := a.firsts[c][ci]; v >= 0 {
 				if first >= 0 && first != v {
 					conflict = true
 				}
@@ -333,13 +461,30 @@ func ClosedSurvivors(t *table.Table, dim int, projDims []int, candidates []core.
 		if !conflict {
 			continue // one shared value on dim covers the candidate
 		}
-		vals := make([]core.Value, t.NumDims())
-		copy(vals[:dim], cand.Values[:dim])
-		vals[dim] = core.Star
-		copy(vals[dim+1:], cand.Values[dim:])
-		out = append(out, core.Cell{Values: vals, Count: cand.Count, Aux: cand.Aux})
+		copy(vals[:a.dim], cand.Values[:a.dim])
+		vals[a.dim] = core.Star
+		copy(vals[a.dim+1:], cand.Values[a.dim:])
+		out.EmitAux(vals, cand.Count, cand.Aux)
 	}
-	return out
+}
+
+// ClosedSurvivors finishes the closed-mode final pass over the projection
+// cube in one call: it runs an AgreementScan on its own worker pool and
+// returns the surviving candidates, widened back to t's dimensionality with
+// a wildcard at dim. Callers that already hold a pool should use
+// NewAgreementScan directly and submit its Jobs, overlapping the scan with
+// their other work.
+func ClosedSurvivors(t *table.Table, dim int, projDims []int, candidates []core.Cell, workers int) []core.Cell {
+	scan := NewAgreementScan(t, dim, projDims, candidates, workers)
+	if scan == nil {
+		return nil
+	}
+	if err := RunPool(workers, scan.Jobs()); err != nil {
+		panic(err) // unreachable: scan jobs never fail
+	}
+	col := &sink.AuxCollector{}
+	scan.EmitSurvivors(col)
+	return col.Cells
 }
 
 // buildMaskGroups groups candidates by their fixed-dimension pattern and

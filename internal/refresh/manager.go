@@ -953,23 +953,28 @@ func (m *Manager) recompute(t *table.Table, affected map[core.Value]bool) ([]cor
 
 	var mu sync.Mutex
 	var fresh []core.Cell
-	var candidates []core.Cell
+	var scan *parallel.AgreementScan
 	// The projection pass sees every tuple and is usually the longest job; it
-	// goes first so the pool stays busy.
-	jobs := make([]func() error, 0, len(shards)+1)
-	jobs = append(jobs, func() error {
+	// goes first so the pool stays busy, and the moment it finishes it
+	// submits the agreement scan's chunk jobs back into the pool, overlapping
+	// the closedness check with shard jobs still running.
+	pool := parallel.NewPool(workers)
+	pool.Submit(func() error {
 		c := &sink.AuxCollector{}
 		if err := m.cfg.Eng.Run(proj, m.cfg.ECfg, c); err != nil {
 			return fmt.Errorf("refresh: projection pass: %w", err)
 		}
-		mu.Lock()
-		candidates = c.Cells
-		mu.Unlock()
+		scan = parallel.NewAgreementScan(t, dim, projDims, c.Cells, workers)
+		if scan != nil {
+			for _, job := range scan.Jobs() {
+				pool.Submit(job)
+			}
+		}
 		return nil
 	})
 	for _, st := range shards {
 		st := st
-		jobs = append(jobs, func() error {
+		pool.Submit(func() error {
 			c := &sink.AuxCollector{}
 			if err := m.cfg.Eng.Run(st, m.cfg.ECfg, &fixedOnly{next: c, dim: dim}); err != nil {
 				return fmt.Errorf("refresh: partition shard: %w", err)
@@ -980,10 +985,14 @@ func (m *Manager) recompute(t *table.Table, affected map[core.Value]bool) ([]cor
 			return nil
 		})
 	}
-	if err := parallel.RunPool(workers, jobs); err != nil {
+	if err := pool.Wait(); err != nil {
 		return nil, err
 	}
-	fresh = append(fresh, parallel.ClosedSurvivors(t, dim, projDims, candidates, workers)...)
+	if scan != nil {
+		col := &sink.AuxCollector{Cells: fresh}
+		scan.EmitSurvivors(col)
+		fresh = col.Cells
+	}
 	if m.cfg.AttachAux != nil {
 		if err := m.cfg.AttachAux(t, fresh); err != nil {
 			return nil, err

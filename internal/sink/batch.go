@@ -1,0 +1,22 @@
+package sink
+
+import "ccubing/internal/core"
+
+// BatchCell describes one cell inside a batch emission: Width values starting
+// at Off in the batch's shared value arena, with the cell's count and
+// optional measure value.
+type BatchCell struct {
+	Off   int32
+	Width int32
+	Count int64
+	Aux   float64
+}
+
+// BatchSink is the bulk-transfer fast path of the merge pipeline: a sink that
+// accepts a whole flush batch in one call instead of one Emit per cell, so
+// per-cell interface dispatch moves out of the merger's critical section.
+// Like Emit, the arena and cells slices are only valid for the duration of
+// the call; implementations that retain cells must copy.
+type BatchSink interface {
+	EmitBatch(arena []core.Value, cells []BatchCell)
+}

@@ -13,17 +13,21 @@ import (
 // serialized calls. The parallel execution driver merges its per-worker
 // outputs through this.
 type Merger struct {
-	mu   sync.Mutex
-	next Sink
-	aux  AuxSink // non-nil when next also accepts measure values
+	mu    sync.Mutex
+	next  Sink
+	aux   AuxSink   // non-nil when next also accepts measure values
+	batch BatchSink // non-nil when next accepts whole batches
 }
 
 // NewMerger wraps next (which may implement AuxSink to receive measure
-// values).
+// values, and BatchSink to receive whole flush batches in one call).
 func NewMerger(next Sink) *Merger {
 	m := &Merger{next: next}
 	if a, ok := next.(AuxSink); ok {
 		m.aux = a
+	}
+	if b, ok := next.(BatchSink); ok {
+		m.batch = b
 	}
 	return m
 }
@@ -32,27 +36,26 @@ func NewMerger(next Sink) *Merger {
 // enough to amortize the lock, small enough to keep buffers cache-resident.
 const flushBatch = 512
 
-// Worker returns a buffered emission handle for one goroutine. Handles are
-// not goroutine-safe themselves; the owner must call Flush when done (cells
-// still buffered at that point would otherwise be lost).
-func (m *Merger) Worker() *MergeWorker {
-	return &MergeWorker{m: m}
-}
+// workerPool recycles MergeWorker handles (and their value/cell arenas)
+// across jobs and refreshes, so a steady stream of shard jobs stops paying an
+// arena allocation per job. Close returns a handle here.
+var workerPool = sync.Pool{New: func() any { return new(MergeWorker) }}
 
-// mergedCell is one buffered emission: width values starting at off in the
-// worker's value arena.
-type mergedCell struct {
-	off   int32
-	width int32
-	count int64
-	aux   float64
+// Worker returns a buffered emission handle for one goroutine. Handles are
+// not goroutine-safe themselves; the owner must call Flush (or Close, which
+// also recycles the handle's buffers) when done — cells still buffered at
+// that point would otherwise be lost.
+func (m *Merger) Worker() *MergeWorker {
+	w := workerPool.Get().(*MergeWorker)
+	w.m = m
+	return w
 }
 
 // MergeWorker is a single-goroutine Sink handle produced by Merger.Worker.
 type MergeWorker struct {
 	m     *Merger
 	vals  []core.Value
-	cells []mergedCell
+	cells []BatchCell
 }
 
 // Emit implements Sink.
@@ -60,11 +63,11 @@ func (w *MergeWorker) Emit(vals []core.Value, count int64) { w.EmitAux(vals, cou
 
 // EmitAux implements AuxSink.
 func (w *MergeWorker) EmitAux(vals []core.Value, count int64, aux float64) {
-	w.cells = append(w.cells, mergedCell{
-		off:   int32(len(w.vals)),
-		width: int32(len(vals)),
-		count: count,
-		aux:   aux,
+	w.cells = append(w.cells, BatchCell{
+		Off:   int32(len(w.vals)),
+		Width: int32(len(vals)),
+		Count: count,
+		Aux:   aux,
 	})
 	w.vals = append(w.vals, vals...)
 	if len(w.cells) >= flushBatch {
@@ -72,22 +75,35 @@ func (w *MergeWorker) EmitAux(vals []core.Value, count int64, aux float64) {
 	}
 }
 
-// Flush drains the buffer into the downstream sink under the merger's lock.
+// Flush drains the buffer into the downstream sink under the merger's lock:
+// one EmitBatch call when the sink accepts batches, cell-by-cell otherwise.
 func (w *MergeWorker) Flush() {
 	if len(w.cells) == 0 {
 		return
 	}
 	m := w.m
 	m.mu.Lock()
-	for _, c := range w.cells {
-		vals := w.vals[c.off : c.off+c.width]
-		if m.aux != nil {
-			m.aux.EmitAux(vals, c.count, c.aux)
-		} else {
-			m.next.Emit(vals, c.count)
+	switch {
+	case m.batch != nil:
+		m.batch.EmitBatch(w.vals, w.cells)
+	case m.aux != nil:
+		for _, c := range w.cells {
+			m.aux.EmitAux(w.vals[c.Off:c.Off+c.Width], c.Count, c.Aux)
+		}
+	default:
+		for _, c := range w.cells {
+			m.next.Emit(w.vals[c.Off:c.Off+c.Width], c.Count)
 		}
 	}
 	m.mu.Unlock()
 	w.cells = w.cells[:0]
 	w.vals = w.vals[:0]
+}
+
+// Close flushes any buffered cells and returns the handle (with its arenas)
+// to the package pool for reuse. The handle must not be used afterwards.
+func (w *MergeWorker) Close() {
+	w.Flush()
+	w.m = nil
+	workerPool.Put(w)
 }
