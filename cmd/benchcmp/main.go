@@ -81,6 +81,8 @@ func main() {
 	critical := flag.String("critical",
 		"BenchmarkCubeQuery/sequential,BenchmarkLookupLattice,BenchmarkRefreshAppend",
 		"comma-separated benchmarks whose regression fails the run")
+	minIters := flag.Int64("min-iters", 5,
+		"iteration floor: gated regressions measured from fewer fresh-run iterations downgrade to a warning (0 disables)")
 	flag.Parse()
 	if *newPath == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp -new NEW.json BASELINE.json [BASELINE.json ...]")
@@ -119,48 +121,21 @@ func main() {
 		}
 	}
 
-	names := make([]string, 0, len(fresh))
-	for name := range fresh {
-		if _, ok := ref[name]; ok {
-			names = append(names, name)
+	res := compare(os.Stdout, fresh, ref, compareConfig{
+		tolerance: *tolerance,
+		minIters:  *minIters,
+		gate:      gate,
+		newPath:   *newPath,
+	})
+	if len(res.warnings) > 0 {
+		fmt.Fprintln(os.Stderr, "\nbenchcmp: warnings (below iteration floor, not gating):")
+		for _, w := range res.warnings {
+			fmt.Fprintln(os.Stderr, "  "+w)
 		}
 	}
-	sort.Strings(names)
-
-	var failures []string
-	fmt.Printf("%-55s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
-	for _, name := range names {
-		old, now := ref[name], fresh[name]
-		delta := rel(old.NsPerOp, now.NsPerOp)
-		adelta := rel(old.AllocsPerOp, now.AllocsPerOp)
-		mark := " "
-		if gate[name] {
-			mark = "*"
-			if delta > *tolerance {
-				failures = append(failures, fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%, tolerance %.0f%%)",
-					name, old.NsPerOp, now.NsPerOp, 100*delta, 100**tolerance))
-			}
-			// The absolute floor matters on near-zero-alloc benchmarks:
-			// identical code measures 3-5 allocs/op run to run when fixed
-			// setup costs amortize over a 3-iteration window, so only an
-			// increase beyond that flutter is a real regression.
-			if adelta > *tolerance && now.AllocsPerOp > old.AllocsPerOp+2 {
-				failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (%+.1f%%, tolerance %.0f%%)",
-					name, old.AllocsPerOp, now.AllocsPerOp, 100*adelta, 100**tolerance))
-			}
-		}
-		fmt.Printf("%s%-54s %14.0f %14.0f %+7.1f%% %4.0f→%-4.0f\n",
-			mark, name, old.NsPerOp, now.NsPerOp, 100*delta, old.AllocsPerOp, now.AllocsPerOp)
-	}
-	for _, name := range sortedKeys(gate) {
-		if _, ok := fresh[name]; !ok {
-			failures = append(failures, fmt.Sprintf("%s: critical benchmark missing from %s", name, *newPath))
-		}
-	}
-
-	if len(failures) > 0 {
+	if len(res.failures) > 0 {
 		fmt.Fprintln(os.Stderr, "\nbenchcmp: critical regressions:")
-		for _, f := range failures {
+		for _, f := range res.failures {
 			fmt.Fprintln(os.Stderr, "  "+f)
 		}
 		os.Exit(1)

@@ -216,6 +216,8 @@ func (c *Cube) Bytes() int64 { return c.snap().Store.Bytes() }
 // probes of the covering cuboids — no base-relation rescan, no exponential
 // tree walk. Safe for concurrent use. Like Lookup and Slice, it panics when
 // vals does not have exactly NumDims entries (a shape bug, not a miss).
+//
+//ccubing:hotpath
 func (c *Cube) Query(vals []int32) (int64, bool) {
 	st := c.snap()
 	qc := c.cache.Load()

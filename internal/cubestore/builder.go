@@ -1,0 +1,165 @@
+// Builder-side mutation of the cubestore structures. Store and group are
+// //ccubing:freeze types: after Build (or Load, or MergePartitions) returns a
+// Store it is published to concurrent readers and never written again. Every
+// file that legitimately writes their fields carries a //ccubing:mutates
+// comment like this one; writes anywhere else are flagged by cclint.
+//
+//ccubing:mutates Store, group
+
+package cubestore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"ccubing/internal/core"
+	"ccubing/internal/sink"
+)
+
+// buildIndex derives the cuboid-lattice index from the sorted group list;
+// called by Build and Load.
+func (s *Store) buildIndex() {
+	s.byDim = make([][]*group, s.nd)
+	for _, g := range s.groups {
+		for _, d := range g.dims {
+			s.byDim[d] = append(s.byDim[d], g)
+		}
+	}
+}
+
+// Builder accumulates closed cells and freezes them into a Store.
+type Builder struct {
+	nd     int
+	hasAux bool
+	groups map[core.Mask]*group
+}
+
+// NewBuilder returns a builder for an nd-dimensional cube; hasAux reserves a
+// complex-measure value per cell.
+func NewBuilder(nd int, hasAux bool) *Builder {
+	return &Builder{nd: nd, hasAux: hasAux, groups: make(map[core.Mask]*group)}
+}
+
+// Add records one closed cell. vals is copied; aux is ignored unless the
+// builder was created with hasAux.
+func (b *Builder) Add(vals []core.Value, count int64, aux float64) {
+	mask := core.AllMask(vals) // wildcard bits
+	fixed := core.LowBits(b.nd) &^ mask
+	g := b.groups[fixed]
+	if g == nil {
+		g = &group{mask: fixed}
+		g.dims = fixed.Dims(nil)
+		g.width = core.ValueWidth * len(g.dims)
+		b.groups[fixed] = g
+	}
+	g.keys = core.AppendValues(g.keys, vals, g.dims)
+	g.counts = append(g.counts, count)
+	if b.hasAux {
+		g.aux = append(g.aux, aux)
+	}
+}
+
+// AddBatch records a whole merge-flush batch of cells: each entry's values
+// live at [Off, Off+Width) of the shared arena. The sink.BatchSink fast path
+// of the parallel merge pipeline lands here, one call per flushed batch
+// instead of one Add per cell under the merger's lock.
+func (b *Builder) AddBatch(arena []core.Value, cells []sink.BatchCell) {
+	for _, c := range cells {
+		b.Add(arena[c.Off:c.Off+c.Width], c.Count, c.Aux)
+	}
+}
+
+// BuilderSink adapts a Builder to the sink interfaces (Sink, AuxSink and the
+// BatchSink bulk path), counting the cells it forwards. It is the terminal
+// sink of Materialize-style builds whose dimension order needs no remapping.
+type BuilderSink struct {
+	B     *Builder
+	Cells int64
+}
+
+// Emit implements sink.Sink.
+func (s *BuilderSink) Emit(vals []core.Value, count int64) {
+	s.B.Add(vals, count, 0)
+	s.Cells++
+}
+
+// EmitAux implements sink.AuxSink.
+func (s *BuilderSink) EmitAux(vals []core.Value, count int64, aux float64) {
+	s.B.Add(vals, count, aux)
+	s.Cells++
+}
+
+// EmitBatch implements sink.BatchSink.
+func (s *BuilderSink) EmitBatch(arena []core.Value, cells []sink.BatchCell) {
+	s.B.AddBatch(arena, cells)
+	s.Cells += int64(len(cells))
+}
+
+// Build sorts every cuboid group and returns the immutable store. It errors
+// on duplicate cells (a closed cube contains each cell once) and leaves the
+// builder unusable afterwards.
+func (b *Builder) Build() (*Store, error) {
+	s := &Store{
+		nd:     b.nd,
+		hasAux: b.hasAux,
+		groups: make([]*group, 0, len(b.groups)),
+		byMask: make(map[core.Mask]*group, len(b.groups)),
+	}
+	for _, g := range b.groups {
+		if err := g.sortRows(); err != nil {
+			return nil, err
+		}
+		s.groups = append(s.groups, g)
+		s.byMask[g.mask] = g
+		s.cells += int64(g.rows())
+	}
+	sortGroups(s.groups)
+	s.buildIndex()
+	b.groups = nil
+	return s, nil
+}
+
+// sortGroups orders a group list into the store's canonical order, masks
+// ascending.
+func sortGroups(groups []*group) {
+	sort.Slice(groups, func(i, j int) bool { return groups[i].mask < groups[j].mask })
+}
+
+// sortRows orders the group's rows by packed key and rejects duplicates.
+func (g *group) sortRows() error {
+	n := g.rows()
+	if g.width == 0 {
+		if n > 1 {
+			return fmt.Errorf("cubestore: duplicate apex cell")
+		}
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return bytes.Compare(g.row(idx[a]), g.row(idx[b])) < 0
+	})
+	keys := make([]byte, 0, len(g.keys))
+	counts := make([]int64, 0, n)
+	var aux []float64
+	if g.aux != nil {
+		aux = make([]float64, 0, n)
+	}
+	for _, i := range idx {
+		keys = append(keys, g.row(i)...)
+		counts = append(counts, g.counts[i])
+		if g.aux != nil {
+			aux = append(aux, g.aux[i])
+		}
+	}
+	for i := 1; i < n; i++ {
+		if bytes.Equal(keys[(i-1)*g.width:i*g.width], keys[i*g.width:(i+1)*g.width]) {
+			return fmt.Errorf("cubestore: duplicate cell in cuboid mask %#x", uint64(g.mask))
+		}
+	}
+	g.keys, g.counts, g.aux = keys, counts, aux
+	return nil
+}

@@ -1,3 +1,8 @@
+// MergePartitions is a freeze-file: it assembles new Store and group values
+// that are immutable once the merged store is returned.
+//
+//ccubing:mutates Store, group
+
 package cubestore
 
 import (

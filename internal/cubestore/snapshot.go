@@ -1,3 +1,8 @@
+// Snapshot persistence: Load is a freeze-file — it assembles Store and group
+// values that are immutable once returned.
+//
+//ccubing:mutates Store, group
+
 package cubestore
 
 import (

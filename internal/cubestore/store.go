@@ -38,12 +38,13 @@ import (
 	"sync/atomic"
 
 	"ccubing/internal/core"
-	"ccubing/internal/sink"
 )
 
 // group holds one cuboid: all stored cells fixing exactly the dimensions in
 // mask. keys is the row-major packed-key matrix (rows() rows of width bytes),
 // sorted lexicographically; counts and aux are parallel to the rows.
+//
+//ccubing:freeze
 type group struct {
 	mask   core.Mask
 	dims   []int // mask's dimensions, ascending
@@ -53,11 +54,15 @@ type group struct {
 	aux    []float64 // nil when the store carries no measure
 }
 
+//ccubing:hotpath
 func (g *group) rows() int { return len(g.counts) }
 
+//ccubing:hotpath
 func (g *group) row(i int) []byte { return g.keys[i*g.width : (i+1)*g.width] }
 
 // find binary-searches for an exact key, returning its row or -1.
+//
+//ccubing:hotpath
 func (g *group) find(key []byte) int {
 	n := g.rows()
 	if g.width == 0 {
@@ -67,6 +72,7 @@ func (g *group) find(key []byte) int {
 		}
 		return -1
 	}
+	//ccubing:allow sort.Search callback is inlined and never escapes
 	i := sort.Search(n, func(i int) bool { return bytes.Compare(g.row(i), key) >= 0 })
 	if i < n && bytes.Equal(g.row(i), key) {
 		return i
@@ -75,13 +81,17 @@ func (g *group) find(key []byte) int {
 }
 
 // prefixRange returns the half-open row range whose keys start with prefix.
+//
+//ccubing:hotpath
 func (g *group) prefixRange(prefix []byte) (int, int) {
 	n := g.rows()
 	p := len(prefix)
 	if p == 0 {
 		return 0, n
 	}
+	//ccubing:allow sort.Search callback is inlined and never escapes
 	lo := sort.Search(n, func(i int) bool { return bytes.Compare(g.row(i)[:p], prefix) >= 0 })
+	//ccubing:allow sort.Search callback is inlined and never escapes
 	hi := sort.Search(n, func(i int) bool { return bytes.Compare(g.row(i)[:p], prefix) > 0 })
 	return lo, hi
 }
@@ -118,7 +128,12 @@ type fieldMatch struct {
 	val [core.ValueWidth]byte
 }
 
-// Store is an immutable, concurrency-safe closed-cube query index.
+// Store is an immutable, concurrency-safe closed-cube query index. Frozen:
+// after Build/Load/MergePartitions publish a Store, its fields (and its
+// groups') are never written again — cclint's storemut analyzer enforces
+// this outside the //ccubing:mutates builder files.
+//
+//ccubing:freeze
 type Store struct {
 	nd     int
 	hasAux bool
@@ -140,10 +155,18 @@ type Store struct {
 
 // getScratch takes a probe scratch from the pool (allocating buffers sized
 // for this store on a pool miss, with stripes assigned round-robin).
+//
+//ccubing:hotpath
 func (s *Store) getScratch() *probeScratch {
 	if v := s.scratch.Get(); v != nil {
 		return v.(*probeScratch)
 	}
+	return s.newScratch()
+}
+
+// newScratch is the pool-miss cold path of getScratch, kept out of the hot
+// path so its allocations are visibly one-time.
+func (s *Store) newScratch() *probeScratch {
 	return &probeScratch{
 		key:    make([]byte, 0, s.nd*core.ValueWidth),
 		cands:  make([]*group, 0, 64),
@@ -154,6 +177,8 @@ func (s *Store) getScratch() *probeScratch {
 
 // putScratch flushes the scratch's probe tally into its stripe and returns
 // the scratch to the pool.
+//
+//ccubing:hotpath
 func (s *Store) putScratch(sc *probeScratch) {
 	if sc.probes != 0 {
 		s.probes[sc.stripe].n.Add(sc.probes)
@@ -195,6 +220,8 @@ func (s *Store) Probes() int64 {
 // dimension's list is returned directly; a fully-wildcard query is covered by
 // every group. The merge path writes into *buf (the caller's scratch,
 // regrown in place), so steady-state calls never allocate.
+//
+//ccubing:hotpath
 func (s *Store) candidates(q core.Mask, buf *[]*group) []*group {
 	if q == 0 {
 		return s.groups
@@ -236,17 +263,6 @@ func (s *Store) candidates(q core.Mask, buf *[]*group) []*group {
 	return out
 }
 
-// buildIndex derives the cuboid-lattice index from the sorted group list;
-// called by Build and Load.
-func (s *Store) buildIndex() {
-	s.byDim = make([][]*group, s.nd)
-	for _, g := range s.groups {
-		for _, d := range g.dims {
-			s.byDim[d] = append(s.byDim[d], g)
-		}
-	}
-}
-
 // Bytes returns the approximate in-memory payload size: packed keys plus
 // count and measure arrays.
 func (s *Store) Bytes() int64 {
@@ -261,8 +277,11 @@ func (s *Store) Bytes() int64 {
 // the wrong arity is a programmer error, not a miss: it panics (like an
 // out-of-range index) so shape bugs surface instead of reading as
 // below-threshold cells.
+//
+//ccubing:hotpath
 func (s *Store) queryMask(vals []core.Value) core.Mask {
 	if len(vals) != s.nd {
+		//ccubing:allow panic path only; a wrong-arity query is a shape bug, not a probe
 		panic(fmt.Sprintf("cubestore: query has %d dimensions, store has %d", len(vals), s.nd))
 	}
 	var q core.Mask
@@ -280,6 +299,8 @@ func (s *Store) queryMask(vals []core.Value) core.Mask {
 // tie-break policy in the floor they pass. q must be a subset of g.mask. The
 // scratch supplies the prefix and residual-filter buffers, keeping the probe
 // allocation-free.
+//
+//ccubing:hotpath
 func (g *group) probe(q core.Mask, vals []core.Value, floor int64, sc *probeScratch) (int, int64) {
 	// The leading run of g's dimensions that the query binds forms a key
 	// prefix, narrowing the scan by binary search.
@@ -330,6 +351,8 @@ func (g *group) probe(q core.Mask, vals []core.Value, floor int64, sc *probeScra
 // below the iceberg threshold of the stored cube. It panics if vals does not
 // have exactly NumDims entries. Unlike Lookup it never materializes the
 // closure cell, so steady-state calls are allocation-free.
+//
+//ccubing:hotpath
 func (s *Store) Query(vals []core.Value) (int64, bool) {
 	sc := s.getScratch()
 	g, row := s.lookupRow(vals, sc)
@@ -358,6 +381,8 @@ func (s *Store) Lookup(vals []core.Value) (core.Cell, bool) {
 
 // lookupRow locates the closure of an arbitrary cell as a (group, row) pair,
 // row -1 on a miss: the shared, allocation-free core of Query and Lookup.
+//
+//ccubing:hotpath
 func (s *Store) lookupRow(vals []core.Value, sc *probeScratch) (*group, int) {
 	q := s.queryMask(vals)
 	// Fast path: the queried cell is itself closed — a hit in its own cuboid
@@ -465,140 +490,4 @@ func (s *Store) Walk(visit func(core.Cell) bool) {
 			}
 		}
 	}
-}
-
-// Builder accumulates closed cells and freezes them into a Store.
-type Builder struct {
-	nd     int
-	hasAux bool
-	groups map[core.Mask]*group
-}
-
-// NewBuilder returns a builder for an nd-dimensional cube; hasAux reserves a
-// complex-measure value per cell.
-func NewBuilder(nd int, hasAux bool) *Builder {
-	return &Builder{nd: nd, hasAux: hasAux, groups: make(map[core.Mask]*group)}
-}
-
-// Add records one closed cell. vals is copied; aux is ignored unless the
-// builder was created with hasAux.
-func (b *Builder) Add(vals []core.Value, count int64, aux float64) {
-	mask := core.AllMask(vals) // wildcard bits
-	fixed := core.LowBits(b.nd) &^ mask
-	g := b.groups[fixed]
-	if g == nil {
-		g = &group{mask: fixed}
-		g.dims = fixed.Dims(nil)
-		g.width = core.ValueWidth * len(g.dims)
-		b.groups[fixed] = g
-	}
-	g.keys = core.AppendValues(g.keys, vals, g.dims)
-	g.counts = append(g.counts, count)
-	if b.hasAux {
-		g.aux = append(g.aux, aux)
-	}
-}
-
-// AddBatch records a whole merge-flush batch of cells: each entry's values
-// live at [Off, Off+Width) of the shared arena. The sink.BatchSink fast path
-// of the parallel merge pipeline lands here, one call per flushed batch
-// instead of one Add per cell under the merger's lock.
-func (b *Builder) AddBatch(arena []core.Value, cells []sink.BatchCell) {
-	for _, c := range cells {
-		b.Add(arena[c.Off:c.Off+c.Width], c.Count, c.Aux)
-	}
-}
-
-// BuilderSink adapts a Builder to the sink interfaces (Sink, AuxSink and the
-// BatchSink bulk path), counting the cells it forwards. It is the terminal
-// sink of Materialize-style builds whose dimension order needs no remapping.
-type BuilderSink struct {
-	B     *Builder
-	Cells int64
-}
-
-// Emit implements sink.Sink.
-func (s *BuilderSink) Emit(vals []core.Value, count int64) {
-	s.B.Add(vals, count, 0)
-	s.Cells++
-}
-
-// EmitAux implements sink.AuxSink.
-func (s *BuilderSink) EmitAux(vals []core.Value, count int64, aux float64) {
-	s.B.Add(vals, count, aux)
-	s.Cells++
-}
-
-// EmitBatch implements sink.BatchSink.
-func (s *BuilderSink) EmitBatch(arena []core.Value, cells []sink.BatchCell) {
-	s.B.AddBatch(arena, cells)
-	s.Cells += int64(len(cells))
-}
-
-// Build sorts every cuboid group and returns the immutable store. It errors
-// on duplicate cells (a closed cube contains each cell once) and leaves the
-// builder unusable afterwards.
-func (b *Builder) Build() (*Store, error) {
-	s := &Store{
-		nd:     b.nd,
-		hasAux: b.hasAux,
-		groups: make([]*group, 0, len(b.groups)),
-		byMask: make(map[core.Mask]*group, len(b.groups)),
-	}
-	for _, g := range b.groups {
-		if err := g.sortRows(); err != nil {
-			return nil, err
-		}
-		s.groups = append(s.groups, g)
-		s.byMask[g.mask] = g
-		s.cells += int64(g.rows())
-	}
-	sortGroups(s.groups)
-	s.buildIndex()
-	b.groups = nil
-	return s, nil
-}
-
-// sortGroups orders a group list into the store's canonical order, masks
-// ascending.
-func sortGroups(groups []*group) {
-	sort.Slice(groups, func(i, j int) bool { return groups[i].mask < groups[j].mask })
-}
-
-// sortRows orders the group's rows by packed key and rejects duplicates.
-func (g *group) sortRows() error {
-	n := g.rows()
-	if g.width == 0 {
-		if n > 1 {
-			return fmt.Errorf("cubestore: duplicate apex cell")
-		}
-		return nil
-	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		return bytes.Compare(g.row(idx[a]), g.row(idx[b])) < 0
-	})
-	keys := make([]byte, 0, len(g.keys))
-	counts := make([]int64, 0, n)
-	var aux []float64
-	if g.aux != nil {
-		aux = make([]float64, 0, n)
-	}
-	for _, i := range idx {
-		keys = append(keys, g.row(i)...)
-		counts = append(counts, g.counts[i])
-		if g.aux != nil {
-			aux = append(aux, g.aux[i])
-		}
-	}
-	for i := 1; i < n; i++ {
-		if bytes.Equal(keys[(i-1)*g.width:i*g.width], keys[i*g.width:(i+1)*g.width]) {
-			return fmt.Errorf("cubestore: duplicate cell in cuboid mask %#x", uint64(g.mask))
-		}
-	}
-	g.keys, g.counts, g.aux = keys, counts, aux
-	return nil
 }

@@ -1,0 +1,66 @@
+// Package analysis is a minimal, stdlib-only subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check over one
+// type-checked package, and a Pass hands it the syntax, type information and
+// a Report callback. The subset exists because this module is built without
+// network access to the x/tools module; the shapes mirror the upstream API
+// closely enough that the analyzers under internal/lint could be ported to
+// the real framework by swapping the import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags; by convention a
+	// short lowercase identifier.
+	Name string
+	// Doc is the help text: a one-line summary, a blank line, then detail.
+	Doc string
+	// Run applies the check to one package. The result value is unused by
+	// this subset (upstream threads it to dependent analyzers) but kept for
+	// signature compatibility.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between the driver and one analyzer run on one
+// package: inputs plus the Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewInfo returns a types.Info with every map the analyzers consume
+// allocated; drivers pass it to types.Config.Check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,339 @@
+// Package hotpathalloc defines an analyzer that statically flags
+// allocation-inducing constructs inside functions annotated
+// //ccubing:hotpath — the probe, merge-emit and batch-sink paths whose
+// AllocsPerRun tests assert zero steady-state allocations at runtime. The
+// static check catches the regression at vet time, before a benchmark run
+// would.
+//
+// Flagged constructs: fmt.* calls, make/new, map/slice composite literals
+// and &T{} literals, []byte↔string conversions, interface boxing of
+// non-pointer-shaped values, closures that capture variables, string
+// concatenation, and append whose result is not reassigned to its source
+// (the self-append x = append(x, ...) idiom is amortized and allowed).
+//
+// The check is per-function: calls into other functions are not followed.
+// Constructs that are provably allocation-free in context can be excused
+// with //ccubing:allow <reason> on the same line or the line above — e.g. a
+// non-escaping sort.Search closure, or a pool-miss constructor that runs
+// once per steady state. The compiler-elided m[string(b)] map-index
+// conversion is recognized and never flagged.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ccubing/internal/lint/analysis"
+	"ccubing/internal/lint/annot"
+)
+
+// Analyzer flags allocation-inducing constructs in //ccubing:hotpath
+// functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag allocating constructs inside //ccubing:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	files := annot.NonTest(pass.Fset, pass.Files)
+	allows := annot.CollectAllows(pass.Fset, files)
+	for _, pos := range allows.Bad() {
+		pass.Reportf(pos, "//ccubing:allow needs a reason")
+	}
+	c := &checker{pass: pass, allows: allows}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annot.Has(fd.Doc, "hotpath") {
+				continue
+			}
+			c.check(fd)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	allows  *annot.Allows
+	stack   []ast.Node
+	declSig *types.Signature // signature of the FuncDecl being checked
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
+	if _, ok := c.allows.Allowed(c.pass.Fset, pos); ok {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *checker) check(fd *ast.FuncDecl) {
+	c.stack = c.stack[:0]
+	c.declSig = nil
+	if fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		c.declSig, _ = fn.Type().(*types.Signature)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			c.stack = c.stack[:len(c.stack)-1]
+			return true
+		}
+		c.stack = append(c.stack, n)
+		c.visit(n)
+		return true
+	})
+}
+
+// parent returns the enclosing node (the stack top is n itself).
+func (c *checker) parent() ast.Node {
+	if len(c.stack) < 2 {
+		return nil
+	}
+	return c.stack[len(c.stack)-2]
+}
+
+func (c *checker) visit(n ast.Node) {
+	info := c.pass.TypesInfo
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		c.call(n)
+	case *ast.CompositeLit:
+		switch info.TypeOf(n).Underlying().(type) {
+		case *types.Map:
+			c.report(n.Pos(), "hot path: map literal allocates")
+		case *types.Slice:
+			c.report(n.Pos(), "hot path: slice literal allocates")
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if lit, ok := n.X.(*ast.CompositeLit); ok {
+				switch info.TypeOf(lit).Underlying().(type) {
+				case *types.Map, *types.Slice:
+					// already flagged at the literal itself
+				default:
+					c.report(n.Pos(), "hot path: address of composite literal allocates")
+				}
+			}
+		}
+	case *ast.FuncLit:
+		if name := c.captured(n); name != "" {
+			c.report(n.Pos(), "hot path: closure captures %s; escaping closures allocate", name)
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if tv, ok := info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+				c.report(n.Pos(), "hot path: string concatenation allocates")
+			}
+		}
+	case *ast.AssignStmt:
+		if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				c.boxing(info.TypeOf(lhs), n.Rhs[i])
+			}
+		}
+	case *ast.ReturnStmt:
+		sig := c.enclosingSig(info)
+		if sig == nil || len(n.Results) != sig.Results().Len() {
+			return
+		}
+		for i, res := range n.Results {
+			c.boxing(sig.Results().At(i).Type(), res)
+		}
+	}
+}
+
+func (c *checker) call(n *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+		c.conversion(n, tv.Type)
+		return
+	}
+	switch fun := n.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.report(n.Pos(), "hot path: make allocates")
+			case "new":
+				c.report(n.Pos(), "hot path: new allocates")
+			case "append":
+				if !c.selfAppend(n) {
+					c.report(n.Pos(), "hot path: append result not reassigned to its source; growth allocates")
+				}
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				c.report(n.Pos(), "hot path: call to fmt.%s allocates", fun.Sel.Name)
+				// still check args for boxing below
+			}
+		}
+	}
+	sig, ok := info.TypeOf(n.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range n.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if n.Ellipsis != token.NoPos {
+				continue // spread of an existing slice: no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		c.boxing(pt, arg)
+	}
+}
+
+// conversion flags []byte↔string conversions and explicit boxing
+// conversions; m[string(b)] map reads are compiler-elided and skipped.
+func (c *checker) conversion(n *ast.CallExpr, target types.Type) {
+	if len(n.Args) != 1 {
+		return
+	}
+	info := c.pass.TypesInfo
+	src := info.TypeOf(n.Args[0])
+	switch {
+	case isString(target) && isByteOrRuneSlice(src):
+		if ix, ok := c.parent().(*ast.IndexExpr); ok && ix.Index == n {
+			if _, isMap := info.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+				return // m[string(b)]: elided by the compiler
+			}
+		}
+		c.report(n.Pos(), "hot path: conversion to string allocates")
+	case isByteOrRuneSlice(target) && isString(src):
+		c.report(n.Pos(), "hot path: conversion to %s allocates", types.TypeString(target, nil))
+	default:
+		c.boxing(target, n.Args[0])
+	}
+}
+
+// boxing flags a concrete, non-pointer-shaped value converted to an
+// interface type: the conversion heap-allocates the boxed copy.
+func (c *checker) boxing(target types.Type, val ast.Expr) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[val]
+	if !ok || tv.IsNil() {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // already an interface, or pointer-shaped: no allocation
+	}
+	c.report(val.Pos(), "hot path: interface conversion boxes %s", types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)))
+}
+
+// selfAppend reports whether the append call is the x = append(x, ...)
+// idiom: its result is assigned back to the expression it grows.
+func (c *checker) selfAppend(n *ast.CallExpr) bool {
+	if len(n.Args) == 0 {
+		return false
+	}
+	as, ok := c.parent().(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for i, rhs := range as.Rhs {
+		if rhs == n {
+			return c.exprEq(as.Lhs[i], n.Args[0])
+		}
+	}
+	return false
+}
+
+// exprEq compares ident/selector/index paths structurally, resolving
+// identifiers to their objects.
+func (c *checker) exprEq(a, b ast.Expr) bool {
+	info := c.pass.TypesInfo
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && obj(info, a) != nil && obj(info, a) == obj(info, b)
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && info.Uses[a.Sel] == info.Uses[b.Sel] && c.exprEq(a.X, b.X)
+	case *ast.IndexExpr:
+		b, ok := b.(*ast.IndexExpr)
+		return ok && c.exprEq(a.X, b.X) && c.exprEq(a.Index, b.Index)
+	}
+	return false
+}
+
+func obj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// captured returns the name of a variable the literal captures from an
+// enclosing function scope ("" if none). Package-level variables are not
+// captures.
+func (c *checker) captured(lit *ast.FuncLit) string {
+	info := c.pass.TypesInfo
+	pkgScope := c.pass.Pkg.Scope()
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == pkgScope || v.Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+// enclosingSig returns the signature of the innermost function literal on
+// the walk stack, or of the declared function being checked.
+func (c *checker) enclosingSig(info *types.Info) *types.Signature {
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		if lit, ok := c.stack[i].(*ast.FuncLit); ok {
+			sig, _ := info.TypeOf(lit).(*types.Signature)
+			return sig
+		}
+	}
+	// stack holds only nodes under fd.Body; recover the FuncDecl signature
+	// from the body's position via the declared function object.
+	return c.declSig
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

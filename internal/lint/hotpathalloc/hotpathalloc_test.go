@@ -1,0 +1,43 @@
+package hotpathalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"ccubing/internal/lint/analysistest"
+	"ccubing/internal/lint/hotpathalloc"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "a")
+}
+
+// An //ccubing:allow without a reason is itself a finding (and suppresses
+// nothing). The diagnostic lands on the comment line, which a fixture
+// // want cannot share, so this case is asserted directly.
+func TestAllowWithoutReason(t *testing.T) {
+	src := `package p
+
+//ccubing:hotpath
+func f() []int {
+	//ccubing:allow
+	return make([]int, 4)
+}
+`
+	diags := analysistest.Diagnostics(t, hotpathalloc.Analyzer, src)
+	var gotBad, gotMake bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "needs a reason") {
+			gotBad = true
+		}
+		if strings.Contains(d.Message, "make allocates") {
+			gotMake = true
+		}
+	}
+	if !gotBad {
+		t.Errorf("expected a 'needs a reason' finding, got %v", diags)
+	}
+	if !gotMake {
+		t.Errorf("reasonless allow must not suppress the finding it precedes, got %v", diags)
+	}
+}

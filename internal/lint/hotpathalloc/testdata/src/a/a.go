@@ -1,0 +1,57 @@
+// Package a is the hotpathalloc fixture: every construct the analyzer must
+// flag inside a //ccubing:hotpath function, plus the idioms it must not.
+package a
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func sink(v interface{}) {}
+
+func use(v interface{}) int { return 0 }
+
+//ccubing:hotpath
+func hot(m map[string]int, key []byte, xs []int, x int, s string) int {
+	fmt.Println()            // want `hot path: call to fmt\.Println allocates`
+	mm := make(map[int]int)  // want `hot path: make allocates`
+	bb := make([]int, 4)     // want `hot path: make allocates`
+	p := new(pair)           // want `hot path: new allocates`
+	lit := map[int]int{1: 2} // want `hot path: map literal allocates`
+	sl := []int{1, 2}        // want `hot path: slice literal allocates`
+	pp := &pair{a: 1}        // want `hot path: address of composite literal allocates`
+	ys := append(xs, x)      // want `hot path: append result not reassigned to its source`
+	str := string(key)       // want `hot path: conversion to string allocates`
+	raw := []byte(s)         // want `hot path: conversion to \[\]byte allocates`
+	cat := s + str           // want `hot path: string concatenation allocates`
+	var i interface{}
+	i = x                        // want `hot path: interface conversion boxes int`
+	sink(x)                      // want `hot path: interface conversion boxes int`
+	f := func() int { return x } // want `hot path: closure captures x`
+	return mm[0] + bb[0] + p.a + lit[1] + sl[0] + pp.b + ys[0] + len(str) + len(raw) + len(cat) + f() + use(i)
+}
+
+//ccubing:hotpath
+func boxedReturn(x int) interface{} {
+	return x // want `hot path: interface conversion boxes int`
+}
+
+//ccubing:hotpath
+func okPatterns(m map[string]int, key []byte, xs []int, x int) int {
+	xs = append(xs, x)                    // self-append: amortized growth, allowed
+	n := m[string(key)]                   // compiler-elided map-index conversion
+	f := func(a int) int { return a + 1 } // captures nothing
+	var p *pair
+	sink(p) // pointer-shaped: conversion to interface does not allocate
+	//ccubing:allow one-time pool-miss constructor, zero steady-state allocs
+	buf := make([]int, 8)
+	spare := make([]int, 8) //ccubing:allow same-line escape hatch form
+	return n + xs[0] + f(x) + buf[0] + spare[0]
+}
+
+// cold is unannotated: the same constructs are fine outside hot paths.
+func cold(xs []int, x int) []int {
+	ys := append(xs, x)
+	m := map[int]int{x: x}
+	_ = fmt.Sprint(len(m))
+	return append(ys, len(m))
+}

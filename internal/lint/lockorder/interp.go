@@ -1,0 +1,341 @@
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// held is the set of mutexes definitely held at a program point.
+type held map[*types.Var]bool
+
+func clone(st held) held {
+	out := make(held, len(st))
+	for k := range st {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b held) held {
+	out := held{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// interp runs the must-hold interpretation over one function body (or one
+// function literal, with inLit set: literals run in an unknown caller
+// context, so requires- and guard-checks are skipped there).
+type interp struct {
+	tr    *tracker
+	fd    *ast.FuncDecl
+	inLit bool
+	lits  *[]*ast.FuncLit
+}
+
+func (tr *tracker) interpret(info *funcInfo) {
+	var lits []*ast.FuncLit
+	it := &interp{tr: tr, fd: info.fd, lits: &lits}
+	st := held{}
+	for mu := range info.requires {
+		st[mu] = true
+	}
+	it.block(info.fd.Body.List, st)
+	// Literals collected above (and any nested in them) get their own pass.
+	for i := 0; i < len(lits); i++ {
+		li := &interp{tr: tr, fd: info.fd, inLit: true, lits: &lits}
+		li.block(lits[i].Body.List, held{})
+	}
+}
+
+func (it *interp) block(list []ast.Stmt, st held) (held, bool) {
+	st = clone(st)
+	for _, s := range list {
+		var term bool
+		st, term = it.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+// stmt interprets one statement, returning the state after it and whether
+// control definitely does not fall through to the next statement.
+func (it *interp) stmt(s ast.Stmt, st held) (held, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return it.block(s.List, st)
+	case *ast.LabeledStmt:
+		return it.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = it.stmt(s.Init, st)
+		}
+		it.exprs(s.Cond, st)
+		thenSt, thenTerm := it.block(s.Body.List, st)
+		elseSt, elseTerm := clone(st), false
+		if s.Else != nil {
+			elseSt, elseTerm = it.stmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		}
+		return intersect(thenSt, elseSt), false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = it.stmt(s.Init, st)
+		}
+		it.exprs(s.Cond, st)
+		bodySt, term := it.block(s.Body.List, st)
+		if s.Post != nil && !term {
+			it.stmt(s.Post, bodySt)
+		}
+		// The loop may run zero times; after-state is the meet.
+		return intersect(st, bodySt), false
+	case *ast.RangeStmt:
+		it.exprs(s.X, st)
+		bodySt, _ := it.block(s.Body.List, st)
+		return intersect(st, bodySt), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = it.stmt(s.Init, st)
+		}
+		it.exprs(s.Tag, st)
+		return it.clauses(s.Body.List, st, hasDefault(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = it.stmt(s.Init, st)
+		}
+		it.exprs(s.Assign, st)
+		return it.clauses(s.Body.List, st, hasDefault(s.Body.List))
+	case *ast.SelectStmt:
+		return it.clauses(s.Body.List, st, true)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held for the rest of the
+		// function; other deferred calls run in the exit state, which this
+		// analysis does not model. Arguments are evaluated now, though.
+		if mu, _ := it.tr.lockOp(s.Call); mu == nil {
+			for _, a := range s.Call.Args {
+				it.exprs(a, st)
+			}
+		}
+		return st, false
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			it.exprs(a, st)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			*it.lits = append(*it.lits, lit)
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			it.exprs(r, st)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		return st, true
+	default:
+		it.exprs(s, st)
+		return st, false
+	}
+}
+
+// clauses merges the exits of switch/select cases: the meet of every
+// non-terminating clause, plus the entry state when no default exists.
+func (it *interp) clauses(list []ast.Stmt, st held, exhaustive bool) (held, bool) {
+	var exits []held
+	for _, cl := range list {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				it.exprs(e, st)
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				it.stmt(cl.Comm, clone(st))
+			}
+			body = cl.Body
+		}
+		if out, term := it.block(body, st); !term {
+			exits = append(exits, out)
+		}
+	}
+	if !exhaustive {
+		exits = append(exits, st)
+	}
+	if len(exits) == 0 {
+		return st, exhaustive
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = intersect(out, e)
+	}
+	return out, false
+}
+
+func hasDefault(list []ast.Stmt) bool {
+	for _, cl := range list {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// exprs processes the calls and guarded-field accesses inside an
+// expression (or simple statement), threading lock effects through st.
+// Function literals are queued for a separate pass, not descended into.
+func (it *interp) exprs(n ast.Node, st held) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			*it.lits = append(*it.lits, x)
+			return false
+		case *ast.CallExpr:
+			it.call(x, st)
+		case *ast.SelectorExpr:
+			it.guardedAccess(x, st)
+		}
+		return true
+	})
+}
+
+func (it *interp) call(call *ast.CallExpr, st held) {
+	tr := it.tr
+	if mu, op := tr.lockOp(call); mu != nil {
+		switch op {
+		case "Lock", "RLock":
+			it.acquire(mu, call.Pos(), st)
+		case "Unlock", "RUnlock":
+			delete(st, mu)
+		}
+		return
+	}
+	fn := tr.staticCallee(call)
+	if fn == nil {
+		return
+	}
+	ci, ok := tr.infos[fn]
+	if !ok {
+		return
+	}
+	if !it.inLit {
+		for mu := range ci.requires {
+			if !st[mu] {
+				tr.report(call.Pos(), "call to %s without holding %s", fn.Name(), mu.Name())
+			}
+		}
+	}
+	for a := range ci.acquires {
+		if ci.requires[a] {
+			continue // reacquisition of its own precondition is its business
+		}
+		for h := range st {
+			// A held mutex the callee declares as precondition is checked
+			// inside the callee's own interpretation; one the callee
+			// releases is dropped before its later acquisitions (the
+			// appendLocked → Flush pattern).
+			if ci.requires[h] || ci.releases[h] {
+				continue
+			}
+			if h == a {
+				tr.report(call.Pos(), "call to %s acquires %s while already holding it", fn.Name(), a.Name())
+			} else if tr.ordered(a, h) {
+				tr.report(call.Pos(), "call to %s acquires %s while holding %s; declared order is %s < %s",
+					fn.Name(), a.Name(), h.Name(), a.Name(), h.Name())
+			}
+		}
+	}
+	for mu := range ci.releases {
+		delete(st, mu)
+	}
+}
+
+func (it *interp) acquire(mu *types.Var, pos token.Pos, st held) {
+	if st[mu] {
+		it.tr.report(pos, "acquires %s while already holding it", mu.Name())
+	}
+	for h := range st {
+		if h != mu && it.tr.ordered(mu, h) {
+			it.tr.report(pos, "acquires %s while holding %s; declared order is %s < %s",
+				mu.Name(), h.Name(), mu.Name(), h.Name())
+		}
+	}
+	st[mu] = true
+}
+
+// ordered reports whether the declared order requires a before h.
+func (tr *tracker) ordered(a, h *types.Var) bool {
+	return tr.order[a.Name()][h.Name()]
+}
+
+// guardedAccess flags touching a field listed in a mutex's "guards ..."
+// comment without holding that mutex. Accesses rooted at function-local
+// values are exempt: a value under construction is not yet shared.
+func (it *interp) guardedAccess(sel *ast.SelectorExpr, st held) {
+	if it.inLit {
+		return
+	}
+	tr := it.tr
+	s, ok := tr.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	fv, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	mu, ok := tr.guards[fv]
+	if !ok || st[mu] {
+		return
+	}
+	if it.localRoot(sel) {
+		return
+	}
+	tr.report(sel.Sel.Pos(), "access to %s guarded by %s without holding it", fv.Name(), mu.Name())
+}
+
+// localRoot reports whether the selector path is rooted at a variable
+// declared inside the current function body (or at a call result).
+func (it *interp) localRoot(sel *ast.SelectorExpr) bool {
+	e := sel.X
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return true
+		case *ast.Ident:
+			v, ok := it.tr.pass.TypesInfo.Uses[x].(*types.Var)
+			if !ok {
+				return true
+			}
+			body := it.fd.Body
+			return v.Pos() >= body.Pos() && v.Pos() <= body.End()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package lockorder defines an analyzer that enforces the declared mutex
+// discipline of a package — in this repo, refresh.Manager's documented
+// flushMu → appendMu order, whose inversion would deadlock Flush against
+// Delete/Update validation.
+//
+// Contracts are read from the source itself:
+//
+//   - a mutex field whose comment says "guards <fields>" is tracked, and the
+//     named sibling fields may only be touched while it is held;
+//   - //ccubing:lockorder a < b declares the acquisition order;
+//   - //ccubing:requires mu (or a "Caller holds mu" doc line) declares a
+//     function's lock precondition; //ccubing:releases mu declares that the
+//     function drops the caller's lock itself;
+//   - a *Locked-suffixed function must declare at least one required mutex.
+//
+// The analyzer runs a per-function must-hold interpretation: sequential
+// statements thread a definitely-held set, branches merge by intersection
+// with returning branches excluded, defer mu.Unlock() keeps the mutex held.
+// It flags order inversions (direct, and through calls: a callee's
+// transitive acquisitions are checked against mutexes the caller still
+// holds, excluding those the callee declares as its own preconditions),
+// double acquisition, calls to functions whose required mutex is not held,
+// and guarded-field access without the guard. Function literals are
+// interpreted with an empty held set and exempted from requires/guard
+// checks: closures often run under locks held by the function they are
+// passed to, which intra-procedural analysis cannot see.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"ccubing/internal/lint/analysis"
+	"ccubing/internal/lint/annot"
+)
+
+// Analyzer enforces declared lock ordering and lock preconditions.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "flag inverted mutex acquisition and unguarded access to protected state",
+	Run:  run,
+}
+
+type tracker struct {
+	pass    *analysis.Pass
+	allows  *annot.Allows
+	mutexes map[*types.Var]bool        // tracked mutex fields
+	byName  map[string]*types.Var      // mutex name -> field
+	guards  map[*types.Var]*types.Var  // guarded field -> its mutex
+	order   map[string]map[string]bool // order[a][b]: a acquired before b
+	infos   map[*types.Func]*funcInfo
+	seen    map[string]bool // dedup: one report per position+message
+}
+
+type funcInfo struct {
+	fd       *ast.FuncDecl
+	requires map[*types.Var]bool
+	releases map[*types.Var]bool
+	callees  map[*types.Func]bool
+	acquires map[*types.Var]bool // transitive may-acquire (excl. requires)
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	files := annot.NonTest(pass.Fset, pass.Files)
+	allows := annot.CollectAllows(pass.Fset, files)
+	for _, pos := range allows.Bad() {
+		pass.Reportf(pos, "//ccubing:allow needs a reason")
+	}
+
+	tr := &tracker{
+		pass:    pass,
+		allows:  allows,
+		mutexes: map[*types.Var]bool{},
+		byName:  map[string]*types.Var{},
+		guards:  map[*types.Var]*types.Var{},
+		order:   map[string]map[string]bool{},
+		infos:   map[*types.Func]*funcInfo{},
+		seen:    map[string]bool{},
+	}
+	orderNames := tr.collectOrder(files)
+	tr.collectMutexes(files, orderNames)
+	if len(tr.mutexes) == 0 {
+		return nil, nil
+	}
+	tr.collectFuncs(files)
+	tr.closeAcquires()
+
+	for _, info := range tr.infos {
+		tr.interpret(info)
+	}
+	return nil, nil
+}
+
+func (tr *tracker) report(pos token.Pos, format string, args ...interface{}) {
+	if _, ok := tr.allows.Allowed(tr.pass.Fset, pos); ok {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%v:%s", tr.pass.Fset.Position(pos), msg)
+	if tr.seen[key] {
+		return // e.g. x = append(x, ...) touches the same guarded field twice
+	}
+	tr.seen[key] = true
+	tr.pass.Reportf(pos, "%s", msg)
+}
+
+// collectOrder parses every //ccubing:lockorder a < b [< c] directive and
+// returns the set of mutex names they mention.
+func (tr *tracker) collectOrder(files []*ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, arg := range annot.Directive(cg, "lockorder") {
+				var chain []string
+				for _, part := range strings.Split(arg, "<") {
+					if part = strings.TrimSpace(part); part != "" {
+						chain = append(chain, part)
+						names[part] = true
+					}
+				}
+				if len(chain) < 2 {
+					tr.report(cg.Pos(), "//ccubing:lockorder needs at least two mutexes: %q", arg)
+					continue
+				}
+				for i := 0; i < len(chain); i++ {
+					for j := i + 1; j < len(chain); j++ {
+						m := tr.order[chain[i]]
+						if m == nil {
+							m = map[string]bool{}
+							tr.order[chain[i]] = m
+						}
+						m[chain[j]] = true
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+var guardsRE = regexp.MustCompile(`guards\s+(.+)`)
+
+// collectMutexes walks struct declarations for sync.Mutex/RWMutex fields
+// that carry a "guards ..." comment or appear in a lockorder declaration.
+func (tr *tracker) collectMutexes(files []*ast.File, orderNames map[string]bool) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				st, ok := spec.(*ast.TypeSpec).Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tr.structMutexes(st, orderNames)
+			}
+		}
+	}
+}
+
+func (tr *tracker) structMutexes(st *ast.StructType, orderNames map[string]bool) {
+	// Sibling fields by name, for resolving "guards x, y" lists.
+	siblings := map[string]*types.Var{}
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if v, ok := tr.pass.TypesInfo.Defs[name].(*types.Var); ok {
+				siblings[name.Name] = v
+			}
+		}
+	}
+	for _, field := range st.Fields.List {
+		if !isMutex(tr.pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		comment := field.Doc.Text() + " " + field.Comment.Text()
+		var guarded []string
+		if m := guardsRE.FindStringSubmatch(comment); m != nil {
+			guarded = annot.SplitNames(strings.TrimRight(m[1], "."))
+		}
+		for _, name := range field.Names {
+			v, ok := tr.pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if guarded == nil && !orderNames[name.Name] {
+				continue // an untracked mutex: no declared contract
+			}
+			tr.mutexes[v] = true
+			if _, dup := tr.byName[name.Name]; !dup {
+				tr.byName[name.Name] = v
+			}
+			for _, g := range guarded {
+				if fv, ok := siblings[g]; ok {
+					tr.guards[fv] = v
+				}
+			}
+		}
+	}
+}
+
+func isMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// collectFuncs indexes every declared function: its lock preconditions,
+// releases, direct acquisitions and static same-package callees.
+func (tr *tracker) collectFuncs(files []*ast.File) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := tr.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &funcInfo{
+				fd:       fd,
+				requires: map[*types.Var]bool{},
+				releases: map[*types.Var]bool{},
+				callees:  map[*types.Func]bool{},
+				acquires: map[*types.Var]bool{},
+			}
+			for _, arg := range annot.Directive(fd.Doc, "requires") {
+				for _, name := range annot.SplitNames(arg) {
+					if v, ok := tr.byName[name]; ok {
+						info.requires[v] = true
+					} else {
+						tr.report(fd.Name.Pos(), "//ccubing:requires names unknown mutex %s", name)
+					}
+				}
+			}
+			for _, name := range annot.CallerHolds(fd.Doc) {
+				if v, ok := tr.byName[name]; ok {
+					info.requires[v] = true
+				}
+			}
+			for _, arg := range annot.Directive(fd.Doc, "releases") {
+				for _, name := range annot.SplitNames(arg) {
+					if v, ok := tr.byName[name]; ok {
+						info.releases[v] = true
+					} else {
+						tr.report(fd.Name.Pos(), "//ccubing:releases names unknown mutex %s", name)
+					}
+				}
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") && len(info.requires) == 0 {
+				tr.report(fd.Name.Pos(),
+					"%s is *Locked-suffixed but declares no required mutex; add //ccubing:requires <mu> or a 'Caller holds <mu>' doc line",
+					fd.Name.Name)
+			}
+			tr.collectBody(fd.Body, info)
+			tr.infos[fn] = info
+		}
+	}
+}
+
+// collectBody records direct lock acquisitions and static callees,
+// excluding function literals (they run in an unknown context and are
+// interpreted separately).
+func (tr *tracker) collectBody(body *ast.BlockStmt, info *funcInfo) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if mu, op := tr.lockOp(call); mu != nil && (op == "Lock" || op == "RLock") {
+			info.acquires[mu] = true
+			return true
+		}
+		if fn := tr.staticCallee(call); fn != nil {
+			info.callees[fn] = true
+		}
+		return true
+	})
+}
+
+// closeAcquires propagates may-acquire sets over the package call graph to
+// a fixpoint. A callee's declared preconditions are not acquisitions — the
+// caller already holds them.
+func (tr *tracker) closeAcquires() {
+	for changed := true; changed; {
+		changed = false
+		for _, info := range tr.infos {
+			for callee := range info.callees {
+				ci, ok := tr.infos[callee]
+				if !ok {
+					continue
+				}
+				for mu := range ci.acquires {
+					if !info.acquires[mu] {
+						info.acquires[mu] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockOp recognizes mu.Lock()/Unlock()/RLock()/RUnlock() on a tracked
+// mutex field, returning the field and the operation name.
+func (tr *tracker) lockOp(call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	recv, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	v, ok := tr.pass.TypesInfo.Uses[recv.Sel].(*types.Var)
+	if !ok || !tr.mutexes[v] {
+		return nil, ""
+	}
+	return v, op
+}
+
+// staticCallee resolves a call to a same-package declared function.
+func (tr *tracker) staticCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := tr.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != tr.pass.Pkg {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"ccubing/internal/lint/analysistest"
+	"ccubing/internal/lint/lockorder"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "a")
+}

@@ -1,0 +1,125 @@
+// Package a is the lockorder fixture, modeled on refresh.Manager: two
+// tracked mutexes with a declared flushMu < appendMu order, guarded fields,
+// *Locked-suffixed helpers and a release-before-acquire drain.
+package a
+
+import "sync"
+
+// mgr mirrors the refresh manager's locking structure.
+//
+//ccubing:lockorder flushMu < appendMu
+type mgr struct {
+	appendMu sync.Mutex // guards log
+	flushMu  sync.Mutex // serializes flushes; guards base
+	log      []int
+	base     []int
+	other    int // unguarded
+}
+
+func (m *mgr) good() {
+	m.flushMu.Lock()
+	m.appendMu.Lock()
+	m.log = append(m.log, 1)
+	m.appendMu.Unlock()
+	m.base = append(m.base, 1)
+	m.flushMu.Unlock()
+}
+
+// inverted reproduces the pre-fix bug pattern this analyzer exists for:
+// taking appendMu first, then flushMu, deadlocking against good().
+func (m *mgr) inverted() {
+	m.appendMu.Lock()
+	defer m.appendMu.Unlock()
+	m.flushMu.Lock() // want `acquires flushMu while holding appendMu; declared order is flushMu < appendMu`
+	defer m.flushMu.Unlock()
+	m.base = append(m.base, 1)
+	m.log = append(m.log, 1)
+}
+
+// flushBaseLocked reads flush state. Caller holds flushMu.
+func (m *mgr) flushBaseLocked() int { return len(m.base) }
+
+func (m *mgr) callsWithout() int {
+	return m.flushBaseLocked() // want `call to flushBaseLocked without holding flushMu`
+}
+
+func (m *mgr) callsWith() int {
+	m.flushMu.Lock()
+	defer m.flushMu.Unlock()
+	return m.flushBaseLocked()
+}
+
+func (m *mgr) orphanLocked() {} // want `orphanLocked is \*Locked-suffixed but declares no required mutex`
+
+func (m *mgr) raw() int {
+	return len(m.log) // want `access to log guarded by appendMu without holding it`
+}
+
+func newMgr() *mgr {
+	m := &mgr{}
+	m.log = append(m.log, 0) // constructor-local value: not yet shared
+	return m
+}
+
+func (m *mgr) flush() {
+	m.flushMu.Lock()
+	m.base = append(m.base, 1)
+	m.flushMu.Unlock()
+}
+
+// drainLocked finishes an append batch.
+//
+//ccubing:requires appendMu
+//ccubing:releases appendMu
+func (m *mgr) drainLocked() {
+	n := len(m.log)
+	m.appendMu.Unlock()
+	if n > 0 {
+		m.flush() // appendMu already released: ordered acquisition
+	}
+}
+
+func (m *mgr) appendThenDrain() {
+	m.appendMu.Lock()
+	m.log = append(m.log, 1)
+	m.drainLocked()
+}
+
+func (m *mgr) indirectInverted() {
+	m.appendMu.Lock()
+	defer m.appendMu.Unlock()
+	m.flush() // want `call to flush acquires flushMu while holding appendMu; declared order is flushMu < appendMu`
+	m.log = append(m.log, 1)
+}
+
+func (m *mgr) double() {
+	m.flushMu.Lock()
+	m.flushMu.Lock() // want `acquires flushMu while already holding it`
+	m.flushMu.Unlock()
+	m.flushMu.Unlock()
+}
+
+func (m *mgr) async() {
+	go func() {
+		m.flush() // a goroutine starts with nothing held: ordered
+	}()
+}
+
+func (m *mgr) branchy(ok bool) int {
+	m.appendMu.Lock()
+	if !ok {
+		m.appendMu.Unlock()
+		return 0
+	}
+	n := len(m.log) // held on every path reaching here
+	m.appendMu.Unlock()
+	return n
+}
+
+func (m *mgr) special() {
+	m.appendMu.Lock()
+	defer m.appendMu.Unlock()
+	//ccubing:allow startup-only path, single-threaded by construction
+	m.flushMu.Lock()
+	m.flushMu.Unlock()
+}

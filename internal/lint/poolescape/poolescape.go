@@ -1,0 +1,229 @@
+// Package poolescape defines an analyzer that flags sync.Pool-backed
+// values escaping the function that returns them to the pool. The repo's
+// hot paths reuse pooled scratch (probe scratch in internal/cubestore,
+// vals scratch in internal/parallel, merge workers in internal/sink); a
+// pooled buffer that leaks into a query result is recycled under the
+// caller's feet on the next probe — the worst kind of corruption, visible
+// only under load.
+//
+// The analysis is per-package and summary-based. For every function it
+// computes, to a fixpoint, which results derive from a pool (getter
+// functions like getScratch are the pool's designed API and are fine) and
+// which parameters flow into Pool.Put (releaser functions like putScratch
+// or MergeWorker.Close). In functions that release pool-derived values it
+// flags the escapes: returning a pool-tainted value, storing one into
+// memory reachable outside the function (globals, fields of parameters or
+// receivers), or sending one on a channel.
+//
+// Taint follows assignments, field reads of tainted bases, sub-slices,
+// &x[i], type assertions and append's first argument; it is deliberately
+// dropped by element reads (sc.cands[i] points at store data, not pool
+// data), scalar copies and string conversions. Function literals are not
+// analyzed: pooled scratch captured by worker closures is released after
+// the pool's Wait barrier, which a per-function analysis cannot see.
+package poolescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ccubing/internal/lint/analysis"
+	"ccubing/internal/lint/annot"
+)
+
+// Analyzer flags pooled values escaping functions that Put them back.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc:  "flag sync.Pool values escaping via returns, stores or sends",
+	Run:  run,
+}
+
+// poolBit marks pool-derived taint; params of the function under analysis
+// occupy the following bits.
+const poolBit uint64 = 1
+
+func paramBit(i int) uint64 { return 1 << (uint(i) + 1) }
+
+// summary is the cross-function interface of one declared function.
+type summary struct {
+	params  []*types.Var // receiver (if any) then parameters
+	results []uint64     // taint mask per result: poolBit and/or param bits
+	release uint64       // mask of inputs (poolBit/params) flowing into Put
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	files := annot.NonTest(pass.Fset, pass.Files)
+	allows := annot.CollectAllows(pass.Fset, files)
+	for _, pos := range allows.Bad() {
+		pass.Reportf(pos, "//ccubing:allow needs a reason")
+	}
+
+	pe := &analyzer{
+		pass:      pass,
+		allows:    allows,
+		summaries: map[*types.Func]*summary{},
+	}
+	var decls []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	// Summary fixpoint: getters may call getters, releasers call releasers.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if pe.summarize(fd) {
+				changed = true
+			}
+		}
+	}
+	for _, fd := range decls {
+		pe.check(fd)
+	}
+	return nil, nil
+}
+
+type analyzer struct {
+	pass      *analysis.Pass
+	allows    *annot.Allows
+	summaries map[*types.Func]*summary
+}
+
+func (pe *analyzer) report(pos token.Pos, format string, args ...interface{}) {
+	if _, ok := pe.allows.Allowed(pe.pass.Fset, pos); ok {
+		return
+	}
+	pe.pass.Reportf(pos, format, args...)
+}
+
+func (pe *analyzer) fn(fd *ast.FuncDecl) *types.Func {
+	f, _ := pe.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	return f
+}
+
+// inputs returns the receiver-then-params variable list of a declaration.
+func inputs(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	if fd.Recv != nil {
+		collect(fd.Recv)
+	}
+	collect(fd.Type.Params)
+	return out
+}
+
+// summarize recomputes fd's summary, reporting whether it changed.
+func (pe *analyzer) summarize(fd *ast.FuncDecl) bool {
+	fn := pe.fn(fd)
+	if fn == nil {
+		return false
+	}
+	ft := pe.newTaint(fd)
+	ft.propagate()
+
+	sig := fn.Type().(*types.Signature)
+	sum := &summary{
+		params:  ft.params,
+		results: make([]uint64, sig.Results().Len()),
+		release: ft.released(),
+	}
+	for _, ret := range ft.returns() {
+		if len(ret.Results) == 0 {
+			// Naked return: named results carry their variable taint.
+			for i := 0; i < sig.Results().Len() && i < len(sum.results); i++ {
+				sum.results[i] |= ft.vars[sig.Results().At(i)]
+			}
+			continue
+		}
+		if len(ret.Results) == len(sum.results) {
+			for i, e := range ret.Results {
+				sum.results[i] |= ft.taintOf(e)
+			}
+		} else if len(ret.Results) == 1 {
+			// return f() forwarding a tuple.
+			if call, ok := ret.Results[0].(*ast.CallExpr); ok {
+				for i := range sum.results {
+					sum.results[i] |= ft.callResult(call, i)
+				}
+			}
+		}
+	}
+
+	old := pe.summaries[fn]
+	pe.summaries[fn] = sum
+	return old == nil || !equal(old, sum)
+}
+
+func equal(a, b *summary) bool {
+	if a.release != b.release || len(a.results) != len(b.results) {
+		return false
+	}
+	for i := range a.results {
+		if a.results[i] != b.results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// check flags escapes in functions that release pool-derived values.
+func (pe *analyzer) check(fd *ast.FuncDecl) {
+	ft := pe.newTaint(fd)
+	ft.propagate()
+	if ft.released()&poolBit == 0 {
+		return // not a releaser: getters hand pooled values out by design
+	}
+	name := fd.Name.Name
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if ft.taintOf(e)&poolBit != 0 {
+					pe.report(e.Pos(), "%s returns a pooled value it also returns to the pool", name)
+				}
+			}
+		case *ast.SendStmt:
+			if ft.taintOf(n.Value)&poolBit != 0 {
+				pe.report(n.Value.Pos(), "%s sends a pooled value it also returns to the pool", name)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var taint uint64
+				switch {
+				case len(n.Rhs) == 1 && len(n.Lhs) > 1:
+					if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+						taint = ft.callResult(call, i)
+					}
+				case i < len(n.Rhs):
+					taint = ft.taintOf(n.Rhs[i])
+				}
+				if taint&poolBit == 0 {
+					continue
+				}
+				if root, local := ft.rootOf(lhs); root != nil && !local {
+					pe.report(lhs.Pos(), "%s stores a pooled value into %s, which outlives its return to the pool",
+						name, root.Name())
+				}
+			}
+		}
+		return true
+	})
+}

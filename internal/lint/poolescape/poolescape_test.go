@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"ccubing/internal/lint/analysistest"
+	"ccubing/internal/lint/poolescape"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", poolescape.Analyzer, "a")
+}

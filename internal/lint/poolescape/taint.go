@@ -1,0 +1,323 @@
+package poolescape
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcTaint is the intra-function taint state: which variables carry
+// pool-derived (poolBit) or parameter-derived (paramBit) references.
+type funcTaint struct {
+	pe     *analyzer
+	fd     *ast.FuncDecl
+	params []*types.Var
+	vars   map[*types.Var]uint64
+}
+
+func (pe *analyzer) newTaint(fd *ast.FuncDecl) *funcTaint {
+	ft := &funcTaint{pe: pe, fd: fd, vars: map[*types.Var]uint64{}}
+	ft.params = inputs(pe.pass.TypesInfo, fd)
+	for i, v := range ft.params {
+		ft.vars[v] = paramBit(i)
+	}
+	return ft
+}
+
+// propagate iterates the body's assignments until the variable taints
+// stop changing (the iteration cap only guards pathological inputs).
+func (ft *funcTaint) propagate() {
+	for range 32 {
+		if !ft.sweep() {
+			return
+		}
+	}
+}
+
+func (ft *funcTaint) sweep() bool {
+	changed := false
+	add := func(lhs ast.Expr, taint uint64) {
+		if taint == 0 {
+			return
+		}
+		root, local := ft.rootOf(lhs)
+		if root == nil {
+			return
+		}
+		if _, isIdent := lhs.(*ast.Ident); !isIdent && !local {
+			return // store into non-local memory: a sink, not a propagation
+		}
+		if ft.vars[root]&taint != taint {
+			ft.vars[root] |= taint
+			changed = true
+		}
+	}
+	assign := func(lhs, rhs []ast.Expr) {
+		if len(rhs) == 1 && len(lhs) > 1 {
+			switch r := rhs[0].(type) {
+			case *ast.CallExpr:
+				for i, l := range lhs {
+					add(l, ft.callResult(r, i))
+				}
+			case *ast.TypeAssertExpr:
+				add(lhs[0], ft.taintOf(r.X))
+			case *ast.IndexExpr:
+				// v, ok := m[k]: element reads launder taint.
+			}
+			return
+		}
+		for i, l := range lhs {
+			if i < len(rhs) {
+				add(l, ft.taintOf(rhs[i]))
+			}
+		}
+	}
+	ast.Inspect(ft.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			assign(n.Lhs, n.Rhs)
+		case *ast.ValueSpec:
+			var lhs []ast.Expr
+			for _, name := range n.Names {
+				lhs = append(lhs, name)
+			}
+			assign(lhs, n.Values)
+		}
+		return true
+	})
+	return changed
+}
+
+// taintOf computes the taint mask of an expression under the current
+// variable state.
+func (ft *funcTaint) taintOf(e ast.Expr) uint64 {
+	info := ft.pe.pass.TypesInfo
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := obj(info, e).(*types.Var); ok {
+			return ft.vars[v]
+		}
+	case *ast.ParenExpr:
+		return ft.taintOf(e.X)
+	case *ast.SelectorExpr:
+		// A field read of a tainted base carries the reference.
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return ft.taintOf(e.X)
+		}
+	case *ast.SliceExpr:
+		return ft.taintOf(e.X) // sub-slices alias the pooled backing array
+	case *ast.StarExpr:
+		return ft.taintOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			return ft.taintOf(e.X) // &sc.buf, &x[i]: aliases pooled memory
+		}
+	case *ast.TypeAssertExpr:
+		return ft.taintOf(e.X)
+	case *ast.CompositeLit:
+		var mask uint64
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			mask |= ft.taintOf(el)
+		}
+		return mask
+	case *ast.CallExpr:
+		return ft.callResult(e, 0)
+	}
+	// Index-expression element reads, scalar copies, binary expressions and
+	// conversions to value types all launder taint.
+	return 0
+}
+
+// callResult computes the taint of result i of a call: Pool.Get is the
+// taint source; same-package callees translate their summary through the
+// call-site arguments; conversions keep taint only for aliasing targets.
+func (ft *funcTaint) callResult(call *ast.CallExpr, i int) uint64 {
+	info := ft.pe.pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Pointer:
+			if len(call.Args) == 1 {
+				return ft.taintOf(call.Args[0]) // aliasing conversion
+			}
+		}
+		return 0
+	}
+	if op, _ := ft.poolOp(call); op == "Get" && i == 0 {
+		return poolBit
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				// Growth may reallocate but may also write in place: the
+				// result can alias the first argument's backing array.
+				return ft.taintOf(call.Args[0])
+			}
+			return 0
+		}
+	}
+	fn := ft.staticCallee(call)
+	if fn == nil {
+		return 0
+	}
+	sum := ft.pe.summaries[fn]
+	if sum == nil || i >= len(sum.results) {
+		return 0
+	}
+	mask := sum.results[i]
+	out := mask & poolBit
+	args := ft.callArgs(call, fn)
+	for j := range sum.params {
+		if mask&paramBit(j) != 0 && j < len(args) && args[j] != nil {
+			out |= ft.taintOf(args[j])
+		}
+	}
+	return out
+}
+
+// released computes the mask of inputs this function returns to a pool,
+// directly via Pool.Put or through a releaser callee.
+func (ft *funcTaint) released() uint64 {
+	var mask uint64
+	ast.Inspect(ft.fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, _ := ft.poolOp(call); op == "Put" && len(call.Args) == 1 {
+			mask |= ft.taintOf(call.Args[0])
+			return true
+		}
+		fn := ft.staticCallee(call)
+		if fn == nil {
+			return true
+		}
+		sum := ft.pe.summaries[fn]
+		if sum == nil || sum.release == 0 {
+			return true
+		}
+		args := ft.callArgs(call, fn)
+		for j := range sum.params {
+			if sum.release&paramBit(j) != 0 && j < len(args) && args[j] != nil {
+				mask |= ft.taintOf(args[j])
+			}
+		}
+		return true
+	})
+	return mask
+}
+
+func (ft *funcTaint) returns() []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	ast.Inspect(ft.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// poolOp recognizes Get/Put method calls on a sync.Pool value (a struct
+// field, package-level variable, or pointer to either).
+func (ft *funcTaint) poolOp(call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	if sel.Sel.Name != "Get" && sel.Sel.Name != "Put" {
+		return "", nil
+	}
+	t := ft.pe.pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", nil
+	}
+	if named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "Pool" {
+		return "", nil
+	}
+	return sel.Sel.Name, sel.X
+}
+
+// staticCallee resolves a call to a same-package declared function.
+func (ft *funcTaint) staticCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := ft.pe.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != ft.pe.pass.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// callArgs lines the call site's argument expressions up with the callee's
+// receiver-then-params input list.
+func (ft *funcTaint) callArgs(call *ast.CallExpr, fn *types.Func) []ast.Expr {
+	var args []ast.Expr
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			args = append(args, sel.X)
+		} else {
+			args = append(args, nil)
+		}
+	}
+	return append(args, call.Args...)
+}
+
+// rootOf walks to the root identifier of an lvalue path and reports
+// whether it is a function-local variable (declared inside the body, not a
+// parameter).
+func (ft *funcTaint) rootOf(e ast.Expr) (*types.Var, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := obj(ft.pe.pass.TypesInfo, x).(*types.Var)
+			if !ok {
+				return nil, false
+			}
+			body := ft.fd.Body
+			return v, v.Pos() >= body.Pos() && v.Pos() <= body.End()
+		default:
+			return nil, false
+		}
+	}
+}
+
+func obj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}

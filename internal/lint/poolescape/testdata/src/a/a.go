@@ -1,0 +1,121 @@
+// Package a is the poolescape fixture, modeled on cubestore's pooled probe
+// scratch: getter/releaser helpers around a sync.Pool, correct copy-out
+// users, and the escape patterns the analyzer must catch.
+package a
+
+import "sync"
+
+type group struct{ n int }
+
+type scratch struct {
+	key   []uint16
+	cands []*group
+}
+
+type store struct {
+	pool   sync.Pool
+	leak   []uint16
+	groups []*group
+}
+
+func (st *store) getScratch() *scratch {
+	v := st.pool.Get()
+	if v == nil {
+		return &scratch{key: make([]uint16, 0, 8)}
+	}
+	return v.(*scratch) // a getter hands pooled values out by design
+}
+
+func (st *store) putScratch(sc *scratch) {
+	st.pool.Put(sc)
+}
+
+// query copies out of the scratch before releasing it: the correct shape.
+func (st *store) query(q []uint16) []uint16 {
+	sc := st.getScratch()
+	sc.key = append(sc.key[:0], q...)
+	out := make([]uint16, len(sc.key))
+	copy(out, sc.key)
+	st.putScratch(sc)
+	return out
+}
+
+func (st *store) leakReturn(q []uint16) []uint16 {
+	sc := st.getScratch()
+	sc.key = append(sc.key[:0], q...)
+	defer st.putScratch(sc)
+	return sc.key // want `leakReturn returns a pooled value it also returns to the pool`
+}
+
+func (st *store) leakSub(q []uint16) []uint16 {
+	sc := st.getScratch()
+	sc.key = append(sc.key[:0], q...)
+	res := sc.key[:1]
+	st.putScratch(sc)
+	return res // want `leakSub returns a pooled value it also returns to the pool`
+}
+
+func (st *store) leakStore() {
+	sc := st.getScratch()
+	st.leak = sc.key // want `leakStore stores a pooled value into st`
+	st.putScratch(sc)
+}
+
+func (st *store) leakChan(ch chan []uint16) {
+	sc := st.getScratch()
+	ch <- sc.key // want `leakChan sends a pooled value it also returns to the pool`
+	st.putScratch(sc)
+}
+
+// lookup returns an element read off the scratch: *group points at store
+// data, not pooled memory, so this is clean.
+func (st *store) lookup() *group {
+	sc := st.getScratch()
+	sc.cands = append(sc.cands[:0], st.groups...)
+	g := sc.cands[0]
+	st.putScratch(sc)
+	return g
+}
+
+// copyOut launders through an append to a clean destination.
+func (st *store) copyOut(q []uint16) []uint16 {
+	sc := st.getScratch()
+	sc.key = append(sc.key[:0], q...)
+	var out []uint16
+	out = append(out, sc.key...)
+	st.putScratch(sc)
+	return out
+}
+
+var bufPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func direct() *scratch {
+	return bufPool.Get().(*scratch)
+}
+
+func release(sc *scratch) {
+	bufPool.Put(sc)
+}
+
+// user releases through the helper and leaks nothing.
+func user() int {
+	sc := direct()
+	n := len(sc.key)
+	release(sc)
+	return n
+}
+
+// badUser obtains and releases through helpers; the leak is still caught
+// via the function summaries.
+func badUser() []uint16 {
+	sc := direct()
+	defer release(sc)
+	return sc.key // want `badUser returns a pooled value it also returns to the pool`
+}
+
+func allowed() []uint16 {
+	sc := direct()
+	defer release(sc)
+	//ccubing:allow single-threaded startup path; caller copies before any reuse
+	return sc.key
+}

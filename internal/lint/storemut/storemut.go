@@ -1,0 +1,157 @@
+// Package storemut defines an analyzer that treats structs annotated
+// //ccubing:freeze as immutable after construction: cubestore.Store and its
+// per-cuboid groups are built once, published behind an atomic snapshot
+// pointer, and then served concurrently without locks — any later write is
+// a data race even if no test catches it.
+//
+// The analyzer flags, outside files carrying a file-scope
+// //ccubing:mutates <Type> comment, every write whose destination path
+// passes through a field of a frozen struct (plain assignment, compound
+// assignment, ++/--, element stores like s.counts[i] = x) and every
+// explicit &s.field, which would let the address escape to a writer.
+// Method calls on frozen fields (st.scratch.Get()) take the address
+// implicitly and are not flagged: pools and striped counters on the store
+// are designed for concurrent use.
+package storemut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ccubing/internal/lint/analysis"
+	"ccubing/internal/lint/annot"
+)
+
+// Analyzer flags writes to //ccubing:freeze structs outside their
+// //ccubing:mutates allowlisted files.
+var Analyzer = &analysis.Analyzer{
+	Name: "storemut",
+	Doc:  "flag writes to frozen snapshot structs outside builder/freeze files",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	files := annot.NonTest(pass.Fset, pass.Files)
+	allows := annot.CollectAllows(pass.Fset, files)
+	for _, pos := range allows.Bad() {
+		pass.Reportf(pos, "//ccubing:allow needs a reason")
+	}
+
+	frozen := frozenTypes(pass, files)
+	if len(frozen) == 0 {
+		return nil, nil
+	}
+
+	for _, f := range files {
+		exempt := map[string]bool{}
+		for _, cg := range f.Comments {
+			for _, arg := range annot.Directive(cg, "mutates") {
+				for _, name := range annot.SplitNames(arg) {
+					exempt[name] = true
+				}
+			}
+		}
+		c := &checker{pass: pass, allows: allows, frozen: frozen, exempt: exempt}
+		ast.Inspect(f, c.visit)
+	}
+	return nil, nil
+}
+
+// frozenTypes collects the named struct types annotated //ccubing:freeze.
+func frozenTypes(pass *analysis.Pass, files []*ast.File) map[*types.TypeName]bool {
+	frozen := map[*types.TypeName]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if !annot.Has(gd.Doc, "freeze") && !annot.Has(ts.Doc, "freeze") {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					frozen[tn] = true
+				}
+			}
+		}
+	}
+	return frozen
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	allows *annot.Allows
+	frozen map[*types.TypeName]bool
+	exempt map[string]bool
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if n.Tok == token.DEFINE {
+			return true
+		}
+		for _, lhs := range n.Lhs {
+			c.checkWrite(lhs, "write to")
+		}
+	case *ast.IncDecStmt:
+		c.checkWrite(n.X, "write to")
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			c.checkWrite(n.X, "address taken of")
+		}
+	}
+	return true
+}
+
+// checkWrite walks the destination path inward (through parens, indexing,
+// slicing and dereferences) and reports the outermost frozen field it
+// passes through.
+func (c *checker) checkWrite(e ast.Expr, verb string) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if tn, fieldName, ok := c.frozenField(x); ok {
+				if _, allowed := c.allows.Allowed(c.pass.Fset, x.Pos()); !allowed && !c.exempt[tn.Name()] {
+					c.pass.Reportf(x.Pos(), "%s frozen %s.%s outside a //ccubing:mutates %s file",
+						verb, tn.Name(), fieldName, tn.Name())
+				}
+				return
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// frozenField reports whether sel selects a field of a frozen struct.
+func (c *checker) frozenField(sel *ast.SelectorExpr) (*types.TypeName, string, bool) {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, "", false
+	}
+	if !c.frozen[named.Obj()] {
+		return nil, "", false
+	}
+	return named.Obj(), sel.Sel.Name, true
+}

@@ -1,0 +1,12 @@
+package storemut_test
+
+import (
+	"testing"
+
+	"ccubing/internal/lint/analysistest"
+	"ccubing/internal/lint/storemut"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", storemut.Analyzer, "a")
+}

@@ -1,0 +1,38 @@
+// Package a is the storemut fixture: writes through frozen struct fields
+// are flagged outside //ccubing:mutates files.
+package a
+
+// Frozen models a published snapshot: built once, then served immutably.
+//
+//ccubing:freeze
+type Frozen struct {
+	dims   int
+	counts []uint32
+	sub    inner
+}
+
+type inner struct{ rows []int }
+
+// Loose has no freeze annotation: writes are unrestricted.
+type Loose struct{ n int }
+
+func mutate(f *Frozen, l *Loose, n int) {
+	f.dims = n       // want `write to frozen Frozen\.dims outside`
+	f.counts[0] = 1  // want `write to frozen Frozen\.counts outside`
+	f.dims++         // want `write to frozen Frozen\.dims outside`
+	f.sub.rows[n] = 0 // want `write to frozen Frozen\.sub outside`
+	f.dims += n      // want `write to frozen Frozen\.dims outside`
+	p := &f.counts   // want `address taken of frozen Frozen\.counts outside`
+	_ = p
+	l.n = n // unfrozen struct: fine
+}
+
+func read(f *Frozen) int {
+	local := f.counts[0] // reads are fine
+	return f.dims + int(local)
+}
+
+func patch(f *Frozen) {
+	//ccubing:allow private pre-publish copy, not yet visible to readers
+	f.dims = 0
+}

@@ -1,0 +1,14 @@
+// Build-time mutators for Frozen live in this file.
+//
+//ccubing:mutates Frozen
+package a
+
+func build(n int) *Frozen {
+	f := &Frozen{dims: n}
+	f.counts = make([]uint32, n) // allowlisted file: fine
+	for i := range f.counts {
+		f.counts[i]++
+	}
+	f.sub.rows = append(f.sub.rows, n)
+	return f
+}

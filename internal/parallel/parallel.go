@@ -324,14 +324,17 @@ func RunPool(workers int, jobs []func() error) error {
 // survivor widening across jobs and refreshes.
 var valsScratchPool = sync.Pool{New: func() any { return new([]core.Value) }}
 
+//ccubing:hotpath
 func getValsScratch(nd int) []core.Value {
 	s := *valsScratchPool.Get().(*[]core.Value)
 	if cap(s) < nd {
+		//ccubing:allow pool-miss growth only; steady state reuses the pooled buffer
 		s = make([]core.Value, nd)
 	}
 	return s[:nd]
 }
 
+//ccubing:hotpath
 func putValsScratch(s []core.Value) {
 	valsScratchPool.Put(&s)
 }
@@ -342,8 +345,10 @@ type fixedFilter struct {
 	dim  int
 }
 
+//ccubing:hotpath
 func (f *fixedFilter) Emit(vals []core.Value, count int64) { f.EmitAux(vals, count, 0) }
 
+//ccubing:hotpath
 func (f *fixedFilter) EmitAux(vals []core.Value, count int64, aux float64) {
 	if vals[f.dim] != core.Star {
 		f.next.EmitAux(vals, count, aux)
@@ -358,8 +363,10 @@ type starInsert struct {
 	scratch []core.Value
 }
 
+//ccubing:hotpath
 func (s *starInsert) Emit(vals []core.Value, count int64) { s.EmitAux(vals, count, 0) }
 
+//ccubing:hotpath
 func (s *starInsert) EmitAux(vals []core.Value, count int64, aux float64) {
 	copy(s.scratch[:s.dim], vals[:s.dim])
 	s.scratch[s.dim] = core.Star

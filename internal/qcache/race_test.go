@@ -1,0 +1,78 @@
+package qcache
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentHammer drives Get/Put from many goroutines with keys spread
+// across every shard while a separate goroutine keeps bumping the generation
+// prefix — the facade's invalidation scheme, where a refresh changes the key
+// prefix and stale generations age out of the LRU. Run under -race (CI does)
+// it exercises the shard-lock interleavings; with or without it, the hit and
+// miss counters must exactly partition the Get calls.
+func TestConcurrentHammer(t *testing.T) {
+	c := New(256)
+	workers := 4 * runtime.GOMAXPROCS(0)
+	const opsPerWorker = 2000
+
+	var gen atomic.Uint64
+	stop := make(chan struct{})
+	var bumper sync.WaitGroup
+	bumper.Add(1)
+	go func() {
+		defer bumper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				gen.Add(1)
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	var gets atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			key := make([]byte, 12)
+			for i := 0; i < opsPerWorker; i++ {
+				// Generation prefix plus a small key space, so goroutines
+				// collide on entries in every shard and old generations
+				// keep getting evicted while new ones fill in.
+				binary.BigEndian.PutUint64(key[:8], gen.Load())
+				binary.BigEndian.PutUint32(key[8:], uint32((seed+uint64(i))%64))
+				if v, ok := c.Get(key); ok {
+					if _, isInt := v.(uint64); !isInt {
+						t.Errorf("cached value has wrong type %T", v)
+						return
+					}
+				} else {
+					c.Put(key, uint64(i))
+				}
+				gets.Add(1)
+			}
+		}(uint64(w) * 31)
+	}
+	wg.Wait()
+	close(stop)
+	bumper.Wait()
+
+	hits, misses := c.Metrics()
+	if hits+misses != gets.Load() {
+		t.Fatalf("hits %d + misses %d = %d; want %d gets", hits, misses, hits+misses, gets.Load())
+	}
+	if misses == 0 {
+		t.Fatal("generation bumps should force misses")
+	}
+	if c.Len() > 256 {
+		t.Fatalf("Len = %d exceeds capacity 256", c.Len())
+	}
+}

@@ -130,6 +130,11 @@ type Metrics struct {
 // concurrently with any number of snapshot readers; appends are serialized
 // with each other, refreshes with each other. A delta arriving while a
 // refresh is computing stays buffered for the next refresh.
+//
+// Lock order: a goroutine that needs both locks takes flushMu first
+// (Fold/Flush do); appendMu is the innermost lock and nothing blocks under it.
+//
+//ccubing:lockorder flushMu < appendMu
 type Manager struct {
 	cfg    Config
 	nd     int
@@ -326,6 +331,8 @@ func (m *Manager) validateAux(rows int, aux []float64) error {
 // released here. The row-threshold trigger flushes synchronously, outside
 // the append lock, so appends on other goroutines keep flowing into the next
 // delta while the refresh computes.
+//
+//ccubing:releases appendMu
 func (m *Manager) appendLocked(flat []core.Value, aux []float64) (int, bool, error) {
 	n := len(flat) / m.nd
 	if err := m.log.append(flat, aux, nil); err != nil {
@@ -436,7 +443,8 @@ func (m *Manager) checkAvailable(ops []deltaOp) int {
 
 // validateRow checks one coded row's shape and values against the append
 // contract; tombstones skip the cardinality-growth bound (the tuple must
-// already exist, so its values cannot grow a domain).
+// already exist, so its values cannot grow a domain). Caller holds
+// appendMu: the dictionaries and cardinalities it reads move under it.
 func (m *Manager) validateRow(i int, row []core.Value, tombstone bool) error {
 	if len(row) != m.nd {
 		return fmt.Errorf("refresh: row %d has %d values, want %d", i, len(row), m.nd)
@@ -1022,8 +1030,10 @@ type fixedOnly struct {
 	dim  int
 }
 
+//ccubing:hotpath
 func (f *fixedOnly) Emit(vals []core.Value, count int64) { f.EmitAux(vals, count, 0) }
 
+//ccubing:hotpath
 func (f *fixedOnly) EmitAux(vals []core.Value, count int64, aux float64) {
 	if vals[f.dim] != core.Star {
 		f.next.EmitAux(vals, count, aux)

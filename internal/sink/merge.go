@@ -59,9 +59,13 @@ type MergeWorker struct {
 }
 
 // Emit implements Sink.
+//
+//ccubing:hotpath
 func (w *MergeWorker) Emit(vals []core.Value, count int64) { w.EmitAux(vals, count, 0) }
 
 // EmitAux implements AuxSink.
+//
+//ccubing:hotpath
 func (w *MergeWorker) EmitAux(vals []core.Value, count int64, aux float64) {
 	w.cells = append(w.cells, BatchCell{
 		Off:   int32(len(w.vals)),
@@ -77,6 +81,8 @@ func (w *MergeWorker) EmitAux(vals []core.Value, count int64, aux float64) {
 
 // Flush drains the buffer into the downstream sink under the merger's lock:
 // one EmitBatch call when the sink accepts batches, cell-by-cell otherwise.
+//
+//ccubing:hotpath
 func (w *MergeWorker) Flush() {
 	if len(w.cells) == 0 {
 		return
