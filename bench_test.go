@@ -84,6 +84,11 @@ func BenchmarkFig18DimOrder(b *testing.B)         { benchFigure(b, "fig18") }
 // physical cores (on a single-core machine the parallel rows regress, since
 // the decomposition does ~1.5x the sequential work).
 func BenchmarkParallelWorkers(b *testing.B) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		b.Skip("GOMAXPROCS=1: every worker count serializes onto one core, so the " +
+			"parallel rows only measure the ~1.5x decomposition overhead, not speedup; " +
+			"re-run with GOMAXPROCS>1 (or on a multi-core machine) for meaningful numbers")
+	}
 	ds, err := Synthetic(SyntheticConfig{T: 200_000, D: 6, C: 50, Skew: 1.2, Seed: 42})
 	if err != nil {
 		b.Fatal(err)

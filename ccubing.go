@@ -36,6 +36,7 @@ import (
 	"ccubing/internal/gen"
 	"ccubing/internal/order"
 	"ccubing/internal/parallel"
+	"ccubing/internal/route"
 	"ccubing/internal/sink"
 	"ccubing/internal/table"
 
@@ -526,6 +527,75 @@ func NewDatasetFromValues(names []string, rows [][]int32) (*Dataset, error) {
 		return nil, err
 	}
 	return &Dataset{t: t}, nil
+}
+
+// Shard returns the subset of the dataset owned by shard index out of count,
+// routing each tuple by its dim component: the label on labeled datasets,
+// the decimal value otherwise, hashed with the same FNV-1a mapping the
+// serving router uses (internal/route). Sharding the relation this way makes
+// the paper's Sec. 6.3 partition argument hold across processes — every
+// closed cell fixing dim aggregates tuples of exactly one shard — so a
+// scatter-gather router over per-shard cubes answers dim-bound queries from
+// one worker. The measure column, when set, is carried along.
+//
+// A shard owning no tuples is an error: a cube cannot materialize over an
+// empty relation, so such a topology needs fewer shards (or a different
+// routing dimension).
+func (ds *Dataset) Shard(dim, index, count int) (*Dataset, error) {
+	if dim < 0 || dim >= ds.NumDims() {
+		return nil, fmt.Errorf("ccubing: shard: dimension %d out of range [0,%d)", dim, ds.NumDims())
+	}
+	if count < 1 || index < 0 || index >= count {
+		return nil, fmt.Errorf("ccubing: shard: index %d of %d out of range", index, count)
+	}
+	var keep []int
+	var comp string
+	for tid := 0; tid < ds.t.NumTuples(); tid++ {
+		v := ds.t.Cols[dim][tid]
+		if ds.dicts != nil {
+			comp = ds.dicts[dim].Name(v)
+		} else {
+			comp = strconv.Itoa(int(v))
+		}
+		if route.Owner(comp, count) == index {
+			keep = append(keep, tid)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("ccubing: shard %d/%d owns no tuples on dimension %q", index, count, ds.t.Names[dim])
+	}
+	var out *Dataset
+	var err error
+	if ds.dicts != nil {
+		rows := make([][]string, len(keep))
+		for i, tid := range keep {
+			row := make([]string, ds.NumDims())
+			for d := 0; d < ds.NumDims(); d++ {
+				row[d] = ds.dicts[d].Name(ds.t.Cols[d][tid])
+			}
+			rows[i] = row
+		}
+		out, err = NewDataset(ds.t.Names, rows)
+	} else {
+		rows := make([][]int32, len(keep))
+		for i, tid := range keep {
+			rows[i] = append([]int32(nil), ds.t.Row(core.TID(tid), nil)...)
+		}
+		out, err = NewDatasetFromValues(ds.t.Names, rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ds.t.Aux != nil {
+		aux := make([]float64, len(keep))
+		for i, tid := range keep {
+			aux[i] = ds.t.Aux[tid]
+		}
+		if err := out.SetMeasure(aux); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 func validateDims(t *table.Table) error {

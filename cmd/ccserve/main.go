@@ -10,6 +10,10 @@
 //	ccserve -snapshot cube.ccube -addr :8080
 //	ccserve -csv data.csv -refresh-rows 1000 -refresh-interval 30s -wal delta.wal
 //
+//	ccserve -csv data.csv -shard 0/2 -addr :8081     # shard worker 0 of 2
+//	ccserve -csv data.csv -shard 1/2 -addr :8082     # shard worker 1 of 2
+//	ccserve -router localhost:8081,localhost:8082    # scatter-gather front
+//
 // Endpoints (JSON):
 //
 //	GET  /healthz
@@ -23,7 +27,7 @@
 //	POST /v1/delete                     buffer tombstones (same shapes)
 //	POST /v1/update                     buffer atomic delete+append pairs
 //	POST /v1/refresh                    fold the delta in (partition-scoped)
-//	POST /v1/reload                     warm snapshot reload
+//	POST /v1/reload                     warm snapshot reload (workers only)
 //	GET  /v1/stats                      generation, backlog, latency, counters
 //
 // Cubes built from data (-csv/-synth/-weather) are live: /v1/append buffers
@@ -32,8 +36,19 @@
 // recomputing only the touched leading-dimension partitions and swapping
 // the store atomically. -rate bounds the mutating endpoints to that many
 // requests per second (token bucket; over-budget calls get 429 with
-// Retry-After). The server shuts down gracefully on SIGINT/SIGTERM,
-// draining in-flight requests for up to 10 seconds.
+// Retry-After).
+//
+// -shard i/n keeps only the tuples whose leading-dimension component hashes
+// to slot i of n before materializing — n such workers together hold the
+// whole relation, each answering dimension-0-bound queries with globally
+// correct counts and closures. -router fronts them with the identical API,
+// routing bound queries to their owner and scatter-gathering the rest; it
+// takes no data source of its own.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to 10 seconds, then closes the cube — which syncs any
+// write-ahead log, so mutations buffered but not yet refreshed survive a
+// restart.
 package main
 
 import (
@@ -51,6 +66,7 @@ import (
 	"time"
 
 	"ccubing"
+	"ccubing/internal/serve"
 )
 
 func main() {
@@ -64,6 +80,9 @@ func main() {
 		minsup   = flag.Int64("minsup", 1, "iceberg threshold on count")
 		workers  = flag.Int("workers", 1, "engine goroutines (0/1 = sequential, n>1 = n workers, negative = all CPU cores)")
 
+		shardSpec = flag.String("shard", "", "serve one shard of an n-way topology: index/count (e.g. 0/2); applies to -csv/-synth/-weather builds")
+		routerTo  = flag.String("router", "", "comma-separated shard worker base URLs; serve as a scatter-gather router instead of a cube")
+
 		refreshRows  = flag.Int("refresh-rows", 0, "auto-refresh when the delta backlog reaches this many rows (0 = off)")
 		refreshEvery = flag.Duration("refresh-interval", 0, "auto-refresh on this period (0 = off)")
 		walPath      = flag.String("wal", "", "write-ahead log for pending (unrefreshed) delta rows; refreshed rows persist only via snapshots")
@@ -76,37 +95,77 @@ func main() {
 		fatal(fmt.Errorf("negative -rate %g", *rate))
 	}
 
-	cube, err := buildCube(*snapshot, *csvPath, *synth, *weather, *algName, *minsup, *workers)
-	if err != nil {
-		fatal(err)
-	}
-	if *refreshRows > 0 || *refreshEvery > 0 || *walPath != "" {
-		if !cube.Refreshable() {
-			fatal(errors.New("-refresh-rows/-refresh-interval/-wal need a cube built from data (-csv/-synth/-weather), not -snapshot"))
+	var shard serve.Shard
+	var local *serve.Local
+	if *routerTo != "" {
+		if *csvPath != "" || *synth != "" || *weather != "" || *snapshot != "" || *shardSpec != "" {
+			fatal(errors.New("-router takes no data source: the shard workers hold the cubes"))
 		}
-		if err := cube.AutoRefresh(ccubing.AutoRefreshOptions{
-			Rows:     *refreshRows,
-			Interval: *refreshEvery,
-			WAL:      *walPath,
-		}); err != nil {
+		if *refreshRows > 0 || *refreshEvery > 0 || *walPath != "" {
+			fatal(errors.New("-refresh-rows/-refresh-interval/-wal belong on the shard workers, not the router"))
+		}
+		var workers []serve.Shard
+		for _, u := range strings.Split(*routerTo, ",") {
+			w, err := serve.Dial(strings.TrimSpace(u))
+			if err != nil {
+				fatal(err)
+			}
+			workers = append(workers, w)
+		}
+		router, err := serve.NewRouter(workers)
+		if err != nil {
 			fatal(err)
 		}
+		meta, err := router.Meta()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ccserve: routing over %d shards (%d closed cells, %d dims, minsup=%d, generation=%d) on %s\n",
+			len(workers), meta.Cells, meta.Dims, meta.MinSup, meta.Generation, *addr)
+		shard = router
+	} else {
+		shardIdx, shardCnt, err := parseShardSpec(*shardSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cube, err := buildCube(*snapshot, *csvPath, *synth, *weather, *algName, *minsup, *workers, shardIdx, shardCnt)
+		if err != nil {
+			fatal(err)
+		}
+		if *refreshRows > 0 || *refreshEvery > 0 || *walPath != "" {
+			if !cube.Refreshable() {
+				fatal(errors.New("-refresh-rows/-refresh-interval/-wal need a cube built from data (-csv/-synth/-weather), not -snapshot"))
+			}
+			if err := cube.AutoRefresh(ccubing.AutoRefreshOptions{
+				Rows:     *refreshRows,
+				Interval: *refreshEvery,
+				WAL:      *walPath,
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		if *cacheSize != ccubing.DefaultQueryCacheEntries {
+			cube.SetQueryCache(*cacheSize)
+		}
+		local = serve.NewLocal(cube)
+		local.SetSnapshot(*snapshot)
+		if shardCnt > 0 {
+			local.SetShard(shardIdx, shardCnt)
+			fmt.Fprintf(os.Stderr, "ccserve: serving shard %d/%d\n", shardIdx, shardCnt)
+		}
+		fmt.Fprintf(os.Stderr, "ccserve: serving %d closed cells (%d dims, %d cuboids, minsup=%d, generation=%d) on %s\n",
+			cube.NumCells(), cube.NumDims(), cube.NumCuboids(), cube.MinSup(), cube.Generation(), *addr)
+		shard = local
 	}
-	defer cube.Close()
-	fmt.Fprintf(os.Stderr, "ccserve: serving %d closed cells (%d dims, %d cuboids, minsup=%d, generation=%d) on %s\n",
-		cube.NumCells(), cube.NumDims(), cube.NumCuboids(), cube.MinSup(), cube.Generation(), *addr)
 
-	if *cacheSize != ccubing.DefaultQueryCacheEntries {
-		cube.SetQueryCache(*cacheSize)
-	}
-	mux := newMux(cube, *snapshot, *rate)
+	server := serve.NewServer(shard, serve.Config{Rate: *rate})
 	if *pprofOn {
-		registerPprof(mux)
+		server.EnablePprof()
 		fmt.Fprintf(os.Stderr, "ccserve: pprof enabled at http://%s/debug/pprof/\n", *addr)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           server.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -124,11 +183,43 @@ func main() {
 		if err := srv.Shutdown(sctx); err != nil {
 			fatal(err)
 		}
+		// Drain complete: no more mutations can arrive. Close the serving cube
+		// (via Local, which tracks reloads) so the WAL syncs any still-buffered
+		// delta rows to disk before the process exits.
+		if local != nil {
+			if backlog := local.Cube().Backlog(); backlog > 0 {
+				fmt.Fprintf(os.Stderr, "ccserve: flushing %d pending delta rows\n", backlog)
+			}
+			if err := local.Cube().Close(); err != nil {
+				fatal(err)
+			}
+		}
 	}
 }
 
-// buildCube loads a snapshot or materializes a cube from one dataset source.
-func buildCube(snapshot, csvPath, synth, weather, algName string, minsup int64, workers int) (*ccubing.Cube, error) {
+// parseShardSpec parses -shard "index/count"; empty means single mode
+// (returns count 0).
+func parseShardSpec(spec string) (index, count int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	parts := strings.Split(spec, "/")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-shard wants index/count (e.g. 0/2), got %q", spec)
+	}
+	index, err1 := strconv.Atoi(parts[0])
+	count, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("-shard wants index in [0,count), got %q", spec)
+	}
+	return index, count, nil
+}
+
+// buildCube loads a snapshot or materializes a cube from one dataset source,
+// optionally keeping only one leading-dimension shard of the relation.
+// Snapshots are served as-is — save per-shard snapshots from shard workers
+// to restart a sharded topology from disk.
+func buildCube(snapshot, csvPath, synth, weather, algName string, minsup int64, workers, shardIdx, shardCnt int) (*ccubing.Cube, error) {
 	sources := 0
 	for _, s := range []string{snapshot, csvPath, synth, weather} {
 		if s != "" {
@@ -177,6 +268,11 @@ func buildCube(snapshot, csvPath, synth, weather, algName string, minsup int64, 
 	}
 	if err != nil {
 		return nil, err
+	}
+	if shardCnt > 0 {
+		if ds, err = ds.Shard(0, shardIdx, shardCnt); err != nil {
+			return nil, err
+		}
 	}
 	alg, err := ccubing.ParseAlgorithm(algName)
 	if err != nil {

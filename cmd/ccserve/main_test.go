@@ -1,432 +1,70 @@
 package main
 
+// Tests for the command-line wiring that remains in cmd/ccserve after the
+// serving layer moved to internal/serve: cube construction from the data
+// source flags and shard-spec parsing.
+
 import (
-	"bytes"
-	"encoding/json"
-	"net/http"
-	"net/http/httptest"
-	"net/url"
-	"os"
-	"path/filepath"
 	"testing"
-
-	"ccubing"
 )
-
-// testCube materializes a small labeled cube.
-func testCube(t *testing.T, minsup int64) (*ccubing.Cube, *ccubing.Dataset) {
-	t.Helper()
-	rows := [][]string{}
-	for _, city := range []string{"oslo", "oslo", "oslo", "paris", "paris", "rome"} {
-		for _, prod := range []string{"pen", "ink"} {
-			rows = append(rows, []string{city, prod, "2025"})
-		}
-	}
-	rows = append(rows, []string{"rome", "pen", "2024"})
-	ds, err := ccubing.NewDataset([]string{"city", "product", "year"}, rows)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: minsup})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return cube, ds
-}
-
-func getJSON(t *testing.T, ts *httptest.Server, path string, out any) *http.Response {
-	t.Helper()
-	resp, err := ts.Client().Get(ts.URL + path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatalf("GET %s: decode: %v", path, err)
-		}
-	}
-	return resp
-}
-
-func postJSON(t *testing.T, ts *httptest.Server, path string, body, out any) *http.Response {
-	t.Helper()
-	b, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(b))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatalf("POST %s: decode: %v", path, err)
-		}
-	}
-	return resp
-}
-
-// TestServeEndToEnd answers point queries over HTTP against a live server —
-// the integration path of the acceptance criteria.
-func TestServeEndToEnd(t *testing.T) {
-	cube, ds := testCube(t, 1)
-	ts := httptest.NewServer(newMux(cube, "", 0))
-	defer ts.Close()
-
-	if resp := getJSON(t, ts, "/healthz", nil); resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz: %d", resp.StatusCode)
-	}
-
-	var meta cubeResponse
-	getJSON(t, ts, "/v1/cube", &meta)
-	if meta.Dims != 3 || !meta.Labeled || meta.Cells != cube.NumCells() || meta.MinSup != 1 {
-		t.Fatalf("metadata = %+v", meta)
-	}
-
-	// GET point query by label, wildcard included. oslo appears in 6 rows.
-	var qr queryResponse
-	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,*,*"), &qr)
-	if !qr.Found || qr.Count != 6 {
-		t.Fatalf("oslo,*,* = %+v", qr)
-	}
-	if len(qr.Closure) != 3 || qr.Closure[0] != "oslo" {
-		t.Fatalf("closure = %v", qr.Closure)
-	}
-	// (oslo,*,*) is not closed: all oslo rows share year 2025, so the
-	// closure must bind it.
-	if qr.Closure[2] != "2025" {
-		t.Fatalf("closure should bind year 2025, got %v", qr.Closure)
-	}
-
-	// POST by labels and by coded values agree with the library.
-	for _, labels := range [][]string{
-		{"rome", "pen", "*"},
-		{"*", "ink", "2025"},
-		{"paris", "*", "2025"},
-	} {
-		var want int64
-		wantOK := false
-		if vals, err := cube.ParseCell(labels); err == nil {
-			want, wantOK = cube.Query(vals)
-		}
-		var pr queryResponse
-		postJSON(t, ts, "/v1/query", queryRequest{Cell: labels}, &pr)
-		if pr.Found != wantOK || pr.Count != want {
-			t.Fatalf("POST %v = %+v, want (%d,%v)", labels, pr, want, wantOK)
-		}
-	}
-	vals, err := cube.ParseCell([]string{"rome", "*", "2024"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var pr queryResponse
-	postJSON(t, ts, "/v1/query", queryRequest{Values: vals}, &pr)
-	if !pr.Found || pr.Count != 1 {
-		t.Fatalf("values query = %+v", pr)
-	}
-
-	// Unknown label: found=false, not an error.
-	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("atlantis,*,*"), &qr)
-	if qr.Found {
-		t.Fatalf("atlantis = %+v", qr)
-	}
-
-	// Slice: every closed cell under city=oslo.
-	var sr sliceResponse
-	getJSON(t, ts, "/v1/slice?cell="+url.QueryEscape("oslo,*,*"), &sr)
-	if len(sr.Cells) == 0 || sr.Truncated {
-		t.Fatalf("slice = %+v", sr)
-	}
-	for _, c := range sr.Cells {
-		if c.Cell[0] != "oslo" {
-			t.Fatalf("slice cell %v escapes the slice", c.Cell)
-		}
-	}
-	var sr1 sliceResponse
-	getJSON(t, ts, "/v1/slice?cell="+url.QueryEscape("oslo,*,*")+"&limit=1", &sr1)
-	if len(sr1.Cells) != 1 || !sr1.Truncated {
-		t.Fatalf("limited slice = %+v", sr1)
-	}
-	// limit=0 means "default", matching the POST body contract.
-	var sr0 sliceResponse
-	getJSON(t, ts, "/v1/slice?cell="+url.QueryEscape("oslo,*,*")+"&limit=0", &sr0)
-	if len(sr0.Cells) != len(sr.Cells) {
-		t.Fatalf("limit=0 slice = %d cells, want default %d", len(sr0.Cells), len(sr.Cells))
-	}
-
-	// Bad requests are 400 with a JSON error.
-	for _, path := range []string{
-		"/v1/query",          // missing cell
-		"/v1/query?cell=a,b", // wrong arity
-		"/v1/slice?cell=a&limit=x",
-	} {
-		resp := getJSON(t, ts, path, nil)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("GET %s: %d, want 400", path, resp.StatusCode)
-		}
-	}
-	if resp := postJSON(t, ts, "/v1/query", map[string]any{}, nil); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("empty POST: %d, want 400", resp.StatusCode)
-	}
-
-	// Cross-check a brute-force count through the full HTTP path.
-	tb := ds.Table()
-	var rome2025 int64
-	for tid := 0; tid < tb.NumTuples(); tid++ {
-		if tb.Cols[0][tid] == mustCode(t, cube, 0, "rome") && tb.Cols[2][tid] == mustCode(t, cube, 2, "2025") {
-			rome2025++
-		}
-	}
-	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("rome,*,2025"), &qr)
-	if !qr.Found || qr.Count != rome2025 {
-		t.Fatalf("rome,*,2025 = %+v, want %d", qr, rome2025)
-	}
-}
-
-func mustCode(t *testing.T, cube *ccubing.Cube, dim int, label string) int32 {
-	t.Helper()
-	labels := make([]string, cube.NumDims())
-	for i := range labels {
-		labels[i] = "*"
-	}
-	labels[dim] = label
-	vals, err := cube.ParseCell(labels)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return vals[dim]
-}
-
-// TestServeFromSnapshot serves a cube loaded from a ccube -store snapshot.
-func TestServeFromSnapshot(t *testing.T) {
-	cube, _ := testCube(t, 2)
-	path := filepath.Join(t.TempDir(), "cube.ccube")
-	f, err := os.Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cube.Save(f); err != nil {
-		t.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		t.Fatal(err)
-	}
-
-	loaded, err := buildCube(path, "", "", "", "auto", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(newMux(loaded, "", 0))
-	defer ts.Close()
-	var qr queryResponse
-	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("oslo,pen,*"), &qr)
-	want, ok := cube.Query(mustVals(t, cube, "oslo", "pen", "*"))
-	if qr.Found != ok || qr.Count != want {
-		t.Fatalf("snapshot-served query = %+v, want (%d,%v)", qr, want, ok)
-	}
-	// minsup survives the round trip.
-	var meta cubeResponse
-	getJSON(t, ts, "/v1/cube", &meta)
-	if meta.MinSup != 2 {
-		t.Fatalf("minsup = %d, want 2", meta.MinSup)
-	}
-}
-
-func mustVals(t *testing.T, cube *ccubing.Cube, labels ...string) []int32 {
-	t.Helper()
-	vals, err := cube.ParseCell(labels)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return vals
-}
-
-// TestServeCodedCube queries a dictionary-less cube by coded values.
-func TestServeCodedCube(t *testing.T) {
-	ds, err := ccubing.Synthetic(ccubing.SyntheticConfig{T: 300, D: 3, C: 5, Skew: 1, Seed: 6})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(newMux(cube, "", 0))
-	defer ts.Close()
-	var qr queryResponse
-	getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("0,*,*"), &qr)
-	want, ok := cube.Query([]int32{0, ccubing.Star, ccubing.Star})
-	if qr.Found != ok || qr.Count != want {
-		t.Fatalf("coded query = %+v, want (%d,%v)", qr, want, ok)
-	}
-	if resp := getJSON(t, ts, "/v1/query?cell="+url.QueryEscape("x,*,*"), nil); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("non-numeric coded query: %d, want 400", resp.StatusCode)
-	}
-}
-
-// TestAggregateEndpoint drives /v1/aggregate — range + set predicates,
-// group-by and top-k — against brute-force recomputation over the relation,
-// the integration path of the acceptance criteria.
-func TestAggregateEndpoint(t *testing.T) {
-	cube, ds := testCube(t, 1)
-	ts := httptest.NewServer(newMux(cube, "", 0))
-	defer ts.Close()
-	tb := ds.Table()
-
-	// Brute force: count tuples per city among (pen|ink, 2024..2025) rows.
-	codeOf := func(dim int, label string) int32 { return mustCode(t, cube, dim, label) }
-	match := func(tid int) bool {
-		p := tb.Cols[1][tid]
-		y := tb.Cols[2][tid]
-		return (p == codeOf(1, "pen") || p == codeOf(1, "ink")) &&
-			(y == codeOf(2, "2024") || y == codeOf(2, "2025"))
-	}
-	wantByCity := map[string]int64{}
-	var total int64
-	for tid := 0; tid < tb.NumTuples(); tid++ {
-		if match(tid) {
-			wantByCity[cube.Labels([]int32{tb.Cols[0][tid], ccubing.Star, ccubing.Star})[0]]++
-			total++
-		}
-	}
-
-	// POST: group-by city under the predicates.
-	var ar aggregateResponse
-	postJSON(t, ts, "/v1/aggregate", aggregateRequest{
-		Where:   []string{"*", "pen|ink", "2024..2025"},
-		GroupBy: []string{"city"},
-	}, &ar)
-	if len(ar.Rows) != len(wantByCity) {
-		t.Fatalf("aggregate rows = %+v, want %d groups", ar.Rows, len(wantByCity))
-	}
-	if !ar.Exact {
-		t.Fatal("minsup-1 aggregate must report exact")
-	}
-	for _, row := range ar.Rows {
-		if want := wantByCity[row.Cell[0]]; row.Count != want {
-			t.Fatalf("group %v = %d, want %d", row.Cell, row.Count, want)
-		}
-	}
-	for i := 1; i < len(ar.Rows); i++ {
-		if ar.Rows[i].Count > ar.Rows[i-1].Count {
-			t.Fatalf("rows not ranked: %+v", ar.Rows)
-		}
-	}
-
-	// GET with top_k=1: the single best group.
-	var top aggregateResponse
-	getJSON(t, ts, "/v1/aggregate?where="+url.QueryEscape("*,pen|ink,2024..2025")+"&group_by=city&top_k=1&order_by=count", &top)
-	if len(top.Rows) != 1 || top.Rows[0].Count != ar.Rows[0].Count {
-		t.Fatalf("top-1 = %+v, want %+v", top.Rows, ar.Rows[0])
-	}
-
-	// No group-by: one grand-total row under the range predicate.
-	var tot aggregateResponse
-	postJSON(t, ts, "/v1/aggregate", aggregateRequest{Where: []string{"*", "pen|ink", "2024..2025"}}, &tot)
-	if len(tot.Rows) != 1 || tot.Rows[0].Count != total {
-		t.Fatalf("grand total = %+v, want %d", tot.Rows, total)
-	}
-
-	// On an iceberg cube the same query reports exact=false: combinations
-	// below the threshold are absent and counts are lower bounds.
-	iceberg, _ := testCube(t, 3)
-	its := httptest.NewServer(newMux(iceberg, "", 0))
-	defer its.Close()
-	var iar aggregateResponse
-	postJSON(t, its, "/v1/aggregate", aggregateRequest{GroupBy: []string{"city"}}, &iar)
-	if iar.Exact {
-		t.Fatal("iceberg aggregate must report exact=false")
-	}
-
-	// Bad requests are 400.
-	for _, path := range []string{
-		"/v1/aggregate?where=a,b",       // wrong arity
-		"/v1/aggregate?group_by=nope",   // unknown dimension
-		"/v1/aggregate?top_k=-1",        // negative top-k
-		"/v1/aggregate?order_by=zigzag", // unknown ranking
-		"/v1/aggregate?order_by=aux",    // no measure to rank by
-		"/v1/aggregate?aux_agg=avg",     // non-decomposable combiner
-	} {
-		if resp := getJSON(t, ts, path, nil); resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("GET %s: %d, want 400", path, resp.StatusCode)
-		}
-	}
-}
-
-// TestValuesValidation pins the coded-values contract on both methods:
-// arbitrary negative entries are rejected with 400 (only Star marks a
-// wildcard), and GET accepts the values= form sharing that validation.
-func TestValuesValidation(t *testing.T) {
-	ds, err := ccubing.Synthetic(ccubing.SyntheticConfig{T: 300, D: 3, C: 5, Skew: 1, Seed: 6})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cube, err := ccubing.Materialize(ds, ccubing.Options{MinSup: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(newMux(cube, "", 0))
-	defer ts.Close()
-
-	// POST with a negative non-Star entry: 400, not a silent miss.
-	for _, vals := range [][]int32{
-		{-2, 0, 1},
-		{0, -7, ccubing.Star},
-	} {
-		if resp := postJSON(t, ts, "/v1/query", queryRequest{Values: vals}, nil); resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("POST values %v: %d, want 400", vals, resp.StatusCode)
-		}
-		if resp := postJSON(t, ts, "/v1/slice", queryRequest{Values: vals}, nil); resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("POST slice values %v: %d, want 400", vals, resp.StatusCode)
-		}
-	}
-
-	// GET values= answers like the library (Star = -1 wildcard).
-	var qr queryResponse
-	getJSON(t, ts, "/v1/query?values=0,-1,2", &qr)
-	want, ok := cube.Query([]int32{0, ccubing.Star, 2})
-	if qr.Found != ok || qr.Count != want {
-		t.Fatalf("GET values query = %+v, want (%d,%v)", qr, want, ok)
-	}
-	var sr sliceResponse
-	getJSON(t, ts, "/v1/slice?values=0,-1,-1", &sr)
-	wantCells := 0
-	cube.Slice([]int32{0, ccubing.Star, ccubing.Star}, func(ccubing.Cell) bool { wantCells++; return true })
-	if len(sr.Cells) != wantCells {
-		t.Fatalf("GET values slice = %d cells, want %d", len(sr.Cells), wantCells)
-	}
-
-	// GET validation shares the POST contract.
-	for _, path := range []string{
-		"/v1/query?values=0,-2,1",           // negative non-Star
-		"/v1/query?values=0,1",              // wrong arity
-		"/v1/query?values=0,x,1",            // non-numeric
-		"/v1/query?cell=0,1,2&values=0,1,2", // both forms
-	} {
-		if resp := getJSON(t, ts, path, nil); resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("GET %s: %d, want 400", path, resp.StatusCode)
-		}
-	}
-}
 
 // TestBuildCubeValidation pins source-selection errors.
 func TestBuildCubeValidation(t *testing.T) {
-	if _, err := buildCube("", "", "", "", "auto", 1, 1); err == nil {
+	if _, err := buildCube("", "", "", "", "auto", 1, 1, 0, 0); err == nil {
 		t.Fatal("no source must fail")
 	}
-	if _, err := buildCube("x", "y", "", "", "auto", 1, 1); err == nil {
+	if _, err := buildCube("x", "y", "", "", "auto", 1, 1, 0, 0); err == nil {
 		t.Fatal("two sources must fail")
 	}
-	if _, err := buildCube("", "", "T=50,D=3,C=4", "", "zigzag", 1, 1); err == nil {
+	if _, err := buildCube("", "", "T=50,D=3,C=4", "", "zigzag", 1, 1, 0, 0); err == nil {
 		t.Fatal("unknown algorithm must fail")
 	}
-	cube, err := buildCube("", "", "T=50,D=3,C=4,seed=2", "", "auto", 1, 1)
+	cube, err := buildCube("", "", "T=50,D=3,C=4,seed=2", "", "auto", 1, 1, 0, 0)
 	if err != nil || cube.NumDims() != 3 {
 		t.Fatalf("synth build: %v", err)
 	}
 	if cube.NumCells() <= 0 {
 		t.Fatal("empty cube")
+	}
+}
+
+// TestParseShardSpec pins the -shard flag grammar: "index/count" with
+// 0 <= index < count, empty meaning "the whole relation".
+func TestParseShardSpec(t *testing.T) {
+	if idx, cnt, err := parseShardSpec(""); err != nil || idx != 0 || cnt != 0 {
+		t.Fatalf(`parseShardSpec("") = (%d, %d, %v)`, idx, cnt, err)
+	}
+	if idx, cnt, err := parseShardSpec("1/4"); err != nil || idx != 1 || cnt != 4 {
+		t.Fatalf(`parseShardSpec("1/4") = (%d, %d, %v)`, idx, cnt, err)
+	}
+	for _, bad := range []string{"4/4", "-1/4", "2", "a/b", "1/0", "1/4/2", "/4", "1/"} {
+		if _, _, err := parseShardSpec(bad); err == nil {
+			t.Fatalf("parseShardSpec(%q) must fail", bad)
+		}
+	}
+}
+
+// TestBuildCubeSharded checks the worker path: each shard serves a disjoint
+// dim0-owned subset and the shard counts sum to the whole relation.
+func TestBuildCubeSharded(t *testing.T) {
+	whole, err := buildCube("", "", "T=200,D=3,C=6,seed=3", "", "auto", 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < 2; i++ {
+		shard, err := buildCube("", "", "T=200,D=3,C=6,seed=3", "", "auto", 1, 1, i, 2)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		n, ok := shard.Query([]int32{-1, -1, -1})
+		if !ok {
+			t.Fatalf("shard %d: no root cell", i)
+		}
+		total += n
+	}
+	want, _ := whole.Query([]int32{-1, -1, -1})
+	if total != want {
+		t.Fatalf("shard tuple counts sum to %d, want %d", total, want)
 	}
 }

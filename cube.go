@@ -199,6 +199,12 @@ func (c *Cube) Algorithm() Algorithm { return c.alg }
 // HasMeasure reports whether cells carry a complex-measure value.
 func (c *Cube) HasMeasure() bool { return c.snap().Store.HasAux() }
 
+// Measure returns the kind of the complex measure the cube was materialized
+// with (MeasureNone when the cube has none, or for snapshots saved before
+// the measure kind was recorded). Distributed serving needs it: a router can
+// only merge per-shard measure values when it knows how they combine.
+func (c *Cube) Measure() MeasureKind { return c.measure }
+
 // Labeled reports whether the cube carries dictionaries, i.e. was built from
 // a labeled dataset (CSV or NewDataset) and answers queries by label.
 func (c *Cube) Labeled() bool { return c.snap().Dicts != nil }
@@ -390,15 +396,18 @@ func (c *Cube) QueryLabels(labels []string) (int64, bool, error) {
 // Cube snapshot format: a metadata header (length-prefixed, CRC-protected)
 // followed by the cell-store payload (internal/cubestore's versioned,
 // checksummed snapshot). The header holds the iceberg threshold, computing
-// algorithm, the refresh generation and source-row count (version 2 — used
-// to validate warm snapshot reloads), dimension names and, when present,
-// the per-dimension dictionaries, so CSV-built cubes answer label queries
-// after a round trip.
+// algorithm, the measure kind (version 3 — shard workers loaded from
+// snapshots must report how their measure combines for a router to merge
+// scatter-gather answers), the refresh generation and source-row count
+// (version 2 — used to validate warm snapshot reloads), dimension names
+// and, when present, the per-dimension dictionaries, so CSV-built cubes
+// answer label queries after a round trip.
 const cubeMagic = "CCUBE\x00\x00"
 
 // CubeSnapshotVersion is the current Cube snapshot format version. Version 1
-// snapshots (no generation / source-row metadata) still load.
-const CubeSnapshotVersion = 2
+// (no generation / source-row metadata) and version 2 (no measure kind)
+// snapshots still load.
+const CubeSnapshotVersion = 3
 
 // Save writes a snapshot of the cube to w. Output is deterministic: saving,
 // loading and saving again produces identical bytes. The snapshot captures
@@ -417,6 +426,7 @@ func (c *Cube) Save(w io.Writer) error {
 	}
 	putUvarint(uint64(c.minSup))
 	head.WriteByte(byte(c.alg))
+	head.WriteByte(byte(c.measure))
 	putUvarint(st.Generation)
 	putUvarint(uint64(st.Rows))
 	putUvarint(uint64(len(c.names)))
@@ -519,6 +529,20 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ccubing: load: header: %w", err)
 	}
+	// Version 3 adds the measure kind; older snapshots load as MeasureNone
+	// (their cells still carry aux values — only the combining rule is
+	// unknown, which matters to scatter-gather merging, not local serving).
+	var measure MeasureKind
+	if version >= 3 {
+		mb, err := hr.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("ccubing: load: header: %w", err)
+		}
+		if MeasureKind(mb) > MeasureAvg {
+			return nil, fmt.Errorf("ccubing: load: unknown measure kind %d", mb)
+		}
+		measure = MeasureKind(mb)
+	}
 	// Version 2 adds the refresh generation and the source relation's row
 	// count (warm-reload validation metadata); version 1 predates both.
 	var generation, rows uint64
@@ -537,7 +561,7 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	if nd == 0 || nd > uint64(MaxDims) {
 		return nil, fmt.Errorf("ccubing: load: %d dimensions out of range", nd)
 	}
-	cube := &Cube{minSup: int64(minSup), alg: Algorithm(algByte)}
+	cube := &Cube{minSup: int64(minSup), alg: Algorithm(algByte), measure: measure}
 	cube.cache.Store(qcache.New(DefaultQueryCacheEntries))
 	cube.names = make([]string, nd)
 	for d := range cube.names {

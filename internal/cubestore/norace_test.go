@@ -1,0 +1,5 @@
+//go:build !race
+
+package cubestore
+
+const raceEnabled = false

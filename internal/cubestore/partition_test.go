@@ -1,0 +1,261 @@
+package cubestore
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ccubing/internal/core"
+)
+
+// splitStore builds a closed store from a synthetic table and splits it on
+// the leading dimension across n owners by value mod n.
+func splitStore(t testing.TB, minsup int64, n int, seed int64) (*Store, *PartitionSet) {
+	t.Helper()
+	tbl := testTable(t, 250, []int{6, 5, 4, 3}, 0.8, seed)
+	b := NewBuilder(tbl.NumDims(), false)
+	for _, c := range closedCells(t, tbl, minsup) {
+		b.Add(c.Values, c.Count, 0)
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Split(s, 0, n, func(v core.Value) int { return int(v) % n }, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ps
+}
+
+// TestSplitMergeByteIdentity is the partition-layer invariant: splitting a
+// canonical store into owner partitions plus the residual and merging them
+// back reproduces the original snapshot bytes exactly, for several shard
+// counts and iceberg thresholds.
+func TestSplitMergeByteIdentity(t *testing.T) {
+	for _, minsup := range []int64{1, 3} {
+		for _, n := range []int{1, 2, 4, 7} {
+			s, ps := splitStore(t, minsup, n, int64(100*n)+minsup)
+			// Every cell lands in exactly one partition.
+			var total int64
+			for _, p := range ps.Parts {
+				total += p.Store.NumCells()
+			}
+			if total != s.NumCells() {
+				t.Fatalf("minsup %d n %d: partitions hold %d cells, store has %d", minsup, n, total, s.NumCells())
+			}
+			m, err := ps.Merge()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(storeBytes(t, m), storeBytes(t, s)) {
+				t.Fatalf("minsup %d n %d: merged snapshot differs from original", minsup, n)
+			}
+		}
+	}
+}
+
+// TestPartitionSetEncodeDecode round-trips the framed stream and checks the
+// decoded set merges back to the original bytes, aux payloads included.
+func TestPartitionSetEncodeDecode(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.Add([]core.Value{0, 1, 2}, 2, 1.5)
+	b.Add([]core.Value{1, 1, core.Star}, 3, 2.5)
+	b.Add([]core.Value{2, core.Star, 0}, 1, -4.25)
+	b.Add([]core.Value{core.Star, 1, core.Star}, 5, 4.0)
+	b.Add([]core.Value{core.Star, core.Star, core.Star}, 6, 0.25)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Split(s, 0, 2, func(v core.Value) int { return int(v) % 2 }, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ps.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePartitionSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != 0 || got.Count != 2 || got.Generation != 42 || len(got.Parts) != 3 {
+		t.Fatalf("decoded set header = %+v with %d parts", got, len(got.Parts))
+	}
+	if !got.Parts[2].Header.Residual || got.Parts[2].Header.Generation != 42 {
+		t.Fatalf("residual frame header = %+v", got.Parts[2].Header)
+	}
+	m, err := got.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(storeBytes(t, m), storeBytes(t, s)) {
+		t.Fatal("decoded+merged snapshot differs from original")
+	}
+}
+
+// TestPartitionFrameTruncation mirrors the WAL crash fuzz: a stream cut at
+// every byte offset must fail to decode with an error — never panic, never
+// yield a partition set silently missing cells.
+func TestPartitionFrameTruncation(t *testing.T) {
+	_, ps := splitStore(t, 1, 2, 9)
+	var buf bytes.Buffer
+	if err := ps.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodePartitionSet(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", cut, len(full))
+		}
+	}
+	if _, err := DecodePartitionSet(bytes.NewReader(full)); err != nil {
+		t.Fatalf("decode of intact stream: %v", err)
+	}
+}
+
+// TestPartitionFrameCorruption flips every byte of each checksum field (the
+// set preamble CRC, each frame header CRC, and each payload's snapshot CRC)
+// and requires decoding to fail with a checksum error.
+func TestPartitionFrameCorruption(t *testing.T) {
+	_, ps := splitStore(t, 1, 2, 11)
+	var buf bytes.Buffer
+	if err := ps.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Locate the CRC fields from the known layout: the set preamble ends
+	// with 4 CRC bytes; each frame's header ends with 4 CRC bytes followed
+	// by paylen payload bytes whose last 4 are the snapshot CRC.
+	var crcOffsets []int
+	r := bytes.NewReader(full)
+	pos := func() int { return len(full) - r.Len() }
+	skipPreamble := func(n int) {
+		r.Seek(int64(pos()+n), 0)
+	}
+	// Re-decode structurally to find offsets: decode preamble fields.
+	readUvarint := func() uint64 {
+		v, err := readUvarintAt(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	skipPreamble(8) // magic+version
+	readUvarint()   // dim
+	count := readUvarint()
+	readUvarint() // generation
+	crcOffsets = append(crcOffsets, pos())
+	skipPreamble(4)
+	for i := uint64(0); i <= count; i++ {
+		skipPreamble(8) // frame magic+version
+		readUvarint()   // dim
+		readUvarint()   // index
+		readUvarint()   // count
+		skipPreamble(1) // flags
+		readUvarint()   // generation
+		paylen := int(readUvarint())
+		crcOffsets = append(crcOffsets, pos()) // frame header CRC
+		skipPreamble(4)
+		crcOffsets = append(crcOffsets, pos()+paylen-4) // snapshot CRC
+		skipPreamble(paylen)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d bytes left after structural walk", r.Len())
+	}
+	for _, off := range crcOffsets {
+		for b := off; b < off+4; b++ {
+			mut := append([]byte(nil), full...)
+			mut[b] ^= 0x5a
+			_, err := DecodePartitionSet(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("decode succeeded with flipped CRC byte at offset %d", b)
+			}
+			if !strings.Contains(err.Error(), "checksum") {
+				t.Fatalf("flipped CRC byte at offset %d: error %q does not mention checksum", b, err)
+			}
+		}
+	}
+}
+
+// readUvarintAt reads one uvarint from a bytes.Reader without buffering.
+func readUvarintAt(r *bytes.Reader) (uint64, error) {
+	var v uint64
+	for shift := uint(0); ; shift += 7 {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+}
+
+// TestPartitionFrameRandomCorruption flips random single bytes anywhere in
+// the stream: decoding must either fail or — when the flip lands somewhere
+// truly unchecked — still merge to the original cells. With every region
+// CRC-protected, silent corruption would be a framing bug.
+func TestPartitionFrameRandomCorruption(t *testing.T) {
+	orig, ps := splitStore(t, 1, 2, 13)
+	var buf bytes.Buffer
+	if err := ps.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	want := storeBytes(t, orig)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), full...)
+		mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		got, err := DecodePartitionSet(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		m, err := got.Merge()
+		if err != nil {
+			continue
+		}
+		if !bytes.Equal(storeBytes(t, m), want) {
+			t.Fatalf("trial %d: corrupted stream decoded to different cells", trial)
+		}
+	}
+}
+
+// TestSplitRejects covers the validation surface: bad dimension, bad owner
+// range, and a residual frame smuggling a fixed-dimension cell into Merge.
+func TestSplitRejects(t *testing.T) {
+	s, ps := splitStore(t, 1, 2, 15)
+	if _, err := Split(s, -1, 2, func(core.Value) int { return 0 }, 0); err == nil {
+		t.Fatal("Split accepted dim -1")
+	}
+	if _, err := Split(s, s.NumDims(), 2, func(core.Value) int { return 0 }, 0); err == nil {
+		t.Fatal("Split accepted out-of-range dim")
+	}
+	if _, err := Split(s, 0, 0, func(core.Value) int { return 0 }, 0); err == nil {
+		t.Fatal("Split accepted zero owners")
+	}
+	if _, err := Split(s, 0, 2, func(core.Value) int { return 2 }, 0); err == nil {
+		t.Fatal("Split accepted an out-of-range owner")
+	}
+
+	// Swap an owner partition into the residual slot: Merge must notice the
+	// fixed-dimension cells where only wildcards belong.
+	bad := &PartitionSet{Dim: ps.Dim, Count: ps.Count, Generation: ps.Generation}
+	bad.Parts = append(bad.Parts, ps.Parts[0], ps.Parts[1], ps.Parts[0])
+	if _, err := bad.Merge(); err == nil {
+		t.Fatal("Merge accepted an owner store in the residual slot")
+	}
+
+	// Duplicate owner partitions: the same cells twice must be rejected,
+	// not summed.
+	dup := &PartitionSet{Dim: ps.Dim, Count: ps.Count, Generation: ps.Generation}
+	dup.Parts = append(dup.Parts, ps.Parts[0], ps.Parts[0], ps.Parts[2])
+	if _, err := dup.Merge(); err == nil {
+		t.Fatal("Merge accepted duplicate partitions")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package cubestore
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// regression tests skip under -race: the instrumentation itself allocates
+// (e.g. one alloc per Lookup miss), so AllocsPerRun counts measure the
+// detector, not the probe path.
+const raceEnabled = true

@@ -1,0 +1,132 @@
+package refresh
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Backend abstracts where a Manager's durable state lives: the write-ahead
+// delta log it replays on startup, and where freshly published snapshots
+// go. The Manager core is backend-agnostic — the same refresh machinery
+// runs against local disk (the default), an in-memory test double, or a
+// shard worker's transport that ships partition snapshots to a router.
+type Backend interface {
+	// OpenWAL opens the durable delta log, or returns (nil, nil) when the
+	// backend keeps no log (pending deltas then live in memory only and die
+	// with the process).
+	OpenWAL() (WAL, error)
+	// Publish is called after each refresh swaps in a new snapshot. The
+	// snapshot is already serving when Publish runs; an error is surfaced to
+	// the caller (and in Metrics.LastError) without unpublishing.
+	Publish(*Snapshot) error
+}
+
+// WAL is the raw storage under the delta log: an append-only byte sequence
+// with whole-log replace and prefix-truncate, enough for the log's replay /
+// append / rewrite cycle. Record framing, checksums, and corrupt-tail
+// recovery live in deltaLog, not here — a WAL only moves bytes.
+//
+// Implementations need not be goroutine-safe; the Manager serializes access
+// under its append lock.
+type WAL interface {
+	// Load returns the entire current contents.
+	Load() ([]byte, error)
+	// Append appends b at the end.
+	Append(b []byte) error
+	// Reset replaces the entire contents with b.
+	Reset(b []byte) error
+	// Truncate drops everything past the first n bytes.
+	Truncate(n int64) error
+	// Sync forces written bytes to durable storage.
+	Sync() error
+	// Close releases the log; no calls may follow.
+	Close() error
+}
+
+// LocalBackend is the default Backend: a WAL file on local disk (none when
+// Path is empty) and no snapshot publication — serving reads the snapshot
+// straight from the Manager's atomic pointer.
+type LocalBackend struct {
+	// Path names the WAL file; empty means no durable log.
+	Path string
+}
+
+// OpenWAL implements Backend.
+func (b LocalBackend) OpenWAL() (WAL, error) {
+	if b.Path == "" {
+		return nil, nil
+	}
+	return OpenFileWAL(b.Path)
+}
+
+// Publish implements Backend: local serving needs no publication step.
+func (LocalBackend) Publish(*Snapshot) error { return nil }
+
+// fileWAL is the local-disk WAL: one regular file, opened read-write and
+// created on demand.
+type fileWAL struct {
+	f *os.File
+}
+
+// OpenFileWAL opens (creating if absent) the WAL file at path.
+func OpenFileWAL(path string) (WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("refresh: wal: %w", err)
+	}
+	return &fileWAL{f: f}, nil
+}
+
+func (w *fileWAL) Load() ([]byte, error) {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("refresh: wal: %w", err)
+	}
+	b, err := io.ReadAll(w.f)
+	if err != nil {
+		return nil, fmt.Errorf("refresh: wal: %w", err)
+	}
+	return b, nil
+}
+
+func (w *fileWAL) Append(b []byte) error {
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	return nil
+}
+
+func (w *fileWAL) Reset(b []byte) error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	return nil
+}
+
+func (w *fileWAL) Truncate(n int64) error {
+	if err := w.f.Truncate(n); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	return nil
+}
+
+func (w *fileWAL) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("refresh: wal: %w", err)
+	}
+	return nil
+}
+
+func (w *fileWAL) Close() error { return w.f.Close() }

@@ -1,0 +1,204 @@
+package refresh
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccubing/internal/core"
+)
+
+// memWAL is an in-memory WAL: the simplest non-file backend, and the test
+// double proving the delta log's replay / append / rewrite cycle never
+// depends on *os.File semantics.
+type memWAL struct {
+	b      []byte
+	syncs  int
+	closed bool
+	fail   error // when set, every mutation returns it
+}
+
+func (w *memWAL) Load() ([]byte, error) { return append([]byte(nil), w.b...), nil }
+
+func (w *memWAL) Append(b []byte) error {
+	if w.fail != nil {
+		return w.fail
+	}
+	w.b = append(w.b, b...)
+	return nil
+}
+
+func (w *memWAL) Reset(b []byte) error {
+	if w.fail != nil {
+		return w.fail
+	}
+	w.b = append(w.b[:0:0], b...)
+	return nil
+}
+
+func (w *memWAL) Truncate(n int64) error {
+	if w.fail != nil {
+		return w.fail
+	}
+	w.b = w.b[:n]
+	return nil
+}
+
+func (w *memWAL) Sync() error  { w.syncs++; return nil }
+func (w *memWAL) Close() error { w.closed = true; return nil }
+
+// memBackend pairs a memWAL with a recorder of published snapshots.
+type memBackend struct {
+	wal       *memWAL
+	published []*Snapshot
+	pubErr    error
+}
+
+func (b *memBackend) OpenWAL() (WAL, error) { return b.wal, nil }
+
+func (b *memBackend) Publish(s *Snapshot) error {
+	b.published = append(b.published, s)
+	return b.pubErr
+}
+
+// TestMemoryBackendParity drives identical mutation sequences through a
+// manager on the default file backend and one on the in-memory backend: the
+// WAL bytes must be identical at every step, and a "crash" (new manager
+// replaying the surviving bytes) must restore the same backlog and flush to
+// a byte-identical store on both.
+func TestMemoryBackendParity(t *testing.T) {
+	tbl := randomTable(t, 120, []int{4, 3, 3}, 5)
+	path := filepath.Join(t.TempDir(), "parity.wal")
+	mem := &memBackend{wal: &memWAL{}}
+
+	mFile := testManager(t, tbl, 1, Config{WAL: path})
+	mMem := testManager(t, tbl, 1, Config{Backend: mem})
+
+	rows := [][]core.Value{{0, 1, 2}, {1, 0, 0}, {0, 2, 1}}
+	for _, m := range []*Manager{mFile, mMem} {
+		if _, _, err := m.Append(rows, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.Delete([][]core.Value{append([]core.Value(nil), tbl.Row(0, nil)...)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.Update(
+			[][]core.Value{{0, 1, 2}}, [][]core.Value{{1, 1, 2}}, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fileBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fileBytes, mem.wal.b) {
+		t.Fatalf("WAL bytes diverge: file %d bytes, memory %d bytes", len(fileBytes), len(mem.wal.b))
+	}
+
+	// Crash both: fresh managers over the same base replay the pending delta.
+	mem2 := &memBackend{wal: &memWAL{b: append([]byte(nil), mem.wal.b...)}}
+	rFile := testManager(t, tbl, 1, Config{WAL: path})
+	rMem := testManager(t, tbl, 1, Config{Backend: mem2})
+	if rFile.Backlog() != rMem.Backlog() || rMem.Backlog() == 0 {
+		t.Fatalf("replayed backlog: file %d, memory %d", rFile.Backlog(), rMem.Backlog())
+	}
+	sf, err := rFile.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := rMem.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Generation != sm.Generation {
+		t.Fatalf("generations diverge: %d vs %d", sf.Generation, sm.Generation)
+	}
+	if !bytes.Equal(snapshotBytes(t, rFile.Snapshot().Store), snapshotBytes(t, rMem.Snapshot().Store)) {
+		t.Fatal("flushed stores diverge between file and memory backends")
+	}
+	// The flush rewrote the memory WAL down to a bare header.
+	if len(mem2.wal.b) != len(walMagic)+3 {
+		t.Fatalf("memory WAL holds %d bytes after flush, want bare header", len(mem2.wal.b))
+	}
+	if err := rMem.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mem2.wal.syncs == 0 || !mem2.wal.closed {
+		t.Fatalf("Close must sync then close the WAL (syncs=%d closed=%v)", mem2.wal.syncs, mem2.wal.closed)
+	}
+	rFile.Close()
+	mFile.Close()
+	mMem.Close()
+}
+
+// TestBackendPublishHook pins the publication contract: every flush that
+// folds rows hands the just-published snapshot to the backend, in
+// generation order; a publish error is surfaced (return and Metrics) but
+// the snapshot still serves.
+func TestBackendPublishHook(t *testing.T) {
+	tbl := randomTable(t, 100, []int{4, 3, 3}, 6)
+	be := &memBackend{wal: &memWAL{}}
+	m := testManager(t, tbl, 1, Config{Backend: be})
+	defer m.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, _, err := m.Append([][]core.Value{{core.Value(i), 1, 1}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An empty flush publishes nothing.
+	if _, err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(be.published) != 2 {
+		t.Fatalf("published %d snapshots, want 2", len(be.published))
+	}
+	for i, s := range be.published {
+		if s.Generation != uint64(i+1) {
+			t.Fatalf("publication %d carries generation %d", i, s.Generation)
+		}
+		if s.Store == nil || s.Rows == 0 {
+			t.Fatalf("publication %d is incomplete: %+v", i, s)
+		}
+	}
+
+	be.pubErr = errors.New("router unreachable")
+	if _, _, err := m.Append([][]core.Value{{0, 0, 0}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Flush()
+	if err == nil || !strings.Contains(err.Error(), "router unreachable") {
+		t.Fatalf("flush error = %v, want publish failure surfaced", err)
+	}
+	if st.Generation != 3 || m.Snapshot().Generation != 3 {
+		t.Fatalf("snapshot not published despite publish error: stats gen %d, snap gen %d", st.Generation, m.Snapshot().Generation)
+	}
+	if got := m.Metrics().LastError; !strings.Contains(got, "router unreachable") {
+		t.Fatalf("Metrics.LastError = %q, want publish failure", got)
+	}
+}
+
+// TestWALAppendFailureSurfaces pins write-through honesty on the interface
+// path: when the backend's WAL rejects an append, the mutation fails and
+// nothing is buffered.
+func TestWALAppendFailureSurfaces(t *testing.T) {
+	tbl := randomTable(t, 80, []int{3, 3, 3}, 7)
+	be := &memBackend{wal: &memWAL{}}
+	m := testManager(t, tbl, 1, Config{Backend: be})
+	defer m.Close()
+
+	be.wal.fail = fmt.Errorf("disk full")
+	if _, _, err := m.Append([][]core.Value{{0, 1, 1}}, nil); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("append over a failing WAL = %v, want disk full", err)
+	}
+	if m.Backlog() != 0 {
+		t.Fatalf("failed append left %d rows buffered", m.Backlog())
+	}
+}

@@ -332,14 +332,14 @@ func TestUpdateLabeledWALFailureNoPhantomLabels(t *testing.T) {
 	// from the WAL write alone.
 	old := []string{"a" + string('0'+byte(tbl.Cols[0][0])), "b" + string('0'+byte(tbl.Cols[1][0]))}
 	m.appendMu.Lock()
-	m.log.f.Close() // sabotage the descriptor; close() would nil it out
+	m.log.w.(*fileWAL).f.Close() // sabotage the descriptor; close() would nil it out
 	m.appendMu.Unlock()
 	if _, _, err := m.UpdateLabeled([][]string{old}, [][]string{{"phantom", "b0"}}, nil, nil); err == nil {
 		t.Fatal("update over a broken WAL must fail")
 	}
 	m.appendMu.Lock()
 	defer m.appendMu.Unlock()
-	m.log.f = nil
+	m.log.w = nil
 	if got := m.dicts[0].Len(); got != 3 {
 		t.Fatalf("failed WAL write staged phantom labels: dictionary has %d entries, want 3", got)
 	}

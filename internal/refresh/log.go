@@ -4,9 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"math"
-	"os"
 
 	"ccubing/internal/core"
 )
@@ -31,13 +29,18 @@ import (
 // Version-1 files (fixed-size append-only records, no CRC) still replay;
 // the Manager rewrites them in the v2 format immediately after attach. A
 // Log is not goroutine-safe; the Manager serializes access.
+//
+// The log does not touch storage directly: it frames, checksums and replays
+// records over a WAL (raw byte storage), so the same recovery machinery
+// runs against a local file (the default LocalBackend) or whatever a
+// Backend supplies.
 type deltaLog struct {
 	nd     int
 	hasAux bool
 	vals   []core.Value // flattened, nd per row
 	aux    []float64    // parallel to rows when hasAux
 	kinds  []byte       // parallel op kinds, one of op*
-	f      *os.File
+	w      WAL
 }
 
 // In-memory op kinds, one per buffered row. An update is buffered as an
@@ -78,30 +81,36 @@ func (l *deltaLog) tupleSize() int {
 	return n
 }
 
-// openWAL attaches an on-disk log at path, replaying any pending records
-// into the in-memory buffer (dropping a torn or corrupt tail), and leaves
-// the file open for appends. It returns the number of replayed rows.
+// openWAL attaches a local on-disk log at path; see attach.
 func (l *deltaLog) openWAL(path string) (int, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	w, err := OpenFileWAL(path)
 	if err != nil {
-		return 0, fmt.Errorf("refresh: wal: %w", err)
+		return 0, err
 	}
-	info, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return 0, fmt.Errorf("refresh: wal: %w", err)
-	}
-	l.f = f
-	if info.Size() == 0 {
-		if err := l.writeHeader(); err != nil {
-			return 0, err
-		}
+	return l.attach(w)
+}
+
+// attach takes ownership of w, replaying any pending records into the
+// in-memory buffer (dropping a torn or corrupt tail, which is truncated
+// away so subsequent appends extend a valid log). It returns the number of
+// replayed rows. A nil w leaves the log memory-only.
+func (l *deltaLog) attach(w WAL) (int, error) {
+	if w == nil {
 		return 0, nil
 	}
-	head := make([]byte, len(walMagic)+3)
-	if _, err := io.ReadFull(f, head); err != nil {
-		return 0, fmt.Errorf("refresh: wal header: %w", err)
+	l.w = w
+	contents, err := w.Load()
+	if err != nil {
+		return 0, err
 	}
+	if len(contents) == 0 {
+		return 0, l.writeHeader()
+	}
+	headLen := len(walMagic) + 3
+	if len(contents) < headLen {
+		return 0, fmt.Errorf("refresh: wal header: truncated (%d bytes)", len(contents))
+	}
+	head := contents[:headLen]
 	if string(head[:len(walMagic)]) != walMagic {
 		return 0, fmt.Errorf("refresh: wal: bad magic %q", head[:len(walMagic)])
 	}
@@ -115,10 +124,7 @@ func (l *deltaLog) openWAL(path string) (int, error) {
 	if (head[len(walMagic)+2] == 1) != l.hasAux {
 		return 0, fmt.Errorf("refresh: wal: measure flag mismatch")
 	}
-	body, err := io.ReadAll(f)
-	if err != nil {
-		return 0, fmt.Errorf("refresh: wal: %w", err)
-	}
+	body := contents[headLen:]
 	var good int // bytes of body holding fully valid records
 	var rows int
 	if version == walVersionV1 {
@@ -129,11 +135,8 @@ func (l *deltaLog) openWAL(path string) (int, error) {
 	if good < len(body) {
 		// Truncate the torn/corrupt tail so subsequent appends extend a valid
 		// log.
-		if err := f.Truncate(int64(len(head) + good)); err != nil {
-			return rows, fmt.Errorf("refresh: wal: %w", err)
-		}
-		if _, err := f.Seek(0, io.SeekEnd); err != nil {
-			return rows, fmt.Errorf("refresh: wal: %w", err)
+		if err := w.Truncate(int64(headLen + good)); err != nil {
+			return rows, err
 		}
 	}
 	return rows, nil
@@ -206,15 +209,17 @@ func (l *deltaLog) decodeTuple(b []byte) {
 	}
 }
 
-func (l *deltaLog) writeHeader() error {
+// header encodes the WAL file header for this log's shape.
+func (l *deltaLog) header() []byte {
 	head := append([]byte(walMagic), walVersion, byte(l.nd), 0)
 	if l.hasAux {
 		head[len(head)-1] = 1
 	}
-	if _, err := l.f.Write(head); err != nil {
-		return fmt.Errorf("refresh: wal: %w", err)
-	}
-	return nil
+	return head
+}
+
+func (l *deltaLog) writeHeader() error {
+	return l.w.Reset(l.header())
 }
 
 // encodeTuple appends one tuple's payload bytes to buf.
@@ -263,9 +268,9 @@ func (l *deltaLog) append(rows []core.Value, aux []float64, kinds []byte) error 
 	if kinds == nil {
 		kinds = make([]byte, n)
 	}
-	if l.f != nil {
-		if _, err := l.f.Write(l.encodeRecords(rows, aux, kinds)); err != nil {
-			return fmt.Errorf("refresh: wal: %w", err)
+	if l.w != nil {
+		if err := l.w.Append(l.encodeRecords(rows, aux, kinds)); err != nil {
+			return err
 		}
 	}
 	l.vals = append(l.vals, rows...)
@@ -306,32 +311,30 @@ func (l *deltaLog) unsteal(rows []core.Value, aux []float64, kinds []byte) {
 // fails, the buffered rows stay intact for the next refresh (and the error
 // is surfaced so the operator knows the on-disk log lags the buffer).
 func (l *deltaLog) rewrite() error {
-	if l.f == nil {
+	if l.w == nil {
 		return nil
 	}
-	if err := l.f.Truncate(0); err != nil {
-		return fmt.Errorf("refresh: wal: %w", err)
+	contents := l.header()
+	if len(l.kinds) > 0 {
+		contents = append(contents, l.encodeRecords(l.vals, l.aux, l.kinds)...)
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("refresh: wal: %w", err)
-	}
-	if err := l.writeHeader(); err != nil {
-		return err
-	}
-	if len(l.kinds) == 0 {
+	return l.w.Reset(contents)
+}
+
+// sync forces appended records to durable storage (graceful shutdown: the
+// buffered delta must survive the process).
+func (l *deltaLog) sync() error {
+	if l.w == nil {
 		return nil
 	}
-	if _, err := l.f.Write(l.encodeRecords(l.vals, l.aux, l.kinds)); err != nil {
-		return fmt.Errorf("refresh: wal: %w", err)
-	}
-	return nil
+	return l.w.Sync()
 }
 
 func (l *deltaLog) close() error {
-	if l.f == nil {
+	if l.w == nil {
 		return nil
 	}
-	err := l.f.Close()
-	l.f = nil
+	err := l.w.Close()
+	l.w = nil
 	return err
 }

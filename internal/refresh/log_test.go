@@ -195,7 +195,7 @@ func TestWALv2UnknownRecordType(t *testing.T) {
 	}
 	appendOps(t, l, []logRow{{vals: []core.Value{1, 1}, kind: opAppend}})
 	// A record with an undefined type byte but otherwise valid framing.
-	if _, err := l.f.Write([]byte{0x7f, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+	if _, err := l.w.(*fileWAL).f.Write([]byte{0x7f, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.close(); err != nil {
@@ -290,7 +290,7 @@ func TestRewriteKeepsBufferOnError(t *testing.T) {
 	})
 	wantVals, _, wantKinds := logState(l)
 	// Sabotage the descriptor so every file operation fails.
-	if err := l.f.Close(); err != nil {
+	if err := l.w.(*fileWAL).f.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.rewrite(); err == nil {
@@ -303,5 +303,5 @@ func TestRewriteKeepsBufferOnError(t *testing.T) {
 	if l.rows() != 2 {
 		t.Fatalf("rows = %d, want 2", l.rows())
 	}
-	l.f = nil // already closed
+	l.w = nil // already closed
 }

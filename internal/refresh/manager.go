@@ -26,6 +26,7 @@ package refresh
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -65,8 +66,12 @@ type Config struct {
 	// file; a new Manager over the same base relation replays them. Rows a
 	// refresh has folded in leave the WAL — durability of the refreshed
 	// store is the snapshot's job (save one after refreshing), not the
-	// log's.
+	// log's. Ignored when Backend is set.
 	WAL string
+	// Backend supplies the durable delta log and receives published
+	// snapshots. Nil defaults to LocalBackend{Path: WAL}: a WAL file on
+	// local disk and no publication step.
+	Backend Backend
 	// CardSlack bounds how far a coded append may grow a dimension's domain
 	// beyond the published cardinality (defaults to 4096 when zero). Without
 	// a bound, one hostile row fixing a value near MaxInt32 would force
@@ -136,9 +141,10 @@ type Metrics struct {
 //
 //ccubing:lockorder flushMu < appendMu
 type Manager struct {
-	cfg    Config
-	nd     int
-	hasAux bool // the relation carries a measure column
+	cfg     Config
+	nd      int
+	hasAux  bool    // the relation carries a measure column
+	backend Backend // never nil; set once in NewManager
 
 	appendMu sync.Mutex // guards log, dicts, cards, autoRows
 	log      *deltaLog
@@ -194,14 +200,22 @@ func NewManager(base *table.Table, store *cubestore.Store, dicts []*table.Dict, 
 		cards:  append([]int(nil), base.Cards...),
 	}
 	m.log = newDeltaLog(m.nd, m.hasAux)
+	m.backend = cfg.Backend
+	if m.backend == nil {
+		m.backend = LocalBackend{Path: cfg.WAL}
+	}
 	if dicts != nil {
 		m.dicts = make([]*table.Dict, len(dicts))
 		for d, dict := range dicts {
 			m.dicts[d] = table.DictFromNames(dict.Names())
 		}
 	}
-	if cfg.WAL != "" {
-		if err := m.attachWAL(cfg.WAL); err != nil {
+	w, err := m.backend.OpenWAL()
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		if err := m.attach(w); err != nil {
 			return nil, err
 		}
 	}
@@ -217,16 +231,16 @@ func NewManager(base *table.Table, store *cubestore.Store, dicts []*table.Dict, 
 // Snapshot returns the current serving state with one atomic load.
 func (m *Manager) Snapshot() *Snapshot { return m.snap.Load() }
 
-// attachWAL opens (and replays) the write-ahead log at path, then persists
-// any rows that were buffered before the log was attached. Caller must not
-// hold appendMu.
-func (m *Manager) attachWAL(path string) error {
+// attach hands the opened write-ahead log to the delta log (replaying
+// pending records), then persists any rows that were buffered before the
+// log was attached. Caller must not hold appendMu.
+func (m *Manager) attach(w WAL) error {
 	m.appendMu.Lock()
 	defer m.appendMu.Unlock()
-	if m.log.f != nil {
+	if m.log.w != nil {
 		return fmt.Errorf("refresh: wal already attached")
 	}
-	if _, err := m.log.openWAL(path); err != nil {
+	if _, err := m.log.attach(w); err != nil {
 		return err
 	}
 	// Replayed labeled rows must decode with the dictionaries we have; codes
@@ -246,9 +260,15 @@ func (m *Manager) attachWAL(path string) error {
 	return m.log.rewrite()
 }
 
-// EnableWAL attaches a write-ahead log after construction (the facade's
-// AutoRefresh path), replaying any pending rows it holds.
-func (m *Manager) EnableWAL(path string) error { return m.attachWAL(path) }
+// EnableWAL attaches a local-disk write-ahead log after construction (the
+// facade's AutoRefresh path), replaying any pending rows it holds.
+func (m *Manager) EnableWAL(path string) error {
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		return err
+	}
+	return m.attach(w)
+}
 
 // RowThreshold returns the configured auto-refresh row threshold (0 = off).
 func (m *Manager) RowThreshold() int {
@@ -765,7 +785,8 @@ func (m *Manager) AutoRefresh(rows int, interval time.Duration) error {
 	return nil
 }
 
-// Close stops the timer goroutine (flushing nothing) and closes the WAL.
+// Close stops the timer goroutine (flushing nothing), syncs any buffered
+// WAL records to durable storage, and closes the WAL.
 func (m *Manager) Close() error {
 	m.timerMu.Lock()
 	if m.stop != nil {
@@ -776,7 +797,7 @@ func (m *Manager) Close() error {
 	m.wg.Wait()
 	m.appendMu.Lock()
 	defer m.appendMu.Unlock()
-	return m.log.close()
+	return errors.Join(m.log.sync(), m.log.close())
 }
 
 // Metrics returns the cumulative refresh counters.
@@ -849,6 +870,11 @@ func (m *Manager) Flush() (Stats, error) {
 			copy(m.cards, newBase.Cards) // published cardinalities bound future appends
 			m.appendMu.Unlock()
 
+			// The snapshot is serving; hand it to the backend (a no-op
+			// locally, a partition-snapshot ship for a shard worker). Failure
+			// is surfaced like a WAL rewrite failure: visible, not unpublished.
+			werr = errors.Join(werr, m.backend.Publish(next))
+
 			st := Stats{
 				Generation:           next.Generation,
 				Appended:             nAppended,
@@ -869,7 +895,7 @@ func (m *Manager) Flush() (Stats, error) {
 }
 
 // finishFlush records the published refresh's stats and surfaces a WAL
-// rewrite failure without unpublishing.
+// rewrite or backend publication failure without unpublishing.
 func (m *Manager) finishFlush(st Stats, werr error) (Stats, error) {
 	m.statsMu.Lock()
 	m.last = st
@@ -882,7 +908,7 @@ func (m *Manager) finishFlush(st Stats, werr error) (Stats, error) {
 	}
 	m.statsMu.Unlock()
 	if werr != nil {
-		return st, fmt.Errorf("refresh: published generation %d but wal rewrite failed: %w", st.Generation, werr)
+		return st, fmt.Errorf("refresh: published generation %d but backend persistence failed: %w", st.Generation, werr)
 	}
 	return st, nil
 }

@@ -1,0 +1,69 @@
+package serve
+
+import "sort"
+
+// Canonical result ordering. The store ranks rows by packed cell keys, and
+// packed keys are built from dictionary codes — which are shard-local on
+// labeled cubes (each worker assigns codes in its own first-occurrence
+// order). For a router's merged answer to be byte-identical to a single
+// store's, ties must break on something every node agrees on: the rendered
+// label strings. Both Local and Router therefore re-sort results with the
+// comparators here before truncating, in single-shard and scatter mode
+// alike.
+
+// lessLabels orders label tuples ascending, element-wise string compare.
+func lessLabels(a, b []string) bool {
+	for d := range a {
+		if a[d] != b[d] {
+			return a[d] < b[d]
+		}
+	}
+	return false
+}
+
+// sortAggRows ranks aggregate rows best-first: descending by the requested
+// measure (aux when byAux, count otherwise), ties by label tuple ascending.
+func sortAggRows(rows []aggregateRow, byAux bool) {
+	auxOf := func(r aggregateRow) float64 {
+		if r.Aux == nil {
+			return 0
+		}
+		return *r.Aux
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if byAux {
+			if ai, aj := auxOf(rows[i]), auxOf(rows[j]); ai != aj {
+				return ai > aj
+			}
+		}
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return lessLabels(rows[i].Cell, rows[j].Cell)
+	})
+}
+
+// cellMask packs which dimensions a cell fixes (non-"*") into a bitmask, the
+// serve-layer analogue of the store's cuboid mask.
+func cellMask(cell []string) uint64 {
+	var m uint64
+	for d, s := range cell {
+		if s != "*" {
+			m |= 1 << uint(d)
+		}
+	}
+	return m
+}
+
+// sortSliceCells orders slice results by cuboid (fixed-dimension mask
+// ascending), then label tuple ascending — deterministic and
+// dictionary-independent, so truncation at a limit keeps the same cells on
+// every topology.
+func sortSliceCells(cells []sliceCell) {
+	sort.Slice(cells, func(i, j int) bool {
+		if mi, mj := cellMask(cells[i].Cell), cellMask(cells[j].Cell); mi != mj {
+			return mi < mj
+		}
+		return lessLabels(cells[i].Cell, cells[j].Cell)
+	})
+}

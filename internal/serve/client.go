@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// httpShard is a Shard backed by a remote ccserve worker over its own HTTP
+// API: exactly what a router needs to stand in front of workers it did not
+// start. Responses decode into the shared wire types and re-encode on the
+// router's side of the wire byte-identically (encoding/json's shortest
+// round-trip float form is stable through a decode/encode cycle), which is
+// what keeps routed single-shard answers indistinguishable from the worker's
+// own.
+type httpShard struct {
+	base   string // "http://host:port", no trailing slash
+	client *http.Client
+}
+
+// Dial wraps a worker's base URL as a Shard. The scheme defaults to http://
+// when absent; no request is made — NewRouter's metadata fetch is the
+// reachability check.
+func Dial(baseURL string) (Shard, error) {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("bad shard URL %q: %w", baseURL, err)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("bad shard URL %q: no host", baseURL)
+	}
+	return &httpShard{
+		base:   strings.TrimRight(u.String(), "/"),
+		client: &http.Client{Timeout: 60 * time.Second},
+	}, nil
+}
+
+// do runs one request against the worker and decodes the answer into out. A
+// transport failure is a 502 (the worker is unreachable, not wrong); a
+// non-200 worker answer decodes back into a StatusError carrying the
+// worker's status and message, so shard-side validation and conflicts
+// surface to the router's caller unchanged.
+func (h *httpShard) do(method, path string, body io.Reader, contentType string, out any) error {
+	req, err := http.NewRequest(method, h.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return statusErrorf(http.StatusBadGateway, "shard %s: %v", h.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) != nil || e.Error == "" {
+			e.Error = fmt.Sprintf("shard %s: HTTP %d", h.base, resp.StatusCode)
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: e.Error}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return statusErrorf(http.StatusBadGateway, "shard %s: bad response: %v", h.base, err)
+	}
+	return nil
+}
+
+func (h *httpShard) postJSON(path string, in, out any) error {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return h.do(http.MethodPost, path, bytes.NewReader(b), "application/json", out)
+}
+
+func (h *httpShard) Meta() (cubeResponse, error) {
+	var out cubeResponse
+	err := h.do(http.MethodGet, "/v1/cube", nil, "", &out)
+	return out, err
+}
+
+func (h *httpShard) Query(req queryRequest) (queryResponse, error) {
+	var out queryResponse
+	err := h.postJSON("/v1/query", req, &out)
+	return out, err
+}
+
+func (h *httpShard) Slice(req queryRequest) (sliceResponse, error) {
+	var out sliceResponse
+	err := h.postJSON("/v1/slice", req, &out)
+	return out, err
+}
+
+func (h *httpShard) Aggregate(req aggregateRequest) (aggregateResponse, error) {
+	var out aggregateResponse
+	err := h.postJSON("/v1/aggregate", req, &out)
+	return out, err
+}
+
+func (h *httpShard) Append(req appendRequest) (appendResponse, error) {
+	var out appendResponse
+	err := h.postJSON("/v1/append", req, &out)
+	return out, err
+}
+
+func (h *httpShard) Delete(req appendRequest) (deleteResponse, error) {
+	var out deleteResponse
+	err := h.postJSON("/v1/delete", req, &out)
+	return out, err
+}
+
+func (h *httpShard) Update(req updateRequest) (updateResponse, error) {
+	var out updateResponse
+	err := h.postJSON("/v1/update", req, &out)
+	return out, err
+}
+
+func (h *httpShard) AppendStream(r io.Reader) (appendResponse, error) {
+	var out appendResponse
+	err := h.do(http.MethodPost, "/v1/append", r, "application/x-ndjson", &out)
+	return out, err
+}
+
+func (h *httpShard) DeleteStream(r io.Reader) (deleteResponse, error) {
+	var out deleteResponse
+	err := h.do(http.MethodPost, "/v1/delete", r, "application/x-ndjson", &out)
+	return out, err
+}
+
+func (h *httpShard) Refresh() (refreshResponse, error) {
+	var out refreshResponse
+	err := h.do(http.MethodPost, "/v1/refresh", nil, "", &out)
+	return out, err
+}
+
+func (h *httpShard) Stats() (statsResponse, error) {
+	var out statsResponse
+	err := h.do(http.MethodGet, "/v1/stats", nil, "", &out)
+	return out, err
+}

@@ -1,20 +1,17 @@
-package main
+package serve
 
-// Tests for the mutation serving surface added with tombstone deltas:
-// /v1/delete and /v1/update (shared append body validation, NDJSON
-// streaming, static-cube conflicts, stats counters) and the token-bucket
-// rate limit on mutating endpoints.
+// Tests for the mutation serving surface: /v1/delete and /v1/update (shared
+// append body validation, NDJSON streaming, static-cube conflicts, stats
+// counters) and the token-bucket rate limit on mutating endpoints. Moved
+// from cmd/ccserve when the server split into this package.
 
 import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
-	"os"
 	"strings"
 	"testing"
-
-	"ccubing"
 )
 
 // TestDeleteUpdateEndpoints drives delete → update → refresh over HTTP and
@@ -130,10 +127,7 @@ func TestDeleteUpdateEndpoints(t *testing.T) {
 func TestMutateStaticCubeConflict(t *testing.T) {
 	cube, _ := testCube(t, 1)
 	path := saveTo(t, cube)
-	loaded, err := buildCube(path, "", "", "", "auto", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	loaded := loadCube(t, path)
 	ts := httptest.NewServer(newMux(loaded, path, 0))
 	defer ts.Close()
 	if resp := postJSON(t, ts, "/v1/delete", appendRequest{Rows: [][]string{{"oslo", "pen", "2025"}}}, nil); resp.StatusCode != http.StatusConflict {
@@ -205,20 +199,4 @@ func TestRateLimit(t *testing.T) {
 	if ok, retry := b.take(); ok || retry <= 0 {
 		t.Fatalf("drained bucket take = (%v, %v), want a positive wait", ok, retry)
 	}
-}
-
-// saveTo writes a cube snapshot into a temp file and returns the path.
-func saveTo(t *testing.T, cube *ccubing.Cube) string {
-	t.Helper()
-	f, err := os.CreateTemp(t.TempDir(), "cube*.ccube")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cube.Save(f); err != nil {
-		t.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		t.Fatal(err)
-	}
-	return f.Name()
 }

@@ -1,0 +1,326 @@
+package serve
+
+// The routed-vs-single equivalence suite: a fuzzed workload of queries,
+// slices, aggregates and interleaved mutations runs against one server over
+// the whole relation and against a router over N shard workers (real HTTP on
+// loopback via httptest, workers Dial'd like production), and every read
+// response must match BYTE-identically — counts, closures, measure values,
+// canonical row order and the exact flags alike. At minsup 1 no per-shard
+// iceberg suppression can hide tuples, so this is the regime where the
+// partition invariant promises full equivalence.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"ccubing"
+)
+
+// fuzzCities covers every shard owner for n ∈ {1, 2, 4} (see routerDataset).
+var fuzzCities = []string{"oslo", "paris", "rome", "lima", "cairo", "tokyo", "sydney", "quito"}
+var fuzzProds = []string{"pen", "ink", "clip", "tape"}
+var fuzzYears = []string{"2022", "2023", "2024", "2025"}
+
+type fuzzTuple struct {
+	row []string
+	aux float64
+}
+
+func TestRouterEquivalenceFuzz(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) { fuzzEquivalence(t, n) })
+	}
+}
+
+// rawDo issues one request and returns the status and raw body bytes.
+func rawDo(t *testing.T, ts *httptest.Server, method, path, contentType, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func fuzzEquivalence(t *testing.T, n int) {
+	rng := rand.New(rand.NewSource(int64(1000 + n)))
+
+	// Base relation: ~150 tuples with an integer-valued sum measure (integer
+	// aux keeps float arithmetic exact, so shard-order summation cannot
+	// perturb the encoded bytes).
+	var live []fuzzTuple
+	for i := 0; i < 150; i++ {
+		live = append(live, fuzzTuple{
+			row: []string{
+				fuzzCities[rng.Intn(len(fuzzCities))],
+				fuzzProds[rng.Intn(len(fuzzProds))],
+				fuzzYears[rng.Intn(len(fuzzYears))],
+			},
+			aux: float64(1 + rng.Intn(9)),
+		})
+	}
+	buildDS := func() *ccubing.Dataset {
+		rows := make([][]string, len(live))
+		aux := make([]float64, len(live))
+		for i, tp := range live {
+			rows[i] = tp.row
+			aux[i] = tp.aux
+		}
+		ds, err := ccubing.NewDataset([]string{"city", "product", "year"}, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.SetMeasure(aux); err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	opts := ccubing.Options{MinSup: 1, Measure: ccubing.MeasureSum}
+
+	ds := buildDS()
+	globalCube, err := ccubing.Materialize(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(newMux(globalCube, "", 0))
+	defer single.Close()
+
+	// N shard workers behind real HTTP, Dial'd like production.
+	workers := make([]Shard, n)
+	for i := 0; i < n; i++ {
+		sub, err := ds.Shard(0, i, n)
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", i, n, err)
+		}
+		cube, err := ccubing.Materialize(sub, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := NewLocal(cube)
+		l.SetShard(i, n)
+		ws := httptest.NewServer(NewServer(l, Config{}).Handler())
+		defer ws.Close()
+		sh, err := Dial(ws.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = sh
+	}
+	router, err := NewRouter(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := httptest.NewServer(NewServer(router, Config{}).Handler())
+	defer routed.Close()
+
+	// compare issues the same read to both servers and requires byte-equal
+	// bodies: the sharded deployment must be indistinguishable.
+	compare := func(method, path, body string) {
+		t.Helper()
+		ct := ""
+		if method == http.MethodPost {
+			ct = "application/json"
+		}
+		sc, sb := rawDo(t, single, method, path, ct, body)
+		rc, rb := rawDo(t, routed, method, path, ct, body)
+		if sc != rc || !bytes.Equal(sb, rb) {
+			t.Fatalf("divergence on %s %s %s:\n single: %d %s\n routed: %d %s",
+				method, path, body, sc, sb, rc, rb)
+		}
+	}
+	// mutate applies the same mutation to both servers; responses carry
+	// deployment-shaped fields (per-shard backlogs), so only success must
+	// agree — the read equivalence above is the real check.
+	mutate := func(path, body string) {
+		t.Helper()
+		sc, sb := rawDo(t, single, http.MethodPost, path, "application/json", body)
+		rc, rb := rawDo(t, routed, http.MethodPost, path, "application/json", body)
+		if sc != http.StatusOK || rc != http.StatusOK {
+			t.Fatalf("mutation %s %s: single %d %s, routed %d %s", path, body, sc, sb, rc, rb)
+		}
+	}
+
+	randCell := func() []string {
+		cell := make([]string, 3)
+		pools := [][]string{fuzzCities, fuzzProds, fuzzYears}
+		for d := range cell {
+			switch rng.Intn(4) {
+			case 0:
+				cell[d] = "*"
+			case 1:
+				if d == 0 {
+					cell[d] = "atlantis" // unknown label: a miss, not an error
+				} else {
+					cell[d] = pools[d][rng.Intn(len(pools[d]))]
+				}
+			default:
+				cell[d] = pools[d][rng.Intn(len(pools[d]))]
+			}
+		}
+		return cell
+	}
+	randWhere := func() string {
+		parts := make([]string, 3)
+		pools := [][]string{fuzzCities, fuzzProds, fuzzYears}
+		for d := range parts {
+			pool := pools[d]
+			switch rng.Intn(4) {
+			case 0:
+				parts[d] = pool[rng.Intn(len(pool))]
+			case 1:
+				parts[d] = pool[rng.Intn(len(pool))] + "|" + pool[rng.Intn(len(pool))]
+			case 2:
+				lo, hi := pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				parts[d] = lo + ".." + hi
+			default:
+				parts[d] = "*"
+			}
+		}
+		return strings.Join(parts, ",")
+	}
+	groupBys := []string{"", "city", "product", "year", "city,year", "product,year", "city,product,year"}
+
+	checkReads := func() {
+		t.Helper()
+		for q := 0; q < 8; q++ {
+			compare(http.MethodGet, "/v1/query?cell="+url.QueryEscape(strings.Join(randCell(), ",")), "")
+		}
+		for s := 0; s < 3; s++ {
+			cell := randCell()
+			cell[0] = fuzzCities[rng.Intn(len(fuzzCities))] // slices must bind dim 0 through a router
+			path := "/v1/slice?cell=" + url.QueryEscape(strings.Join(cell, ","))
+			if rng.Intn(3) == 0 {
+				path += fmt.Sprintf("&limit=%d", 1+rng.Intn(6))
+			}
+			compare(http.MethodGet, path, "")
+		}
+		for a := 0; a < 4; a++ {
+			v := url.Values{}
+			if rng.Intn(3) > 0 {
+				v.Set("where", randWhere())
+			}
+			if gb := groupBys[rng.Intn(len(groupBys))]; gb != "" {
+				v.Set("group_by", gb)
+			}
+			if rng.Intn(2) == 0 {
+				v.Set("top_k", fmt.Sprint(1+rng.Intn(8)))
+			}
+			if rng.Intn(3) == 0 {
+				v.Set("order_by", "aux")
+			}
+			if rng.Intn(3) == 0 {
+				v.Set("aux_agg", "sum")
+			}
+			compare(http.MethodGet, "/v1/aggregate?"+v.Encode(), "")
+		}
+	}
+
+	rowJSON := func(rows [][]string, aux []float64, refresh bool) string {
+		var b strings.Builder
+		b.WriteString(`{"rows":[`)
+		for i, r := range rows {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, `["%s"]`, strings.Join(r, `","`))
+		}
+		b.WriteString(`],"aux":[`)
+		for i, a := range aux {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%g", a)
+		}
+		b.WriteString(`]`)
+		if refresh {
+			b.WriteString(`,"refresh":true`)
+		}
+		b.WriteString(`}`)
+		return b.String()
+	}
+
+	checkReads()
+	for round := 0; round < 25; round++ {
+		refresh := rng.Intn(3) > 0
+		switch rng.Intn(3) {
+		case 0: // append 1–4 rows, occasionally introducing a new label
+			k := 1 + rng.Intn(4)
+			rows := make([][]string, k)
+			aux := make([]float64, k)
+			for i := range rows {
+				city := fuzzCities[rng.Intn(len(fuzzCities))]
+				if rng.Intn(8) == 0 {
+					city = fmt.Sprintf("newcity%d", rng.Intn(4))
+				}
+				rows[i] = []string{city, fuzzProds[rng.Intn(len(fuzzProds))], fuzzYears[rng.Intn(len(fuzzYears))]}
+				aux[i] = float64(1 + rng.Intn(9))
+				live = append(live, fuzzTuple{row: rows[i], aux: aux[i]})
+			}
+			mutate("/v1/append", rowJSON(rows, aux, refresh))
+		case 1: // delete 1–2 live tuples (aux must match on a measure cube)
+			k := 1 + rng.Intn(2)
+			var rows [][]string
+			var aux []float64
+			for i := 0; i < k && len(live) > 20; i++ {
+				j := rng.Intn(len(live))
+				rows = append(rows, live[j].row)
+				aux = append(aux, live[j].aux)
+				live = append(live[:j], live[j+1:]...)
+			}
+			if rows == nil {
+				continue
+			}
+			mutate("/v1/delete", rowJSON(rows, aux, refresh))
+		default: // update one tuple, cross-shard moves included
+			j := rng.Intn(len(live))
+			old := live[j]
+			nw := fuzzTuple{
+				row: []string{fuzzCities[rng.Intn(len(fuzzCities))], fuzzProds[rng.Intn(len(fuzzProds))], fuzzYears[rng.Intn(len(fuzzYears))]},
+				aux: float64(1 + rng.Intn(9)),
+			}
+			live[j] = nw
+			body := fmt.Sprintf(`{"old_rows":[["%s"]],"new_rows":[["%s"]],"old_aux":[%g],"new_aux":[%g]`,
+				strings.Join(old.row, `","`), strings.Join(nw.row, `","`), old.aux, nw.aux)
+			if refresh {
+				body += `,"refresh":true`
+			}
+			body += `}`
+			mutate("/v1/update", body)
+		}
+		if !refresh && rng.Intn(2) == 0 {
+			mutate("/v1/refresh", "")
+		}
+		checkReads()
+	}
+
+	// The router's deliberate divergences: wildcard-dim0 slices and coded
+	// mutations are rejected rather than silently wrong.
+	if rc, rb := rawDo(t, routed, http.MethodGet, "/v1/slice?cell="+url.QueryEscape("*,pen,*"), "", ""); rc != http.StatusBadRequest {
+		t.Fatalf("router wildcard slice: %d %s, want 400", rc, rb)
+	}
+	if rc, rb := rawDo(t, routed, http.MethodPost, "/v1/query", "application/json", `{"values":[0,-1,-1]}`); rc != http.StatusBadRequest {
+		t.Fatalf("router coded query on labeled cube: %d %s, want 400", rc, rb)
+	}
+}

@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"ccubing"
+)
+
+// Local serves one in-process cube: the whole relation in single mode, or
+// one leading-dimension shard of it on a worker. The cube itself swaps its
+// store atomically on refresh; the Local-level pointer additionally swaps
+// the whole cube on a warm snapshot reload. Methods load the pointer once
+// per call, so every answer comes from one cube and one generation.
+type Local struct {
+	cube     atomic.Pointer[ccubing.Cube]
+	snapshot string // default Reload source; set before serving starts
+	shard    string // "index/count" on a shard worker; set before serving starts
+}
+
+// NewLocal wraps a cube as a Shard. The caller keeps ownership of the cube's
+// lifecycle except after Reload, which closes the replaced cube itself.
+func NewLocal(cube *ccubing.Cube) *Local {
+	l := &Local{}
+	l.cube.Store(cube)
+	return l
+}
+
+// SetSnapshot sets the default snapshot path for Reload (the -snapshot
+// flag). Call before serving starts; not synchronized.
+func (l *Local) SetSnapshot(path string) { l.snapshot = path }
+
+// SetShard marks this Local as worker index of a count-wide topology, so
+// Meta advertises its slot. Call before serving starts; not synchronized.
+func (l *Local) SetShard(index, count int) { l.shard = fmt.Sprintf("%d/%d", index, count) }
+
+// Cube returns the currently serving cube — for process shutdown, which
+// closes it to sync the WAL and stop auto-refresh.
+func (l *Local) Cube() *ccubing.Cube { return l.cube.Load() }
+
+func (l *Local) Meta() (cubeResponse, error) {
+	cube := l.cube.Load()
+	return cubeResponse{
+		Dims:        cube.NumDims(),
+		Names:       cube.Names(),
+		Cells:       cube.NumCells(),
+		Cuboids:     cube.NumCuboids(),
+		MinSup:      cube.MinSup(),
+		Labeled:     cube.Labeled(),
+		Measure:     cube.HasMeasure(),
+		MeasureKind: cube.Measure().String(),
+		SizeByte:    cube.Bytes(),
+		Generation:  cube.Generation(),
+		SourceRows:  cube.SourceRows(),
+		Live:        cube.Refreshable(),
+		Shard:       l.shard,
+	}, nil
+}
+
+// resolveCell maps a queryRequest to coded values against the serving cube.
+// miss reports an unknown label: a well-formed query whose cell is provably
+// empty.
+func resolveCell(cube *ccubing.Cube, req queryRequest) (vals []int32, miss bool, err error) {
+	if (req.Cell == nil) == (req.Values == nil) {
+		return nil, false, fmt.Errorf(`exactly one of "cell" and "values" is required`)
+	}
+	if req.Limit < 0 {
+		return nil, false, fmt.Errorf("bad limit %d", req.Limit)
+	}
+	if req.Values != nil {
+		if err := validateValues(cube, req.Values); err != nil {
+			return nil, false, err
+		}
+		return req.Values, false, nil
+	}
+	if !cube.Labeled() {
+		// Coded cube: parse the components as integers ("*" = wildcard).
+		if len(req.Cell) != cube.NumDims() {
+			return nil, false, fmt.Errorf("cell has %d components, want %d", len(req.Cell), cube.NumDims())
+		}
+		vals = make([]int32, len(req.Cell))
+		for d, c := range req.Cell {
+			if c == "*" {
+				vals[d] = ccubing.Star
+				continue
+			}
+			v, err := strconv.ParseInt(c, 10, 32)
+			if err != nil || v < 0 {
+				return nil, false, fmt.Errorf("bad value %q for dimension %s", c, cube.Names()[d])
+			}
+			vals[d] = int32(v)
+		}
+		return vals, false, nil
+	}
+	vals, err = cube.ParseCell(req.Cell)
+	if err != nil {
+		if errors.Is(err, ccubing.ErrUnknownLabel) {
+			return nil, true, nil
+		}
+		return nil, false, err
+	}
+	return vals, false, nil
+}
+
+// validateValues checks a coded cell vector: correct arity, and every entry
+// either a non-negative dictionary code or the wildcard sentinel. Arbitrary
+// negative entries would silently pack garbage keys and read as misses.
+func validateValues(cube *ccubing.Cube, vals []int32) error {
+	if len(vals) != cube.NumDims() {
+		return fmt.Errorf("cell has %d values, want %d", len(vals), cube.NumDims())
+	}
+	for d, v := range vals {
+		if v < 0 && v != ccubing.Star {
+			return fmt.Errorf("bad value %d for dimension %s (codes are non-negative; %d = wildcard)",
+				v, cube.Names()[d], ccubing.Star)
+		}
+	}
+	return nil
+}
+
+func (l *Local) Query(req queryRequest) (queryResponse, error) {
+	cube := l.cube.Load()
+	vals, miss, err := resolveCell(cube, req)
+	if err != nil {
+		return queryResponse{}, err
+	}
+	if miss { // unknown label: the cell is necessarily empty
+		return queryResponse{Found: false}, nil
+	}
+	cell, ok := cube.Lookup(vals)
+	if !ok {
+		return queryResponse{Found: false}, nil
+	}
+	resp := queryResponse{Found: true, Count: cell.Count, Closure: cube.Labels(cell.Values)}
+	if cube.HasMeasure() {
+		aux := cell.Aux
+		resp.Aux = &aux
+	}
+	return resp, nil
+}
+
+const defaultSliceLimit = 1000
+
+func (l *Local) Slice(req queryRequest) (sliceResponse, error) {
+	cube := l.cube.Load()
+	vals, miss, err := resolveCell(cube, req)
+	if err != nil {
+		return sliceResponse{}, err
+	}
+	limit := defaultSliceLimit
+	if req.Limit > 0 {
+		limit = req.Limit
+	}
+	resp := sliceResponse{Cells: []sliceCell{}}
+	if miss {
+		return resp, nil
+	}
+	// Collect every matching cell, order canonically, then truncate: the
+	// store's visit order ties break on shard-local packed keys, so cutting
+	// off mid-walk would keep different cells on different topologies.
+	cube.Slice(vals, func(c ccubing.Cell) bool {
+		sc := sliceCell{Cell: cube.Labels(c.Values), Count: c.Count}
+		if cube.HasMeasure() {
+			aux := c.Aux
+			sc.Aux = &aux
+		}
+		resp.Cells = append(resp.Cells, sc)
+		return true
+	})
+	sortSliceCells(resp.Cells)
+	if len(resp.Cells) > limit {
+		resp.Cells = resp.Cells[:limit]
+		resp.Truncated = true
+	}
+	return resp, nil
+}
+
+func (l *Local) Aggregate(req aggregateRequest) (aggregateResponse, error) {
+	cube := l.cube.Load()
+	if req.TopK < 0 {
+		return aggregateResponse{}, fmt.Errorf("bad top_k %d", req.TopK)
+	}
+	// TopK stays out of the store call: collect every group, rank with the
+	// canonical label tie-break, then truncate (see canon.go).
+	opt := ccubing.AggregateOptions{GroupBy: req.GroupBy}
+	var err error
+	if opt.By, err = ccubing.ParseOrderBy(req.OrderBy); err != nil {
+		return aggregateResponse{}, err
+	}
+	if opt.AuxAgg, err = ccubing.ParseAuxAgg(req.AuxAgg); err != nil {
+		return aggregateResponse{}, err
+	}
+	where := req.Where
+	if where == nil {
+		where = make([]string, cube.NumDims())
+		for d := range where {
+			where[d] = "*"
+		}
+	}
+	spec, err := cube.ParseSpec(where)
+	if err != nil {
+		return aggregateResponse{}, err
+	}
+	rows, exact, err := cube.Aggregate(spec, opt)
+	if err != nil {
+		return aggregateResponse{}, err
+	}
+	resp := aggregateResponse{Rows: make([]aggregateRow, 0, len(rows)), Exact: exact}
+	for _, c := range rows {
+		row := aggregateRow{Cell: cube.Labels(c.Values), Count: c.Count}
+		if cube.HasMeasure() {
+			aux := c.Aux
+			row.Aux = &aux
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	sortAggRows(resp.Rows, opt.By == ccubing.ByAux)
+	if req.TopK > 0 && len(resp.Rows) > req.TopK {
+		resp.Rows = resp.Rows[:req.TopK]
+	}
+	return resp, nil
+}
+
+// errStatic rejects mutations against a snapshot-loaded cube.
+func errStatic(verb string) error {
+	return statusErrorf(http.StatusConflict, "cube is static (snapshot-loaded); serve from data to %s", verb)
+}
+
+func (l *Local) Append(req appendRequest) (appendResponse, error) {
+	cube := l.cube.Load()
+	if !cube.Refreshable() {
+		return appendResponse{}, errStatic("mutate")
+	}
+	if (req.Rows == nil) == (req.Values == nil) {
+		return appendResponse{}, fmt.Errorf(`exactly one of "rows" and "values" is required`)
+	}
+	genBefore := cube.Generation()
+	var n int
+	var err error
+	if req.Rows != nil {
+		n, err = cube.Append(req.Rows, req.Aux)
+	} else {
+		n, err = cube.AppendValues(req.Values, req.Aux)
+	}
+	if err != nil {
+		return appendResponse{}, mutateError(n, err)
+	}
+	if req.Refresh {
+		if _, err := cube.Refresh(); err != nil {
+			return appendResponse{}, statusErrorf(http.StatusInternalServerError, "%v", err)
+		}
+	}
+	gen := cube.Generation()
+	return appendResponse{
+		Appended:   n,
+		Backlog:    cube.Backlog(),
+		Generation: gen,
+		Refreshed:  gen != genBefore,
+	}, nil
+}
+
+func (l *Local) Delete(req appendRequest) (deleteResponse, error) {
+	cube := l.cube.Load()
+	if !cube.Refreshable() {
+		return deleteResponse{}, errStatic("mutate")
+	}
+	if (req.Rows == nil) == (req.Values == nil) {
+		return deleteResponse{}, fmt.Errorf(`exactly one of "rows" and "values" is required`)
+	}
+	genBefore := cube.Generation()
+	var n int
+	var err error
+	if req.Rows != nil {
+		n, err = cube.DeleteLabels(req.Rows, req.Aux)
+	} else {
+		n, err = cube.Delete(req.Values, req.Aux)
+	}
+	if err != nil {
+		return deleteResponse{}, mutateError(n, err)
+	}
+	if req.Refresh {
+		if _, err := cube.Refresh(); err != nil {
+			return deleteResponse{}, statusErrorf(http.StatusInternalServerError, "%v", err)
+		}
+	}
+	gen := cube.Generation()
+	return deleteResponse{
+		Deleted:    n,
+		Backlog:    cube.Backlog(),
+		Generation: gen,
+		Refreshed:  gen != genBefore,
+	}, nil
+}
+
+func (l *Local) Update(req updateRequest) (updateResponse, error) {
+	cube := l.cube.Load()
+	if !cube.Refreshable() {
+		return updateResponse{}, errStatic("mutate")
+	}
+	labeled := req.OldRows != nil || req.NewRows != nil
+	coded := req.OldValues != nil || req.NewValues != nil
+	if labeled == coded {
+		return updateResponse{}, fmt.Errorf(`exactly one of "old_rows"/"new_rows" and "old_values"/"new_values" is required`)
+	}
+	genBefore := cube.Generation()
+	var n int
+	var err error
+	if labeled {
+		n, err = cube.UpdateLabels(req.OldRows, req.NewRows, req.OldAux, req.NewAux)
+	} else {
+		n, err = cube.Update(req.OldValues, req.NewValues, req.OldAux, req.NewAux)
+	}
+	if err != nil {
+		return updateResponse{}, mutateError(n, err)
+	}
+	if req.Refresh {
+		if _, err := cube.Refresh(); err != nil {
+			return updateResponse{}, statusErrorf(http.StatusInternalServerError, "%v", err)
+		}
+	}
+	gen := cube.Generation()
+	return updateResponse{
+		Updated:    n,
+		Backlog:    cube.Backlog(),
+		Generation: gen,
+		Refreshed:  gen != genBefore,
+	}, nil
+}
+
+func (l *Local) AppendStream(r io.Reader) (appendResponse, error) {
+	cube := l.cube.Load()
+	if !cube.Refreshable() {
+		return appendResponse{}, errStatic("mutate")
+	}
+	genBefore := cube.Generation()
+	n, err := cube.AppendNDJSON(r)
+	if err != nil {
+		return appendResponse{}, err
+	}
+	gen := cube.Generation()
+	return appendResponse{
+		Appended:   n,
+		Backlog:    cube.Backlog(),
+		Generation: gen,
+		Refreshed:  gen != genBefore,
+	}, nil
+}
+
+func (l *Local) DeleteStream(r io.Reader) (deleteResponse, error) {
+	cube := l.cube.Load()
+	if !cube.Refreshable() {
+		return deleteResponse{}, errStatic("mutate")
+	}
+	genBefore := cube.Generation()
+	n, err := cube.DeleteNDJSON(r)
+	if err != nil {
+		return deleteResponse{}, err
+	}
+	gen := cube.Generation()
+	return deleteResponse{
+		Deleted:    n,
+		Backlog:    cube.Backlog(),
+		Generation: gen,
+		Refreshed:  gen != genBefore,
+	}, nil
+}
+
+func (l *Local) Refresh() (refreshResponse, error) {
+	cube := l.cube.Load()
+	if !cube.Refreshable() {
+		return refreshResponse{}, errStatic("refresh")
+	}
+	st, err := cube.Refresh()
+	if err != nil {
+		return refreshResponse{}, statusErrorf(http.StatusInternalServerError, "%v", err)
+	}
+	return refreshResponse{
+		Generation:           st.Generation,
+		Appended:             st.Appended,
+		Deleted:              st.Deleted,
+		PartitionsRecomputed: st.PartitionsRecomputed,
+		PartitionsTotal:      st.PartitionsTotal,
+		CellsRetained:        st.CellsRetained,
+		CellsRebuilt:         st.CellsRebuilt,
+		ElapsedMs:            float64(st.Elapsed.Microseconds()) / 1000,
+	}, nil
+}
+
+func (l *Local) Stats() (statsResponse, error) {
+	cube := l.cube.Load()
+	m := cube.RefreshMetrics()
+	hits, misses := cube.QueryCacheMetrics()
+	return statsResponse{
+		Generation:       m.Generation,
+		SourceRows:       m.Rows,
+		Backlog:          m.Backlog,
+		Cells:            cube.NumCells(),
+		Live:             cube.Refreshable(),
+		Refreshes:        m.Refreshes,
+		LastRefreshMs:    float64(m.Last.Elapsed.Microseconds()) / 1000,
+		LastRefreshError: m.LastError,
+		CacheHits:        hits,
+		CacheMisses:      misses,
+	}, nil
+}
+
+// Reload swaps the serving cube for one loaded from a snapshot — the warm
+// path for picking up an offline rebuild without a restart. The snapshot
+// must describe the same cube (dimension names) and must not regress the
+// generation; in-flight queries finish on the old cube.
+func (l *Local) Reload(req reloadRequest) (reloadResponse, error) {
+	path := req.Path
+	if path == "" {
+		path = l.snapshot
+	}
+	if path == "" {
+		return reloadResponse{}, fmt.Errorf("no snapshot path: pass {\"path\": ...} or start with -snapshot")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return reloadResponse{}, err
+	}
+	defer f.Close()
+	loaded, err := ccubing.LoadCube(bufio.NewReader(f))
+	if err != nil {
+		return reloadResponse{}, err
+	}
+	cur := l.cube.Load()
+	if got, want := strings.Join(loaded.Names(), ","), strings.Join(cur.Names(), ","); got != want {
+		return reloadResponse{}, statusErrorf(http.StatusConflict,
+			"snapshot describes a different cube (dimensions %q, serving %q)", got, want)
+	}
+	if loaded.Generation() < cur.Generation() {
+		return reloadResponse{}, statusErrorf(http.StatusConflict,
+			"snapshot generation %d regresses serving generation %d", loaded.Generation(), cur.Generation())
+	}
+	if backlog := cur.Backlog(); backlog > 0 && !req.Force {
+		return reloadResponse{}, statusErrorf(http.StatusConflict,
+			"serving cube has %d buffered append rows that a reload would discard; POST /v1/refresh first or pass {\"force\": true}", backlog)
+	}
+	old := l.cube.Swap(loaded)
+	_ = old.Close() // stop any auto-refresh timer; queries in flight finish on it
+	return reloadResponse{
+		Path:       path,
+		Generation: loaded.Generation(),
+		Cells:      loaded.NumCells(),
+		SourceRows: loaded.SourceRows(),
+	}, nil
+}

@@ -1,8 +1,9 @@
-package main
+package serve
 
 // Tests for the live-refresh serving surface: /v1/append, /v1/refresh,
-// /v1/reload, /v1/stats, plus the request hygiene satellites (405 with an
-// Allow header on wrong-method hits, 413 on oversized bodies).
+// /v1/reload, /v1/stats, plus request hygiene (405 with an Allow header on
+// wrong-method hits, 413 on oversized bodies). Moved from cmd/ccserve when
+// the server split into this package.
 
 import (
 	"bytes"
@@ -122,19 +123,8 @@ func TestAppendNDJSONEndpoint(t *testing.T) {
 // snapshot-loaded cube.
 func TestStaticCubeConflicts(t *testing.T) {
 	cube, _ := testCube(t, 1)
-	path := filepath.Join(t.TempDir(), "cube.ccube")
-	f, err := os.Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cube.Save(f); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
-	loaded, err := buildCube(path, "", "", "", "auto", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	path := saveTo(t, cube)
+	loaded := loadCube(t, path)
 	ts := httptest.NewServer(newMux(loaded, path, 0))
 	defer ts.Close()
 	if resp := postJSON(t, ts, "/v1/append", appendRequest{Values: [][]int32{{0, 0, 0}}}, nil); resp.StatusCode != http.StatusConflict {
@@ -176,10 +166,7 @@ func TestReloadEndpoint(t *testing.T) {
 	}
 	save(cube, fresher)
 
-	served, err := buildCube(stale, "", "", "", "auto", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	served := loadCube(t, stale)
 	ts := httptest.NewServer(newMux(served, stale, 0))
 	defer ts.Close()
 

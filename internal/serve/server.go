@@ -1,0 +1,444 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the HTTP transport over a Shard: it owns request parsing (GET
+// parameters and JSON bodies), body-size ceilings, mutation rate limiting
+// and per-endpoint counters, and delegates every semantic decision —
+// validation against the cube, routing, merging — to the Shard. The same
+// Server therefore fronts a single cube, a shard worker and a router.
+type Server struct {
+	shard   Shard
+	start   time.Time    // construction time, for /v1/stats uptime
+	limiter *tokenBucket // rate limit on mutating endpoints; nil = unlimited
+	mux     *http.ServeMux
+
+	// Per-endpoint request counters, exposed by /v1/stats.
+	nCube, nQuery, nSlice, nAggregate, nAppend, nDelete, nUpdate, nRefresh, nReload, nStats atomic.Int64
+	nRateLimited                                                                            atomic.Int64
+}
+
+// Config carries the transport-level knobs.
+type Config struct {
+	// Rate bounds the mutating endpoints (append/delete/update/refresh/
+	// reload) to this many requests per second via a shared token bucket;
+	// 0 = unlimited.
+	Rate float64
+}
+
+// tokenBucket rate-limits the mutating endpoints: rate tokens/second refill
+// a bucket of burst capacity; a request spends one token or is turned away
+// with the time until the next one.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64) *tokenBucket {
+	burst := math.Ceil(rate)
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// take spends one token, or reports how long until one accrues.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// allowMutation gates a mutating request through the token bucket; on
+// rejection it writes 429 with a Retry-After hint and counts the turn-away.
+func (s *Server) allowMutation(w http.ResponseWriter) bool {
+	if s.limiter == nil {
+		return true
+	}
+	ok, retry := s.limiter.take()
+	if ok {
+		return true
+	}
+	s.nRateLimited.Add(1)
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, fmt.Errorf("rate limit exceeded; retry in %ds", secs))
+	return false
+}
+
+// Request-body ceilings: queries are small; appends carry batches of rows.
+// Oversized bodies are rejected with 413 via http.MaxBytesReader.
+const (
+	maxQueryBody  = 1 << 20
+	maxAppendBody = 32 << 20
+)
+
+// NewServer builds the HTTP surface over a shard. The routing table:
+//
+//	GET  /healthz       liveness probe
+//	GET  /v1/cube       cube metadata
+//	GET  /v1/query      ?cell=v0,v1,*,v3 (labels when the cube has
+//	                    dictionaries, coded values otherwise; * = wildcard)
+//	                    or ?values=3,-1,7 (dictionary codes, -1 = wildcard)
+//	POST /v1/query      {"cell": ["a","*"]} or {"values": [3,-1]}
+//	GET  /v1/slice      ?cell=...&limit=N (or ?values=..., like /v1/query)
+//	POST /v1/slice      {"cell": [...], "limit": N}
+//	GET  /v1/aggregate  ?where=*,a|b,x..y&group_by=d1,d2&top_k=5&order_by=count
+//	POST /v1/aggregate  {"where": [...], "group_by": [...], "top_k": 5,
+//	                    "order_by": "count"|"aux", "aux_agg": "sum"|"min"|"max"}
+//	POST /v1/append     {"rows": [["a","b"],...]} or {"values": [[1,2],...]},
+//	                    optional "aux": [...] and "refresh": true — or an
+//	                    application/x-ndjson stream, one tuple per line
+//	POST /v1/delete     same body shapes as /v1/append; each tuple is a
+//	                    tombstone removing one matching occurrence
+//	POST /v1/update     {"old_rows": [...], "new_rows": [...]} (labels) or
+//	                    {"old_values": [...], "new_values": [...]} (codes),
+//	                    optional "old_aux"/"new_aux" and "refresh": true
+//	POST /v1/refresh    fold the buffered delta in (partition-scoped)
+//	POST /v1/reload     {"path": "..."} warm snapshot reload (defaults to the
+//	                    -snapshot path); 501 on shards without one (routers)
+//	GET  /v1/stats      generation, backlog, refresh latency, per-endpoint
+//	                    query counters (plus per-worker stats on a router)
+//
+// Wrong-method hits on the v1 endpoints get 405 with an Allow header (the
+// Go 1.22 ServeMux method-pattern contract). Mutating endpoints share the
+// Config.Rate token bucket; over-budget requests get 429 with Retry-After.
+func NewServer(shard Shard, cfg Config) *Server {
+	s := &Server{shard: shard, start: time.Now(), mux: http.NewServeMux()}
+	if cfg.Rate > 0 {
+		s.limiter = newTokenBucket(cfg.Rate)
+	}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /v1/cube", s.handleCube)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/slice", s.handleSlice)
+	s.mux.HandleFunc("POST /v1/slice", s.handleSlice)
+	s.mux.HandleFunc("GET /v1/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
+	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	s.mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
+	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the serving mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// EnablePprof exposes the net/http/pprof endpoints on the serving mux
+// (which is not http.DefaultServeMux, so the package's init registration
+// does not apply). Opt-in: profiling handlers reveal internals and cost CPU.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
+	s.nCube.Add(1)
+	resp, err := s.shard.Meta()
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// readQueryRequest extracts the queryRequest from the GET parameters or the
+// JSON body. Semantic validation (exactly-one-of, arity, label resolution)
+// belongs to the Shard; this only gets the bytes into the struct, rejecting
+// what cannot even be represented.
+func (s *Server) readQueryRequest(w http.ResponseWriter, r *http.Request) (queryRequest, error) {
+	var req queryRequest
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		cell, values := q.Get("cell"), q.Get("values")
+		if (cell == "") == (values == "") {
+			return req, fmt.Errorf(`exactly one of the "cell" and "values" parameters is required`)
+		}
+		if cell != "" {
+			req.Cell = strings.Split(cell, ",")
+		} else {
+			for _, part := range strings.Split(values, ",") {
+				v, err := strconv.ParseInt(part, 10, 32)
+				if err != nil {
+					return req, fmt.Errorf("bad coded value %q", part)
+				}
+				req.Values = append(req.Values, int32(v))
+			}
+		}
+		// Same contract as the POST body: negative or non-numeric limits are
+		// errors, 0 (or absent) means the default.
+		if ls := q.Get("limit"); ls != "" {
+			var err error
+			if req.Limit, err = strconv.Atoi(ls); err != nil || req.Limit < 0 {
+				return req, fmt.Errorf("bad limit %q", ls)
+			}
+		}
+		return req, nil
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return req, fmt.Errorf("bad JSON body: %w", err)
+	}
+	return req, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.nQuery.Add(1)
+	req, err := s.readQueryRequest(w, r)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	resp, err := s.shard.Query(req)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	s.nSlice.Add(1)
+	req, err := s.readQueryRequest(w, r)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	resp, err := s.shard.Slice(req)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	s.nAggregate.Add(1)
+	var req aggregateRequest
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		if where := q.Get("where"); where != "" {
+			req.Where = strings.Split(where, ",")
+		}
+		if gb := q.Get("group_by"); gb != "" {
+			req.GroupBy = strings.Split(gb, ",")
+		}
+		if tk := q.Get("top_k"); tk != "" {
+			v, err := strconv.Atoi(tk)
+			if err != nil || v < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad top_k %q", tk))
+				return
+			}
+			req.TopK = v
+		}
+		req.OrderBy = q.Get("order_by")
+		req.AuxAgg = q.Get("aux_agg")
+	} else {
+		r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			err = fmt.Errorf("bad JSON body: %w", err)
+			writeError(w, httpStatus(err), err)
+			return
+		}
+	}
+	resp, err := s.shard.Aggregate(req)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	s.nAppend.Add(1)
+	if !s.allowMutation(w) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxAppendBody)
+	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
+		resp, err := s.shard.AppendStream(r.Body)
+		if err != nil {
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	var req appendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		err = fmt.Errorf("bad JSON body: %w", err)
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	resp, err := s.shard.Append(req)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.nDelete.Add(1)
+	if !s.allowMutation(w) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxAppendBody)
+	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
+		resp, err := s.shard.DeleteStream(r.Body)
+		if err != nil {
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	var req appendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		err = fmt.Errorf("bad JSON body: %w", err)
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	resp, err := s.shard.Delete(req)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	s.nUpdate.Add(1)
+	if !s.allowMutation(w) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxAppendBody)
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		err = fmt.Errorf("bad JSON body: %w", err)
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	resp, err := s.shard.Update(req)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	s.nRefresh.Add(1)
+	if !s.allowMutation(w) {
+		return
+	}
+	resp, err := s.shard.Refresh()
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.nReload.Add(1)
+	if !s.allowMutation(w) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		err = fmt.Errorf("bad JSON body: %w", err)
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	rl, ok := s.shard.(reloader)
+	if !ok {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("reload is not supported on this node; reload each shard worker directly"))
+		return
+	}
+	resp, err := rl.Reload(req)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.nStats.Add(1)
+	resp, err := s.shard.Stats()
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	// Transport-level counters belong to this node, not the shard: a router
+	// reports its own request mix here, with each worker's in Shards.
+	resp.UptimeMs = time.Since(s.start).Milliseconds()
+	resp.RateLimited = s.nRateLimited.Load()
+	resp.Requests = map[string]int64{
+		"cube":      s.nCube.Load(),
+		"query":     s.nQuery.Load(),
+		"slice":     s.nSlice.Load(),
+		"aggregate": s.nAggregate.Load(),
+		"append":    s.nAppend.Load(),
+		"delete":    s.nDelete.Load(),
+		"update":    s.nUpdate.Load(),
+		"refresh":   s.nRefresh.Load(),
+		"reload":    s.nReload.Load(),
+		"stats":     s.nStats.Load(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

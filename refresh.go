@@ -264,6 +264,23 @@ func (c *Cube) streamNDJSON(r io.Reader, apply func(labels [][]string, values []
 	return total, nil
 }
 
+// ParseNDJSONRow parses one line of the NDJSON mutation format (see
+// AppendNDJSON): a bare JSON array, or an object carrying "row"/"values"
+// plus an optional "aux" measure value. Exactly one of labels and values is
+// non-nil, per the labeled flag. Exported for the serving router, which must
+// parse each line to route it to the shard owning its leading-dimension
+// component.
+func ParseNDJSONRow(line []byte, labeled bool) (labels []string, values []int32, aux float64, err error) {
+	if len(bytes.TrimSpace(line)) == 0 {
+		return nil, nil, 0, fmt.Errorf("ccubing: ndjson: empty line")
+	}
+	row, aux, err := parseNDJSONRow(line, labeled)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return row.labels, row.values, aux, nil
+}
+
 // ndjsonRow is one parsed tuple in whichever form the cube takes.
 type ndjsonRow struct {
 	labels []string
