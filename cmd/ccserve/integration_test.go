@@ -175,9 +175,13 @@ func TestDistributedServing(t *testing.T) {
 		t.Fatalf("router wildcard slice: %d %s, want 400 pointing at /v1/aggregate", rc, rb)
 	}
 
-	// Worker stats ride along under the router's.
+	// Worker stats ride along under the router's, each entry naming its
+	// worker and reporting reachability.
 	var stats struct {
-		Shards []json.RawMessage `json:"shards"`
+		Shards []struct {
+			Worker    string `json:"worker"`
+			Reachable *bool  `json:"reachable"`
+		} `json:"shards"`
 	}
 	code, body = fetch(t, routerAddr, http.MethodGet, "/v1/stats", "")
 	if code != http.StatusOK {
@@ -188,5 +192,98 @@ func TestDistributedServing(t *testing.T) {
 	}
 	if len(stats.Shards) != 2 {
 		t.Fatalf("router stats carries %d shard entries, want 2", len(stats.Shards))
+	}
+	for i, sh := range stats.Shards {
+		if sh.Worker == "" || sh.Reachable == nil || !*sh.Reachable {
+			t.Fatalf("stats shard %d = %+v, want a named reachable worker", i, sh)
+		}
+	}
+
+	// /v1/health answers on every role with the right shape.
+	var health struct {
+		Status  string `json:"status"`
+		Role    string `json:"role"`
+		Shard   string `json:"shard"`
+		Workers int    `json:"workers"`
+	}
+	for _, tc := range []struct {
+		addr, role, shard string
+		workers           int
+	}{
+		{singleAddr, "single", "", 0},
+		{shard0Addr, "shard", "0/2", 0},
+		{shard1Addr, "shard", "1/2", 0},
+		{routerAddr, "router", "", 2},
+	} {
+		code, body := fetch(t, tc.addr, http.MethodGet, "/v1/health", "")
+		if code != http.StatusOK {
+			t.Fatalf("%s health: %d %s", tc.addr, code, body)
+		}
+		health = struct {
+			Status  string `json:"status"`
+			Role    string `json:"role"`
+			Shard   string `json:"shard"`
+			Workers int    `json:"workers"`
+		}{} // omitempty fields would otherwise survive from the previous node
+		if err := json.Unmarshal(body, &health); err != nil {
+			t.Fatal(err)
+		}
+		if health.Status != "ok" || health.Role != tc.role || health.Shard != tc.shard || health.Workers != tc.workers {
+			t.Fatalf("%s health = %+v, want role=%s shard=%q workers=%d",
+				tc.addr, health, tc.role, tc.shard, tc.workers)
+		}
+	}
+
+	// Every node serves a Prometheus scrape, and the topology's counters are
+	// consistent: only this router queries the workers, so the router's
+	// worker-call count for the query endpoint equals the sum of the workers'
+	// observed query requests.
+	scrape := func(addr string) string {
+		code, body := fetch(t, addr, http.MethodGet, "/metrics", "")
+		if code != http.StatusOK {
+			t.Fatalf("%s metrics: %d %s", addr, code, body)
+		}
+		return string(body)
+	}
+	series := func(text, name string) float64 {
+		idx := strings.Index(text, "\n"+name+" ")
+		if idx < 0 {
+			t.Fatalf("series %s missing from scrape", name)
+		}
+		line := text[idx+1:]
+		line = line[:strings.IndexByte(line, '\n')]
+		var v float64
+		if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err != nil {
+			t.Fatalf("series %s: %v", name, err)
+		}
+		return v
+	}
+	routerText := scrape(routerAddr)
+	for _, name := range []string{
+		`ccubing_http_request_seconds_count{endpoint="query"}`,
+		"ccubing_router_scatter_seconds_count",
+		"ccubing_router_merge_seconds_count",
+		"ccubing_uptime_seconds",
+	} {
+		if v := series(routerText, name); v <= 0 {
+			t.Fatalf("router %s = %g, want > 0", name, v)
+		}
+	}
+	workerQueries := 0.0
+	for _, addr := range []string{shard0Addr, shard1Addr} {
+		text := scrape(addr)
+		for _, name := range []string{
+			"ccubing_generation",
+			"ccubing_cells",
+			"ccubing_probe_ops_total",
+		} {
+			series(text, name) // fatal if absent
+		}
+		workerQueries += series(text, `ccubing_http_request_seconds_count{endpoint="query"}`)
+	}
+	routerCalls := series(routerText, `ccubing_router_worker_calls_total{endpoint="query"}`)
+	if routerCalls <= 0 || routerCalls != workerQueries {
+		t.Fatalf("router issued %g worker query calls but workers observed %g query requests",
+			routerCalls, workerQueries)
 	}
 }

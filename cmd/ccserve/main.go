@@ -29,6 +29,13 @@
 //	POST /v1/refresh                    fold the delta in (partition-scoped)
 //	POST /v1/reload                     warm snapshot reload (workers only)
 //	GET  /v1/stats                      generation, backlog, latency, counters
+//	GET  /v1/health                     role, shard slot, generation, uptime
+//	GET  /metrics                       Prometheus text exposition
+//
+// Every request gets an X-CCubing-Request-ID (inbound values are honored and
+// a router forwards them to its workers); -slow-query logs one structured
+// line — ID, endpoint, spec, per-stage timings — for requests slower than
+// the threshold.
 //
 // Cubes built from data (-csv/-synth/-weather) are live: /v1/append buffers
 // tuples, /v1/delete and /v1/update buffer tombstones and replacements, and
@@ -60,6 +67,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"syscall"
@@ -89,11 +98,16 @@ func main() {
 		rate         = flag.Float64("rate", 0, "token-bucket limit on mutating endpoints (append/delete/update/refresh/reload), requests per second (0 = unlimited)")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 		cacheSize    = flag.Int("query-cache", ccubing.DefaultQueryCacheEntries, "query-result cache capacity in entries (0 = disabled)")
+		slowQuery    = flag.Duration("slow-query", 0, "log a structured line (request ID, endpoint, spec, stage timings) for requests slower than this (0 = off)")
 	)
 	flag.Parse()
 	if *rate < 0 {
 		fatal(fmt.Errorf("negative -rate %g", *rate))
 	}
+	if *slowQuery < 0 {
+		fatal(fmt.Errorf("negative -slow-query %s", *slowQuery))
+	}
+	logStartup(*addr, *rate, *slowQuery, *cacheSize)
 
 	var shard serve.Shard
 	var local *serve.Local
@@ -158,7 +172,7 @@ func main() {
 		shard = local
 	}
 
-	server := serve.NewServer(shard, serve.Config{Rate: *rate})
+	server := serve.NewServer(shard, serve.Config{Rate: *rate, SlowQuery: *slowQuery})
 	if *pprofOn {
 		server.EnablePprof()
 		fmt.Fprintf(os.Stderr, "ccserve: pprof enabled at http://%s/debug/pprof/\n", *addr)
@@ -195,6 +209,39 @@ func main() {
 			}
 		}
 	}
+}
+
+// logStartup records what binary is running and the effective transport
+// config, so an operator reading the log of a long-lived server knows what
+// it was started as without inspecting the process.
+func logStartup(addr string, rate float64, slowQuery time.Duration, cacheSize int) {
+	version, vcs := "(devel)", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					modified = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			vcs = " rev=" + rev + modified
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ccserve: build version=%s%s %s %s/%s\n",
+		version, vcs, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	fmt.Fprintf(os.Stderr, "ccserve: config addr=%s rate=%g slow-query=%s query-cache=%d\n",
+		addr, rate, slowQuery, cacheSize)
 }
 
 // parseShardSpec parses -shard "index/count"; empty means single mode

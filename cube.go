@@ -65,6 +65,12 @@ func (c *Cube) QueryCacheMetrics() (hits, misses int64) {
 	return c.cache.Load().Metrics()
 }
 
+// QueryCacheEvictions reports the cumulative capacity evictions of the
+// current query-result cache; zero when caching is disabled.
+func (c *Cube) QueryCacheEvictions() int64 {
+	return c.cache.Load().Evictions()
+}
+
 // snap returns the current serving snapshot with one atomic load. Every
 // query method loads it exactly once, so one answer never mixes generations.
 func (c *Cube) snap() *refresh.Snapshot {
@@ -228,7 +234,10 @@ func (c *Cube) Query(vals []int32) (int64, bool) {
 	st := c.snap()
 	qc := c.cache.Load()
 	if qc == nil {
-		return st.Store.Query(vals)
+		start := time.Now()
+		n, ok := st.Store.Query(vals)
+		probeSeconds.Observe(time.Since(start))
+		return n, ok
 	}
 	e := cachedLookup(qc, st, vals)
 	return e.count, e.ok
@@ -241,7 +250,9 @@ func (c *Cube) Lookup(vals []int32) (Cell, bool) {
 	st := c.snap()
 	qc := c.cache.Load()
 	if qc == nil {
+		start := time.Now()
 		cc, ok := st.Store.Lookup(vals)
+		probeSeconds.Observe(time.Since(start))
 		if !ok {
 			return Cell{}, false
 		}
@@ -284,14 +295,18 @@ func cacheKey(gen uint64, kind byte, payload int) []byte {
 // cachedLookup resolves vals through the cache, filling on miss. Negative
 // answers are cached too: an empty cell stays empty for the generation.
 func cachedLookup(qc *qcache.Cache, st *refresh.Snapshot, vals []int32) lookupEntry {
+	start := time.Now()
 	key := cacheKey(st.Generation, cacheKindLookup, 4*len(vals))
 	for _, v := range vals {
 		key = binary.BigEndian.AppendUint32(key, uint32(v))
 	}
 	if v, hit := qc.Get(key); hit {
+		cacheHitSeconds.Observe(time.Since(start))
 		return v.(lookupEntry)
 	}
+	pstart := time.Now()
 	cc, ok := st.Store.Lookup(vals)
+	probeSeconds.Observe(time.Since(pstart))
 	e := lookupEntry{count: cc.Count, aux: cc.Aux, ok: ok}
 	if ok {
 		e.vals = cc.Values

@@ -90,7 +90,9 @@ func (s *Store) Select(spec Spec, visit func(core.Cell) bool) {
 	q := s.boundMask(spec)
 	sc := s.getScratch()
 	defer s.putScratch(sc)
-	for _, g := range s.candidates(q, &sc.cands) {
+	cands := s.candidates(q, &sc.cands)
+	sc.nCand += int64(len(cands))
+	for _, g := range cands {
 		if g.mask&q != q {
 			continue
 		}
@@ -213,7 +215,9 @@ func (s *Store) Aggregate(spec Spec, opt AggOptions) []core.Cell {
 	keyBuf := make([]byte, 0, len(gcDims)*core.ValueWidth)
 	pos := make([]int, 0, core.MaxDims)
 	sc := s.getScratch()
-	for _, g := range s.candidates(gc, &sc.cands) {
+	gcands := s.candidates(gc, &sc.cands)
+	sc.nCand += int64(len(gcands))
+	for _, g := range gcands {
 		if g.mask&gc != gc {
 			continue
 		}

@@ -118,6 +118,8 @@ type probeScratch struct {
 	cands  []*group
 	rest   []fieldMatch
 	probes int64 // probes accumulated by the current call, flushed on release
+	nOps   int64 // point-lookup operations begun by the current call
+	nCand  int64 // candidate-list entries scanned by the current call
 	stripe uint32
 }
 
@@ -175,16 +177,50 @@ func (s *Store) newScratch() *probeScratch {
 	}
 }
 
-// putScratch flushes the scratch's probe tally into its stripe and returns
-// the scratch to the pool.
+// putScratch flushes the scratch's probe tallies into its stripe (the
+// store's own counter plus the package-wide totals) and returns the scratch
+// to the pool.
 //
 //ccubing:hotpath
 func (s *Store) putScratch(sc *probeScratch) {
 	if sc.probes != 0 {
 		s.probes[sc.stripe].n.Add(sc.probes)
+		totalProbes[sc.stripe].n.Add(sc.probes)
 		sc.probes = 0
 	}
+	if sc.nOps != 0 {
+		totalOps[sc.stripe].n.Add(sc.nOps)
+		sc.nOps = 0
+	}
+	if sc.nCand != 0 {
+		totalCands[sc.stripe].n.Add(sc.nCand)
+		sc.nCand = 0
+	}
 	s.scratch.Put(sc)
+}
+
+// Package-wide probe totals, striped like the per-store counter and flushed
+// on the same scratch release. Per-store counters die with their store when
+// a refresh publishes a replacement; these survive the swap, so process
+// metrics built on them stay monotonic.
+var (
+	totalOps    [probeStripes]stripedCount
+	totalProbes [probeStripes]stripedCount
+	totalCands  [probeStripes]stripedCount
+)
+
+// ProbeTotals reports cumulative probe statistics across every store that
+// has served in this process: point-lookup operations (Query/Lookup calls),
+// covering groups probed, and candidate-list entries scanned. The ratios
+// groupsProbed/ops and candidates/ops are the mean probe depth and mean
+// candidate list length the lattice index delivers.
+func ProbeTotals() (ops, groupsProbed, candidates int64) {
+	for i := range totalOps {
+		ops += totalOps[i].n.Load()
+		groupsProbed += totalProbes[i].n.Load()
+		candidates += totalCands[i].n.Load()
+	}
+	return ops, groupsProbed, candidates
 }
 
 // NumDims returns the dimensionality of the stored cube.
@@ -384,6 +420,7 @@ func (s *Store) Lookup(vals []core.Value) (core.Cell, bool) {
 //
 //ccubing:hotpath
 func (s *Store) lookupRow(vals []core.Value, sc *probeScratch) (*group, int) {
+	sc.nOps++
 	q := s.queryMask(vals)
 	// Fast path: the queried cell is itself closed — a hit in its own cuboid
 	// is exact (covering cells in superset cuboids never exceed its count).
@@ -406,7 +443,9 @@ func (s *Store) lookupRow(vals []core.Value, sc *probeScratch) (*group, int) {
 	bestSpec := -1
 	var bestG *group
 	bestRow := -1
-	for _, g := range s.candidates(q, &sc.cands) {
+	cands := s.candidates(q, &sc.cands)
+	sc.nCand += int64(len(cands))
+	for _, g := range cands {
 		if g.mask&q != q || g.mask == q {
 			continue
 		}
@@ -451,7 +490,9 @@ func (s *Store) Slice(vals []core.Value, visit func(core.Cell) bool) {
 	q := s.queryMask(vals)
 	sc := s.getScratch()
 	defer s.putScratch(sc)
-	for _, g := range s.candidates(q, &sc.cands) {
+	cands := s.candidates(q, &sc.cands)
+	sc.nCand += int64(len(cands))
+	for _, g := range cands {
 		if g.mask&q != q {
 			continue
 		}

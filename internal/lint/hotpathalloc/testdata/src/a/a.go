@@ -2,7 +2,13 @@
 // flag inside a //ccubing:hotpath function, plus the idioms it must not.
 package a
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
 
 type pair struct{ a, b int }
 
@@ -54,4 +60,71 @@ func cold(xs []int, x int) []int {
 	m := map[int]int{x: x}
 	_ = fmt.Sprint(len(m))
 	return append(ys, len(m))
+}
+
+// --- obs-style metric recording ---
+//
+// The shapes below mirror internal/obs: striped atomic counters picked by a
+// stack-address hash, and histogram Observe as bit-length bucket index plus
+// two atomic adds. All of it must pass untouched — these are the recording
+// calls that sit on the probe/scatter path.
+
+type recStripe struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+type recCounter struct {
+	s [8]recStripe
+}
+
+type recHist struct {
+	counts [23]atomic.Int64
+	sum    atomic.Int64
+}
+
+//ccubing:hotpath
+func recStripeIndex() uint32 {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b)) // uintptr conversion: address does not escape
+	return uint32((uint64(p) * 0x9e3779b97f4a7c15) >> 61)
+}
+
+//ccubing:hotpath
+func (c *recCounter) add(n int64) {
+	c.s[recStripeIndex()].n.Add(n) // atomic add through a stripe pointer
+}
+
+//ccubing:hotpath
+func recBucketIndex(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	us := (uint64(d) + 999) / 1000
+	i := bits.Len64(us - 1)
+	if i >= 22 {
+		return 22
+	}
+	return i
+}
+
+//ccubing:hotpath
+func (h *recHist) observe(d time.Duration) {
+	h.counts[recBucketIndex(d)].Add(1)
+	h.sum.Add(int64(d))
+}
+
+//ccubing:hotpath
+func recordProbe(c *recCounter, h *recHist, start time.Time) {
+	c.add(1)
+	h.observe(time.Since(start)) // time.Since is alloc-free
+}
+
+// recBoxed shows the recording path's one forbidden temptation: formatting a
+// duration boxes it.
+//
+//ccubing:hotpath
+func recBoxed(h *recHist, d time.Duration) {
+	h.observe(d)
+	sink(d) // want `hot path: interface conversion boxes time\.Duration`
 }

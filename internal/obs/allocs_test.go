@@ -1,0 +1,37 @@
+package obs
+
+// Steady-state allocation regression for the record path: Counter.Add,
+// Gauge.Set and Histogram.Observe sit on the query hot path (cube probes,
+// cache hits), so they must be pure atomic arithmetic — zero allocations
+// per record, no pool involved, hence a strict zero bound.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecordAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the record path; counts are not meaningful")
+	}
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "help")
+	g := r.Gauge("alloc_gauge", "help")
+	h := r.Histogram("alloc_seconds", "help")
+	c.Inc()
+	g.Set(1)
+	h.Observe(time.Millisecond)
+
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n > 0 {
+		t.Fatalf("Counter.Inc allocates %v per op; want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n > 0 {
+		t.Fatalf("Counter.Add allocates %v per op; want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(42) }); n > 0 {
+		t.Fatalf("Gauge.Set allocates %v per op; want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(137 * time.Microsecond) }); n > 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op; want 0", n)
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteTextGolden pins the exposition byte-for-byte: family ordering,
+// series ordering, label rendering, histogram cumulative buckets, and the
+// shortest-round-trip float forms.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Requests served.", "endpoint", "query").Add(5)
+	r.Counter("test_requests_total", "Requests served.", "endpoint", "slice").Add(2)
+	r.Gauge("test_backlog_rows", "Rows buffered.").Set(17)
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+	r.CounterFunc("test_probes_total", "Probes.", func() int64 { return 9 })
+	h := r.Histogram("test_latency_seconds", "Latency.")
+	h.Observe(500 * time.Nanosecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(5 * time.Second)
+
+	want := `# HELP test_backlog_rows Rows buffered.
+# TYPE test_backlog_rows gauge
+test_backlog_rows 17
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="1e-06"} 1
+test_latency_seconds_bucket{le="2e-06"} 1
+test_latency_seconds_bucket{le="4e-06"} 2
+test_latency_seconds_bucket{le="8e-06"} 2
+test_latency_seconds_bucket{le="1.6e-05"} 2
+test_latency_seconds_bucket{le="3.2e-05"} 2
+test_latency_seconds_bucket{le="6.4e-05"} 2
+test_latency_seconds_bucket{le="0.000128"} 2
+test_latency_seconds_bucket{le="0.000256"} 2
+test_latency_seconds_bucket{le="0.000512"} 2
+test_latency_seconds_bucket{le="0.001024"} 2
+test_latency_seconds_bucket{le="0.002048"} 2
+test_latency_seconds_bucket{le="0.004096"} 2
+test_latency_seconds_bucket{le="0.008192"} 2
+test_latency_seconds_bucket{le="0.016384"} 2
+test_latency_seconds_bucket{le="0.032768"} 2
+test_latency_seconds_bucket{le="0.065536"} 2
+test_latency_seconds_bucket{le="0.131072"} 2
+test_latency_seconds_bucket{le="0.262144"} 2
+test_latency_seconds_bucket{le="0.524288"} 2
+test_latency_seconds_bucket{le="1.048576"} 2
+test_latency_seconds_bucket{le="2.097152"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 5.0000035
+test_latency_seconds_count 3
+# HELP test_probes_total Probes.
+# TYPE test_probes_total counter
+test_probes_total 9
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total{endpoint="query"} 5
+test_requests_total{endpoint="slice"} 2
+# HELP test_uptime_seconds Uptime.
+# TYPE test_uptime_seconds gauge
+test_uptime_seconds 1.5
+`
+	var sb strings.Builder
+	if err := WriteText(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteTextMergesRegistries checks that the same family name appearing
+// in two registries renders under one # HELP/# TYPE header.
+func TestWriteTextMergesRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("shared_total", "Shared.", "src", "a").Add(1)
+	b.Counter("shared_total", "Shared.", "src", "b").Add(2)
+	var sb strings.Builder
+	if err := WriteText(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if strings.Count(got, "# TYPE shared_total counter") != 1 {
+		t.Fatalf("want one TYPE header, got:\n%s", got)
+	}
+	for _, line := range []string{`shared_total{src="a"} 1`, `shared_total{src="b"} 2`} {
+		if !strings.Contains(got, line) {
+			t.Fatalf("missing %q in:\n%s", line, got)
+		}
+	}
+}
+
+// TestLabeledHistogram checks the le label composes with series labels.
+func TestLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("w_seconds", "Per-worker.", "worker", "0").Observe(time.Millisecond)
+	var sb strings.Builder
+	if err := WriteText(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, line := range []string{
+		`w_seconds_bucket{worker="0",le="0.001024"} 1`,
+		`w_seconds_bucket{worker="0",le="+Inf"} 1`,
+		`w_seconds_sum{worker="0"} 0.001`,
+		`w_seconds_count{worker="0"} 1`,
+	} {
+		if !strings.Contains(got, line) {
+			t.Fatalf("missing %q in:\n%s", line, got)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "Escapes.", "path", "a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := WriteText(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("missing %q in:\n%s", want, sb.String())
+	}
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterStriping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help")
+	for i := 0; i < 100; i++ {
+		c.Inc()
+	}
+	c.Add(23)
+	if got := c.Value(); got != 123 {
+		t.Fatalf("Value() = %d, want 123", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Value() = %d, want 4", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help", "k", "v")
+	b := r.Counter("c_total", "other help ignored", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("c_total", "help", "k", "w")
+	if a == other {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	h1 := r.Histogram("h_seconds", "help")
+	h2 := r.Histogram("h_seconds", "help")
+	if h1 != h2 {
+		t.Fatal("same histogram name returned distinct histograms")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("m", "help")
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter series as CounterFunc did not panic")
+		}
+	}()
+	r.CounterFunc("m_total", "help", func() int64 { return 0 })
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},      // 1024µs bound = bucket 10
+		{2 * time.Millisecond, 11},  // 2048µs
+		{time.Second, 20},           // ~1.05s bound = 2^20 µs
+		{2 * time.Second, 21},       // ~2.1s bound = 2^21 µs
+		{3 * time.Second, histBuckets},  // +Inf
+		{10 * time.Minute, histBuckets}, // +Inf
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.d); got != tc.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndCount(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Microsecond / 2)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(time.Hour)
+	counts, sum := h.snapshot()
+	if counts[0] != 1 || counts[2] != 1 || counts[histBuckets] != 1 {
+		t.Fatalf("bucket counts = %v", counts)
+	}
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count() = %d, want 3", got)
+	}
+	wantSum := int64(time.Microsecond/2 + 3*time.Microsecond + time.Hour)
+	if sum != wantSum {
+		t.Fatalf("sum = %d ns, want %d", sum, wantSum)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace("abc-1")
+	tr.Observe("probe", 1500*time.Microsecond)
+	tr.Observe("merge", 20*time.Microsecond)
+	got := tr.Stages()
+	if len(got) != 2 || got[0].Name != "probe" || got[1].Name != "merge" {
+		t.Fatalf("Stages() = %v", got)
+	}
+	if s := tr.String(); s != "probe=1.5ms merge=20µs" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Observe("x", time.Second) // must not panic
+	if tr.Stages() != nil || tr.String() != "" {
+		t.Fatal("nil trace leaked state")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("abc-2")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Observe("w", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Stages()); got != 800 {
+		t.Fatalf("recorded %d stages, want 800", got)
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	a, b := NewID(), NewID()
+	if a == b {
+		t.Fatalf("NewID() repeated %q", a)
+	}
+	if !strings.Contains(a, "-") {
+		t.Fatalf("NewID() = %q, want prefix-seq form", a)
+	}
+}
+
+// TestConcurrentRecordHammer exercises the striped record paths and the
+// exposition reader concurrently; run under -race this is the data-race
+// check, and the final totals prove no increment is lost.
+func TestConcurrentRecordHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "help")
+	g := r.Gauge("hammer_gauge", "help")
+	h := r.Histogram("hammer_seconds", "help")
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = WriteText(discard{}, r)
+			}
+		}
+	}()
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := g.Value(); got != goroutines*perG {
+		t.Fatalf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation regression test skips under -race: the instrumentation itself
+// allocates, so AllocsPerRun would measure the detector, not Record.
+const raceEnabled = true

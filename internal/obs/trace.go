@@ -1,0 +1,103 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader carries one request's ID across the serving topology: a
+// router honors an inbound value (or mints one), echoes it on its response,
+// and forwards it on every worker call it makes for that request — so one
+// grep over router and worker logs follows a single scattered request end
+// to end.
+const RequestIDHeader = "X-CCubing-Request-ID"
+
+// idPrefix distinguishes processes: IDs minted by a router and a worker for
+// unrelated requests must not collide in merged logs. Random once at start.
+var idPrefix = func() string {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; fall back to a
+		// fixed prefix rather than failing to serve.
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var idSeq atomic.Uint64
+
+// NewID mints a request ID: a per-process random prefix and a sequence
+// number, e.g. "9f1c02ab-2a". Cheap (one atomic add, one small allocation)
+// and unique enough to join log lines across processes.
+func NewID() string {
+	return idPrefix + "-" + strconv.FormatUint(idSeq.Add(1), 16)
+}
+
+// Stage is one timed step of a request: a router's per-worker calls and
+// merge, a worker's probe, and so on.
+type Stage struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Trace accumulates one request's stage timings under its ID. A nil *Trace
+// is a valid no-op sink, so instrumentation sites need no enabled-check;
+// Observe is safe for concurrent use (scattered worker calls record from
+// their own goroutines).
+//
+// Note is a free-form request summary (the parsed spec) set once by the
+// handler before fan-out and read after completion — handler-goroutine only.
+type Trace struct {
+	ID   string
+	Note string
+
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// NewTrace starts a trace for one request.
+func NewTrace(id string) *Trace { return &Trace{ID: id} }
+
+// Observe appends one named stage duration.
+func (t *Trace) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, Stage{Name: name, Dur: d})
+	t.mu.Unlock()
+}
+
+// Stages returns a copy of the recorded stages in record order.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Stage(nil), t.stages...)
+}
+
+// String renders the stages as "name=dur name=dur" for the slow-query log.
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sb strings.Builder
+	for i, s := range t.stages {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(s.Name)
+		sb.WriteByte('=')
+		sb.WriteString(s.Dur.String())
+	}
+	return sb.String()
+}

@@ -22,6 +22,7 @@ type Cache struct {
 	shards [shardCount]shard
 	hits   atomic.Int64
 	misses atomic.Int64
+	evicts atomic.Int64
 }
 
 type shard struct {
@@ -108,6 +109,7 @@ func (c *Cache) Put(key []byte, val any) {
 		old := s.ll.Back()
 		s.ll.Remove(old)
 		delete(s.m, old.Value.(*entry).key)
+		c.evicts.Add(1)
 	}
 }
 
@@ -132,4 +134,14 @@ func (c *Cache) Metrics() (hits, misses int64) {
 		return 0, 0
 	}
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Evictions reports the cumulative number of entries pushed out by capacity
+// (not entries aged out by generation turnover, which simply stop being
+// requested and leave via this same LRU pressure later).
+func (c *Cache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evicts.Load()
 }

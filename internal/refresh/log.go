@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"time"
 
 	"ccubing/internal/core"
 )
@@ -269,7 +270,10 @@ func (l *deltaLog) append(rows []core.Value, aux []float64, kinds []byte) error 
 		kinds = make([]byte, n)
 	}
 	if l.w != nil {
-		if err := l.w.Append(l.encodeRecords(rows, aux, kinds)); err != nil {
+		start := time.Now()
+		err := l.w.Append(l.encodeRecords(rows, aux, kinds))
+		walAppendSeconds.Observe(time.Since(start))
+		if err != nil {
 			return err
 		}
 	}
@@ -318,7 +322,10 @@ func (l *deltaLog) rewrite() error {
 	if len(l.kinds) > 0 {
 		contents = append(contents, l.encodeRecords(l.vals, l.aux, l.kinds)...)
 	}
-	return l.w.Reset(contents)
+	start := time.Now()
+	err := l.w.Reset(contents)
+	walRewriteSeconds.Observe(time.Since(start))
+	return err
 }
 
 // sync forces appended records to durable storage (graceful shutdown: the
@@ -327,7 +334,10 @@ func (l *deltaLog) sync() error {
 	if l.w == nil {
 		return nil
 	}
-	return l.w.Sync()
+	start := time.Now()
+	err := l.w.Sync()
+	walSyncSeconds.Observe(time.Since(start))
+	return err
 }
 
 func (l *deltaLog) close() error {

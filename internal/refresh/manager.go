@@ -897,6 +897,7 @@ func (m *Manager) Flush() (Stats, error) {
 // finishFlush records the published refresh's stats and surfaces a WAL
 // rewrite or backend publication failure without unpublishing.
 func (m *Manager) finishFlush(st Stats, werr error) (Stats, error) {
+	refreshSeconds.Observe(st.Elapsed)
 	m.statsMu.Lock()
 	m.last = st
 	m.refreshes++

@@ -1,0 +1,20 @@
+package refresh
+
+// Process-wide refresh instrumentation, recorded into obs.Default: every
+// Manager in the process shares these series (one ccserve process serves one
+// cube), and the /metrics handler exposes them alongside the serving-layer
+// registries. Gauges with per-Manager identity (generation, backlog) are
+// registered by the serving layer against its own cube instead.
+
+import "ccubing/internal/obs"
+
+var (
+	walAppendSeconds = obs.Default.Histogram("ccubing_wal_append_seconds",
+		"Latency of appending one encoded delta batch to the WAL (write, no fsync).")
+	walSyncSeconds = obs.Default.Histogram("ccubing_wal_sync_seconds",
+		"Latency of an explicit WAL fsync (shutdown and snapshot barriers).")
+	walRewriteSeconds = obs.Default.Histogram("ccubing_wal_rewrite_seconds",
+		"Latency of the post-refresh WAL rewrite that drops the folded prefix.")
+	refreshSeconds = obs.Default.Histogram("ccubing_refresh_seconds",
+		"Wall-clock duration of a refresh: delta fold, partition recompute, merge and publish.")
+)

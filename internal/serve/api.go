@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"ccubing/internal/obs"
 )
 
 // Shard is the serving surface the HTTP layer runs over: one in-process cube
@@ -50,6 +52,27 @@ type Shard interface {
 // type-asserts and answers 501 otherwise.
 type reloader interface {
 	Reload(reloadRequest) (reloadResponse, error)
+}
+
+// metricsProvider is the optional per-shard metrics surface: a Local or
+// Router that owns an obs.Registry exposes it here, and the Server's
+// /metrics handler merges it into the scrape alongside the transport
+// registry and obs.Default.
+type metricsProvider interface {
+	MetricsRegistry() *obs.Registry
+}
+
+// healther is the optional shard-role health surface behind GET /v1/health.
+// The Server fills the transport fields (status, uptime, Go version); the
+// shard reports what it is.
+type healther interface {
+	Health() healthResponse
+}
+
+// addresser identifies a remote shard by its base URL — implemented by
+// Dial'd workers, used by the router's stats to name each worker entry.
+type addresser interface {
+	Addr() string
 }
 
 // StatusError is an error carrying the HTTP status it should be served
@@ -104,6 +127,12 @@ type queryRequest struct {
 	Cell   []string `json:"cell,omitempty"`
 	Values []int32  `json:"values,omitempty"`
 	Limit  int      `json:"limit,omitempty"`
+
+	// trace carries the request's ID and stage timings through the shard
+	// stack in-process. Unexported: it never crosses the wire as JSON — a
+	// remote worker gets the ID via the X-CCubing-Request-ID header instead
+	// (see httpShard.do) and starts its own trace for its local stages.
+	trace *obs.Trace
 }
 
 type queryResponse struct {
@@ -153,6 +182,8 @@ type aggregateRequest struct {
 	TopK    int      `json:"top_k,omitempty"`
 	OrderBy string   `json:"order_by,omitempty"` // "count" (default) or "aux"
 	AuxAgg  string   `json:"aux_agg,omitempty"`  // "sum" (default), "min", "max"
+
+	trace *obs.Trace // in-process stage accounting; see queryRequest.trace
 }
 
 type aggregateRow struct {
@@ -178,6 +209,8 @@ type appendRequest struct {
 	Values  [][]int32  `json:"values,omitempty"`
 	Aux     []float64  `json:"aux,omitempty"`
 	Refresh bool       `json:"refresh,omitempty"`
+
+	trace *obs.Trace // in-process stage accounting; see queryRequest.trace
 }
 
 type appendResponse struct {
@@ -211,6 +244,8 @@ type updateRequest struct {
 	OldAux    []float64  `json:"old_aux,omitempty"`
 	NewAux    []float64  `json:"new_aux,omitempty"`
 	Refresh   bool       `json:"refresh,omitempty"`
+
+	trace *obs.Trace // in-process stage accounting; see queryRequest.trace
 }
 
 type updateResponse struct {
@@ -263,8 +298,33 @@ type statsResponse struct {
 	CacheMisses      int64            `json:"cache_misses"`
 	Requests         map[string]int64 `json:"requests,omitempty"`
 	// Shards carries the per-worker stats on a router (each entry is the
-	// worker's own /v1/stats answer, request counters included).
+	// worker's own /v1/stats answer, request counters included). The router
+	// fills Worker/Reachable/Error per entry: an unreachable worker keeps its
+	// slot with Reachable=false and the error, instead of failing the whole
+	// stats call — so a dead worker is distinguishable from a zero-traffic
+	// one, and the merged totals cover exactly the reachable workers.
 	Shards []statsResponse `json:"shards,omitempty"`
+
+	// Per-worker identity fields, set only on entries of a router's Shards.
+	Worker    string `json:"worker,omitempty"`    // worker base URL (or #index)
+	Reachable *bool  `json:"reachable,omitempty"` // nil outside router entries
+	Error     string `json:"error,omitempty"`     // transport/stats failure
+}
+
+// healthResponse is the body of GET /v1/health: cheap enough for a
+// load-balancer check on any role. The Server fills Status, UptimeMs and
+// GoVersion; the shard behind it fills the role fields. A router reports its
+// worker count without fanning out — per-worker generations come from the
+// workers' own /v1/health or the router's /v1/stats.
+type healthResponse struct {
+	Status     string `json:"status"`
+	Role       string `json:"role"`              // "single", "shard" or "router"
+	Shard      string `json:"shard,omitempty"`   // "index/count" on a shard worker
+	Workers    int    `json:"workers,omitempty"` // topology width on a router
+	Generation uint64 `json:"generation"`
+	Backlog    int    `json:"backlog"`
+	UptimeMs   int64  `json:"uptime_ms"`
+	GoVersion  string `json:"go_version,omitempty"`
 }
 
 type errorResponse struct {

@@ -9,6 +9,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"ccubing/internal/obs"
 )
 
 // httpShard is a Shard backed by a remote ccserve worker over its own HTTP
@@ -43,18 +45,36 @@ func Dial(baseURL string) (Shard, error) {
 	}, nil
 }
 
+// Addr reports the worker's base URL — the router's stats name each worker
+// entry with it.
+func (h *httpShard) Addr() string { return h.base }
+
+// traceID extracts the request ID to forward; "" (no header sent) when the
+// call is not part of a traced request.
+func traceID(tr *obs.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	return tr.ID
+}
+
 // do runs one request against the worker and decodes the answer into out. A
-// transport failure is a 502 (the worker is unreachable, not wrong); a
-// non-200 worker answer decodes back into a StatusError carrying the
-// worker's status and message, so shard-side validation and conflicts
-// surface to the router's caller unchanged.
-func (h *httpShard) do(method, path string, body io.Reader, contentType string, out any) error {
+// non-empty rid rides the X-CCubing-Request-ID header, so the worker joins
+// the router's trace instead of minting a fresh ID. A transport failure is a
+// 502 (the worker is unreachable, not wrong); a non-200 worker answer
+// decodes back into a StatusError carrying the worker's status and message,
+// so shard-side validation and conflicts surface to the router's caller
+// unchanged.
+func (h *httpShard) do(method, path string, body io.Reader, contentType, rid string, out any) error {
 	req, err := http.NewRequest(method, h.base+path, body)
 	if err != nil {
 		return err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if rid != "" {
+		req.Header.Set(obs.RequestIDHeader, rid)
 	}
 	resp, err := h.client.Do(req)
 	if err != nil {
@@ -74,76 +94,76 @@ func (h *httpShard) do(method, path string, body io.Reader, contentType string, 
 	return nil
 }
 
-func (h *httpShard) postJSON(path string, in, out any) error {
+func (h *httpShard) postJSON(path, rid string, in, out any) error {
 	b, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	return h.do(http.MethodPost, path, bytes.NewReader(b), "application/json", out)
+	return h.do(http.MethodPost, path, bytes.NewReader(b), "application/json", rid, out)
 }
 
 func (h *httpShard) Meta() (cubeResponse, error) {
 	var out cubeResponse
-	err := h.do(http.MethodGet, "/v1/cube", nil, "", &out)
+	err := h.do(http.MethodGet, "/v1/cube", nil, "", "", &out)
 	return out, err
 }
 
 func (h *httpShard) Query(req queryRequest) (queryResponse, error) {
 	var out queryResponse
-	err := h.postJSON("/v1/query", req, &out)
+	err := h.postJSON("/v1/query", traceID(req.trace), req, &out)
 	return out, err
 }
 
 func (h *httpShard) Slice(req queryRequest) (sliceResponse, error) {
 	var out sliceResponse
-	err := h.postJSON("/v1/slice", req, &out)
+	err := h.postJSON("/v1/slice", traceID(req.trace), req, &out)
 	return out, err
 }
 
 func (h *httpShard) Aggregate(req aggregateRequest) (aggregateResponse, error) {
 	var out aggregateResponse
-	err := h.postJSON("/v1/aggregate", req, &out)
+	err := h.postJSON("/v1/aggregate", traceID(req.trace), req, &out)
 	return out, err
 }
 
 func (h *httpShard) Append(req appendRequest) (appendResponse, error) {
 	var out appendResponse
-	err := h.postJSON("/v1/append", req, &out)
+	err := h.postJSON("/v1/append", traceID(req.trace), req, &out)
 	return out, err
 }
 
 func (h *httpShard) Delete(req appendRequest) (deleteResponse, error) {
 	var out deleteResponse
-	err := h.postJSON("/v1/delete", req, &out)
+	err := h.postJSON("/v1/delete", traceID(req.trace), req, &out)
 	return out, err
 }
 
 func (h *httpShard) Update(req updateRequest) (updateResponse, error) {
 	var out updateResponse
-	err := h.postJSON("/v1/update", req, &out)
+	err := h.postJSON("/v1/update", traceID(req.trace), req, &out)
 	return out, err
 }
 
 func (h *httpShard) AppendStream(r io.Reader) (appendResponse, error) {
 	var out appendResponse
-	err := h.do(http.MethodPost, "/v1/append", r, "application/x-ndjson", &out)
+	err := h.do(http.MethodPost, "/v1/append", r, "application/x-ndjson", "", &out)
 	return out, err
 }
 
 func (h *httpShard) DeleteStream(r io.Reader) (deleteResponse, error) {
 	var out deleteResponse
-	err := h.do(http.MethodPost, "/v1/delete", r, "application/x-ndjson", &out)
+	err := h.do(http.MethodPost, "/v1/delete", r, "application/x-ndjson", "", &out)
 	return out, err
 }
 
 func (h *httpShard) Refresh() (refreshResponse, error) {
 	var out refreshResponse
-	err := h.do(http.MethodPost, "/v1/refresh", nil, "", &out)
+	err := h.do(http.MethodPost, "/v1/refresh", nil, "", "", &out)
 	return out, err
 }
 
 func (h *httpShard) Stats() (statsResponse, error) {
 	var out statsResponse
-	err := h.do(http.MethodGet, "/v1/stats", nil, "", &out)
+	err := h.do(http.MethodGet, "/v1/stats", nil, "", "", &out)
 	return out, err
 }

@@ -10,8 +10,10 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"ccubing"
+	"ccubing/internal/obs"
 )
 
 // Local serves one in-process cube: the whole relation in single mode, or
@@ -23,14 +25,53 @@ type Local struct {
 	cube     atomic.Pointer[ccubing.Cube]
 	snapshot string // default Reload source; set before serving starts
 	shard    string // "index/count" on a shard worker; set before serving starts
+
+	// reg exposes the serving cube's state as gauges and counters, read at
+	// scrape time through the atomic pointer — so a Reload swaps what the
+	// metrics describe along with what the queries answer from.
+	reg *obs.Registry
 }
 
 // NewLocal wraps a cube as a Shard. The caller keeps ownership of the cube's
 // lifecycle except after Reload, which closes the replaced cube itself.
 func NewLocal(cube *ccubing.Cube) *Local {
-	l := &Local{}
+	l := &Local{reg: obs.NewRegistry()}
 	l.cube.Store(cube)
+	l.reg.GaugeFunc("ccubing_generation", "Generation of the serving cube.",
+		func() float64 { return float64(l.cube.Load().Generation()) })
+	l.reg.GaugeFunc("ccubing_backlog_rows", "Buffered delta rows awaiting the next refresh.",
+		func() float64 { return float64(l.cube.Load().Backlog()) })
+	l.reg.GaugeFunc("ccubing_cells", "Closed cells in the serving store.",
+		func() float64 { return float64(l.cube.Load().NumCells()) })
+	l.reg.GaugeFunc("ccubing_source_rows", "Source relation rows folded into the serving cube.",
+		func() float64 { return float64(l.cube.Load().SourceRows()) })
+	l.reg.CounterFunc("ccubing_cache_hits_total", "Point queries answered from the query-result cache.",
+		func() int64 { hits, _ := l.cube.Load().QueryCacheMetrics(); return hits })
+	l.reg.CounterFunc("ccubing_cache_misses_total", "Point queries that missed the query-result cache.",
+		func() int64 { _, misses := l.cube.Load().QueryCacheMetrics(); return misses })
+	l.reg.CounterFunc("ccubing_cache_evictions_total", "Query-result cache entries evicted to make room.",
+		func() int64 { return l.cube.Load().QueryCacheEvictions() })
+	l.reg.CounterFunc("ccubing_refreshes_total", "Published refresh generations since start.",
+		func() int64 { return l.cube.Load().RefreshMetrics().Refreshes })
 	return l
+}
+
+// MetricsRegistry exposes the cube-state registry to the Server's /metrics.
+func (l *Local) MetricsRegistry() *obs.Registry { return l.reg }
+
+// Health reports this node's role for GET /v1/health.
+func (l *Local) Health() healthResponse {
+	cube := l.cube.Load()
+	role := "single"
+	if l.shard != "" {
+		role = "shard"
+	}
+	return healthResponse{
+		Role:       role,
+		Shard:      l.shard,
+		Generation: cube.Generation(),
+		Backlog:    cube.Backlog(),
+	}
 }
 
 // SetSnapshot sets the default snapshot path for Reload (the -snapshot
@@ -127,14 +168,18 @@ func validateValues(cube *ccubing.Cube, vals []int32) error {
 
 func (l *Local) Query(req queryRequest) (queryResponse, error) {
 	cube := l.cube.Load()
+	start := time.Now()
 	vals, miss, err := resolveCell(cube, req)
+	req.trace.Observe("resolve", time.Since(start))
 	if err != nil {
 		return queryResponse{}, err
 	}
 	if miss { // unknown label: the cell is necessarily empty
 		return queryResponse{Found: false}, nil
 	}
+	start = time.Now()
 	cell, ok := cube.Lookup(vals)
+	req.trace.Observe("probe", time.Since(start))
 	if !ok {
 		return queryResponse{Found: false}, nil
 	}
@@ -150,7 +195,9 @@ const defaultSliceLimit = 1000
 
 func (l *Local) Slice(req queryRequest) (sliceResponse, error) {
 	cube := l.cube.Load()
+	start := time.Now()
 	vals, miss, err := resolveCell(cube, req)
+	req.trace.Observe("resolve", time.Since(start))
 	if err != nil {
 		return sliceResponse{}, err
 	}
@@ -165,6 +212,8 @@ func (l *Local) Slice(req queryRequest) (sliceResponse, error) {
 	// Collect every matching cell, order canonically, then truncate: the
 	// store's visit order ties break on shard-local packed keys, so cutting
 	// off mid-walk would keep different cells on different topologies.
+	start = time.Now()
+	defer func() { req.trace.Observe("slice", time.Since(start)) }()
 	cube.Slice(vals, func(c ccubing.Cell) bool {
 		sc := sliceCell{Cell: cube.Labels(c.Values), Count: c.Count}
 		if cube.HasMeasure() {
@@ -204,11 +253,15 @@ func (l *Local) Aggregate(req aggregateRequest) (aggregateResponse, error) {
 			where[d] = "*"
 		}
 	}
+	start := time.Now()
 	spec, err := cube.ParseSpec(where)
+	req.trace.Observe("resolve", time.Since(start))
 	if err != nil {
 		return aggregateResponse{}, err
 	}
+	start = time.Now()
 	rows, exact, err := cube.Aggregate(spec, opt)
+	req.trace.Observe("aggregate", time.Since(start))
 	if err != nil {
 		return aggregateResponse{}, err
 	}

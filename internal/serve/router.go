@@ -7,8 +7,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"ccubing"
+	"ccubing/internal/obs"
 	"ccubing/internal/route"
 )
 
@@ -31,6 +33,28 @@ type Router struct {
 	labeled bool
 	measure bool
 	kind    string // measure kind name: "none", "sum", "min", "max", "avg"
+
+	// reg holds the scatter-gather metrics below; the Server's /metrics
+	// merges it into the router's scrape.
+	reg *obs.Registry
+	met routerMetrics
+}
+
+// routerMetrics is the router's view of its topology: how often it scatters
+// versus routes whole, how long each worker takes from the router's side of
+// the wire, and what the gather-side merge costs.
+type routerMetrics struct {
+	scatterSeconds *obs.Histogram // full fan-out wait; the slowest worker gates it
+	mergeSeconds   *obs.Histogram // router-side merge over gathered answers
+	scatters       *obs.Counter   // calls fanned out to every worker
+	fanout         *obs.Counter   // worker calls issued by scatters
+	routed         *obs.Counter   // calls routed whole to one owning worker
+	workerSeconds  []*obs.Histogram
+	workerErrors   []*obs.Counter
+	// workerCalls counts worker calls by originating endpoint, pre-created so
+	// the request path never takes the registry lock.
+	workerCalls map[string]*obs.Counter
+	stageNames  []string // "worker0", "worker1", ... trace stage labels
 }
 
 // NewRouter builds a router over the given workers (typically Dial'd shard
@@ -63,31 +87,109 @@ func NewRouter(shards []Shard) (*Router, error) {
 			return nil, fmt.Errorf("shard %d measure %q differs from shard 0's %q", i+1, m.MeasureKind, m0.MeasureKind)
 		}
 	}
-	return &Router{
+	rt := &Router{
 		shards:  shards,
 		dims:    m0.Dims,
 		names:   m0.Names,
 		labeled: m0.Labeled,
 		measure: m0.Measure,
 		kind:    m0.MeasureKind,
-	}, nil
+		reg:     obs.NewRegistry(),
+	}
+	rt.reg.GaugeFunc("ccubing_router_workers", "Workers in the routing topology.",
+		func() float64 { return float64(len(rt.shards)) })
+	rt.met.scatterSeconds = rt.reg.Histogram("ccubing_router_scatter_seconds",
+		"Full fan-out latency of scattered calls (the slowest worker gates it).")
+	rt.met.mergeSeconds = rt.reg.Histogram("ccubing_router_merge_seconds",
+		"Router-side merge time over gathered worker answers.")
+	rt.met.scatters = rt.reg.Counter("ccubing_router_scatters_total",
+		"Calls fanned out to every worker.")
+	rt.met.fanout = rt.reg.Counter("ccubing_router_fanout_total",
+		"Worker calls issued by scatters; divided by scatters_total this is the fan-out width.")
+	rt.met.routed = rt.reg.Counter("ccubing_router_routed_total",
+		"Calls routed whole to the one worker owning the bound routing component.")
+	for i := range shards {
+		w := strconv.Itoa(i)
+		rt.met.workerSeconds = append(rt.met.workerSeconds, rt.reg.Histogram(
+			"ccubing_router_worker_seconds", "Per-worker call latency as seen by the router.", "worker", w))
+		rt.met.workerErrors = append(rt.met.workerErrors, rt.reg.Counter(
+			"ccubing_router_worker_errors_total", "Per-worker call failures as seen by the router.", "worker", w))
+		rt.met.stageNames = append(rt.met.stageNames, "worker"+w)
+	}
+	rt.met.workerCalls = make(map[string]*obs.Counter)
+	for _, op := range []string{"query", "slice", "aggregate", "append", "delete", "update", "refresh", "meta", "stats"} {
+		rt.met.workerCalls[op] = rt.reg.Counter("ccubing_router_worker_calls_total",
+			"Worker calls issued by this router, by originating endpoint.", "endpoint", op)
+	}
+	return rt, nil
+}
+
+// MetricsRegistry exposes the scatter-gather registry to the Server's
+// /metrics.
+func (rt *Router) MetricsRegistry() *obs.Registry { return rt.reg }
+
+// Health reports the router role without fanning out — the answer must stay
+// load-balancer cheap even with a dead worker. Per-worker generations come
+// from the workers' own /v1/health or this router's /v1/stats.
+func (rt *Router) Health() healthResponse {
+	return healthResponse{Role: "router", Workers: len(rt.shards)}
+}
+
+// workerName identifies worker i in stats entries: its base URL when Dial'd,
+// a positional #i otherwise (in-process shards in tests).
+func (rt *Router) workerName(i int) string {
+	if a, ok := rt.shards[i].(addresser); ok {
+		return a.Addr()
+	}
+	return "#" + strconv.Itoa(i)
+}
+
+// observeWorker records one worker call: its latency into the per-worker
+// histogram and the request trace, and any failure into the error counter.
+func (rt *Router) observeWorker(i int, tr *obs.Trace, start time.Time, err error) {
+	d := time.Since(start)
+	rt.met.workerSeconds[i].Observe(d)
+	tr.Observe(rt.met.stageNames[i], d)
+	if err != nil {
+		rt.met.workerErrors[i].Inc()
+	}
+}
+
+// observeMerge records the gather-side merge once a scattered call's answers
+// are combined.
+func (rt *Router) observeMerge(tr *obs.Trace, start time.Time) {
+	d := time.Since(start)
+	rt.met.mergeSeconds.Observe(d)
+	tr.Observe("merge", d)
 }
 
 // scatterCall fans one call out to every shard concurrently and collects the
-// results in shard order. Errors are deterministic: the lowest-index failing
-// shard's error wins, regardless of completion order.
-func scatterCall[T any](shards []Shard, call func(Shard) (T, error)) ([]T, error) {
+// results in shard order, recording per-worker and whole-scatter latency
+// under op's worker-call counter (tr may be nil for untraced internal
+// scatters). Errors are deterministic: the lowest-index failing shard's
+// error wins, regardless of completion order.
+func scatterCall[T any](rt *Router, op string, tr *obs.Trace, call func(Shard) (T, error)) ([]T, error) {
+	shards := rt.shards
 	out := make([]T, len(shards))
 	errs := make([]error, len(shards))
+	start := time.Now()
 	var wg sync.WaitGroup
 	for i, sh := range shards {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := time.Now()
 			out[i], errs[i] = call(sh)
+			rt.observeWorker(i, tr, ws, errs[i])
 		}()
 	}
 	wg.Wait()
+	d := time.Since(start)
+	rt.met.scatters.Inc()
+	rt.met.fanout.Add(int64(len(shards)))
+	rt.met.scatterSeconds.Observe(d)
+	tr.Observe("scatter", d)
+	rt.met.workerCalls[op].Add(int64(len(shards)))
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -96,9 +198,20 @@ func scatterCall[T any](shards []Shard, call func(Shard) (T, error)) ([]T, error
 	return out, nil
 }
 
-// owner returns the worker owning a dimension-0 component.
-func (rt *Router) owner(component string) Shard {
-	return rt.shards[route.Owner(component, len(rt.shards))]
+// routedCall runs one call against the single owning worker, with the same
+// accounting as a scatter's per-worker leg.
+func routedCall[T any](rt *Router, op string, tr *obs.Trace, owner int, call func(Shard) (T, error)) (T, error) {
+	start := time.Now()
+	out, err := call(rt.shards[owner])
+	rt.observeWorker(owner, tr, start, err)
+	rt.met.routed.Inc()
+	rt.met.workerCalls[op].Add(1)
+	return out, err
+}
+
+// ownerIndex returns the worker index owning a dimension-0 component.
+func (rt *Router) ownerIndex(component string) int {
+	return route.Owner(component, len(rt.shards))
 }
 
 // mergeable reports whether per-shard measure values combine into the global
@@ -160,14 +273,18 @@ func (rt *Router) Query(req queryRequest) (queryResponse, error) {
 		return queryResponse{}, err
 	}
 	if !scatter {
-		return rt.owner(comp).Query(req)
+		return routedCall(rt, "query", req.trace, rt.ownerIndex(comp), func(sh Shard) (queryResponse, error) {
+			return sh.Query(req)
+		})
 	}
-	resps, err := scatterCall(rt.shards, func(sh Shard) (queryResponse, error) {
+	resps, err := scatterCall(rt, "query", req.trace, func(sh Shard) (queryResponse, error) {
 		return sh.Query(req)
 	})
 	if err != nil {
 		return queryResponse{}, err
 	}
+	mstart := time.Now()
+	defer rt.observeMerge(req.trace, mstart)
 	var found []queryResponse
 	for _, r := range resps {
 		if r.Found {
@@ -238,7 +355,9 @@ func (rt *Router) Slice(req queryRequest) (sliceResponse, error) {
 		return sliceResponse{}, fmt.Errorf(
 			"slice must bind the routing dimension %s (its first component cannot be \"*\" through a router); use /v1/aggregate for cross-shard rollups", rt.names[0])
 	}
-	return rt.owner(comp).Slice(req)
+	return routedCall(rt, "slice", req.trace, rt.ownerIndex(comp), func(sh Shard) (sliceResponse, error) {
+		return sh.Slice(req)
+	})
 }
 
 func (rt *Router) Aggregate(req aggregateRequest) (aggregateResponse, error) {
@@ -264,7 +383,9 @@ func (rt *Router) Aggregate(req aggregateRequest) (aggregateResponse, error) {
 				}
 				comp = strconv.FormatInt(v, 10)
 			}
-			return rt.owner(comp).Aggregate(req)
+			return routedCall(rt, "aggregate", req.trace, rt.ownerIndex(comp), func(sh Shard) (aggregateResponse, error) {
+				return sh.Aggregate(req)
+			})
 		}
 	}
 	if rt.measure && !rt.mergeable() {
@@ -276,12 +397,14 @@ func (rt *Router) Aggregate(req aggregateRequest) (aggregateResponse, error) {
 	// here, after the merge.
 	fwd := req
 	fwd.TopK = 0
-	resps, err := scatterCall(rt.shards, func(sh Shard) (aggregateResponse, error) {
+	resps, err := scatterCall(rt, "aggregate", req.trace, func(sh Shard) (aggregateResponse, error) {
 		return sh.Aggregate(fwd)
 	})
 	if err != nil {
 		return aggregateResponse{}, err
 	}
+	mstart := time.Now()
+	defer rt.observeMerge(req.trace, mstart)
 	// Merge rows keyed by their label tuple. Shards partition the tuples, so
 	// counts sum; the measure combines per the requested aggregator (a
 	// shard-level sum of sums is the global sum, min of mins the global min).
@@ -419,7 +542,7 @@ func partialMutation(applied, total int, err error) error {
 // runMutation executes one call per owned batch concurrently, with the
 // all-failed/partial-failure error contract above. ok holds the successful
 // responses in shard order.
-func runMutation[T any](owners []int, call func(owner int) (T, error)) (ok []T, err error) {
+func runMutation[T any](rt *Router, op string, tr *obs.Trace, owners []int, call func(owner int) (T, error)) (ok []T, err error) {
 	resps := make([]T, len(owners))
 	errs := make([]error, len(owners))
 	var wg sync.WaitGroup
@@ -427,10 +550,13 @@ func runMutation[T any](owners []int, call func(owner int) (T, error)) (ok []T, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := time.Now()
 			resps[i], errs[i] = call(owner)
+			rt.observeWorker(owner, tr, ws, errs[i])
 		}()
 	}
 	wg.Wait()
+	rt.met.workerCalls[op].Add(int64(len(owners)))
 	var firstErr error
 	applied := 0
 	for i := range owners {
@@ -453,8 +579,8 @@ func runMutation[T any](owners []int, call func(owner int) (T, error)) (ok []T, 
 // broadcastRefresh folds every worker's delta in, for mutation requests
 // carrying "refresh": true: one logical refresh of the whole relation, so
 // even workers that received no rows this call publish a new generation.
-func (rt *Router) broadcastRefresh() ([]refreshResponse, error) {
-	return scatterCall(rt.shards, func(sh Shard) (refreshResponse, error) {
+func (rt *Router) broadcastRefresh(tr *obs.Trace) ([]refreshResponse, error) {
+	return scatterCall(rt, "refresh", tr, func(sh Shard) (refreshResponse, error) {
 		return sh.Refresh()
 	})
 }
@@ -465,7 +591,7 @@ func (rt *Router) Append(req appendRequest) (appendResponse, error) {
 		return appendResponse{}, err
 	}
 	owners := shardsOf(batches, len(rt.shards))
-	oks, err := runMutation(owners, func(owner int) (appendResponse, error) {
+	oks, err := runMutation(rt, "append", req.trace, owners, func(owner int) (appendResponse, error) {
 		b := batches[owner]
 		return rt.shards[owner].Append(appendRequest{Rows: b.rows, Values: b.values, Aux: b.aux})
 	})
@@ -482,7 +608,7 @@ func (rt *Router) Append(req appendRequest) (appendResponse, error) {
 		}
 	}
 	if req.Refresh {
-		rr, err := rt.broadcastRefresh()
+		rr, err := rt.broadcastRefresh(req.trace)
 		if err != nil {
 			return appendResponse{}, statusErrorf(http.StatusInternalServerError,
 				"rows buffered but the triggered refresh failed on a shard (do not resend the batch): %v", err)
@@ -504,7 +630,7 @@ func (rt *Router) Delete(req appendRequest) (deleteResponse, error) {
 		return deleteResponse{}, err
 	}
 	owners := shardsOf(batches, len(rt.shards))
-	oks, err := runMutation(owners, func(owner int) (deleteResponse, error) {
+	oks, err := runMutation(rt, "delete", req.trace, owners, func(owner int) (deleteResponse, error) {
 		b := batches[owner]
 		return rt.shards[owner].Delete(appendRequest{Rows: b.rows, Values: b.values, Aux: b.aux})
 	})
@@ -521,7 +647,7 @@ func (rt *Router) Delete(req appendRequest) (deleteResponse, error) {
 		}
 	}
 	if req.Refresh {
-		rr, err := rt.broadcastRefresh()
+		rr, err := rt.broadcastRefresh(req.trace)
 		if err != nil {
 			return deleteResponse{}, statusErrorf(http.StatusInternalServerError,
 				"tombstones buffered but the triggered refresh failed on a shard (do not resend the batch): %v", err)
@@ -664,7 +790,7 @@ func (rt *Router) Update(req updateRequest) (updateResponse, error) {
 		refreshed  bool
 		updated    int
 	}
-	oks, err := runMutation(owners, func(owner int) (shardResult, error) {
+	oks, err := runMutation(rt, "update", req.trace, owners, func(owner int) (shardResult, error) {
 		u := shards[owner]
 		sh := rt.shards[owner]
 		var res shardResult
@@ -710,7 +836,7 @@ func (rt *Router) Update(req updateRequest) (updateResponse, error) {
 		}
 	}
 	if req.Refresh {
-		rr, err := rt.broadcastRefresh()
+		rr, err := rt.broadcastRefresh(req.trace)
 		if err != nil {
 			return updateResponse{}, statusErrorf(http.StatusInternalServerError,
 				"updates buffered but the triggered refresh failed on a shard (do not resend the batch): %v", err)
@@ -781,7 +907,7 @@ func (rt *Router) DeleteStream(r io.Reader) (deleteResponse, error) {
 }
 
 func (rt *Router) Refresh() (refreshResponse, error) {
-	rr, err := rt.broadcastRefresh()
+	rr, err := rt.broadcastRefresh(nil)
 	if err != nil {
 		return refreshResponse{}, err
 	}
@@ -804,7 +930,7 @@ func (rt *Router) Refresh() (refreshResponse, error) {
 }
 
 func (rt *Router) Meta() (cubeResponse, error) {
-	metas, err := scatterCall(rt.shards, func(sh Shard) (cubeResponse, error) {
+	metas, err := scatterCall(rt, "meta", nil, func(sh Shard) (cubeResponse, error) {
 		return sh.Meta()
 	})
 	if err != nil {
@@ -836,15 +962,44 @@ func (rt *Router) Meta() (cubeResponse, error) {
 	return resp, nil
 }
 
+// Stats gathers every worker's stats without failing wholesale: an
+// unreachable worker keeps its slot in Shards with Reachable=false and the
+// transport error, so a dead worker is distinguishable from one that simply
+// saw no traffic (whose counters are zero but Reachable is true). The merged
+// totals cover exactly the reachable workers; any dead worker marks the
+// topology not Live.
 func (rt *Router) Stats() (statsResponse, error) {
-	stats, err := scatterCall(rt.shards, func(sh Shard) (statsResponse, error) {
-		return sh.Stats()
-	})
-	if err != nil {
-		return statsResponse{}, err
+	stats := make([]statsResponse, len(rt.shards))
+	errs := make([]error, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := time.Now()
+			stats[i], errs[i] = sh.Stats()
+			rt.observeWorker(i, nil, ws, errs[i])
+		}()
 	}
-	resp := statsResponse{Live: true, Shards: stats}
-	for i, st := range stats {
+	wg.Wait()
+	rt.met.workerCalls["stats"].Add(int64(len(rt.shards)))
+	resp := statsResponse{Live: true}
+	merged := 0
+	for i := range stats {
+		reachable := errs[i] == nil
+		if !reachable {
+			resp.Live = false
+			resp.Shards = append(resp.Shards, statsResponse{
+				Worker:    rt.workerName(i),
+				Reachable: &reachable,
+				Error:     errs[i].Error(),
+			})
+			continue
+		}
+		st := stats[i]
+		st.Worker = rt.workerName(i)
+		st.Reachable = &reachable
+		resp.Shards = append(resp.Shards, st)
 		resp.SourceRows += st.SourceRows
 		resp.Backlog += st.Backlog
 		resp.Cells += st.Cells
@@ -858,9 +1013,10 @@ func (rt *Router) Stats() (statsResponse, error) {
 		if st.LastRefreshError != "" && resp.LastRefreshError == "" {
 			resp.LastRefreshError = st.LastRefreshError
 		}
-		if i == 0 || st.Generation < resp.Generation {
+		if merged == 0 || st.Generation < resp.Generation {
 			resp.Generation = st.Generation
 		}
+		merged++
 	}
 	return resp, nil
 }

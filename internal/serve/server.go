@@ -5,14 +5,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ccubing/internal/obs"
 )
 
 // Server is the HTTP transport over a Shard: it owns request parsing (GET
@@ -26,6 +31,13 @@ type Server struct {
 	limiter *tokenBucket // rate limit on mutating endpoints; nil = unlimited
 	mux     *http.ServeMux
 
+	// reg holds this server's transport metrics (per-endpoint latency
+	// histograms, rate-limit turn-aways, uptime); GET /metrics merges it
+	// with the shard's registry and obs.Default.
+	reg     *obs.Registry
+	slow    time.Duration // slow-query log threshold; 0 = disabled
+	slowLog *log.Logger
+
 	// Per-endpoint request counters, exposed by /v1/stats.
 	nCube, nQuery, nSlice, nAggregate, nAppend, nDelete, nUpdate, nRefresh, nReload, nStats atomic.Int64
 	nRateLimited                                                                            atomic.Int64
@@ -37,6 +49,11 @@ type Config struct {
 	// reload) to this many requests per second via a shared token bucket;
 	// 0 = unlimited.
 	Rate float64
+	// SlowQuery logs one structured line (request ID, endpoint, spec,
+	// per-stage timings) for every request slower than this; 0 disables.
+	SlowQuery time.Duration
+	// SlowLog receives the slow-query lines; nil logs to stderr.
+	SlowLog *log.Logger
 }
 
 // tokenBucket rate-limits the mutating endpoints: rate tokens/second refill
@@ -128,33 +145,112 @@ const (
 //	                    -snapshot path); 501 on shards without one (routers)
 //	GET  /v1/stats      generation, backlog, refresh latency, per-endpoint
 //	                    query counters (plus per-worker stats on a router)
+//	GET  /v1/health     role, shard slot or worker count, generation,
+//	                    backlog, uptime — the load-balancer check
+//	GET  /metrics       Prometheus text exposition: transport, shard and
+//	                    process metrics merged into one scrape
 //
-// Wrong-method hits on the v1 endpoints get 405 with an Allow header (the
-// Go 1.22 ServeMux method-pattern contract). Mutating endpoints share the
-// Config.Rate token bucket; over-budget requests get 429 with Retry-After.
+// Every v1 endpoint echoes an X-CCubing-Request-ID header (honoring an
+// inbound one), which a router propagates to its workers — one ID follows a
+// request across the topology. Wrong-method hits on the v1 endpoints get 405
+// with an Allow header (the Go 1.22 ServeMux method-pattern contract).
+// Mutating endpoints share the Config.Rate token bucket; over-budget
+// requests get 429 with Retry-After.
 func NewServer(shard Shard, cfg Config) *Server {
-	s := &Server{shard: shard, start: time.Now(), mux: http.NewServeMux()}
+	s := &Server{
+		shard:   shard,
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+		reg:     obs.NewRegistry(),
+		slow:    cfg.SlowQuery,
+		slowLog: cfg.SlowLog,
+	}
+	if s.slowLog == nil {
+		s.slowLog = log.New(os.Stderr, "", log.LstdFlags)
+	}
 	if cfg.Rate > 0 {
 		s.limiter = newTokenBucket(cfg.Rate)
 	}
+	s.reg.GaugeFunc("ccubing_uptime_seconds", "Seconds since this server was built.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.CounterFunc("ccubing_rate_limited_total", "Mutating requests turned away by the rate limiter.",
+		func() int64 { return s.nRateLimited.Load() })
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	s.mux.HandleFunc("GET /v1/cube", s.handleCube)
-	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
-	s.mux.HandleFunc("GET /v1/slice", s.handleSlice)
-	s.mux.HandleFunc("POST /v1/slice", s.handleSlice)
-	s.mux.HandleFunc("GET /v1/aggregate", s.handleAggregate)
-	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
-	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
-	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
-	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
-	s.mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
-	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/cube", s.wrap("cube", &s.nCube, s.handleCube))
+	s.mux.HandleFunc("GET /v1/query", s.wrap("query", &s.nQuery, s.handleQuery))
+	s.mux.HandleFunc("POST /v1/query", s.wrap("query", &s.nQuery, s.handleQuery))
+	s.mux.HandleFunc("GET /v1/slice", s.wrap("slice", &s.nSlice, s.handleSlice))
+	s.mux.HandleFunc("POST /v1/slice", s.wrap("slice", &s.nSlice, s.handleSlice))
+	s.mux.HandleFunc("GET /v1/aggregate", s.wrap("aggregate", &s.nAggregate, s.handleAggregate))
+	s.mux.HandleFunc("POST /v1/aggregate", s.wrap("aggregate", &s.nAggregate, s.handleAggregate))
+	s.mux.HandleFunc("POST /v1/append", s.wrap("append", &s.nAppend, s.handleAppend))
+	s.mux.HandleFunc("POST /v1/delete", s.wrap("delete", &s.nDelete, s.handleDelete))
+	s.mux.HandleFunc("POST /v1/update", s.wrap("update", &s.nUpdate, s.handleUpdate))
+	s.mux.HandleFunc("POST /v1/refresh", s.wrap("refresh", &s.nRefresh, s.handleRefresh))
+	s.mux.HandleFunc("POST /v1/reload", s.wrap("reload", &s.nReload, s.handleReload))
+	s.mux.HandleFunc("GET /v1/stats", s.wrap("stats", &s.nStats, s.handleStats))
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// wrap is the per-endpoint middleware: it counts the request, assigns or
+// honors the request ID (echoed on the response and carried by the trace to
+// every stage, including a router's worker calls), times the request into
+// the endpoint's latency histogram, and emits the slow-query log line when
+// the request crosses the configured threshold. Scrape and liveness
+// endpoints stay unwrapped — they are not request traffic.
+func (s *Server) wrap(endpoint string, count *atomic.Int64, fn func(http.ResponseWriter, *http.Request, *obs.Trace)) http.HandlerFunc {
+	hist := s.reg.Histogram("ccubing_http_request_seconds",
+		"HTTP request latency by endpoint.", "endpoint", endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		count.Add(1)
+		rid := r.Header.Get(obs.RequestIDHeader)
+		if rid == "" {
+			rid = obs.NewID()
+		}
+		w.Header().Set(obs.RequestIDHeader, rid)
+		tr := obs.NewTrace(rid)
+		startReq := time.Now()
+		fn(w, r, tr)
+		elapsed := time.Since(startReq)
+		hist.Observe(elapsed)
+		if s.slow > 0 && elapsed >= s.slow {
+			s.slowLog.Printf("slow-query id=%s endpoint=%s dur=%s spec=%q stages=[%s]",
+				rid, endpoint, elapsed.Round(time.Microsecond), tr.Note, tr)
+		}
+	}
+}
+
+// handleMetrics serves the merged Prometheus exposition: this server's
+// transport metrics, the shard's own registry when it has one (Local's cube
+// gauges, a Router's per-worker series), and the process-wide obs.Default
+// (probe, cache and WAL instrumentation).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	regs := make([]*obs.Registry, 0, 3)
+	regs = append(regs, s.reg)
+	if mp, ok := s.shard.(metricsProvider); ok {
+		regs = append(regs, mp.MetricsRegistry())
+	}
+	regs = append(regs, obs.Default)
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = obs.WriteText(w, regs...)
+}
+
+// handleHealth answers the load-balancer check: transport fields from the
+// server, role fields from the shard when it reports them.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{Role: "single"}
+	if h, ok := s.shard.(healther); ok {
+		resp = h.Health()
+	}
+	resp.Status = "ok"
+	resp.UptimeMs = time.Since(s.start).Milliseconds()
+	resp.GoVersion = runtime.Version()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // Handler returns the serving mux.
@@ -171,8 +267,7 @@ func (s *Server) EnablePprof() {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
-	s.nCube.Add(1)
+func (s *Server) handleCube(w http.ResponseWriter, r *http.Request, _ *obs.Trace) {
 	resp, err := s.shard.Meta()
 	if err != nil {
 		writeError(w, httpStatus(err), err)
@@ -221,13 +316,26 @@ func (s *Server) readQueryRequest(w http.ResponseWriter, r *http.Request) (query
 	return req, nil
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.nQuery.Add(1)
+// cellSpec renders the point-query target for the slow-query log note.
+func cellSpec(req queryRequest) string {
+	if len(req.Cell) > 0 {
+		return "cell=" + strings.Join(req.Cell, ",")
+	}
+	parts := make([]string, len(req.Values))
+	for i, v := range req.Values {
+		parts[i] = strconv.FormatInt(int64(v), 10)
+	}
+	return "values=" + strings.Join(parts, ",")
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, tr *obs.Trace) {
 	req, err := s.readQueryRequest(w, r)
 	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return
 	}
+	req.trace = tr
+	tr.Note = cellSpec(req)
 	resp, err := s.shard.Query(req)
 	if err != nil {
 		writeError(w, httpStatus(err), err)
@@ -236,13 +344,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
-	s.nSlice.Add(1)
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request, tr *obs.Trace) {
 	req, err := s.readQueryRequest(w, r)
 	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return
 	}
+	req.trace = tr
+	tr.Note = cellSpec(req)
 	resp, err := s.shard.Slice(req)
 	if err != nil {
 		writeError(w, httpStatus(err), err)
@@ -251,8 +360,7 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
-	s.nAggregate.Add(1)
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request, tr *obs.Trace) {
 	var req aggregateRequest
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
@@ -280,6 +388,8 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	req.trace = tr
+	tr.Note = "where=" + strings.Join(req.Where, ",") + " group_by=" + strings.Join(req.GroupBy, ",")
 	resp, err := s.shard.Aggregate(req)
 	if err != nil {
 		writeError(w, httpStatus(err), err)
@@ -288,8 +398,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
-	s.nAppend.Add(1)
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request, tr *obs.Trace) {
 	if !s.allowMutation(w) {
 		return
 	}
@@ -309,6 +418,8 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpStatus(err), err)
 		return
 	}
+	req.trace = tr
+	tr.Note = fmt.Sprintf("rows=%d", len(req.Rows)+len(req.Values))
 	resp, err := s.shard.Append(req)
 	if err != nil {
 		writeError(w, httpStatus(err), err)
@@ -317,8 +428,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	s.nDelete.Add(1)
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, tr *obs.Trace) {
 	if !s.allowMutation(w) {
 		return
 	}
@@ -338,6 +448,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpStatus(err), err)
 		return
 	}
+	req.trace = tr
+	tr.Note = fmt.Sprintf("rows=%d", len(req.Rows)+len(req.Values))
 	resp, err := s.shard.Delete(req)
 	if err != nil {
 		writeError(w, httpStatus(err), err)
@@ -346,8 +458,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	s.nUpdate.Add(1)
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, tr *obs.Trace) {
 	if !s.allowMutation(w) {
 		return
 	}
@@ -358,6 +469,8 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpStatus(err), err)
 		return
 	}
+	req.trace = tr
+	tr.Note = fmt.Sprintf("pairs=%d", len(req.OldRows)+len(req.OldValues))
 	resp, err := s.shard.Update(req)
 	if err != nil {
 		writeError(w, httpStatus(err), err)
@@ -366,8 +479,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
-	s.nRefresh.Add(1)
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request, _ *obs.Trace) {
 	if !s.allowMutation(w) {
 		return
 	}
@@ -379,8 +491,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	s.nReload.Add(1)
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, _ *obs.Trace) {
 	if !s.allowMutation(w) {
 		return
 	}
@@ -405,8 +516,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.nStats.Add(1)
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ *obs.Trace) {
 	resp, err := s.shard.Stats()
 	if err != nil {
 		writeError(w, httpStatus(err), err)
