@@ -174,9 +174,12 @@ type Options struct {
 	// run. Emitted cells are always in the dataset's original dimension
 	// order.
 	Order OrderStrategy
-	// Measure attaches a complex measure, aggregated over Dataset.Aux.
-	// Supported natively by AlgBUC and AlgQCDFS; other engines return an
-	// error (use AttachMeasure as a post-pass instead).
+	// Measure attaches a complex measure, aggregated over Dataset.Aux during
+	// the cubing pass itself. Supported natively by AlgBUC, AlgQCDFS, AlgMM,
+	// AlgStar and AlgStarArray (and hence by every engine AlgAuto selects);
+	// the remaining baselines (AlgQCTree, AlgOBBUC) return an error — use
+	// AttachMeasure as a post-pass there. Compute presents MeasureAvg cells
+	// as the mean; Materialize stores the algebraic (sum, count) pair.
 	Measure MeasureKind
 	// DenseBudget overrides the MM-Cubing dense array budget, in cells.
 	DenseBudget int
@@ -341,13 +344,16 @@ func resolveWorkers(w int) int {
 }
 
 // visitSink adapts a visit callback to the engine sink interface, remapping
-// dimension positions when the table was reordered.
+// dimension positions when the table was reordered. Engines deliver stored
+// aggregates (avg as the running sum); the sink presents them — avg divides
+// by count — so visit always sees the user-facing measure value.
 type visitSink struct {
 	visit   func(Cell)
 	perm    []int
 	scratch []core.Value
 	stats   *Stats
 	cell    Cell
+	kind    MeasureKind
 	// cellBytes is the serialized size of one cell: 4 bytes per dimension,
 	// an 8-byte count, and another 8-byte value when a complex measure was
 	// computed.
@@ -364,6 +370,7 @@ func newVisitSink(visit func(Cell), perm []int, nd int, opt Options, st *Stats) 
 		perm:      perm,
 		scratch:   make([]core.Value, nd),
 		stats:     st,
+		kind:      opt.Measure,
 		cellBytes: cellBytes,
 	}
 }
@@ -395,6 +402,9 @@ func (v *visitSink) emit(vals []core.Value, count int64, aux float64) {
 	}
 	v.cell.Values = v.scratch
 	v.cell.Count = count
+	if v.kind != MeasureNone {
+		aux = core.Present(v.kind, aux, count)
+	}
 	v.cell.Aux = aux
 	v.visit(v.cell)
 }

@@ -16,8 +16,10 @@ import (
 
 	"ccubing/internal/core"
 	"ccubing/internal/cubestore"
+	"ccubing/internal/engine"
 	"ccubing/internal/qcache"
 	"ccubing/internal/refresh"
+	"ccubing/internal/sink"
 	"ccubing/internal/table"
 )
 
@@ -40,7 +42,11 @@ type Cube struct {
 	minSup  int64
 	alg     Algorithm
 	measure MeasureKind
-	stats   Stats
+	// auxStored reports that cell aux values are stored aggregates (avg as
+	// the running sum, divided at query egress). False only for legacy
+	// snapshots (version <= 3), whose avg cells hold the presented mean.
+	auxStored bool
+	stats     Stats
 	mgr     *refresh.Manager                 // live cubes: owns the serving snapshot
 	static  atomic.Pointer[refresh.Snapshot] // snapshot-loaded cubes
 	// cache memoizes query results keyed by (generation, normalized query);
@@ -83,8 +89,15 @@ func (c *Cube) snap() *refresh.Snapshot {
 // Materialize computes the closed iceberg cube of ds and freezes it into a
 // queryable Cube. Options are interpreted as in Compute, except that Closed
 // is implied (the closed cube is the lossless serving form; Options.Closed
-// is ignored). A complex Measure is supported for every engine: engines
-// without native measure aggregation get the AttachMeasure post-pass.
+// is ignored). A complex Measure is supported for every engine: the native
+// engines (every Algorithm AlgAuto selects) aggregate it during the cubing
+// pass itself — one scan, avg stored as the algebraic (sum, count) pair —
+// and the remaining baselines fall back to the AttachMeasure post-pass,
+// which fills the identical stored aggregates.
+//
+// A cube materialized with MinSup > 1 additionally carries the residual
+// summary of the pruned mass (one scan of the relation), so Aggregate
+// answers exactly — not as a lower bound — at any threshold.
 func Materialize(ds *Dataset, opt Options) (*Cube, error) {
 	if ds == nil || ds.t == nil {
 		return nil, fmt.Errorf("ccubing: nil dataset")
@@ -92,9 +105,13 @@ func Materialize(ds *Dataset, opt Options) (*Cube, error) {
 	opt.Closed = true
 	opt = opt.withDefaults()
 	hasAux := opt.Measure != MeasureNone
+	native := hasAux && nativeMeasureAlg(ds, opt)
 	b := cubestore.NewBuilder(ds.NumDims(), hasAux)
 	var st Stats
-	if hasAux {
+	if hasAux && !native {
+		// Fallback for engines without native measure aggregation: count-only
+		// compute, then the AttachMeasure post-pass (which fills the same
+		// stored aggregates the native path emits).
 		kind := opt.Measure
 		copt := opt
 		copt.Measure = MeasureNone
@@ -115,35 +132,55 @@ func Materialize(ds *Dataset, opt Options) (*Cube, error) {
 			return nil, err
 		}
 		st.Algorithm = plan.alg
+		cellBytes := int64(4*ds.NumDims()) + 8
+		if hasAux {
+			cellBytes += 8
+		}
 		start := time.Now()
 		if plan.identity() {
 			// Zero-copy path: cells arrive in dataset dimension order, so the
 			// engine (and, under Workers>1, the merger's batched flushes) feed
 			// the store builder directly — no per-cell callback or remap.
+			// Native measure aggregates ride along in stored form.
 			bs := &cubestore.BuilderSink{B: b}
 			if err := plan.run(bs); err != nil {
 				return nil, err
 			}
 			st.Cells = bs.Cells
-			st.Bytes = bs.Cells * (int64(4*ds.NumDims()) + 8)
 		} else {
-			out := newVisitSink(func(c Cell) { b.Add(c.Values, c.Count, 0) }, plan.perm, plan.t.NumDims(), opt, &st)
-			if err := plan.run(out); err != nil {
+			// Reordered dimensions: remap positions, still keeping measure
+			// aggregates in stored form (presentation happens at query egress).
+			ss := &storeSink{b: b, perm: plan.perm, scratch: make([]core.Value, ds.NumDims())}
+			if err := plan.run(ss); err != nil {
 				return nil, err
 			}
+			st.Cells = ss.cells
 		}
+		st.Bytes = st.Cells * cellBytes
 		st.Elapsed = time.Since(start)
+	}
+	if opt.MinSup > 1 {
+		// The residual summary of the iceberg-pruned mass: what Aggregate
+		// needs to answer exactly below the threshold.
+		var auxCol []float64
+		if hasAux {
+			auxCol = ds.t.Aux
+		}
+		if err := b.SetResidual(cubestore.ComputeResidual(ds.t.Cols, auxCol, opt.MinSup, opt.Measure)); err != nil {
+			return nil, fmt.Errorf("ccubing: materialize: %w", err)
+		}
 	}
 	store, err := b.Build()
 	if err != nil {
 		return nil, fmt.Errorf("ccubing: materialize: %w", err)
 	}
 	cube := &Cube{
-		names:   append([]string(nil), ds.t.Names...),
-		minSup:  opt.MinSup,
-		alg:     st.Algorithm,
-		measure: opt.Measure,
-		stats:   st,
+		names:     append([]string(nil), ds.t.Names...),
+		minSup:    opt.MinSup,
+		alg:       st.Algorithm,
+		measure:   opt.Measure,
+		auxStored: true,
+		stats:     st,
 	}
 	cube.cache.Store(qcache.New(DefaultQueryCacheEntries))
 	var dicts []*table.Dict
@@ -155,10 +192,13 @@ func Materialize(ds *Dataset, opt Options) (*Cube, error) {
 	}
 	// Attach the live-refresh manager: the cube keeps the relation so appends
 	// can fold in incrementally. The refresh recompute reuses the engine the
-	// build resolved to (closed mode, measures via the AttachMeasure
-	// post-pass like Materialize itself).
+	// build resolved to, with measures aggregated natively when the engine
+	// supports it (the AttachMeasure post-pass remains the fallback), so a
+	// refreshed store is byte-identical to a from-scratch rebuild.
 	ropt := opt
-	ropt.Measure = MeasureNone
+	if !native {
+		ropt.Measure = MeasureNone
+	}
 	eng, ecfg, err := resolveEngine(ds, ropt, st.Algorithm)
 	if err != nil {
 		return nil, err
@@ -167,8 +207,9 @@ func Materialize(ds *Dataset, opt Options) (*Cube, error) {
 		Eng:     eng,
 		ECfg:    ecfg,
 		Workers: resolveWorkers(opt.Workers),
+		Measure: opt.Measure,
 	}
-	if hasAux {
+	if hasAux && !native {
 		kind := opt.Measure
 		mcfg.AttachAux = func(t *table.Table, cells []core.Cell) error {
 			return attachMeasureCore(t, cells, kind)
@@ -179,6 +220,49 @@ func Materialize(ds *Dataset, opt Options) (*Cube, error) {
 		return nil, fmt.Errorf("ccubing: materialize: %w", err)
 	}
 	return cube, nil
+}
+
+// nativeMeasureAlg reports whether the engine opt resolves to aggregates the
+// measure natively (during the cubing pass, via sink.AuxSink) — the condition
+// for Materialize to skip the AttachMeasure post-pass.
+func nativeMeasureAlg(ds *Dataset, opt Options) bool {
+	if ds.t.Aux == nil {
+		return false
+	}
+	alg := opt.Algorithm
+	if alg == AlgAuto {
+		alg = Advise(ds, opt.MinSup, opt.Closed)
+	}
+	eng, ok := engine.Lookup(alg.String())
+	return ok && eng.Capabilities().NativeMeasure
+}
+
+// storeSink feeds engine output into a store builder, remapping reordered
+// dimension positions. Measure aggregates pass through in stored form (avg as
+// the running sum) — presentation happens at query egress, never at rest.
+type storeSink struct {
+	b       *cubestore.Builder
+	perm    []int
+	scratch []core.Value
+	cells   int64
+}
+
+func (s *storeSink) Emit(vals []core.Value, count int64) { s.EmitAux(vals, count, 0) }
+
+func (s *storeSink) EmitAux(vals []core.Value, count int64, aux float64) {
+	for i, v := range vals {
+		s.scratch[s.perm[i]] = v
+	}
+	s.b.Add(s.scratch, count, aux)
+	s.cells++
+}
+
+// EmitBatch keeps the parallel merger's batched flushes on the batch
+// interface; each cell still pays the remap.
+func (s *storeSink) EmitBatch(arena []core.Value, cells []sink.BatchCell) {
+	for _, c := range cells {
+		s.EmitAux(arena[c.Off:c.Off+c.Width], c.Count, c.Aux)
+	}
 }
 
 // NumDims returns the cube's dimensionality.
@@ -210,6 +294,13 @@ func (c *Cube) HasMeasure() bool { return c.snap().Store.HasAux() }
 // the measure kind was recorded). Distributed serving needs it: a router can
 // only merge per-shard measure values when it knows how they combine.
 func (c *Cube) Measure() MeasureKind { return c.measure }
+
+// AuxStored reports whether the cube's measure values are held in stored
+// (mergeable) form — running sums on avg cubes — and presented only at query
+// egress. False only for legacy snapshots (format < 4) whose avg cells hold
+// the already-presented mean; those values cannot be recombined across
+// shards, so a router falls back to routing instead of merging them.
+func (c *Cube) AuxStored() bool { return c.auxStored }
 
 // Labeled reports whether the cube carries dictionaries, i.e. was built from
 // a labeled dataset (CSV or NewDataset) and answers queries by label.
@@ -247,6 +338,18 @@ func (c *Cube) Query(vals []int32) (int64, bool) {
 // cell covering it, which carries the cell's own count (and measure value).
 // ok is false when the cell is empty or below the iceberg threshold.
 func (c *Cube) Lookup(vals []int32) (Cell, bool) {
+	cell, ok := c.LookupStored(vals)
+	if ok {
+		cell.Aux = c.presentAux(cell.Aux, cell.Count)
+	}
+	return cell, ok
+}
+
+// LookupStored is Lookup without measure presentation: the returned Aux is
+// the stored mergeable aggregate (the running sum on avg cubes) rather than
+// the user-facing value. Shard routers combine per-shard stored values
+// exactly and present once after the merge; everything else wants Lookup.
+func (c *Cube) LookupStored(vals []int32) (Cell, bool) {
 	st := c.snap()
 	qc := c.cache.Load()
 	if qc == nil {
@@ -265,6 +368,24 @@ func (c *Cube) Lookup(vals []int32) (Cell, bool) {
 	// Hits hand out a copy: the cached closure values are shared by every
 	// future hit of this entry and must stay immutable.
 	return Cell{Values: append([]int32(nil), e.vals...), Count: e.count, Aux: e.aux}, true
+}
+
+// PresentAux converts a stored measure aggregate — a LookupStored result, or
+// an AuxAgg-sum aggregate over an avg cube — to the user-facing value: the
+// mean on avg cubes with stored aggregates, the value itself otherwise.
+func (c *Cube) PresentAux(aux float64, count int64) float64 {
+	return c.presentAux(aux, count)
+}
+
+// presentAux converts a stored measure aggregate to the user-facing value at
+// query egress: avg divides the stored sum by the count; every other kind is
+// already presented. Legacy snapshots (auxStored false) hold presented values
+// at rest and pass through.
+func (c *Cube) presentAux(aux float64, count int64) float64 {
+	if c.auxStored && c.measure == MeasureAvg {
+		return core.Present(core.MeasureAvg, aux, count)
+	}
+	return aux
 }
 
 // Cache key kinds, one per query form sharing the cache.
@@ -321,7 +442,7 @@ func cachedLookup(qc *qcache.Cache, st *refresh.Snapshot, vals []int32) lookupEn
 // vals, like Query.
 func (c *Cube) Slice(vals []int32, visit func(Cell) bool) {
 	c.snap().Store.Slice(vals, func(cc core.Cell) bool {
-		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux})
+		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: c.presentAux(cc.Aux, cc.Count)})
 	})
 }
 
@@ -329,7 +450,7 @@ func (c *Cube) Slice(vals []int32, visit func(Cell) bool) {
 // ascending within a cuboid).
 func (c *Cube) Cells(visit func(Cell) bool) {
 	c.snap().Store.Walk(func(cc core.Cell) bool {
-		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux})
+		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: c.presentAux(cc.Aux, cc.Count)})
 	})
 }
 
@@ -410,19 +531,21 @@ func (c *Cube) QueryLabels(labels []string) (int64, bool, error) {
 
 // Cube snapshot format: a metadata header (length-prefixed, CRC-protected)
 // followed by the cell-store payload (internal/cubestore's versioned,
-// checksummed snapshot). The header holds the iceberg threshold, computing
-// algorithm, the measure kind (version 3 — shard workers loaded from
-// snapshots must report how their measure combines for a router to merge
-// scatter-gather answers), the refresh generation and source-row count
-// (version 2 — used to validate warm snapshot reloads), dimension names
-// and, when present, the per-dimension dictionaries, so CSV-built cubes
-// answer label queries after a round trip.
+// checksummed snapshot, which carries the iceberg residual when the store
+// has one). The header holds the iceberg threshold, computing algorithm, the
+// measure kind and aux form (version 4 — whether avg cells hold the stored
+// running sum or, in legacy snapshots, the presented mean; version 3
+// recorded only the kind, needed by routers to merge scatter-gather
+// answers), the refresh generation and source-row count (version 2 — used
+// to validate warm snapshot reloads), dimension names and, when present,
+// the per-dimension dictionaries, so CSV-built cubes answer label queries
+// after a round trip.
 const cubeMagic = "CCUBE\x00\x00"
 
 // CubeSnapshotVersion is the current Cube snapshot format version. Version 1
-// (no generation / source-row metadata) and version 2 (no measure kind)
-// snapshots still load.
-const CubeSnapshotVersion = 3
+// (no generation / source-row metadata), version 2 (no measure kind) and
+// version 3 (no aux-form flag, no store residual) snapshots still load.
+const CubeSnapshotVersion = 4
 
 // Save writes a snapshot of the cube to w. Output is deterministic: saving,
 // loading and saving again produces identical bytes. The snapshot captures
@@ -442,6 +565,11 @@ func (c *Cube) Save(w io.Writer) error {
 	putUvarint(uint64(c.minSup))
 	head.WriteByte(byte(c.alg))
 	head.WriteByte(byte(c.measure))
+	if c.auxStored {
+		head.WriteByte(1)
+	} else {
+		head.WriteByte(0)
+	}
 	putUvarint(st.Generation)
 	putUvarint(uint64(st.Rows))
 	putUvarint(uint64(len(c.names)))
@@ -548,6 +676,7 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	// (their cells still carry aux values — only the combining rule is
 	// unknown, which matters to scatter-gather merging, not local serving).
 	var measure MeasureKind
+	var auxStored bool
 	if version >= 3 {
 		mb, err := hr.ReadByte()
 		if err != nil {
@@ -557,6 +686,18 @@ func LoadCube(r io.Reader) (*Cube, error) {
 			return nil, fmt.Errorf("ccubing: load: unknown measure kind %d", mb)
 		}
 		measure = MeasureKind(mb)
+	}
+	// Version 4 adds the aux form. Older avg snapshots hold the presented
+	// mean at rest, so egress must not divide again — auxStored stays false.
+	if version >= 4 {
+		fb, err := hr.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("ccubing: load: header: %w", err)
+		}
+		if fb > 1 {
+			return nil, fmt.Errorf("ccubing: load: bad aux-form flag %d", fb)
+		}
+		auxStored = fb == 1
 	}
 	// Version 2 adds the refresh generation and the source relation's row
 	// count (warm-reload validation metadata); version 1 predates both.
@@ -576,7 +717,7 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	if nd == 0 || nd > uint64(MaxDims) {
 		return nil, fmt.Errorf("ccubing: load: %d dimensions out of range", nd)
 	}
-	cube := &Cube{minSup: int64(minSup), alg: Algorithm(algByte), measure: measure}
+	cube := &Cube{minSup: int64(minSup), alg: Algorithm(algByte), measure: measure, auxStored: auxStored}
 	cube.cache.Store(qcache.New(DefaultQueryCacheEntries))
 	cube.names = make([]string, nd)
 	for d := range cube.names {
@@ -678,11 +819,13 @@ type AggregateOptions struct {
 	TopK int
 	// By picks the top-k ranking measure.
 	By OrderBy
-	// AuxAgg picks how measure values combine across a group: MeasureSum
-	// (also the MeasureNone default), MeasureMin or MeasureMax. It must match
-	// the measure the cube was materialized with for the aggregated Aux to be
-	// meaningful; MeasureAvg is not decomposable over closed cells and is
-	// rejected.
+	// AuxAgg picks how measure values combine across a group: MeasureSum,
+	// MeasureMin, MeasureMax, or MeasureAvg — the last only on cubes
+	// materialized with MeasureAvg, whose cells store the algebraic
+	// (sum, count) pair: group sums are added and divided by the group count.
+	// MeasureNone defaults to the combiner matching the cube's own measure
+	// (avg for avg cubes, sum otherwise). It must match the measure the cube
+	// was materialized with for the aggregated Aux to be meaningful.
 	AuxAgg MeasureKind
 }
 
@@ -700,17 +843,22 @@ func ParseOrderBy(s string) (OrderBy, error) {
 }
 
 // ParseAuxAgg resolves the measure-combiner names shared by the serving
-// surfaces: "sum" (or empty), "min" and "max".
+// surfaces: "sum", "min", "max" and "avg" (empty defaults to the cube's own
+// measure combiner — see AggregateOptions.AuxAgg).
 func ParseAuxAgg(s string) (MeasureKind, error) {
 	switch s {
-	case "", "sum":
+	case "":
+		return MeasureNone, nil
+	case "sum":
 		return MeasureSum, nil
 	case "min":
 		return MeasureMin, nil
 	case "max":
 		return MeasureMax, nil
+	case "avg":
+		return MeasureAvg, nil
 	}
-	return MeasureNone, fmt.Errorf("ccubing: unknown aux-agg %q (want sum, min or max)", s)
+	return MeasureNone, fmt.Errorf("ccubing: unknown aux-agg %q (want sum, min, max or avg)", s)
 }
 
 // ParseSpec builds a QuerySpec from one component per dimension, label-aware
@@ -841,7 +989,7 @@ func (c *Cube) Select(spec QuerySpec, visit func(Cell) bool) error {
 		return err
 	}
 	c.snap().Store.Select(ss, func(cc core.Cell) bool {
-		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: cc.Aux})
+		return visit(Cell{Values: cc.Values, Count: cc.Count, Aux: c.presentAux(cc.Aux, cc.Count)})
 	})
 	return nil
 }
@@ -852,11 +1000,15 @@ func (c *Cube) Select(spec QuerySpec, visit func(Cell) bool) error {
 // Rows fix exactly the GroupBy dimensions and arrive ranked best first (ties
 // by value, so results are deterministic); TopK truncates.
 //
-// The exact result reports whether the aggregates are exact: true for cubes
-// materialized at MinSup 1, false on iceberg cubes, where combinations below
-// the threshold are absent and every aggregate is a lower bound. Serving
-// surfaces forward the flag so clients never mistake a bound for a total.
-// See the cubestore documentation for the closure-dedup execution.
+// The exact result reports whether the aggregates are exact. It is true for
+// cubes materialized at MinSup 1 and for iceberg cubes whose store carries
+// the residual summary of the pruned mass (every cube Materialize builds at
+// MinSup > 1): the residual folds the sub-threshold combinations back in, so
+// the aggregates equal a MinSup-1 recomputation. Only legacy snapshots
+// without a residual degrade to exact=false, where every aggregate is a
+// lower bound. Serving surfaces forward the flag so clients never mistake a
+// bound for a total. See the cubestore documentation for the closure-dedup
+// execution.
 func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) (rows []Cell, exact bool, err error) {
 	ss, err := c.storeSpec(spec)
 	if err != nil {
@@ -878,15 +1030,34 @@ func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) (rows []Cell, exa
 	default:
 		return nil, false, fmt.Errorf("ccubing: unknown order-by %d", opt.By)
 	}
-	switch opt.AuxAgg {
+	auxAgg := opt.AuxAgg
+	if auxAgg == MeasureNone && c.measure == MeasureAvg && c.auxStored {
+		// Default the combiner to the cube's own measure: avg cubes average.
+		auxAgg = MeasureAvg
+	}
+	avgAux := false
+	switch auxAgg {
 	case MeasureNone, MeasureSum:
 		sopt.AuxAgg = cubestore.AuxSum
 	case MeasureMin:
 		sopt.AuxAgg = cubestore.AuxMin
 	case MeasureMax:
 		sopt.AuxAgg = cubestore.AuxMax
+	case MeasureAvg:
+		if c.measure != MeasureAvg || !c.auxStored {
+			return nil, false, fmt.Errorf("ccubing: aux-agg avg needs a cube materialized with MeasureAvg (this cube carries %v)", c.measure)
+		}
+		// Algebraic: sum the stored per-cell sums, divide by the group count
+		// once the groups are final.
+		avgAux = true
+		sopt.AuxAgg = cubestore.AuxSum
 	default:
 		return nil, false, fmt.Errorf("ccubing: measure kind %v cannot aggregate over closed cells", opt.AuxAgg)
+	}
+	if avgAux && sopt.By == cubestore.ByAux {
+		// The store would rank raw sums; the caller asked for means. Fetch
+		// every group, divide, then rank and truncate here.
+		sopt.TopK = 0
 	}
 	seen := make(map[int]bool, len(opt.GroupBy))
 	for _, name := range opt.GroupBy {
@@ -899,11 +1070,17 @@ func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) (rows []Cell, exa
 			sopt.GroupBy = append(sopt.GroupBy, d)
 		}
 	}
-	exact = c.minSup <= 1
+	exact = c.minSup <= 1 || st.Store.HasResidual()
 	qc := c.cache.Load()
 	var key []byte
 	if qc != nil {
 		key = appendAggKey(cacheKey(st.Generation, cacheKindAgg, 8*c.NumDims()), ss, sopt)
+		if avgAux {
+			// The avg presentation changes the rows (and possibly the
+			// truncation), so it must not share entries with plain sum.
+			key = append(key, 1)
+			key = binary.BigEndian.AppendUint32(key, uint32(opt.TopK))
+		}
 		if v, hit := qc.Get(key); hit {
 			e := v.(aggEntry)
 			return copyCells(e.rows), e.exact, nil
@@ -914,6 +1091,17 @@ func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) (rows []Cell, exa
 	for i, r := range srows {
 		out[i] = Cell{Values: r.Values, Count: r.Count, Aux: r.Aux}
 	}
+	if avgAux {
+		for i := range out {
+			out[i].Aux = core.Present(core.MeasureAvg, out[i].Aux, out[i].Count)
+		}
+		if sopt.By == cubestore.ByAux {
+			sortAggRows(out, opt.By)
+			if opt.TopK > 0 && len(out) > opt.TopK {
+				out = out[:opt.TopK]
+			}
+		}
+	}
 	if qc != nil {
 		// The cached rows become shared; hand the caller a copy, like the hit
 		// path does.
@@ -921,6 +1109,30 @@ func (c *Cube) Aggregate(spec QuerySpec, opt AggregateOptions) (rows []Cell, exa
 		return copyCells(out), exact, nil
 	}
 	return out, exact, nil
+}
+
+// sortAggRows ranks aggregate rows best first, mirroring the store's order:
+// rank descending, ties by values ascending (Star sorts last, matching the
+// packed-key comparison).
+func sortAggRows(rows []Cell, by OrderBy) {
+	rank := func(c Cell) float64 {
+		if by == ByAux {
+			return c.Aux
+		}
+		return float64(c.Count)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ri, rj := rank(rows[i]), rank(rows[j])
+		if ri != rj {
+			return ri > rj
+		}
+		for d := range rows[i].Values {
+			if rows[i].Values[d] != rows[j].Values[d] {
+				return uint32(rows[i].Values[d]) < uint32(rows[j].Values[d])
+			}
+		}
+		return false
+	})
 }
 
 // aggEntry is one cached aggregate result.

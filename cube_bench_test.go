@@ -197,6 +197,102 @@ func BenchmarkMaterialize(b *testing.B) {
 	}
 }
 
+// BenchmarkMaterializeNativeMeasure compares the two ways a measure cube can
+// be built: the native path (engines fold the stored aggregate during
+// aggregation-based checking, one scan) against the legacy AttachMeasure
+// post-pass (count-only compute, then a second cuboid-grouped scan, then the
+// freeze). Both produce bit-identical stores; native should win by roughly
+// the cost of the second scan.
+func BenchmarkMaterializeNativeMeasure(b *testing.B) {
+	ds := benchCubeDataset(b)
+	aux := make([]float64, ds.NumTuples())
+	for i := range aux {
+		aux[i] = float64(i%97) - 11
+	}
+	if err := ds.SetMeasure(aux); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Materialize(ds, Options{MinSup: 8, Measure: MeasureSum, Workers: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("postpass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cells, _, err := ComputeCollect(ds, Options{MinSup: 8, Closed: true, Workers: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := AttachMeasure(ds, cells, MeasureSum); err != nil {
+				b.Fatal(err)
+			}
+			sb := cubestore.NewBuilder(ds.NumDims(), true)
+			for _, c := range cells {
+				sb.Add(c.Values, c.Count, c.Aux)
+			}
+			if _, err := sb.Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAggregateIcebergResidual measures group-by aggregation on an
+// iceberg cube whose store carries the residual of the pruned mass — the
+// price of exactness — against the same queries on a lossless minsup-1 cube
+// (no residual to fold, but far more stored cells to enumerate). The result
+// cache is disabled; every op pays the full enumeration + residual pass.
+func BenchmarkAggregateIcebergResidual(b *testing.B) {
+	ds := benchCubeDataset(b)
+	aux := make([]float64, ds.NumTuples())
+	for i := range aux {
+		aux[i] = float64(i%97) - 11
+	}
+	if err := ds.SetMeasure(aux); err != nil {
+		b.Fatal(err)
+	}
+	names := ds.Names()
+	const nspec = 256
+	specs := make([]QuerySpec, nspec)
+	groups := make([][]string, nspec)
+	rng := rand.New(rand.NewSource(benchSeed()))
+	for i := range specs {
+		spec := make(QuerySpec, ds.NumDims())
+		for d := range spec {
+			if rng.Intn(3) == 0 {
+				spec[d] = Predicate{Op: PredEq, Value: int32(rng.Intn(20))}
+			}
+		}
+		specs[i] = spec
+		groups[i] = []string{names[rng.Intn(len(names))]}
+	}
+	for _, minsup := range []int64{1, 8} {
+		cube, err := Materialize(ds, Options{MinSup: minsup, Measure: MeasureSum, Workers: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cube.SetQueryCache(0)
+		label := fmt.Sprintf("minsup=%d/cells=%d", minsup, cube.NumCells())
+		if minsup > 1 {
+			label += fmt.Sprintf("/residual=%d", cube.snap().Store.ResidualRows())
+		}
+		b.Run(label, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, exact, err := cube.Aggregate(specs[i%nspec], AggregateOptions{GroupBy: groups[i%nspec]})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !exact || rows == nil && i == 0 {
+					b.Fatal("iceberg aggregate must stay exact")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCubeSnapshot measures Save and Load of a materialized cube.
 func BenchmarkCubeSnapshot(b *testing.B) {
 	ds := benchCubeDataset(b)

@@ -215,6 +215,98 @@ func TestRefreshWithMeasure(t *testing.T) {
 	}
 }
 
+// TestRefreshMeasureResidualExact drives the full native-measure refresh
+// path on an avg iceberg cube: the refreshed store (stored running sums plus
+// the residual of the recomputed partitions) is byte-identical to a
+// from-scratch build, and post-refresh aggregates stay exact — equal to a
+// MinSup-1 materialization of the grown relation.
+func TestRefreshMeasureResidualExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	cards := []int{6, 5, 4}
+	base := randomRows(rng, cards, 350, nil)
+	delta := randomRows(rng, cards, 50, []int32{1, int32(cards[0])})
+	// Integer aux keeps float sums exact, so equality can be byte-strict.
+	baseAux := make([]float64, len(base))
+	for i := range baseAux {
+		baseAux[i] = float64(rng.Intn(40) - 10)
+	}
+	deltaAux := make([]float64, len(delta))
+	for i := range deltaAux {
+		deltaAux[i] = float64(rng.Intn(40) - 10)
+	}
+
+	ds, err := NewDatasetFromValues(nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetMeasure(baseAux); err != nil {
+		t.Fatal(err)
+	}
+	cube, err := Materialize(ds, Options{MinSup: 3, Measure: MeasureAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cube.AppendValues(delta, deltaAux); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cube.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if !cube.snap().Store.HasResidual() {
+		t.Fatal("refresh dropped the residual")
+	}
+	if !cube.AuxStored() {
+		t.Fatal("refresh dropped the stored aux form")
+	}
+
+	fullRows := append(append([][]int32{}, base...), delta...)
+	fullAux := append(append([]float64{}, baseAux...), deltaAux...)
+	fullDS, err := NewDatasetFromValues(nil, fullRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fullDS.SetMeasure(fullAux); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Materialize(fullDS, Options{MinSup: 3, Measure: MeasureAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refreshStoreBytes(t, cube), refreshStoreBytes(t, want)) {
+		t.Fatal("refreshed avg store (cells + residual) differs from from-scratch materialize")
+	}
+
+	// Exactness after refresh: identical to a lossless MinSup-1 cube.
+	oracle, err := Materialize(fullDS, Options{MinSup: 1, Measure: MeasureAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := fullDS.Names()
+	for i := 0; i < 40; i++ {
+		spec := randomFacadeSpec(rng, cards)
+		groupBy := []string{names[rng.Intn(len(names))]}
+		got, exact, err := cube.Aggregate(spec, AggregateOptions{GroupBy: groupBy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact {
+			t.Fatalf("spec %d: refreshed iceberg cube must stay exact", i)
+		}
+		wantRows, _, err := oracle.Aggregate(spec, AggregateOptions{GroupBy: groupBy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(wantRows) {
+			t.Fatalf("spec %d: %d rows, oracle has %d", i, len(got), len(wantRows))
+		}
+		for j := range got {
+			if got[j].Count != wantRows[j].Count || got[j].Aux != wantRows[j].Aux {
+				t.Fatalf("spec %d row %d: refreshed %+v, oracle %+v", i, j, got[j], wantRows[j])
+			}
+		}
+	}
+}
+
 // TestRefreshSnapshotMetadata round-trips generation and source-row count
 // through the version-2 snapshot format.
 func TestRefreshSnapshotMetadata(t *testing.T) {

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"ccubing/internal/core"
 )
 
 // randomEquivalenceDataset draws a small relation with random shape.
@@ -129,6 +131,11 @@ func TestCrossEngineMeasuresRandomized(t *testing.T) {
 			}
 			if err := AttachMeasure(ds, post, kind); err != nil {
 				t.Fatal(err)
+			}
+			// AttachMeasure fills stored aggregates (avg as the running sum);
+			// Compute presents at egress, so present the oracle the same way.
+			for i := range post {
+				post[i].Aux = core.Present(kind, post[i].Aux, post[i].Count)
 			}
 			native, post = sortedCells(native), sortedCells(post)
 			if len(native) != len(post) {

@@ -12,12 +12,15 @@ import (
 )
 
 // AttachMeasure computes a complex measure (paper Sec. 6.1) for
-// already-collected cells, filling each cell's Aux in place. Lemma 1
-// guarantees the closed cube on count loses no closed cells of any measure,
-// so attaching measures after closed cubing is sound. All cells aggregate in
-// one scan per distinct fixed-dimension pattern (cuboid) rather than one
-// scan per cell: cost is O(T × cuboids + cells), so even full closed-cube
-// outputs are practical.
+// already-collected cells, filling each cell's Aux in place with the stored
+// aggregate: the sum for MeasureSum and MeasureAvg (avg is the algebraic pair
+// (Aux, Count); divide to present), the extremum for MeasureMin/MeasureMax.
+// This matches what native-measure engines emit, so attached and native
+// aggregates are bit-identical. Lemma 1 guarantees the closed cube on count
+// loses no closed cells of any measure, so attaching measures after closed
+// cubing is sound. All cells aggregate in one scan per distinct
+// fixed-dimension pattern (cuboid) rather than one scan per cell: cost is
+// O(T × cuboids + cells), so even full closed-cube outputs are practical.
 func AttachMeasure(ds *Dataset, cells []Cell, kind MeasureKind) error {
 	if kind == MeasureNone {
 		return nil
@@ -81,7 +84,7 @@ func AttachMeasure(ds *Dataset, cells []Cell, kind MeasureKind) error {
 		}
 	}
 	for ci := range cells {
-		cells[ci].Aux = aggs[ci].Value()
+		cells[ci].Aux = aggs[ci].Stored()
 	}
 	return nil
 }
@@ -174,7 +177,10 @@ func (popt PartitionOptions) resolveDim(ds *Dataset) (int, error) {
 // exceeds memory (paper Sec. 6.3): the relation is spilled into partition
 // files on one dimension, partitions are cubed one at a time, and the cells
 // collapsing the partition dimension come from one final pass with that
-// dimension moved last. The emitted cell set equals Compute's. With
+// dimension moved last. The emitted cell set equals Compute's, including
+// native measures: partition files carry the aux column, so per-cell
+// aggregates survive the spill (cells fixing the partition dimension keep all
+// their tuples inside one partition; the final pass sees every tuple). With
 // Options.Workers > 1 up to that many partitions are loaded and cubed
 // concurrently, trading the one-partition memory bound for a Workers-
 // partition bound.
@@ -191,9 +197,6 @@ func ComputePartitioned(ds *Dataset, opt Options, popt PartitionOptions, visit f
 	eng, ecfg, err := resolveEngine(ds, opt, alg)
 	if err != nil {
 		return st, err
-	}
-	if opt.Measure != MeasureNone {
-		return st, fmt.Errorf("ccubing: partitioned runs do not support native measures; use AttachMeasure")
 	}
 	dim, err := popt.resolveDim(ds)
 	if err != nil {

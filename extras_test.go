@@ -100,16 +100,16 @@ func (a *testAgg) add(x float64) {
 	}
 }
 
+// value returns the stored-aggregate form AttachMeasure fills: the running
+// sum for avg (the algebraic pair's numerator), extrema/sum otherwise.
 func (a *testAgg) value() float64 {
 	switch a.kind {
-	case MeasureSum:
-		return a.sum
 	case MeasureMin:
 		return a.min
 	case MeasureMax:
 		return a.max
 	default:
-		return a.sum / float64(a.n)
+		return a.sum
 	}
 }
 
@@ -226,16 +226,45 @@ func TestPartitionOptionsValidation(t *testing.T) {
 	}
 }
 
-func TestComputePartitionedRejectsMeasure(t *testing.T) {
-	ds, err := Synthetic(SyntheticConfig{T: 50, D: 3, C: 3, Seed: 1})
+func TestComputePartitionedNativeMeasure(t *testing.T) {
+	// Partition files carry the aux column, so native measures survive the
+	// spill: the partitioned run must emit the exact cells (values, counts,
+	// measures) of an in-memory run. Integer measure values keep float sums
+	// order-independent.
+	ds, err := Synthetic(SyntheticConfig{T: 300, D: 3, C: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds.SetMeasure(make([]float64, 50))
-	_, err = ComputePartitioned(ds, Options{MinSup: 1, Algorithm: AlgBUC, Measure: MeasureSum},
-		PartitionOptions{}, nil)
-	if err == nil {
-		t.Fatal("partitioned native measure must error")
+	aux := make([]float64, ds.NumTuples())
+	for i := range aux {
+		aux[i] = float64((i*13)%23 - 4)
+	}
+	if err := ds.SetMeasure(aux); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []MeasureKind{MeasureSum, MeasureMin, MeasureAvg} {
+		opt := Options{MinSup: 2, Algorithm: AlgBUC, Measure: kind}
+		want, _, err := ComputeCollect(ds, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Cell
+		_, err = ComputePartitioned(ds, opt, PartitionOptions{TempDir: t.TempDir()}, func(c Cell) {
+			got = append(got, Cell{Values: append([]int32(nil), c.Values...), Count: c.Count, Aux: c.Aux})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got = sortedCells(want), sortedCells(got)
+		if len(want) != len(got) {
+			t.Fatalf("%v: partitioned emitted %d cells, in-memory %d", kind, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].Count != got[i].Count || want[i].Aux != got[i].Aux {
+				t.Fatalf("%v cell %v: partitioned (%d,%g), in-memory (%d,%g)",
+					kind, want[i].Values, got[i].Count, got[i].Aux, want[i].Count, want[i].Aux)
+			}
+		}
 	}
 }
 

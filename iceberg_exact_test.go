@@ -1,0 +1,235 @@
+package ccubing
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"ccubing/internal/cubestore"
+)
+
+// measureDataset builds a synthetic dataset with an integer-valued measure
+// column (so float sums are exact and comparisons can be byte-strict).
+func measureDataset(t *testing.T, seed int64) *Dataset {
+	t.Helper()
+	ds, err := Synthetic(SyntheticConfig{T: 600, Cards: []int{7, 6, 5, 4}, Skew: 1.0, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux := make([]float64, ds.NumTuples())
+	for i := range aux {
+		aux[i] = float64((i*11)%29) - 6
+	}
+	if err := ds.SetMeasure(aux); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestCubeAggregateIcebergExact is the in-process half of the PR's acceptance
+// contract: Cube.Aggregate on an iceberg cube (MinSup > 1, residual attached
+// by Materialize) reports exact=true and returns rows identical — counts,
+// measure values, order — to a MinSup-1 cube over the same relation, for
+// every measure kind including algebraic avg.
+func TestCubeAggregateIcebergExact(t *testing.T) {
+	ds := measureDataset(t, 61)
+	names := ds.Names()
+	for _, kind := range []MeasureKind{MeasureSum, MeasureMin, MeasureMax, MeasureAvg} {
+		iceberg, err := Materialize(ds, Options{MinSup: 3, Measure: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := Materialize(ds, Options{MinSup: 1, Measure: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iceberg.NumCells() >= oracle.NumCells() {
+			t.Fatalf("kind=%v: iceberg cube prunes nothing (%d vs %d cells)", kind, iceberg.NumCells(), oracle.NumCells())
+		}
+		rng := rand.New(rand.NewSource(int64(kind) * 7))
+		for i := 0; i < 100; i++ {
+			spec := randomFacadeSpec(rng, []int{7, 6, 5, 4})
+			var groupBy []string
+			for d := range names {
+				if rng.Intn(3) == 0 {
+					groupBy = append(groupBy, names[d])
+				}
+			}
+			opt := AggregateOptions{GroupBy: groupBy, AuxAgg: kind}
+			if rng.Intn(2) == 0 {
+				opt.By = ByAux
+			}
+			got, exact, err := iceberg.Aggregate(spec, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !exact {
+				t.Fatalf("kind=%v spec %d: iceberg cube with residual must report exact", kind, i)
+			}
+			want, oExact, err := oracle.Aggregate(spec, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !oExact {
+				t.Fatal("minsup-1 aggregate must report exact")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("kind=%v spec %d group-by %v: %d rows, oracle has %d", kind, i, groupBy, len(got), len(want))
+			}
+			for j := range got {
+				if got[j].Count != want[j].Count || got[j].Aux != want[j].Aux ||
+					fmt.Sprint(got[j].Values) != fmt.Sprint(want[j].Values) {
+					t.Fatalf("kind=%v spec %d row %d: iceberg %+v, oracle %+v", kind, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCubeSnapshotIcebergMeasureRoundTrip pins the version-4 snapshot: an avg
+// iceberg cube saves the aux-form flag and the store residual, round-trips
+// byte-identically, and the loaded cube keeps both the stored-aggregate form
+// and the exactness property.
+func TestCubeSnapshotIcebergMeasureRoundTrip(t *testing.T) {
+	ds := measureDataset(t, 67)
+	cube, err := Materialize(ds, Options{MinSup: 3, Measure: MeasureAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cube.AuxStored() {
+		t.Fatal("materialized avg cube must hold stored aggregates")
+	}
+	var buf1 bytes.Buffer
+	if err := cube.Save(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf1.Bytes()[7]; got != CubeSnapshotVersion {
+		t.Fatalf("snapshot version byte %d, want %d", got, CubeSnapshotVersion)
+	}
+	loaded, err := LoadCube(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("snapshot not byte-identical after round trip (%d vs %d bytes)", buf1.Len(), buf2.Len())
+	}
+	if !loaded.AuxStored() || loaded.Measure() != MeasureAvg {
+		t.Fatalf("loaded cube lost its aux form (stored=%v, measure=%v)", loaded.AuxStored(), loaded.Measure())
+	}
+	spec := make(QuerySpec, ds.NumDims())
+	groupBy := []string{ds.Names()[0], ds.Names()[2]}
+	got, exact, err := loaded.Aggregate(spec, AggregateOptions{GroupBy: groupBy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Fatal("loaded iceberg cube must keep its residual-backed exactness")
+	}
+	want, _, err := cube.Aggregate(spec, AggregateOptions{GroupBy: groupBy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded aggregate has %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Count != want[i].Count || got[i].Aux != want[i].Aux {
+			t.Fatalf("loaded aggregate row %d diverges: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// legacyV3Snapshot hand-writes a version-3 cube snapshot — the pre-residual,
+// pre-aux-form format — around a residual-free version-1 store payload, the
+// way a pre-upgrade writer would have produced it.
+func legacyV3Snapshot(t *testing.T, minSup int64, measure MeasureKind, names []string, store *cubestore.Store) []byte {
+	t.Helper()
+	var head bytes.Buffer
+	putUvarint := func(v uint64) {
+		var b [binary.MaxVarintLen64]byte
+		head.Write(b[:binary.PutUvarint(b[:], v)])
+	}
+	putUvarint(uint64(minSup))
+	head.WriteByte(0) // algorithm
+	head.WriteByte(byte(measure))
+	putUvarint(0) // generation
+	putUvarint(5) // source rows
+	putUvarint(uint64(len(names)))
+	for _, n := range names {
+		putUvarint(uint64(len(n)))
+		head.WriteString(n)
+	}
+	head.WriteByte(0) // no dictionaries
+
+	var buf bytes.Buffer
+	buf.WriteString("CCUBE\x00\x00")
+	buf.WriteByte(3)
+	var b [binary.MaxVarintLen64]byte
+	buf.Write(b[:binary.PutUvarint(b[:], uint64(head.Len()))])
+	buf.Write(head.Bytes())
+	binary.LittleEndian.PutUint32(b[:4], crc32.ChecksumIEEE(head.Bytes()))
+	buf.Write(b[:4])
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCubeSnapshotLegacyV3Load pins the honest-degrade contract for old
+// snapshots: a version-3 avg cube (cells hold presented means, store carries
+// no residual) loads, keeps its mean values undivided at egress, and reports
+// exact=false on aggregates instead of passing bounds off as totals.
+func TestCubeSnapshotLegacyV3Load(t *testing.T) {
+	// Relation: (0,0) x2 with aux 2.0 each, (1,1) x3 with aux 3.0 each.
+	// Closed iceberg cube at min_sup 3: the apex (mean 13/5) and (1,1)
+	// (mean 3.0), stored in PRESENTED form as a legacy writer did.
+	b := cubestore.NewBuilder(2, true)
+	b.Add([]int32{Star, Star}, 5, 13.0/5)
+	b.Add([]int32{1, 1}, 3, 3.0)
+	store, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := legacyV3Snapshot(t, 3, MeasureAvg, []string{"a", "b"}, store)
+	cube, err := LoadCube(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.MinSup() != 3 || cube.Measure() != MeasureAvg {
+		t.Fatalf("loaded metadata: minsup %d, measure %v", cube.MinSup(), cube.Measure())
+	}
+	if cube.AuxStored() {
+		t.Fatal("version-3 snapshot must load with auxStored=false")
+	}
+	// Egress must NOT divide again: the cells already hold means.
+	cell, ok := cube.Lookup([]int32{1, 1})
+	if !ok || cell.Aux != 3.0 {
+		t.Fatalf("legacy avg cell = (%+v, %v), want aux 3.0 undivided", cell, ok)
+	}
+	stored, ok := cube.LookupStored([]int32{1, 1})
+	if !ok || stored.Aux != cell.Aux {
+		t.Fatal("legacy cells have no separate stored form")
+	}
+	// No residual in the store: iceberg aggregates are lower bounds.
+	rows, exact, err := cube.Aggregate(make(QuerySpec, 2), AggregateOptions{GroupBy: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact {
+		t.Fatal("legacy residual-free iceberg cube must report exact=false")
+	}
+	if len(rows) == 0 {
+		t.Fatal("legacy cube must still answer aggregates")
+	}
+	// Explicit avg combination needs stored aggregates; legacy cubes refuse.
+	if _, _, err := cube.Aggregate(make(QuerySpec, 2), AggregateOptions{AuxAgg: MeasureAvg}); err == nil {
+		t.Fatal("aux-agg avg on a legacy presented-mean cube must error")
+	}
+}

@@ -18,7 +18,8 @@ type Config struct {
 	// MinSup is the iceberg threshold on count; cells below it are pruned.
 	MinSup int64
 	// Measure optionally aggregates the table's Aux column per output cell
-	// into Cell-level values delivered through sink.AuxSink (paper Sec. 6.1).
+	// into stored aggregates delivered through sink.AuxSink (paper Sec. 6.1).
+	// Avg is delivered as its algebraic pair: (stored sum, count).
 	Measure core.MeasureKind
 }
 
@@ -96,7 +97,7 @@ func (r *runner) emit(lo, hi int) {
 		for _, tid := range r.tids[lo:hi] {
 			agg.Add(r.t.Aux[tid])
 		}
-		r.auxOut.EmitAux(r.vals, count, agg.Value())
+		r.auxOut.EmitAux(r.vals, count, agg.Stored())
 		return
 	}
 	r.out.Emit(r.vals, count)

@@ -80,6 +80,77 @@ func (a *MeasureAgg) Combine(b MeasureAgg) {
 	}
 }
 
+// Stored returns the aggregate's stored (mergeable) value: the running sum
+// for Sum and Avg — avg is the algebraic pair (sum, count), and count is
+// always carried separately — and the extremum for Min/Max. Stored values of
+// the same kind combine with CombineStored; Present recovers the user-facing
+// value. Engines and the cubestore exchange stored values so that shard
+// merges, residual folds and router scatters stay exact for every kind.
+func (a MeasureAgg) Stored() float64 {
+	switch a.Kind {
+	case MeasureMin:
+		return a.min
+	case MeasureMax:
+		return a.max
+	default:
+		return a.sum
+	}
+}
+
+// StoredIdentity returns the identity element of CombineStored for the kind:
+// combining it with any stored value x yields x.
+func StoredIdentity(k MeasureKind) float64 {
+	switch k {
+	case MeasureMin:
+		return math.Inf(1)
+	case MeasureMax:
+		return math.Inf(-1)
+	default:
+		return 0
+	}
+}
+
+// CombineStored merges two stored aggregates of the same kind: addition for
+// Sum/Avg (distributive sum; avg's algebraic pair adds component-wise), the
+// extremum for Min/Max. The operation is associative and commutative, so
+// merge order never changes the result for integer-valued inputs.
+func CombineStored(k MeasureKind, a, b float64) float64 {
+	switch k {
+	case MeasureMin:
+		if b < a {
+			return b
+		}
+		return a
+	case MeasureMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+// Present converts a stored aggregate plus its cell count to the user-facing
+// measure value: the mean for Avg, the stored value otherwise. An empty
+// (count 0) min/max/avg presents as NaN, matching MeasureAgg.Value.
+func Present(k MeasureKind, stored float64, count int64) float64 {
+	switch k {
+	case MeasureAvg:
+		if count == 0 {
+			return math.NaN()
+		}
+		return stored / float64(count)
+	case MeasureMin, MeasureMax:
+		if count == 0 {
+			return math.NaN()
+		}
+		return stored
+	default:
+		return stored
+	}
+}
+
 // Value returns the aggregate's final measure value. For an empty aggregate
 // it returns NaN for min/max/avg and 0 for sum.
 func (a MeasureAgg) Value() float64 {

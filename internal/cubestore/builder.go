@@ -33,6 +33,7 @@ type Builder struct {
 	nd     int
 	hasAux bool
 	groups map[core.Mask]*group
+	res    *Residual
 }
 
 // NewBuilder returns a builder for an nd-dimensional cube; hasAux reserves a
@@ -96,6 +97,17 @@ func (s *BuilderSink) EmitBatch(arena []core.Value, cells []sink.BatchCell) {
 	s.Cells += int64(len(cells))
 }
 
+// SetResidual attaches the residual summary of the iceberg pruning the cells
+// were computed with (see Residual); Build transfers it to the store. The
+// residual's dimensionality must match the builder's. Passing nil clears it.
+func (b *Builder) SetResidual(res *Residual) error {
+	if res != nil && res.nd != b.nd {
+		return fmt.Errorf("cubestore: residual has %d dimensions, builder has %d", res.nd, b.nd)
+	}
+	b.res = res
+	return nil
+}
+
 // Build sorts every cuboid group and returns the immutable store. It errors
 // on duplicate cells (a closed cube contains each cell once) and leaves the
 // builder unusable afterwards.
@@ -105,6 +117,7 @@ func (b *Builder) Build() (*Store, error) {
 		hasAux: b.hasAux,
 		groups: make([]*group, 0, len(b.groups)),
 		byMask: make(map[core.Mask]*group, len(b.groups)),
+		res:    b.res,
 	}
 	for _, g := range b.groups {
 		if err := g.sortRows(); err != nil {

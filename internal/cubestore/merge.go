@@ -41,7 +41,15 @@ import (
 // also an error. Aux values of fresh cells are stored iff s carries a
 // measure. The merged store is canonical: its snapshot is byte-identical to
 // one built from scratch over the same cell set.
-func (s *Store) MergePartitions(dim int, replaced func(core.Value) bool, fresh []core.Cell) (*Store, error) {
+//
+// freshRes carries the residual of the replaced partitions' recomputation.
+// Residual rows fix every dimension, so they partition cleanly on dim: rows
+// of s's residual whose dim value is not replaced are retained, and
+// freshRes's rows (which must fix dim to replaced values) take the place of
+// the dropped ones. Passing freshRes nil produces a store without a residual
+// — callers must do so whenever s lacks one (the retained partitions' pruned
+// mass is unknown, so claiming exactness would be dishonest).
+func (s *Store) MergePartitions(dim int, replaced func(core.Value) bool, fresh []core.Cell, freshRes *Residual) (*Store, error) {
 	if dim < 0 || dim >= s.nd {
 		return nil, fmt.Errorf("cubestore: merge: dimension %d out of range (store has %d)", dim, s.nd)
 	}
@@ -95,8 +103,49 @@ func (s *Store) MergePartitions(dim int, replaced func(core.Value) bool, fresh [
 		out.byMask[g.mask] = g
 		out.cells += int64(g.rows())
 	}
+	if freshRes != nil {
+		res, err := s.mergeResidual(dim, replaced, freshRes)
+		if err != nil {
+			return nil, err
+		}
+		out.res = res
+	}
 	out.buildIndex()
 	return out, nil
+}
+
+// mergeResidual splits s's residual on dim like MergePartitions splits
+// cells: retained rows (dim value not replaced) plus freshRes's rows, which
+// must all fix dim to replaced values.
+func (s *Store) mergeResidual(dim int, replaced func(core.Value) bool, freshRes *Residual) (*Residual, error) {
+	if freshRes.nd != s.nd {
+		return nil, fmt.Errorf("cubestore: merge: fresh residual has %d dimensions, store has %d", freshRes.nd, s.nd)
+	}
+	off := dim * core.ValueWidth
+	for i := 0; i < freshRes.NumRows(); i++ {
+		if v := core.DecodeValue(freshRes.row(i)[off:]); !replaced(v) {
+			return nil, fmt.Errorf("cubestore: merge: fresh residual row fixes dimension %d to unreplaced value %d", dim, v)
+		}
+	}
+	kept := &Residual{nd: s.nd, hasAux: s.hasAux}
+	if s.res != nil {
+		for i := 0; i < s.res.NumRows(); i++ {
+			row := s.res.row(i)
+			if replaced(core.DecodeValue(row[off:])) {
+				continue
+			}
+			kept.keys = append(kept.keys, row...)
+			kept.counts = append(kept.counts, s.res.counts[i])
+			if s.hasAux {
+				var a float64
+				if s.res.aux != nil {
+					a = s.res.aux[i]
+				}
+				kept.aux = append(kept.aux, a)
+			}
+		}
+	}
+	return mergeResiduals(s.nd, s.hasAux, kept, freshRes)
 }
 
 // retainRows copies the rows of g whose value on dim is not replaced,

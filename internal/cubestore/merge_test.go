@@ -89,7 +89,7 @@ func TestMergePartitionsMatchesRebuild(t *testing.T) {
 					fresh = append(fresh, c)
 				}
 			}
-			got, err := old.MergePartitions(dim, func(v core.Value) bool { return touched[v] }, fresh)
+			got, err := old.MergePartitions(dim, func(v core.Value) bool { return touched[v] }, fresh, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -117,7 +117,7 @@ func TestMergePartitionsAux(t *testing.T) {
 		{Values: []core.Value{1, 0}, Count: 1, Aux: 0.5},
 		{Values: []core.Value{core.Star, 1}, Count: 6, Aux: 11.0},
 	}
-	m, err := s.MergePartitions(0, func(v core.Value) bool { return v == 1 }, fresh)
+	m, err := s.MergePartitions(0, func(v core.Value) bool { return v == 1 }, fresh, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestMergePartitionsEmptyReplacement(t *testing.T) {
 	// Partition 1 vanishes with no replacements; the wildcard slice shrinks
 	// to the surviving partition's projection.
 	fresh := []core.Cell{{Values: []core.Value{core.Star, 1}, Count: 2}}
-	m, err := s.MergePartitions(0, func(v core.Value) bool { return v == 1 }, fresh)
+	m, err := s.MergePartitions(0, func(v core.Value) bool { return v == 1 }, fresh, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestMergePartitionsEmptyReplacement(t *testing.T) {
 
 	// Degenerate total wipe: every partition replaced, nothing fresh. The
 	// merged store is empty but fully functional.
-	empty, err := s.MergePartitions(0, func(core.Value) bool { return true }, nil)
+	empty, err := s.MergePartitions(0, func(core.Value) bool { return true }, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,20 +207,20 @@ func TestMergePartitionsRejects(t *testing.T) {
 		t.Fatal(err)
 	}
 	replaced := func(v core.Value) bool { return v == 1 }
-	if _, err := s.MergePartitions(5, replaced, nil); err == nil {
+	if _, err := s.MergePartitions(5, replaced, nil, nil); err == nil {
 		t.Fatal("out-of-range dimension must fail")
 	}
-	if _, err := s.MergePartitions(0, replaced, []core.Cell{{Values: []core.Value{1}}}); err == nil {
+	if _, err := s.MergePartitions(0, replaced, []core.Cell{{Values: []core.Value{1}}}, nil); err == nil {
 		t.Fatal("wrong-arity fresh cell must fail")
 	}
-	if _, err := s.MergePartitions(0, replaced, []core.Cell{{Values: []core.Value{0, 2}, Count: 1}}); err == nil {
+	if _, err := s.MergePartitions(0, replaced, []core.Cell{{Values: []core.Value{0, 2}, Count: 1}}, nil); err == nil {
 		t.Fatal("fresh cell in an unreplaced partition must fail")
 	}
 	dup := []core.Cell{
 		{Values: []core.Value{1, 2}, Count: 1},
 		{Values: []core.Value{1, 2}, Count: 1},
 	}
-	if _, err := s.MergePartitions(0, replaced, dup); err == nil {
+	if _, err := s.MergePartitions(0, replaced, dup, nil); err == nil {
 		t.Fatal("duplicate fresh cells must fail")
 	}
 }

@@ -38,7 +38,9 @@ import (
 //	gen     snapshot generation the frame was cut from
 //	paylen  payload length in bytes
 //	crc32   IEEE checksum of everything above (4 bytes LE, raw)
-//	payload paylen bytes: a Store snapshot (self-checksummed "CCSTOR" v1)
+//	payload paylen bytes: a Store snapshot (self-checksummed "CCSTOR"; the
+//	        snapshot's own version byte governs whether an iceberg-residual
+//	        section rides along)
 const partitionMagic = "CCPART\x00"
 
 // PartitionVersion is the current partition frame format version.
@@ -110,6 +112,37 @@ func Split(s *Store, dim, n int, owner func(core.Value) int, generation uint64) 
 	if werr != nil {
 		return nil, werr
 	}
+	// The iceberg residual (sub-threshold base cells — distinct from this
+	// file's wildcard-frame "residual") splits cleanly too: every row fixes
+	// all dimensions, so it belongs to exactly one owner. Rows keep their
+	// sorted order (a subsequence of a sorted sequence), so owner residuals
+	// are canonical without re-sorting.
+	if s.res != nil {
+		resParts := make([]*Residual, n)
+		for i := range resParts {
+			resParts[i] = &Residual{nd: s.nd, hasAux: s.res.hasAux}
+		}
+		off := dim * core.ValueWidth
+		for i := 0; i < s.res.NumRows(); i++ {
+			row := s.res.row(i)
+			v := core.DecodeValue(row[off:])
+			o := owner(v)
+			if o < 0 || o >= n {
+				return nil, fmt.Errorf("cubestore: split: owner(%d) = %d out of range [0, %d)", v, o, n)
+			}
+			p := resParts[o]
+			p.keys = append(p.keys, row...)
+			p.counts = append(p.counts, s.res.counts[i])
+			if p.hasAux {
+				p.aux = append(p.aux, s.res.aux[i])
+			}
+		}
+		for i, b := range builders[:n] {
+			if err := b.SetResidual(resParts[i]); err != nil {
+				return nil, fmt.Errorf("cubestore: split: partition %d: %w", i, err)
+			}
+		}
+	}
 	ps := &PartitionSet{Dim: dim, Count: n, Generation: generation}
 	for i, b := range builders {
 		st, err := b.Build()
@@ -176,11 +209,38 @@ func (ps *PartitionSet) Merge() (*Store, error) {
 			return nil, werr
 		}
 	}
+	// The merged store carries an iceberg residual iff every owner partition
+	// does (the wildcard frame never does: its cells span owners, but residual
+	// rows fix Dim). A mixed set would make the merged aggregates claim an
+	// exactness only some shards can back, so it is rejected.
+	var freshRes *Residual
+	withRes := 0
+	for i := 0; i < ps.Count; i++ {
+		if ps.Parts[i].Store.HasResidual() {
+			withRes++
+		}
+	}
+	if ps.Parts[ps.Count].Store.HasResidual() {
+		return nil, fmt.Errorf("cubestore: merge set: wildcard partition must not carry an iceberg residual")
+	}
+	if withRes > 0 && withRes < ps.Count {
+		return nil, fmt.Errorf("cubestore: merge set: %d of %d owner partitions carry an iceberg residual", withRes, ps.Count)
+	}
+	if withRes == ps.Count && ps.Count > 0 {
+		var rows []ResidualRow
+		for i := 0; i < ps.Count; i++ {
+			rows = append(rows, ps.Parts[i].Store.res.Rows()...)
+		}
+		var err error
+		if freshRes, err = residualFromRows(nd, hasAux, rows); err != nil {
+			return nil, fmt.Errorf("cubestore: merge set: %w", err)
+		}
+	}
 	base, err := NewBuilder(nd, hasAux).Build()
 	if err != nil {
 		return nil, fmt.Errorf("cubestore: merge set: %w", err)
 	}
-	return base.MergePartitions(ps.Dim, func(core.Value) bool { return true }, fresh)
+	return base.MergePartitions(ps.Dim, func(core.Value) bool { return true }, fresh, freshRes)
 }
 
 // WritePartition writes one partition frame to w.

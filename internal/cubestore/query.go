@@ -172,9 +172,15 @@ type AggOptions struct {
 // candidates only), deduplicates them — a combination covered by closed cells
 // in several cuboids counts once — and resolves each combination to its exact
 // count via its closure. Combinations partition the matching tuples, so the
-// per-group sums are exact for cubes computed at min_sup 1; on iceberg cubes,
-// combinations whose count fell below the threshold are absent and the
-// aggregates are lower bounds (the iceberg semantics of the store).
+// per-group sums are exact for cubes computed at min_sup 1. On iceberg cubes
+// the stored cells alone make the aggregates lower bounds — combinations
+// whose count fell below the threshold are absent — but a store carrying a
+// residual (HasResidual) recovers exactness: a combination missing from the
+// enumeration has count < min_sup, so every base tuple it covers is a
+// residual row, and folding the residual rows of exactly those combinations
+// back in reconstructs the true aggregates (enumerated combinations already
+// carry true counts through their closures, so their residual tuples are
+// skipped — no double counting).
 //
 // Rows are ordered by descending rank (count or measure per opt.By) with ties
 // broken by packed group key ascending, so results are deterministic; without
@@ -193,17 +199,44 @@ func (s *Store) Aggregate(spec Spec, opt AggOptions) []core.Cell {
 	gcDims := gc.Dims(nil)
 	gmDims := gm.Dims(nil)
 
-	// Grand total without predicates: the apex cell, one closure lookup.
+	// Grand total without predicates: the apex cell, one closure lookup. The
+	// apex aggregates every tuple — pruned mass included — so no residual
+	// fold-in is needed on a hit; on a miss (the whole relation fell below
+	// the threshold) the residual IS the relation.
 	vals := make([]core.Value, s.nd)
 	if gc == 0 {
 		for d := range vals {
 			vals[d] = core.Star
 		}
 		c, ok := s.Lookup(vals)
-		if !ok {
+		if ok {
+			return []core.Cell{{Values: valuesAt(s.nd, nil, nil), Count: c.Count, Aux: c.Aux}}
+		}
+		if s.res == nil || s.res.NumRows() == 0 {
 			return nil
 		}
-		return []core.Cell{{Values: valuesAt(s.nd, nil, nil), Count: c.Count, Aux: c.Aux}}
+		total := core.Cell{Values: valuesAt(s.nd, nil, nil)}
+		first := true
+		s.res.Walk(func(_ []core.Value, count int64, aux float64) bool {
+			total.Count += count
+			switch {
+			case first:
+				total.Aux = aux
+				first = false
+			case opt.AuxAgg == AuxMin:
+				if aux < total.Aux {
+					total.Aux = aux
+				}
+			case opt.AuxAgg == AuxMax:
+				if aux > total.Aux {
+					total.Aux = aux
+				}
+			default:
+				total.Aux += aux
+			}
+			return true
+		})
+		return []core.Cell{total}
 	}
 
 	// Pass 1: enumerate the distinct pred-satisfying value combinations on
@@ -265,6 +298,29 @@ func (s *Store) Aggregate(spec Spec, opt AggOptions) []core.Cell {
 		n     int64 // combinations folded in, for min/max seeding
 	}
 	groupRows := map[string]*agg{}
+	fold := func(gkey string, count int64, aux float64) {
+		a := groupRows[gkey]
+		if a == nil {
+			a = &agg{}
+			groupRows[gkey] = a
+		}
+		a.count += count
+		switch {
+		case a.n == 0:
+			a.aux = aux
+		case opt.AuxAgg == AuxMin:
+			if aux < a.aux {
+				a.aux = aux
+			}
+		case opt.AuxAgg == AuxMax:
+			if aux > a.aux {
+				a.aux = aux
+			}
+		default:
+			a.aux += aux
+		}
+		a.n++
+	}
 	for key := range combos {
 		for d := range vals {
 			vals[d] = core.Star
@@ -280,27 +336,31 @@ func (s *Store) Aggregate(spec Spec, opt AggOptions) []core.Cell {
 			continue
 		}
 		gkey := string(core.AppendValues(make([]byte, 0, len(gmDims)*core.ValueWidth), vals, gmDims))
-		a := groupRows[gkey]
-		if a == nil {
-			a = &agg{}
-			groupRows[gkey] = a
-		}
-		a.count += c.Count
-		switch {
-		case a.n == 0:
-			a.aux = c.Aux
-		case opt.AuxAgg == AuxMin:
-			if c.Aux < a.aux {
-				a.aux = c.Aux
+		fold(gkey, c.Count, c.Aux)
+	}
+
+	// Residual pass: recover the iceberg-pruned mass. Residual rows whose
+	// gc-combination was enumerated above are already counted through that
+	// combination's closure and are skipped; the rest belong to combinations
+	// entirely below the threshold, whose tuples are all residual rows, so
+	// folding them tuple-by-tuple reconstructs the exact aggregates.
+	if s.res != nil && s.res.NumRows() > 0 {
+		comboBuf := make([]byte, 0, len(gcDims)*core.ValueWidth)
+		gkeyBuf := make([]byte, 0, len(gmDims)*core.ValueWidth)
+		s.res.Walk(func(rvals []core.Value, count int64, aux float64) bool {
+			for d, p := range spec.Preds {
+				if p.Bound() && !p.Match(rvals[d]) {
+					return true
+				}
 			}
-		case opt.AuxAgg == AuxMax:
-			if c.Aux > a.aux {
-				a.aux = c.Aux
+			comboBuf = core.AppendValues(comboBuf[:0], rvals, gcDims)
+			if _, stored := combos[string(comboBuf)]; stored {
+				return true
 			}
-		default:
-			a.aux += c.Aux
-		}
-		a.n++
+			gkeyBuf = core.AppendValues(gkeyBuf[:0], rvals, gmDims)
+			fold(string(gkeyBuf), count, aux)
+			return true
+		})
 	}
 
 	type outRow struct {

@@ -1,0 +1,279 @@
+// Residual construction is builder-side mutation: a Residual is immutable
+// after build()/ComputeResidual return, and Store.res is only assigned by the
+// freeze files (Build, Load, MergePartitions).
+//
+//ccubing:mutates Store, group
+
+package cubestore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"ccubing/internal/core"
+)
+
+// Residual summarizes the mass an iceberg cube pruned away: the distinct
+// all-dimensions-fixed base cells whose multiplicity fell below the iceberg
+// threshold, each with its count and stored measure aggregate (in the style
+// of the Cubes Convexes borders). A store carrying a residual answers
+// aggregate queries exactly at ANY group-by: a group-by combination absent
+// from the stored cells has count < min_sup, so every base tuple it covers
+// has multiplicity < min_sup and is present here; combinations that are
+// stored already carry their true counts, so their residual tuples are
+// skipped (no double counting).
+//
+// Rows are packed full-width keys (every dimension fixed, core.AppendValue
+// codec), strictly sorted, with parallel count and optional stored-aggregate
+// arrays. Immutable after construction.
+type Residual struct {
+	nd     int
+	hasAux bool
+	keys   []byte // rows * nd * core.ValueWidth bytes, strictly ascending
+	counts []int64
+	aux    []float64 // nil when !hasAux
+}
+
+// ResidualRow is one materialized sub-threshold base cell.
+type ResidualRow struct {
+	Values []core.Value
+	Count  int64
+	Aux    float64 // stored measure aggregate (avg: the running sum)
+}
+
+// NumRows returns the number of sub-threshold base cells.
+func (r *Residual) NumRows() int { return len(r.counts) }
+
+// HasAux reports whether rows carry a stored measure aggregate.
+func (r *Residual) HasAux() bool { return r.hasAux }
+
+func (r *Residual) width() int { return r.nd * core.ValueWidth }
+
+func (r *Residual) row(i int) []byte {
+	w := r.width()
+	return r.keys[i*w : (i+1)*w]
+}
+
+// rowValues decodes row i into vals (which must have nd entries).
+func (r *Residual) rowValues(i int, vals []core.Value) {
+	row := r.row(i)
+	for d := 0; d < r.nd; d++ {
+		vals[d] = core.DecodeValue(row[d*core.ValueWidth:])
+	}
+}
+
+// Walk visits every residual row in key order. The vals slice passed to visit
+// is reused between calls; copy to retain. Return false to stop early.
+func (r *Residual) Walk(visit func(vals []core.Value, count int64, aux float64) bool) {
+	vals := make([]core.Value, r.nd)
+	for i := range r.counts {
+		r.rowValues(i, vals)
+		var a float64
+		if r.hasAux {
+			a = r.aux[i]
+		}
+		if !visit(vals, r.counts[i], a) {
+			return
+		}
+	}
+}
+
+// Rows materializes every residual row (key order, freshly allocated).
+func (r *Residual) Rows() []ResidualRow {
+	out := make([]ResidualRow, 0, r.NumRows())
+	r.Walk(func(vals []core.Value, count int64, aux float64) bool {
+		out = append(out, ResidualRow{
+			Values: append([]core.Value(nil), vals...),
+			Count:  count,
+			Aux:    aux,
+		})
+		return true
+	})
+	return out
+}
+
+// Bytes returns the approximate in-memory payload size.
+func (r *Residual) Bytes() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(len(r.keys)) + 8*int64(len(r.counts)) + 8*int64(len(r.aux))
+}
+
+// ComputeResidual scans a relation once and returns the residual of an
+// iceberg computation at minSup over it: one row per distinct full-width
+// tuple with multiplicity < minSup, counts and (when aux is non-nil) stored
+// measure aggregates of kind. The result is engine-independent — it depends
+// only on the relation and the threshold — and never nil; minSup <= 1 yields
+// zero rows (nothing is pruned).
+func ComputeResidual(cols core.Columns, aux []float64, minSup int64, kind core.MeasureKind) *Residual {
+	nd := len(cols)
+	res := &Residual{nd: nd, hasAux: aux != nil}
+	if nd == 0 || len(cols[0]) == 0 || minSup <= 1 {
+		return res
+	}
+	n := len(cols[0])
+	type acc struct {
+		count int64
+		aux   float64
+	}
+	groups := make(map[string]*acc)
+	key := make([]byte, 0, nd*core.ValueWidth)
+	for tid := 0; tid < n; tid++ {
+		key = key[:0]
+		for d := 0; d < nd; d++ {
+			key = core.AppendValue(key, cols[d][tid])
+		}
+		a := groups[string(key)]
+		if a == nil {
+			a = &acc{aux: core.StoredIdentity(kind)}
+			groups[string(key)] = a
+		}
+		a.count++
+		if aux != nil {
+			a.aux = core.CombineStored(kind, a.aux, aux[tid])
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k, a := range groups {
+		if a.count < minSup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	res.counts = make([]int64, 0, len(keys))
+	if aux != nil {
+		res.aux = make([]float64, 0, len(keys))
+	}
+	for _, k := range keys {
+		a := groups[k]
+		res.keys = append(res.keys, k...)
+		res.counts = append(res.counts, a.count)
+		if aux != nil {
+			res.aux = append(res.aux, a.aux)
+		}
+	}
+	return res
+}
+
+// residualFromRows canonicalizes materialized rows into a Residual: sorted by
+// packed key, duplicates rejected. hasAux selects whether aggregates are
+// kept.
+func residualFromRows(nd int, hasAux bool, rows []ResidualRow) (*Residual, error) {
+	res := &Residual{nd: nd, hasAux: hasAux}
+	if len(rows) == 0 {
+		return res, nil
+	}
+	type packed struct {
+		key   string
+		count int64
+		aux   float64
+	}
+	ps := make([]packed, len(rows))
+	buf := make([]byte, 0, nd*core.ValueWidth)
+	for i, row := range rows {
+		if len(row.Values) != nd {
+			return nil, fmt.Errorf("cubestore: residual row has %d dimensions, want %d", len(row.Values), nd)
+		}
+		buf = buf[:0]
+		for _, v := range row.Values {
+			if v == core.Star {
+				return nil, fmt.Errorf("cubestore: residual row leaves a dimension wildcard")
+			}
+			buf = core.AppendValue(buf, v)
+		}
+		if row.Count < 1 {
+			return nil, fmt.Errorf("cubestore: residual row has count %d < 1", row.Count)
+		}
+		ps[i] = packed{key: string(buf), count: row.Count, aux: row.Aux}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].key < ps[j].key })
+	res.counts = make([]int64, 0, len(ps))
+	if hasAux {
+		res.aux = make([]float64, 0, len(ps))
+	}
+	for i, p := range ps {
+		if i > 0 && p.key == ps[i-1].key {
+			return nil, fmt.Errorf("cubestore: duplicate residual row")
+		}
+		res.keys = append(res.keys, p.key...)
+		res.counts = append(res.counts, p.count)
+		if hasAux {
+			res.aux = append(res.aux, p.aux)
+		}
+	}
+	return res, nil
+}
+
+// mergeResiduals merges two sorted residuals into one, rejecting duplicate
+// keys. Either side may be nil or empty; hasAux of the result follows the
+// arguments (they must agree when both carry rows).
+func mergeResiduals(nd int, hasAux bool, a, b *Residual) (*Residual, error) {
+	out := &Residual{nd: nd, hasAux: hasAux}
+	an, bn := 0, 0
+	if a != nil {
+		an = a.NumRows()
+	}
+	if b != nil {
+		bn = b.NumRows()
+	}
+	out.counts = make([]int64, 0, an+bn)
+	if hasAux {
+		out.aux = make([]float64, 0, an+bn)
+	}
+	i, j := 0, 0
+	for i < an && j < bn {
+		switch bytes.Compare(a.row(i), b.row(j)) {
+		case -1:
+			out.takeRow(a, i)
+			i++
+		case 1:
+			out.takeRow(b, j)
+			j++
+		default:
+			return nil, fmt.Errorf("cubestore: merge: duplicate residual row")
+		}
+	}
+	for ; i < an; i++ {
+		out.takeRow(a, i)
+	}
+	for ; j < bn; j++ {
+		out.takeRow(b, j)
+	}
+	return out, nil
+}
+
+// takeRow appends row i of src to out, the per-row step of the residual
+// merge. Growth is amortized self-append into capacity mergeResiduals sized
+// up front, so the merge loop stays allocation-free in steady state.
+//
+//ccubing:hotpath
+func (out *Residual) takeRow(src *Residual, i int) {
+	out.keys = append(out.keys, src.row(i)...)
+	out.counts = append(out.counts, src.counts[i])
+	if out.hasAux {
+		var v float64
+		if src.hasAux {
+			v = src.aux[i]
+		}
+		out.aux = append(out.aux, v)
+	}
+}
+
+// HasResidual reports whether the store carries the residual summary of its
+// iceberg pruning — the condition under which Aggregate answers exactly at
+// any threshold (see Residual).
+func (s *Store) HasResidual() bool { return s.res != nil }
+
+// ResidualRows returns the number of residual rows (0 when no residual is
+// attached — use HasResidual to distinguish "absent" from "empty").
+func (s *Store) ResidualRows() int64 {
+	if s.res == nil {
+		return 0
+	}
+	return int64(s.res.NumRows())
+}
+
+// Residual returns the attached residual summary, or nil.
+func (s *Store) Residual() *Residual { return s.res }

@@ -1,0 +1,521 @@
+package cubestore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ccubing/internal/core"
+	"ccubing/internal/qcdfs"
+	"ccubing/internal/sink"
+	"ccubing/internal/table"
+)
+
+// tupleAux derives a deterministic per-tuple measure value. Integer-valued so
+// float sums stay exact regardless of accumulation order.
+func tupleAux(tbl *table.Table, tid int) float64 {
+	v := int64(tid % 17)
+	for d := 0; d < tbl.NumDims(); d++ {
+		v += int64(tbl.Cols[d][tid]) * int64(d+1)
+	}
+	return float64(v)
+}
+
+// bruteResidual recomputes ComputeResidual's contract by independent means:
+// group tuples by full key, keep groups below minSup, aggregate aux in stored
+// form (explicit arithmetic, not core.CombineStored, so the test does not
+// mirror the implementation).
+func bruteResidual(tbl *table.Table, minSup int64, kind core.MeasureKind) map[string]ResidualRow {
+	type acc struct {
+		count int64
+		aux   float64
+	}
+	groups := map[string]*acc{}
+	nd := tbl.NumDims()
+	key := make([]byte, 0, nd*core.ValueWidth)
+	for tid := 0; tid < tbl.NumTuples(); tid++ {
+		key = key[:0]
+		for d := 0; d < nd; d++ {
+			key = core.AppendValue(key, tbl.Cols[d][tid])
+		}
+		x := tupleAux(tbl, tid)
+		a := groups[string(key)]
+		if a == nil {
+			groups[string(key)] = &acc{count: 1, aux: x}
+			continue
+		}
+		a.count++
+		switch kind {
+		case core.MeasureMin:
+			if x < a.aux {
+				a.aux = x
+			}
+		case core.MeasureMax:
+			if x > a.aux {
+				a.aux = x
+			}
+		default: // sum and avg both store the running sum
+			a.aux += x
+		}
+	}
+	out := map[string]ResidualRow{}
+	for k, a := range groups {
+		if a.count >= minSup {
+			continue
+		}
+		vals := make([]core.Value, nd)
+		for d := 0; d < nd; d++ {
+			vals[d] = core.DecodeValue([]byte(k)[d*core.ValueWidth:])
+		}
+		out[k] = ResidualRow{Values: vals, Count: a.count, Aux: a.aux}
+	}
+	return out
+}
+
+func auxColumn(tbl *table.Table) []float64 {
+	aux := make([]float64, tbl.NumTuples())
+	for tid := range aux {
+		aux[tid] = tupleAux(tbl, tid)
+	}
+	return aux
+}
+
+// TestComputeResidualBruteForce checks ComputeResidual against independent
+// tuple grouping for every measure kind and several thresholds.
+func TestComputeResidualBruteForce(t *testing.T) {
+	tbl := testTable(t, 500, []int{8, 6, 5, 4}, 1.0, 23)
+	aux := auxColumn(tbl)
+	kinds := []core.MeasureKind{core.MeasureSum, core.MeasureMin, core.MeasureMax, core.MeasureAvg}
+	for _, minsup := range []int64{0, 1, 2, 3, 5} {
+		for _, kind := range kinds {
+			res := ComputeResidual(tbl.Cols, aux, minsup, kind)
+			if res == nil {
+				t.Fatalf("minsup=%d kind=%v: ComputeResidual returned nil", minsup, kind)
+			}
+			if !res.HasAux() {
+				t.Fatalf("minsup=%d kind=%v: residual built with aux must report HasAux", minsup, kind)
+			}
+			want := bruteResidual(tbl, minsup, kind)
+			if minsup <= 1 && res.NumRows() != 0 {
+				t.Fatalf("minsup=%d: %d residual rows, want 0 (nothing pruned)", minsup, res.NumRows())
+			}
+			if res.NumRows() != len(want) {
+				t.Fatalf("minsup=%d kind=%v: %d residual rows, brute force has %d", minsup, kind, res.NumRows(), len(want))
+			}
+			var prev []byte
+			key := make([]byte, 0, tbl.NumDims()*core.ValueWidth)
+			for _, row := range res.Rows() {
+				key = key[:0]
+				for _, v := range row.Values {
+					key = core.AppendValue(key, v)
+				}
+				if prev != nil && bytes.Compare(prev, key) >= 0 {
+					t.Fatalf("minsup=%d kind=%v: residual rows not strictly sorted", minsup, kind)
+				}
+				prev = append(prev[:0], key...)
+				w, ok := want[string(key)]
+				if !ok {
+					t.Fatalf("minsup=%d kind=%v: unexpected residual row %v", minsup, kind, row.Values)
+				}
+				if row.Count != w.Count || row.Aux != w.Aux {
+					t.Fatalf("minsup=%d kind=%v row %v: got (count %d, aux %v), want (%d, %v)",
+						minsup, kind, row.Values, row.Count, row.Aux, w.Count, w.Aux)
+				}
+			}
+		}
+	}
+	// Without an aux column the residual carries counts only.
+	res := ComputeResidual(tbl.Cols, nil, 3, core.MeasureNone)
+	if res.HasAux() {
+		t.Fatal("residual built without aux must not report HasAux")
+	}
+	if res.NumRows() != len(bruteResidual(tbl, 3, core.MeasureNone)) {
+		t.Fatal("aux-free residual row count diverges from brute force")
+	}
+}
+
+// buildWithResidual computes the closed iceberg cube of tbl at minsup with
+// per-cell stored measure aggregates of kind (derived by brute force, so the
+// store's contents are engine-independent) and attaches the matching residual.
+func buildWithResidual(t testing.TB, tbl *table.Table, minsup int64, kind core.MeasureKind) *Store {
+	t.Helper()
+	col := &sink.Collector{}
+	if err := qcdfs.Run(tbl, qcdfs.Config{MinSup: minsup}, col); err != nil {
+		t.Fatal(err)
+	}
+	aux := auxColumn(tbl)
+	b := NewBuilder(tbl.NumDims(), true)
+	for _, c := range col.Cells {
+		a := core.StoredIdentity(kind)
+		for tid := 0; tid < tbl.NumTuples(); tid++ {
+			match := true
+			for d, v := range c.Values {
+				if v != core.Star && tbl.Cols[d][tid] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				a = core.CombineStored(kind, a, aux[tid])
+			}
+		}
+		b.Add(c.Values, c.Count, a)
+	}
+	if err := b.SetResidual(ComputeResidual(tbl.Cols, aux, minsup, kind)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasResidual() {
+		t.Fatal("built store lost its residual")
+	}
+	return s
+}
+
+// TestAggregateResidualExact is the store-layer exactness contract: an iceberg
+// store carrying its residual answers Aggregate identically — counts, measure
+// values, row order — to a min_sup-1 store over the same relation, for every
+// measure kind and random specs/group-bys.
+func TestAggregateResidualExact(t *testing.T) {
+	tbl := testTable(t, 600, []int{7, 6, 5, 4}, 1.1, 31)
+	cases := []struct {
+		kind core.MeasureKind
+		agg  AuxAgg
+	}{
+		{core.MeasureSum, AuxSum},
+		{core.MeasureMin, AuxMin},
+		{core.MeasureMax, AuxMax},
+		{core.MeasureAvg, AuxSum}, // avg stores running sums; sums merge
+	}
+	for _, tc := range cases {
+		iceberg := buildWithResidual(t, tbl, 3, tc.kind)
+		oracle := buildWithResidual(t, tbl, 1, tc.kind)
+		if iceberg.ResidualRows() == 0 {
+			t.Fatalf("kind=%v: iceberg residual is empty — test table prunes nothing", tc.kind)
+		}
+		rng := rand.New(rand.NewSource(7 + int64(tc.kind)))
+		for i := 0; i < 120; i++ {
+			spec := randomSpec(rng, tbl.Cards)
+			var groupBy []int
+			for d := 0; d < tbl.NumDims(); d++ {
+				if rng.Intn(3) == 0 {
+					groupBy = append(groupBy, d)
+				}
+			}
+			opt := AggOptions{GroupBy: groupBy, AuxAgg: tc.agg}
+			if rng.Intn(2) == 0 {
+				opt.By = ByAux
+			}
+			got := iceberg.Aggregate(spec, opt)
+			want := oracle.Aggregate(spec, opt)
+			if len(got) != len(want) {
+				t.Fatalf("kind=%v spec %v group-by %v: %d rows, oracle has %d",
+					tc.kind, spec.Preds, groupBy, len(got), len(want))
+			}
+			for j := range got {
+				g, w := got[j], want[j]
+				if g.Count != w.Count || g.Aux != w.Aux {
+					t.Fatalf("kind=%v spec %v group-by %v row %d: got (%v, count %d, aux %v), want (%v, %d, %v)",
+						tc.kind, spec.Preds, groupBy, j, g.Values, g.Count, g.Aux, w.Values, w.Count, w.Aux)
+				}
+				for d := range g.Values {
+					if g.Values[d] != w.Values[d] {
+						t.Fatalf("kind=%v row %d: group %v, oracle %v", tc.kind, j, g.Values, w.Values)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestResidualSnapshotRoundTrip checks that a residual-carrying store
+// round-trips byte-identically and keeps answering exactly.
+func TestResidualSnapshotRoundTrip(t *testing.T) {
+	tbl := testTable(t, 400, []int{6, 5, 4}, 0.9, 41)
+	s := buildWithResidual(t, tbl, 3, core.MeasureSum)
+	var buf1 bytes.Buffer
+	if err := s.Save(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf1.Bytes()[7]; got != SnapshotVersion {
+		t.Fatalf("residual-carrying snapshot has version byte %d, want %d", got, SnapshotVersion)
+	}
+	loaded, err := Load(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.HasResidual() {
+		t.Fatal("residual lost across Save/Load")
+	}
+	if loaded.ResidualRows() != s.ResidualRows() {
+		t.Fatalf("loaded %d residual rows, saved %d", loaded.ResidualRows(), s.ResidualRows())
+	}
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("residual snapshot not byte-identical after round trip (%d vs %d bytes)", buf1.Len(), buf2.Len())
+	}
+	a, b := s.Residual().Rows(), loaded.Residual().Rows()
+	for i := range a {
+		if a[i].Count != b[i].Count || a[i].Aux != b[i].Aux {
+			t.Fatalf("residual row %d diverges after round trip", i)
+		}
+	}
+	// The loaded store must keep the exactness property, not just the bytes.
+	spec := Spec{Preds: make([]Pred, tbl.NumDims())}
+	got := loaded.Aggregate(spec, AggOptions{GroupBy: []int{0, 1}})
+	want := s.Aggregate(spec, AggOptions{GroupBy: []int{0, 1}})
+	if len(got) != len(want) {
+		t.Fatalf("loaded store aggregate has %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Count != want[i].Count || got[i].Aux != want[i].Aux {
+			t.Fatalf("loaded store aggregate row %d diverges", i)
+		}
+	}
+}
+
+// TestResidualSnapshotLegacyByteIdentity pins the compatibility contract:
+// a store without a residual still writes the legacy version-1 format, so
+// pre-residual readers keep working and pre-residual snapshots stay valid.
+func TestResidualSnapshotLegacyByteIdentity(t *testing.T) {
+	tbl := testTable(t, 300, []int{5, 4, 3}, 0.6, 13)
+	s := buildFromClosed(t, tbl, 3)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[7]; got != snapshotVersionLegacy {
+		t.Fatalf("residual-free snapshot has version byte %d, want legacy %d", got, snapshotVersionLegacy)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.HasResidual() {
+		t.Fatal("legacy snapshot must load without a residual")
+	}
+	if loaded.ResidualRows() != 0 || loaded.Residual() != nil {
+		t.Fatal("residual accessors must report absence on legacy stores")
+	}
+}
+
+// TestResidualSnapshotEveryByteFlip extends the single-byte-flip guarantee to
+// the residual section: every mutation of a version-2 snapshot must fail Load.
+func TestResidualSnapshotEveryByteFlip(t *testing.T) {
+	tbl := testTable(t, 150, []int{5, 4, 3}, 0.8, 19)
+	s := buildWithResidual(t, tbl, 3, core.MeasureSum)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0xff
+		if _, err := Load(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flipped byte %d of %d accepted", i, len(raw))
+		}
+	}
+	if _, err := Load(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated residual section must fail")
+	}
+}
+
+// TestResidualFromRowsValidation pins the canonicalization errors.
+func TestResidualFromRowsValidation(t *testing.T) {
+	good := []ResidualRow{
+		{Values: []core.Value{2, 1}, Count: 2, Aux: 5},
+		{Values: []core.Value{1, 3}, Count: 1, Aux: 7},
+	}
+	res, err := residualFromRows(2, true, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 2 || rows[0].Values[0] != 1 || rows[1].Values[0] != 2 {
+		t.Fatalf("rows not canonicalized into key order: %v", rows)
+	}
+	cases := []struct {
+		name string
+		rows []ResidualRow
+	}{
+		{"wrong arity", []ResidualRow{{Values: []core.Value{1}, Count: 1}}},
+		{"wildcard dimension", []ResidualRow{{Values: []core.Value{1, core.Star}, Count: 1}}},
+		{"zero count", []ResidualRow{{Values: []core.Value{1, 2}, Count: 0}}},
+		{"duplicate key", []ResidualRow{
+			{Values: []core.Value{1, 2}, Count: 1},
+			{Values: []core.Value{1, 2}, Count: 2},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := residualFromRows(2, true, tc.rows); err == nil {
+			t.Fatalf("%s must be rejected", tc.name)
+		}
+	}
+	empty, err := residualFromRows(3, false, nil)
+	if err != nil || empty == nil || empty.NumRows() != 0 {
+		t.Fatalf("empty row set must build an empty residual, got (%v, %v)", empty, err)
+	}
+}
+
+// TestMergeResiduals checks the sorted-merge constructor: disjoint unions
+// merge in key order, duplicates are rejected, nil sides are fine.
+func TestMergeResiduals(t *testing.T) {
+	a, err := residualFromRows(2, true, []ResidualRow{
+		{Values: []core.Value{1, 1}, Count: 1, Aux: 2},
+		{Values: []core.Value{3, 0}, Count: 2, Aux: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := residualFromRows(2, true, []ResidualRow{
+		{Values: []core.Value{0, 5}, Count: 1, Aux: 1},
+		{Values: []core.Value{2, 2}, Count: 1, Aux: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mergeResiduals(2, true, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := m.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("merged %d rows, want 4", len(rows))
+	}
+	wantFirst := []core.Value{0, 5}
+	for d, v := range wantFirst {
+		if rows[0].Values[d] != v {
+			t.Fatalf("merge not in key order: first row %v", rows[0].Values)
+		}
+	}
+	if _, err := mergeResiduals(2, true, a, a); err == nil {
+		t.Fatal("merging overlapping residuals must fail")
+	}
+	onlyA, err := mergeResiduals(2, true, a, nil)
+	if err != nil || onlyA.NumRows() != a.NumRows() {
+		t.Fatalf("nil side must pass through, got (%d rows, %v)", onlyA.NumRows(), err)
+	}
+	neither, err := mergeResiduals(2, true, nil, nil)
+	if err != nil || neither.NumRows() != 0 {
+		t.Fatalf("nil merge must yield empty residual, got (%v, %v)", neither, err)
+	}
+}
+
+// TestMergePartitionsResidual checks the refresh path end to end at the store
+// layer: replacing one partition with freshly recomputed cells plus the
+// partition's fresh residual yields the same residual — and the same exact
+// aggregates — as rebuilding from scratch over the updated relation.
+func TestMergePartitionsResidual(t *testing.T) {
+	const minsup = 3
+	tbl := testTable(t, 500, []int{5, 6, 4}, 1.0, 47)
+	s := buildWithResidual(t, tbl, minsup, core.MeasureSum)
+
+	// "Refresh" partition dim0==1 with the same data. MergePartitions drops
+	// replaced-partition cells AND the whole wildcard-on-dim slice, so fresh
+	// carries the full relation's cells restricted to both (as the facade's
+	// refresh does), with brute-force stored sums.
+	col := &sink.Collector{}
+	if err := qcdfs.Run(tbl, qcdfs.Config{MinSup: minsup}, col); err != nil {
+		t.Fatal(err)
+	}
+	var fresh []core.Cell
+	for _, c := range col.Cells {
+		if v := c.Values[0]; v != core.Star && v != 1 {
+			continue
+		}
+		a := core.StoredIdentity(core.MeasureSum)
+		for tid := 0; tid < tbl.NumTuples(); tid++ {
+			match := true
+			for d, v := range c.Values {
+				if v != core.Star && tbl.Cols[d][tid] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				a = core.CombineStored(core.MeasureSum, a, tupleAux(tbl, tid))
+			}
+		}
+		fresh = append(fresh, core.Cell{Values: c.Values, Count: c.Count, Aux: a})
+	}
+	// The fresh residual comes from the replaced partition's sub-relation
+	// alone: residual rows fix every dimension, so the dim0==1 groups of the
+	// full relation are exactly the sub-relation's groups.
+	var subRows [][]core.Value
+	var subAux []float64
+	for tid := 0; tid < tbl.NumTuples(); tid++ {
+		if tbl.Cols[0][tid] == 1 {
+			row := make([]core.Value, tbl.NumDims())
+			for d := range row {
+				row[d] = tbl.Cols[d][tid]
+			}
+			subRows = append(subRows, row)
+			subAux = append(subAux, tupleAux(tbl, tid))
+		}
+	}
+	if len(subRows) == 0 {
+		t.Fatal("test table has no tuples in the replaced partition")
+	}
+	sub, err := table.FromRows(subRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshRes := ComputeResidual(sub.Cols, subAux, minsup, core.MeasureSum)
+
+	merged, err := s.MergePartitions(0, func(v core.Value) bool { return v == 1 }, fresh, freshRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.HasResidual() {
+		t.Fatal("merge with freshRes must carry a residual")
+	}
+	// The residual is engine-independent: merging the partition recomputation
+	// must reproduce the full-relation residual exactly.
+	wantRows := s.Residual().Rows()
+	gotRows := merged.Residual().Rows()
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("merged residual has %d rows, want %d", len(gotRows), len(wantRows))
+	}
+	for i := range gotRows {
+		if gotRows[i].Count != wantRows[i].Count || gotRows[i].Aux != wantRows[i].Aux {
+			t.Fatalf("merged residual row %d: got (count %d, aux %v), want (%d, %v)",
+				i, gotRows[i].Count, gotRows[i].Aux, wantRows[i].Count, wantRows[i].Aux)
+		}
+		for d := range gotRows[i].Values {
+			if gotRows[i].Values[d] != wantRows[i].Values[d] {
+				t.Fatalf("merged residual row %d key diverges: %v vs %v", i, gotRows[i].Values, wantRows[i].Values)
+			}
+		}
+	}
+	// Dropping freshRes must drop the residual — honesty over optimism.
+	bare, err := s.MergePartitions(0, func(v core.Value) bool { return v == 1 }, fresh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.HasResidual() {
+		t.Fatal("merge without freshRes must not claim a residual")
+	}
+	// And the merged store's aggregates stay exact against the original.
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 60; i++ {
+		spec := randomSpec(rng, tbl.Cards)
+		opt := AggOptions{GroupBy: []int{rng.Intn(tbl.NumDims())}, AuxAgg: AuxSum}
+		got := merged.Aggregate(spec, opt)
+		want := s.Aggregate(spec, opt)
+		if len(got) != len(want) {
+			t.Fatalf("merged aggregate has %d rows, want %d", len(got), len(want))
+		}
+		for j := range got {
+			if got[j].Count != want[j].Count || got[j].Aux != want[j].Aux {
+				t.Fatalf("merged aggregate row %d diverges: (%d,%v) vs (%d,%v)",
+					j, got[j].Count, got[j].Aux, want[j].Count, want[j].Aux)
+			}
+		}
+	}
+}

@@ -29,16 +29,30 @@ import (
 //	  keys   rows*width raw bytes (width = 4 * popcount(mask))
 //	  counts rows uvarints
 //	  aux    rows float64 bit patterns (8 bytes LE each), only when hasAux
+//	residual section, version >= 2 only:
+//	  rows   uvarint (0 is valid: nothing fell below the threshold)
+//	  keys   rows*nd*4 raw bytes (full-width packed keys, strictly sorted)
+//	  counts rows uvarints (each >= 1)
+//	  aux    rows float64 bit patterns (8 bytes LE each), only when hasAux
 //	crc32   IEEE checksum of everything above (4 bytes LE, raw)
 //
 // Groups and rows are written in the store's canonical order (masks
 // ascending, keys lexicographic), so Save is deterministic: Save → Load →
-// Save reproduces identical bytes.
+// Save reproduces identical bytes. Stores without a residual are written as
+// version 1 — byte-identical to pre-residual snapshots — so only
+// residual-carrying stores need the newer reader.
 
 const snapshotMagic = "CCSTOR\x00"
 
-// SnapshotVersion is the current snapshot format version.
-const SnapshotVersion = 1
+// SnapshotVersion is the current snapshot format version: version 2 appends
+// the residual section of iceberg-pruned mass. Version 1 snapshots (no
+// residual) still load, and Save emits version 1 when no residual is
+// attached.
+const SnapshotVersion = 2
+
+// snapshotVersionLegacy is the residual-free format every snapshot used
+// before version 2 and residual-free stores still use.
+const snapshotVersionLegacy = 1
 
 // maxSnapshotRows bounds one cuboid group's declared row count during Load:
 // far above any real cube, and small enough that the count fits int (and
@@ -79,7 +93,11 @@ func (s *Store) Save(w io.Writer) error {
 	if _, err := cw.Write([]byte(snapshotMagic)); err != nil {
 		return fmt.Errorf("cubestore: save: %w", err)
 	}
-	if _, err := cw.Write([]byte{SnapshotVersion}); err != nil {
+	version := byte(snapshotVersionLegacy)
+	if s.res != nil {
+		version = SnapshotVersion
+	}
+	if _, err := cw.Write([]byte{version}); err != nil {
 		return fmt.Errorf("cubestore: save: %w", err)
 	}
 	var scratch [binary.MaxVarintLen64]byte
@@ -125,6 +143,31 @@ func (s *Store) Save(w io.Writer) error {
 			}
 		}
 	}
+	if s.res != nil {
+		if err := putUvarint(uint64(s.res.NumRows())); err != nil {
+			return fmt.Errorf("cubestore: save: residual: %w", err)
+		}
+		if _, err := cw.Write(s.res.keys); err != nil {
+			return fmt.Errorf("cubestore: save: residual: %w", err)
+		}
+		for _, c := range s.res.counts {
+			if err := putUvarint(uint64(c)); err != nil {
+				return fmt.Errorf("cubestore: save: residual: %w", err)
+			}
+		}
+		if s.hasAux {
+			for i := range s.res.counts {
+				var a float64
+				if s.res.aux != nil {
+					a = s.res.aux[i]
+				}
+				binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(a))
+				if _, err := cw.Write(scratch[:8]); err != nil {
+					return fmt.Errorf("cubestore: save: residual: %w", err)
+				}
+			}
+		}
+	}
 	binary.LittleEndian.PutUint32(scratch[:4], cw.crc)
 	if _, err := bw.Write(scratch[:4]); err != nil {
 		return fmt.Errorf("cubestore: save: %w", err)
@@ -162,8 +205,9 @@ func load(cr *crcReader) (*Store, error) {
 	if string(head[:7]) != snapshotMagic {
 		return nil, fmt.Errorf("cubestore: load: bad magic %q", head[:7])
 	}
-	if head[7] != SnapshotVersion {
-		return nil, fmt.Errorf("cubestore: load: unsupported snapshot version %d (want %d)", head[7], SnapshotVersion)
+	version := head[7]
+	if version < snapshotVersionLegacy || version > SnapshotVersion {
+		return nil, fmt.Errorf("cubestore: load: unsupported snapshot version %d (want %d..%d)", version, snapshotVersionLegacy, SnapshotVersion)
 	}
 	nd64, err := binary.ReadUvarint(rd)
 	if err != nil {
@@ -263,6 +307,13 @@ func load(cr *crcReader) (*Store, error) {
 		s.byMask[g.mask] = g
 		s.cells += int64(rows)
 	}
+	if version >= SnapshotVersion {
+		res, err := loadResidual(rd, nd, hasAux)
+		if err != nil {
+			return nil, err
+		}
+		s.res = res
+	}
 	want := cr.crc
 	var tail [4]byte
 	if _, err := io.ReadFull(rd, tail[:]); err != nil {
@@ -275,6 +326,55 @@ func load(cr *crcReader) (*Store, error) {
 	}
 	s.buildIndex()
 	return s, nil
+}
+
+// loadResidual parses the version-2 residual section, validating the same
+// structural invariants group loading enforces: bounded row counts, bounds
+// checked before allocation, strictly sorted keys, positive counts.
+func loadResidual(rd *byteReader, nd int, hasAux bool) (*Residual, error) {
+	rows64, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("cubestore: load: residual: %w", err)
+	}
+	if rows64 > maxSnapshotRows {
+		return nil, fmt.Errorf("cubestore: load: residual: implausible row count %d", rows64)
+	}
+	rows := int(rows64)
+	res := &Residual{nd: nd, hasAux: hasAux}
+	keysLen := int64(rows64) * int64(nd) * core.ValueWidth
+	if keysLen > int64(^uint(0)>>1) {
+		return nil, fmt.Errorf("cubestore: load: residual: %d key bytes exceed this platform", keysLen)
+	}
+	if res.keys, err = ReadAllChunked(rd, int(keysLen)); err != nil {
+		return nil, fmt.Errorf("cubestore: load: residual keys: %w", err)
+	}
+	for i := 1; i < rows; i++ {
+		if bytes.Compare(res.row(i-1), res.row(i)) >= 0 {
+			return nil, fmt.Errorf("cubestore: load: residual keys not strictly sorted at row %d", i)
+		}
+	}
+	res.counts = make([]int64, rows)
+	for i := range res.counts {
+		c, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("cubestore: load: residual counts: %w", err)
+		}
+		if c == 0 {
+			return nil, fmt.Errorf("cubestore: load: residual row %d has count 0", i)
+		}
+		res.counts[i] = int64(c)
+	}
+	if hasAux {
+		res.aux = make([]float64, rows)
+		var buf [8]byte
+		for i := range res.aux {
+			if _, err := io.ReadFull(rd, buf[:]); err != nil {
+				return nil, fmt.Errorf("cubestore: load: residual aux: %w", err)
+			}
+			res.aux[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		}
+	}
+	return res, nil
 }
 
 // byteReader adds the io.ByteReader binary.ReadUvarint needs on top of a

@@ -147,6 +147,11 @@ type Store struct {
 	// bounding probe cost by the candidate count.
 	byDim [][]*group
 	cells int64
+	// res, when non-nil, is the residual summary of the iceberg pruning the
+	// cube was computed with (sub-threshold base cells with counts and stored
+	// aggregates), making Aggregate exact at any threshold. Nil on stores
+	// built without one — including every pre-residual snapshot.
+	res *Residual
 	// probes counts covering-group probes performed by Lookup, Slice, Select
 	// and Aggregate since the store was built — an observability counter,
 	// striped across cache lines so concurrent readers don't contend.
@@ -300,13 +305,13 @@ func (s *Store) candidates(q core.Mask, buf *[]*group) []*group {
 }
 
 // Bytes returns the approximate in-memory payload size: packed keys plus
-// count and measure arrays.
+// count and measure arrays, plus the residual summary when one is attached.
 func (s *Store) Bytes() int64 {
 	var b int64
 	for _, g := range s.groups {
 		b += int64(len(g.keys)) + 8*int64(len(g.counts)) + 8*int64(len(g.aux))
 	}
-	return b
+	return b + s.res.Bytes()
 }
 
 // queryMask computes the fixed-dimension mask of a query vector. A query of

@@ -128,3 +128,66 @@ func recBoxed(h *recHist, d time.Duration) {
 	h.observe(d)
 	sink(d) // want `hot path: interface conversion boxes time\.Duration`
 }
+
+// --- measure-vector combine ---
+//
+// The shapes below mirror the sink batch-merge path: a cell carrying a count
+// and a stored measure aggregate, combined across shards by a kind switch
+// (add for sum/avg, extremum for min/max) and appended into a reused output
+// vector. The combine itself must pass untouched; materializing per-combine
+// scratch must not.
+
+type mvKind uint8
+
+const (
+	mvSum mvKind = iota
+	mvMin
+	mvMax
+)
+
+type mvCell struct {
+	count int64
+	aux   float64
+}
+
+//ccubing:hotpath
+func (c *mvCell) combine(src mvCell, kind mvKind) {
+	c.count += src.count
+	switch kind {
+	case mvMin:
+		if src.aux < c.aux {
+			c.aux = src.aux
+		}
+	case mvMax:
+		if src.aux > c.aux {
+			c.aux = src.aux
+		}
+	default: // sum and avg both carry the running sum
+		c.aux += src.aux
+	}
+}
+
+//ccubing:hotpath
+func mvMerge(dst []mvCell, a, b []mvCell, kind mvKind) []mvCell {
+	for i := range a {
+		cell := a[i]
+		cell.combine(b[i], kind)
+		dst = append(dst, cell) // self-append: reused output vector
+	}
+	return dst
+}
+
+// mvMergeFresh is the forbidden variant: building per-merge scratch and
+// reporting through fmt from the combine loop.
+//
+//ccubing:hotpath
+func mvMergeFresh(a, b []mvCell, kind mvKind) []mvCell {
+	out := make([]mvCell, 0, len(a)) // want `hot path: make allocates`
+	for i := range a {
+		cell := a[i]
+		cell.combine(b[i], kind)
+		fmt.Sprint(cell.count) // want `hot path: call to fmt\.Sprint allocates` `hot path: interface conversion boxes int64`
+		out = append(out, cell)
+	}
+	return out
+}

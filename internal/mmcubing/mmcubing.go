@@ -47,12 +47,18 @@ type Config struct {
 	// DisableShortcut turns off the partition-size==min_sup closed-cell
 	// shortcut (ablation; Closed mode only).
 	DisableShortcut bool
+	// Measure optionally aggregates the table's Aux column per output cell
+	// during the dense-array and shortcut aggregation (paper Sec. 6.1),
+	// delivering stored aggregates (core.MeasureAgg.Stored) through
+	// sink.AuxSink.
+	Measure core.MeasureKind
 }
 
 type runner struct {
 	t      *table.Table
 	cfg    Config
 	out    sink.Sink
+	auxOut sink.AuxSink // set when cfg.Measure is active and out accepts aux
 	nd     int
 	cols   core.Columns
 	full   core.Mask
@@ -79,6 +85,9 @@ func Run(t *table.Table, cfg Config, out sink.Sink) error {
 	if err := t.Validate(); err != nil {
 		return fmt.Errorf("mmcubing: %w", err)
 	}
+	if cfg.Measure != core.MeasureNone && t.Aux == nil {
+		return fmt.Errorf("mmcubing: measure %v requested but table has no aux column", cfg.Measure)
+	}
 	n := t.NumTuples()
 	if int64(n) < cfg.MinSup {
 		return nil
@@ -94,6 +103,9 @@ func Run(t *table.Table, cfg Config, out sink.Sink) error {
 		vals:   make([]core.Value, t.NumDims()),
 		masked: make([][]bool, t.NumDims()),
 		freq:   make([][]int64, t.NumDims()),
+	}
+	if a, ok := out.(sink.AuxSink); ok && cfg.Measure != core.MeasureNone {
+		r.auxOut = a
 	}
 	if r.budget <= 0 {
 		r.budget = DefaultDenseBudget
@@ -281,11 +293,14 @@ func (r *runner) densePhase(tids []core.TID, active []int, denseVals [][]core.Va
 		// programming error.
 		panic(err)
 	}
+	if r.auxOut != nil {
+		space.SetMeasure(r.cfg.Measure, r.t.Aux)
+	}
 	for _, tid := range tids {
 		space.Add(tid)
 	}
 	activeMask := r.full &^ r.fixedMask
-	space.Process(func(members []multiway.Dim, dimVals []core.Value, count int64, cls core.Closedness) {
+	space.Process(func(members []multiway.Dim, dimVals []core.Value, count int64, cls core.Closedness, aux float64) {
 		if count < r.cfg.MinSup {
 			return
 		}
@@ -295,7 +310,11 @@ func (r *runner) densePhase(tids []core.TID, active []int, denseVals [][]core.Va
 			allMask = allMask.Without(members[i].D)
 		}
 		if !r.cfg.Closed || cls.Closed(allMask) {
-			r.out.Emit(r.vals, count)
+			if r.auxOut != nil {
+				r.auxOut.EmitAux(r.vals, count, aux)
+			} else {
+				r.out.Emit(r.vals, count)
+			}
 		}
 		for i := range members {
 			r.vals[members[i].D] = core.Star
@@ -321,7 +340,15 @@ func (r *runner) shortcut(tids []core.TID, active []int) {
 			fixed++
 		}
 	}
-	r.out.Emit(r.vals, int64(len(tids)))
+	if r.auxOut != nil {
+		aux := core.StoredIdentity(r.cfg.Measure)
+		for _, tid := range tids {
+			aux = core.CombineStored(r.cfg.Measure, aux, r.t.Aux[tid])
+		}
+		r.auxOut.EmitAux(r.vals, int64(len(tids)), aux)
+	} else {
+		r.out.Emit(r.vals, int64(len(tids)))
+	}
 	for _, d := range active {
 		if c.Mask.Has(d) {
 			r.vals[d] = core.Star

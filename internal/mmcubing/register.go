@@ -14,8 +14,9 @@ func (ccMM) Name() string { return "CC(MM)" }
 
 func (ccMM) Capabilities() engine.Capabilities {
 	// MM-Cubing factorizes the lattice space and is insensitive to
-	// dimension order.
-	return engine.Capabilities{Closed: true, Iceberg: true}
+	// dimension order. Measures aggregate natively through the dense arrays
+	// and the shortcut (paper Sec. 6.1).
+	return engine.Capabilities{Closed: true, Iceberg: true, NativeMeasure: true}
 }
 
 func (ccMM) Run(t *table.Table, cfg engine.Config, out sink.Sink) error {
@@ -24,6 +25,7 @@ func (ccMM) Run(t *table.Table, cfg engine.Config, out sink.Sink) error {
 		Closed:          cfg.Closed,
 		DenseBudget:     cfg.DenseBudget,
 		DisableShortcut: cfg.DisableShortcut,
+		Measure:         cfg.Measure,
 	}, out)
 }
 

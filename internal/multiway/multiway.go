@@ -39,8 +39,12 @@ type Space struct {
 	cols   core.Columns
 	check  core.Mask
 
+	kind  core.MeasureKind
+	auxIn []float64 // per-tuple measure input; nil when kind is MeasureNone
+
 	counts []int64
 	cls    []core.Closedness
+	aux    []float64 // per-cell stored measure aggregate; nil without a measure
 }
 
 // NewSpace allocates a dense space over the given dimensions, whose Vals
@@ -49,6 +53,7 @@ type Space struct {
 // is retained in the signature for validation only. When closed is true the
 // space also aggregates closedness measures, using cols for representative-
 // value comparisons. The product of (len(Vals)+1) must stay within maxCells.
+// SetMeasure optionally attaches a complex measure before the first Add.
 func NewSpace(dims []Dim, cards []int, closed bool, cols core.Columns, maxCells int) (*Space, error) {
 	s := &Space{dims: dims, closed: closed, cols: cols, check: ^core.Mask(0)}
 	total := 1
@@ -83,6 +88,23 @@ func NewSpace(dims []Dim, cards []int, closed bool, cols core.Columns, maxCells 
 	return s, nil
 }
 
+// SetMeasure attaches a per-tuple measure input whose stored aggregate
+// (core.MeasureAgg.Stored semantics: sum for sum/avg, extremum for min/max)
+// is computed per array cell alongside count and handed to Emit. Must be
+// called before the first Add.
+func (s *Space) SetMeasure(kind core.MeasureKind, auxIn []float64) {
+	if kind == core.MeasureNone {
+		return
+	}
+	s.kind, s.auxIn = kind, auxIn
+	s.aux = make([]float64, s.total)
+	if id := core.StoredIdentity(kind); id != 0 {
+		for i := range s.aux {
+			s.aux[i] = id
+		}
+	}
+}
+
 // coord resolves a value to its array coordinate on dimension position i:
 // the dense index, or the "other" bucket len(Vals).
 func (s *Space) coord(i int, v core.Value) int {
@@ -112,6 +134,9 @@ func (s *Space) Add(tid core.TID) {
 	if s.closed {
 		s.cls[idx].MergeTuple(tid, s.check, s.cols)
 	}
+	if s.aux != nil {
+		s.aux[idx] = core.CombineStored(s.kind, s.aux[idx], s.auxIn[tid])
+	}
 }
 
 // Cells returns the number of cells of the base cuboid array.
@@ -120,8 +145,9 @@ func (s *Space) Cells() int { return s.total }
 // Emit is called by Process for every array cell whose coordinates are all
 // dense (no "other" bucket): dimVals pairs each Dim.D in the cuboid's
 // member set with its concrete value. cls is the zero Closedness unless the
-// space aggregates closedness.
-type Emit func(members []Dim, dimVals []core.Value, count int64, cls core.Closedness)
+// space aggregates closedness; aux is the cell's stored measure aggregate
+// (0 unless SetMeasure was called).
+type Emit func(members []Dim, dimVals []core.Value, count int64, cls core.Closedness, aux float64)
 
 // Process walks the cuboid lattice: it emits the base cuboid and every
 // sub-cuboid of the space, computing each from its designated parent by
@@ -132,23 +158,23 @@ func (s *Space) Process(emit Emit) {
 	for i := range members {
 		members[i] = i
 	}
-	s.process(members, s.counts, s.cls, emit)
+	s.process(members, s.counts, s.cls, s.aux, emit)
 }
 
 // process handles the cuboid whose member dimension positions (into s.dims)
 // are members, with the given aggregate arrays.
-func (s *Space) process(members []int, counts []int64, cls []core.Closedness, emit Emit) {
-	s.emitCuboid(members, counts, cls, emit)
+func (s *Space) process(members []int, counts []int64, cls []core.Closedness, aux []float64, emit Emit) {
+	s.emitCuboid(members, counts, cls, aux, emit)
 	outside := s.outside(members)
 	for mi, j := range members {
 		if !s.designated(j, outside) {
 			continue
 		}
-		ccounts, ccls := s.sumOut(members, mi, counts, cls)
+		ccounts, ccls, caux := s.sumOut(members, mi, counts, cls, aux)
 		child := make([]int, 0, len(members)-1)
 		child = append(child, members[:mi]...)
 		child = append(child, members[mi+1:]...)
-		s.process(child, ccounts, ccls, emit)
+		s.process(child, ccounts, ccls, caux, emit)
 	}
 }
 
@@ -182,14 +208,18 @@ func (s *Space) outside(members []int) []int {
 
 // emitCuboid walks one cuboid array, emitting cells without "other"
 // coordinates.
-func (s *Space) emitCuboid(members []int, counts []int64, cls []core.Closedness, emit Emit) {
+func (s *Space) emitCuboid(members []int, counts []int64, cls []core.Closedness, aux []float64, emit Emit) {
 	k := len(members)
 	if k == 0 {
 		var c core.Closedness
 		if s.closed {
 			c = cls[0]
 		}
-		emit(nil, nil, counts[0], c)
+		var a float64
+		if aux != nil {
+			a = aux[0]
+		}
+		emit(nil, nil, counts[0], c, a)
 		return
 	}
 	mdims := make([]Dim, k)
@@ -208,7 +238,11 @@ func (s *Space) emitCuboid(members []int, counts []int64, cls []core.Closedness,
 			if s.closed {
 				c = cls[idx]
 			}
-			emit(mdims, dimVals, counts[idx], c)
+			var a float64
+			if aux != nil {
+				a = aux[idx]
+			}
+			emit(mdims, dimVals, counts[idx], c, a)
 		}
 		// Advance the odometer, tracking "other" occupancy.
 		for i := 0; i < k; i++ {
@@ -227,9 +261,9 @@ func (s *Space) emitCuboid(members []int, counts []int64, cls []core.Closedness,
 	}
 }
 
-// sumOut computes the child cuboid dropping members[mi], merging counts and
-// closedness cell-wise.
-func (s *Space) sumOut(members []int, mi int, counts []int64, cls []core.Closedness) ([]int64, []core.Closedness) {
+// sumOut computes the child cuboid dropping members[mi], merging counts,
+// closedness and the stored measure aggregate cell-wise.
+func (s *Space) sumOut(members []int, mi int, counts []int64, cls []core.Closedness, aux []float64) ([]int64, []core.Closedness, []float64) {
 	k := len(members)
 	childTotal := 1
 	cstride := make([]int, k) // contribution of each member coord to child idx
@@ -249,6 +283,15 @@ func (s *Space) sumOut(members []int, mi int, counts []int64, cls []core.Closedn
 			ccls[i] = core.EmptyClosedness()
 		}
 	}
+	var caux []float64
+	if aux != nil {
+		caux = make([]float64, childTotal)
+		if id := core.StoredIdentity(s.kind); id != 0 {
+			for i := range caux {
+				caux[i] = id
+			}
+		}
+	}
 	coords := make([]int, k)
 	cidx := 0
 	for idx := range counts {
@@ -256,6 +299,9 @@ func (s *Space) sumOut(members []int, mi int, counts []int64, cls []core.Closedn
 			ccounts[cidx] += counts[idx]
 			if s.closed {
 				ccls[cidx].Merge(cls[idx], s.check, s.cols)
+			}
+			if caux != nil {
+				caux[cidx] = core.CombineStored(s.kind, caux[cidx], aux[idx])
 			}
 		}
 		for i := 0; i < k; i++ {
@@ -270,5 +316,5 @@ func (s *Space) sumOut(members []int, mi int, counts []int64, cls []core.Closedn
 			break
 		}
 	}
-	return ccounts, ccls
+	return ccounts, ccls, caux
 }

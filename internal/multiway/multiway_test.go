@@ -21,7 +21,7 @@ func collect(t *testing.T, tb *table.Table, dims []Dim, closed bool) map[string]
 	}
 	got := map[string]int64{}
 	vals := make([]core.Value, tb.NumDims())
-	s.Process(func(members []Dim, dimVals []core.Value, count int64, _ core.Closedness) {
+	s.Process(func(members []Dim, dimVals []core.Value, count int64, _ core.Closedness, _ float64) {
 		for d := range vals {
 			vals[d] = core.Star
 		}
@@ -122,7 +122,7 @@ func TestSpaceClosednessMatchesExact(t *testing.T) {
 	for i := 0; i < tb.NumTuples(); i++ {
 		s.Add(core.TID(i))
 	}
-	s.Process(func(members []Dim, dimVals []core.Value, count int64, cls core.Closedness) {
+	s.Process(func(members []Dim, dimVals []core.Value, count int64, cls core.Closedness, _ float64) {
 		// Recompute the measure from scratch for the emitted cell.
 		var tids []core.TID
 		for tid := 0; tid < tb.NumTuples(); tid++ {

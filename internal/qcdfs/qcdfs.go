@@ -29,7 +29,8 @@ type Config struct {
 	// iceberg cubes for comparison at equal semantics.
 	MinSup int64
 	// Measure optionally aggregates the table's Aux column per closed cell
-	// (delivered through sink.AuxSink).
+	// into stored aggregates (delivered through sink.AuxSink; avg arrives as
+	// its algebraic pair (stored sum, count)).
 	Measure core.MeasureKind
 }
 
@@ -146,7 +147,7 @@ func (r *runner) emit(lo, hi int) {
 		for _, tid := range r.tids[lo:hi] {
 			agg.Add(r.t.Aux[tid])
 		}
-		r.auxOut.EmitAux(r.vals, count, agg.Value())
+		r.auxOut.EmitAux(r.vals, count, agg.Stored())
 		return
 	}
 	r.out.Emit(r.vals, count)

@@ -58,8 +58,16 @@ type Config struct {
 	// defaults to 4×Workers, capped by the number of touched partitions.
 	Shards int
 	// AttachAux, when set, fills the Aux of freshly recomputed cells from the
-	// relation (the facade's complex-measure post-pass).
+	// relation (the facade's complex-measure post-pass for engines without
+	// native measures; native runs set ECfg.Measure instead and leave this
+	// nil).
 	AttachAux func(*table.Table, []core.Cell) error
+	// Measure is the measure kind the store's aux values were aggregated with,
+	// used to aggregate residual rows during partition-scoped recompute. It
+	// matters only for stores carrying a residual and defaults to
+	// ECfg.Measure, so native-measure runs need not set it; AttachAux-based
+	// runs on measure-bearing stores must.
+	Measure core.MeasureKind
 	// Generation seeds the published snapshot's generation counter.
 	Generation uint64
 	// WAL, when non-empty, persists pending (unrefreshed) appends to this
@@ -919,33 +927,59 @@ func (m *Manager) finishFlush(st Stats, werr error) (Stats, error) {
 // cannot be decomposed (fewer than two dimensions). A relation whose every
 // tuple was deleted has no cells at all — the engines assume at least one
 // tuple, so that degenerate cube is built directly.
+//
+// The iceberg residual follows the store: when the old store carries one, the
+// replacement partitions' residual is recomputed from their tuples and merged
+// group-style (full rebuild paths recompute it over the whole relation). When
+// the old store lacks one — a legacy snapshot — the refreshed store stays
+// residual-free, so it never claims an exactness it cannot prove.
 func (m *Manager) rebuild(old *cubestore.Store, t *table.Table, affected map[core.Value]bool) (*cubestore.Store, int64, error) {
-	if t.NumTuples() == 0 {
-		s, err := buildStore(m.nd, old.HasAux(), nil)
-		return s, 0, err
-	}
-	if m.nd < 2 {
-		fresh, err := m.computeAll(t)
-		if err != nil {
-			return nil, 0, err
+	carry := old.HasResidual()
+	if t.NumTuples() == 0 || m.nd < 2 {
+		var fresh []core.Cell
+		if t.NumTuples() > 0 {
+			var err error
+			if fresh, err = m.computeAll(t); err != nil {
+				return nil, 0, err
+			}
 		}
-		s, err := buildStore(m.nd, old.HasAux(), fresh)
+		var res *cubestore.Residual
+		if carry {
+			res = cubestore.ComputeResidual(t.Cols, t.Aux, m.cfg.ECfg.MinSup, m.measureKind())
+		}
+		s, err := buildStore(m.nd, old.HasAux(), fresh, res)
 		return s, int64(len(fresh)), err
 	}
-	fresh, err := m.recompute(t, affected)
+	fresh, sub, err := m.recompute(t, affected)
 	if err != nil {
 		return nil, 0, err
 	}
-	s, err := old.MergePartitions(m.cfg.Dim, func(v core.Value) bool { return affected[v] }, fresh)
+	var freshRes *cubestore.Residual
+	if carry {
+		// Residual rows fix every dimension, so their multiplicities within the
+		// touched partitions' tuples are already globally correct.
+		freshRes = cubestore.ComputeResidual(sub.Cols, sub.Aux, m.cfg.ECfg.MinSup, m.measureKind())
+	}
+	s, err := old.MergePartitions(m.cfg.Dim, func(v core.Value) bool { return affected[v] }, fresh, freshRes)
 	return s, int64(len(fresh)), err
+}
+
+// measureKind resolves the measure kind residual aggregates are combined
+// with: Config.Measure when set, else the engine's native measure.
+func (m *Manager) measureKind() core.MeasureKind {
+	if m.cfg.Measure != core.MeasureNone {
+		return m.cfg.Measure
+	}
+	return m.cfg.ECfg.Measure
 }
 
 // recompute produces the replacement cells of a refresh: the closed cells
 // fixing the partition dimension to a touched value (cubed shard-by-shard
 // over the touched partitions' tuples only) and the whole wildcard slice
 // (projection cube plus the agreement check). The engine runs on up to
-// Workers goroutines.
-func (m *Manager) recompute(t *table.Table, affected map[core.Value]bool) ([]core.Cell, error) {
+// Workers goroutines. The returned sub-relation holds exactly the touched
+// partitions' tuples (the fresh residual's source).
+func (m *Manager) recompute(t *table.Table, affected map[core.Value]bool) ([]core.Cell, *table.Table, error) {
 	dim := m.cfg.Dim
 	workers := m.cfg.Workers
 	if workers < 1 {
@@ -983,7 +1017,7 @@ func (m *Manager) recompute(t *table.Table, affected map[core.Value]bool) ([]cor
 	}
 	proj, err := t.Project(projDims)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	var mu sync.Mutex
@@ -1021,7 +1055,7 @@ func (m *Manager) recompute(t *table.Table, affected map[core.Value]bool) ([]cor
 		})
 	}
 	if err := pool.Wait(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if scan != nil {
 		col := &sink.AuxCollector{Cells: fresh}
@@ -1030,10 +1064,10 @@ func (m *Manager) recompute(t *table.Table, affected map[core.Value]bool) ([]cor
 	}
 	if m.cfg.AttachAux != nil {
 		if err := m.cfg.AttachAux(t, fresh); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return fresh, nil
+	return fresh, sub, nil
 }
 
 // computeAll cubes the whole relation (the non-decomposable fallback).
@@ -1197,11 +1231,17 @@ func applyDelta(t *table.Table, rows []core.Value, aux []float64, kinds []byte, 
 	return nt, nAppended, nDeleted, nil
 }
 
-// buildStore freezes cells into a store from scratch.
-func buildStore(nd int, hasAux bool, cells []core.Cell) (*cubestore.Store, error) {
+// buildStore freezes cells into a store from scratch, attaching res when
+// non-nil.
+func buildStore(nd int, hasAux bool, cells []core.Cell, res *cubestore.Residual) (*cubestore.Store, error) {
 	b := cubestore.NewBuilder(nd, hasAux)
 	for _, c := range cells {
 		b.Add(c.Values, c.Count, c.Aux)
+	}
+	if res != nil {
+		if err := b.SetResidual(res); err != nil {
+			return nil, err
+		}
 	}
 	return b.Build()
 }

@@ -35,7 +35,7 @@ func buildStoreFor(t testing.TB, tbl *table.Table, minsup int64) *cubestore.Stor
 	if err := eng.Run(tbl, engine.Config{MinSup: minsup, Closed: true}, col); err != nil {
 		t.Fatal(err)
 	}
-	s, err := buildStore(tbl.NumDims(), false, col.Cells)
+	s, err := buildStore(tbl.NumDims(), false, col.Cells, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

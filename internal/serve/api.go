@@ -140,6 +140,11 @@ type queryResponse struct {
 	Count   int64    `json:"count"`
 	Closure []string `json:"closure,omitempty"`
 	Aux     *float64 `json:"aux,omitempty"`
+	// AuxRaw is the stored mergeable form of the measure, set only where it
+	// differs from Aux: on avg cubes with stored aggregates it is the running
+	// sum whose presented mean is Aux. Routers merge shard answers through
+	// AuxRaw (sums add exactly; means do not) and present once at the end.
+	AuxRaw *float64 `json:"aux_raw,omitempty"`
 }
 
 type sliceCell struct {
@@ -181,7 +186,10 @@ type aggregateRequest struct {
 	GroupBy []string `json:"group_by,omitempty"`
 	TopK    int      `json:"top_k,omitempty"`
 	OrderBy string   `json:"order_by,omitempty"` // "count" (default) or "aux"
-	AuxAgg  string   `json:"aux_agg,omitempty"`  // "sum" (default), "min", "max"
+	// AuxAgg combines measure values across the grouped cells: "sum", "min",
+	// "max" or "avg"; empty defaults to the cube's own combiner (avg on avg
+	// cubes with stored aggregates, sum otherwise).
+	AuxAgg string `json:"aux_agg,omitempty"`
 
 	trace *obs.Trace // in-process stage accounting; see queryRequest.trace
 }
@@ -190,13 +198,19 @@ type aggregateRow struct {
 	Cell  []string `json:"cell"`
 	Count int64    `json:"count"`
 	Aux   *float64 `json:"aux,omitempty"`
+	// AuxRaw is the stored mergeable form of Aux, set only on avg
+	// aggregations: the group's running sum, whose presented mean is Aux.
+	// Routers merge shard rows through AuxRaw and re-present after the merge.
+	AuxRaw *float64 `json:"aux_raw,omitempty"`
 }
 
 type aggregateResponse struct {
 	Rows []aggregateRow `json:"rows"`
-	// Exact is false on iceberg cubes (minsup > 1), where combinations below
-	// the threshold are absent and every aggregate is a lower bound. A router
-	// reports the AND of its shards' flags.
+	// Exact reports that the answer equals the minsup-1 ground truth. It is
+	// true on minsup-1 cubes and on iceberg cubes whose store carries the
+	// residual summary of below-threshold mass; it is false only for legacy
+	// snapshots saved without residuals, where absent combinations make every
+	// aggregate a lower bound. A router reports the AND of its shards' flags.
 	Exact bool `json:"exact"`
 }
 

@@ -240,15 +240,25 @@ func TestAggregateEndpoint(t *testing.T) {
 		t.Fatalf("grand total = %+v, want %d", tot.Rows, total)
 	}
 
-	// On an iceberg cube the same query reports exact=false: combinations
-	// below the threshold are absent and counts are lower bounds.
+	// On an iceberg cube the same query stays exact: the store carries a
+	// residual summary of the below-threshold mass, so aggregates fold the
+	// pruned tuples back in and match the minsup-1 cube row for row.
 	iceberg, _ := testCube(t, 3)
 	its := httptest.NewServer(newMux(iceberg, "", 0))
 	defer its.Close()
-	var iar aggregateResponse
+	var iar, full aggregateResponse
 	postJSON(t, its, "/v1/aggregate", aggregateRequest{GroupBy: []string{"city"}}, &iar)
-	if iar.Exact {
-		t.Fatal("iceberg aggregate must report exact=false")
+	postJSON(t, ts, "/v1/aggregate", aggregateRequest{GroupBy: []string{"city"}}, &full)
+	if !iar.Exact {
+		t.Fatal("iceberg aggregate with residuals must report exact=true")
+	}
+	if len(iar.Rows) != len(full.Rows) {
+		t.Fatalf("iceberg aggregate rows = %+v, minsup-1 rows = %+v", iar.Rows, full.Rows)
+	}
+	for i := range iar.Rows {
+		if iar.Rows[i].Count != full.Rows[i].Count || !equalLabels(iar.Rows[i].Cell, full.Rows[i].Cell) {
+			t.Fatalf("iceberg row %d = %+v, minsup-1 row = %+v", i, iar.Rows[i], full.Rows[i])
+		}
 	}
 
 	// Bad requests are 400.
@@ -258,7 +268,7 @@ func TestAggregateEndpoint(t *testing.T) {
 		"/v1/aggregate?top_k=-1",        // negative top-k
 		"/v1/aggregate?order_by=zigzag", // unknown ranking
 		"/v1/aggregate?order_by=aux",    // no measure to rank by
-		"/v1/aggregate?aux_agg=avg",     // non-decomposable combiner
+		"/v1/aggregate?aux_agg=avg",     // avg needs an avg-measure cube
 	} {
 		if resp := getJSON(t, ts, path, nil); resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("GET %s: %d, want 400", path, resp.StatusCode)

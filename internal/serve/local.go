@@ -178,17 +178,28 @@ func (l *Local) Query(req queryRequest) (queryResponse, error) {
 		return queryResponse{Found: false}, nil
 	}
 	start = time.Now()
-	cell, ok := cube.Lookup(vals)
+	cell, ok := cube.LookupStored(vals)
 	req.trace.Observe("probe", time.Since(start))
 	if !ok {
 		return queryResponse{Found: false}, nil
 	}
 	resp := queryResponse{Found: true, Count: cell.Count, Closure: cube.Labels(cell.Values)}
 	if cube.HasMeasure() {
-		aux := cell.Aux
+		aux := cube.PresentAux(cell.Aux, cell.Count)
 		resp.Aux = &aux
+		if avgStored(cube) {
+			raw := cell.Aux
+			resp.AuxRaw = &raw
+		}
 	}
 	return resp, nil
+}
+
+// avgStored reports an avg cube holding stored (mergeable) sums — the one
+// measure configuration whose presented values cannot be recombined across
+// shards, so shard answers carry the raw sum alongside the mean.
+func avgStored(cube *ccubing.Cube) bool {
+	return cube.Measure() == ccubing.MeasureAvg && cube.AuxStored()
 }
 
 const defaultSliceLimit = 1000
@@ -246,6 +257,13 @@ func (l *Local) Aggregate(req aggregateRequest) (aggregateResponse, error) {
 	if opt.AuxAgg, err = ccubing.ParseAuxAgg(req.AuxAgg); err != nil {
 		return aggregateResponse{}, err
 	}
+	// Avg aggregations fetch the raw group sums and present (divide) here, so
+	// the wire carries both the mergeable sum and the client-facing mean.
+	avgMode := avgStored(cube) &&
+		(opt.AuxAgg == ccubing.MeasureNone || opt.AuxAgg == ccubing.MeasureAvg)
+	if avgMode {
+		opt.AuxAgg = ccubing.MeasureSum
+	}
 	where := req.Where
 	if where == nil {
 		where = make([]string, cube.NumDims())
@@ -270,6 +288,11 @@ func (l *Local) Aggregate(req aggregateRequest) (aggregateResponse, error) {
 		row := aggregateRow{Cell: cube.Labels(c.Values), Count: c.Count}
 		if cube.HasMeasure() {
 			aux := c.Aux
+			if avgMode {
+				raw := c.Aux
+				row.AuxRaw = &raw
+				aux = cube.PresentAux(raw, c.Count)
+			}
 			row.Aux = &aux
 		}
 		resp.Rows = append(resp.Rows, row)

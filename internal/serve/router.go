@@ -21,8 +21,11 @@ import (
 // dimension 0 lives whole on one worker, with its global count and closure.
 // Work that binds dimension 0 routes to that one worker and is byte-identical
 // to a single store at any iceberg threshold; work that leaves it wildcard
-// scatters to all workers and merges (exact at minsup 1, where no per-shard
-// iceberg suppression can hide tuples from the merge).
+// scatters to all workers and merges. Scattered aggregates are exact at any
+// threshold when every worker's store carries its residual summary of
+// iceberg-pruned mass (each reports exact=true): per-shard answers then
+// include the below-threshold tuples the shard owns, and sums of exact shard
+// answers are the exact global answer.
 type Router struct {
 	shards []Shard
 	// Topology-constant metadata, validated identical across workers at
@@ -214,11 +217,17 @@ func (rt *Router) ownerIndex(component string) int {
 	return route.Owner(component, len(rt.shards))
 }
 
-// mergeable reports whether per-shard measure values combine into the global
-// value: sums, minima and maxima are distributive over a partition of the
-// tuples; averages are not (each shard's average weighs its own tuple count).
-func (rt *Router) mergeable() bool {
-	return rt.kind != ccubing.MeasureAvg.String()
+// avgKind reports an avg-measure topology. Presented means do not combine
+// across shards, so avg merges go through the wire rows' AuxRaw stored sums;
+// legacyAvgErr is the answer when a worker (serving a legacy snapshot without
+// stored aggregates) cannot supply them.
+func (rt *Router) avgKind() bool {
+	return rt.kind == ccubing.MeasureAvg.String()
+}
+
+func (rt *Router) legacyAvgErr() *StatusError {
+	return statusErrorf(http.StatusNotImplemented,
+		"avg measure from a legacy snapshot (no stored aggregates) cannot be merged across shards; bind dimension %s to route to one shard", rt.names[0])
 }
 
 // routeQuery decides where a query/slice request goes: the dimension-0
@@ -316,14 +325,17 @@ func (rt *Router) Query(req queryRequest) (queryResponse, error) {
 	}
 	merged.Closure = closure
 	if rt.measure {
-		if !rt.mergeable() {
-			return queryResponse{}, statusErrorf(http.StatusNotImplemented,
-				"measure kind %q cannot be merged across shards; bind dimension %s to route to one shard", rt.kind, rt.names[0])
-		}
 		aux := 0.0
 		for i, r := range found {
 			v := 0.0
-			if r.Aux != nil {
+			switch {
+			case rt.avgKind():
+				// Merge the stored sums, not the presented means.
+				if r.AuxRaw == nil {
+					return queryResponse{}, rt.legacyAvgErr()
+				}
+				v = *r.AuxRaw
+			case r.Aux != nil:
 				v = *r.Aux
 			}
 			switch {
@@ -333,11 +345,19 @@ func (rt *Router) Query(req queryRequest) (queryResponse, error) {
 				aux = min(aux, v)
 			case rt.kind == ccubing.MeasureMax.String():
 				aux = max(aux, v)
-			default: // sum (the cube's stored measure is a per-cell sum)
+			default: // sum and avg (the cube's stored measure is a per-cell sum)
 				aux += v
 			}
 		}
-		merged.Aux = &aux
+		if rt.avgKind() {
+			// The same stored/count division a single worker performs, so the
+			// merged mean is byte-identical to an unsharded store's.
+			mean := aux / float64(merged.Count)
+			merged.Aux = &mean
+			merged.AuxRaw = &aux
+		} else {
+			merged.Aux = &aux
+		}
 	}
 	return merged, nil
 }
@@ -388,10 +408,6 @@ func (rt *Router) Aggregate(req aggregateRequest) (aggregateResponse, error) {
 			})
 		}
 	}
-	if rt.measure && !rt.mergeable() {
-		return aggregateResponse{}, statusErrorf(http.StatusNotImplemented,
-			"measure kind %q cannot be merged across shards; bind dimension %s to route to one shard", rt.kind, rt.names[0])
-	}
 	// Scatter with top-k stripped: a shard's local top k can miss rows whose
 	// global rank only emerges after cross-shard summation. Rank and truncate
 	// here, after the merge.
@@ -408,13 +424,19 @@ func (rt *Router) Aggregate(req aggregateRequest) (aggregateResponse, error) {
 	// Merge rows keyed by their label tuple. Shards partition the tuples, so
 	// counts sum; the measure combines per the requested aggregator (a
 	// shard-level sum of sums is the global sum, min of mins the global min).
+	// Avg rows combine through their AuxRaw stored sums and are presented —
+	// divided by the merged count — once, after every shard is folded in.
 	auxAgg, _ := ccubing.ParseAuxAgg(req.AuxAgg)
+	avgAgg := auxAgg == ccubing.MeasureAvg || (auxAgg == ccubing.MeasureNone && rt.avgKind())
 	merged := make(map[string]*aggregateRow)
 	var order []string
 	exact := true
 	for _, r := range resps {
 		exact = exact && r.Exact
 		for _, row := range r.Rows {
+			if avgAgg && row.Aux != nil && row.AuxRaw == nil {
+				return aggregateResponse{}, rt.legacyAvgErr()
+			}
 			key := strings.Join(row.Cell, "\x00")
 			m, ok := merged[key]
 			if !ok {
@@ -424,12 +446,19 @@ func (rt *Router) Aggregate(req aggregateRequest) (aggregateResponse, error) {
 					aux := *row.Aux
 					cp.Aux = &aux
 				}
+				if row.AuxRaw != nil {
+					raw := *row.AuxRaw
+					cp.AuxRaw = &raw
+				}
 				merged[key] = &cp
 				order = append(order, key)
 				continue
 			}
 			m.Count += row.Count
-			if m.Aux != nil && row.Aux != nil {
+			switch {
+			case m.AuxRaw != nil && row.AuxRaw != nil:
+				*m.AuxRaw += *row.AuxRaw // avg: stored sums add
+			case m.Aux != nil && row.Aux != nil:
 				switch auxAgg {
 				case ccubing.MeasureMin:
 					if *row.Aux < *m.Aux {
@@ -447,7 +476,14 @@ func (rt *Router) Aggregate(req aggregateRequest) (aggregateResponse, error) {
 	}
 	resp := aggregateResponse{Rows: make([]aggregateRow, 0, len(merged)), Exact: exact}
 	for _, key := range order {
-		resp.Rows = append(resp.Rows, *merged[key])
+		m := merged[key]
+		if m.AuxRaw != nil {
+			// The same stored/count division a single worker performs, so
+			// merged rows are byte-identical to an unsharded store's.
+			mean := *m.AuxRaw / float64(m.Count)
+			m.Aux = &mean
+		}
+		resp.Rows = append(resp.Rows, *m)
 	}
 	sortAggRows(resp.Rows, by == ccubing.ByAux)
 	if req.TopK > 0 && len(resp.Rows) > req.TopK {

@@ -13,7 +13,9 @@ type ccStarArray struct{}
 func (ccStarArray) Name() string { return "CC(StarArray)" }
 
 func (ccStarArray) Capabilities() engine.Capabilities {
-	return engine.Capabilities{Closed: true, Iceberg: true, OrderSensitive: true}
+	// Measures ride the multiway traversal: merged nodes and pool folds
+	// carry the stored aggregate exactly like count.
+	return engine.Capabilities{Closed: true, Iceberg: true, NativeMeasure: true, OrderSensitive: true}
 }
 
 func (ccStarArray) Run(t *table.Table, cfg engine.Config, out sink.Sink) error {
@@ -22,6 +24,7 @@ func (ccStarArray) Run(t *table.Table, cfg engine.Config, out sink.Sink) error {
 		Closed:        cfg.Closed,
 		DisableLemma5: cfg.DisableLemma5,
 		DisableLemma6: cfg.DisableLemma6,
+		Measure:       cfg.Measure,
 	}, out)
 }
 

@@ -36,15 +36,32 @@ type Config struct {
 	// (ablations; output must not change).
 	DisableLemma5 bool
 	DisableLemma6 bool
+	// Measure optionally aggregates the table's Aux column per output cell
+	// through the multiway traversal itself (paper Sec. 6.1): nodes and pool
+	// merges carry the stored aggregate (core.MeasureAgg.Stored). Delivered
+	// through sink.AuxSink.
+	Measure core.MeasureKind
 }
 
 type runner struct {
 	t        *table.Table
 	cfg      Config
 	out      sink.Sink
+	auxOut   sink.AuxSink // set when cfg.Measure is active and out accepts aux
+	measure  core.MeasureKind
 	cols     core.Columns
 	vals     []core.Value
 	slabPool [][]saNode
+}
+
+// emit delivers one cell, with the node's stored measure aggregate when a
+// native measure is active.
+func (r *runner) emit(n *saNode) {
+	if r.auxOut != nil {
+		r.auxOut.EmitAux(r.vals, n.count, n.aux)
+		return
+	}
+	r.out.Emit(r.vals, n.count)
 }
 
 // Run computes the (closed) iceberg cube of t and emits cells into out.
@@ -58,6 +75,9 @@ func Run(t *table.Table, cfg Config, out sink.Sink) error {
 	if t.NumDims() < 1 {
 		return fmt.Errorf("stararray: table has no dimensions")
 	}
+	if cfg.Measure != core.MeasureNone && t.Aux == nil {
+		return fmt.Errorf("stararray: measure %v requested but table has no aux column", cfg.Measure)
+	}
 	if int64(t.NumTuples()) < cfg.MinSup {
 		return nil
 	}
@@ -68,10 +88,14 @@ func Run(t *table.Table, cfg Config, out sink.Sink) error {
 		cols: t.Cols,
 		vals: make([]core.Value, t.NumDims()),
 	}
+	if a, ok := out.(sink.AuxSink); ok && cfg.Measure != core.MeasureNone {
+		r.auxOut = a
+		r.measure = cfg.Measure
+	}
 	for d := range r.vals {
 		r.vals[d] = core.Star
 	}
-	base := buildBase(t, cfg.MinSup, cfg.Closed, &r.slabPool)
+	base := buildBase(t, cfg.MinSup, cfg.Closed, r.measure, &r.slabPool)
 	r.process(base)
 	base.ar.release()
 	return nil
@@ -96,7 +120,7 @@ func (r *runner) dfs(tr *saTree, n *saNode, l int, prune bool) {
 	case l == m:
 		if n.count >= r.cfg.MinSup &&
 			(!r.cfg.Closed || n.cls.Mask&tr.tm == 0) {
-			r.out.Emit(r.vals, n.count)
+			r.emit(n)
 		}
 	case n.isPool:
 		// Truncated branch: count < min_sup, nothing below can be output.
@@ -104,7 +128,7 @@ func (r *runner) dfs(tr *saTree, n *saNode, l int, prune bool) {
 		if n.count >= r.cfg.MinSup && !prune {
 			if !r.cfg.Closed ||
 				(n.cls.Mask&tr.tm == 0 && n.nsons != 1) {
-				r.out.Emit(r.vals, n.count)
+				r.emit(n)
 			}
 		}
 		for s := n.child; s != nil; s = s.sib {
@@ -143,6 +167,7 @@ func (r *runner) buildCT(tr *saTree, n *saNode, l int) *saTree {
 	root := sub.ar.alloc()
 	root.val = rootVal
 	root.count = n.count
+	root.aux = n.aux
 	if r.cfg.Closed {
 		root.cls = core.EmptyClosedness()
 		for s := n.child; s != nil; s = s.sib {
@@ -177,6 +202,19 @@ func (mb member) count() int64 {
 		return mb.node.count
 	}
 	return int64(len(mb.run))
+}
+
+// aux returns the member's stored measure aggregate: the node's own, or the
+// fold over a raw pool run.
+func (mb member) aux(kind core.MeasureKind, auxIn []float64) float64 {
+	if mb.node != nil {
+		return mb.node.aux
+	}
+	acc := core.StoredIdentity(kind)
+	for _, tid := range mb.run {
+		acc = core.CombineStored(kind, acc, auxIn[tid])
+	}
+	return acc
 }
 
 func (mb member) closedness(cols core.Columns) core.Closedness {
@@ -296,16 +334,20 @@ func (r *runner) mergeChildren(tr *saTree, curs []cursor, d int) (*saNode, int32
 		vmin := h.keys[0]
 		members = members[:0]
 		var cnt int64
+		aux := core.StoredIdentity(r.measure)
 		for len(h.s) > 0 && h.keys[0] == vmin {
 			st := h.pop()
 			mb := st.take(col)
 			members = append(members, mb)
 			cnt += mb.count()
+			if r.auxOut != nil {
+				aux = core.CombineStored(r.measure, aux, mb.aux(r.measure, r.t.Aux))
+			}
 			if v, ok := st.head(col); ok {
 				h.push(st, v)
 			}
 		}
-		x := r.buildMerged(tr, vmin, cnt, members, d)
+		x := r.buildMerged(tr, vmin, cnt, aux, members, d)
 		if tail == nil {
 			first = x
 		} else {
@@ -326,11 +368,12 @@ func (n *saNode) childOrNil() *saNode {
 }
 
 // buildMerged assembles the merged child node for one value group.
-func (r *runner) buildMerged(tr *saTree, v core.Value, cnt int64, members []member, d int) *saNode {
+func (r *runner) buildMerged(tr *saTree, v core.Value, cnt int64, aux float64, members []member, d int) *saNode {
 	m := tr.depth()
 	x := tr.ar.alloc()
 	x.val = v
 	x.count = cnt
+	x.aux = aux
 	switch {
 	case d+1 == m: // full-depth leaf
 		if r.cfg.Closed {

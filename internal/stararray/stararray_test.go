@@ -116,7 +116,7 @@ func TestPaperExample1(t *testing.T) {
 // every pool is sorted by the tree's remaining dimensions.
 func TestPoolsSortedInvariant(t *testing.T) {
 	tb := gen.MustSynthetic(gen.Config{T: 300, D: 4, C: 12, S: 1, Seed: 77})
-	tr := buildBase(tb, 5, true, nil)
+	tr := buildBase(tb, 5, true, core.MeasureNone, nil)
 	var walk func(n *saNode, l int)
 	walk = func(n *saNode, l int) {
 		if n.isPool {
@@ -149,7 +149,7 @@ func TestPoolsSortedInvariant(t *testing.T) {
 // the merge construction relies on.
 func TestSonsSortedInvariant(t *testing.T) {
 	tb := gen.MustSynthetic(gen.Config{T: 300, D: 4, C: 8, S: 1, Seed: 78})
-	tr := buildBase(tb, 3, true, nil)
+	tr := buildBase(tb, 3, true, core.MeasureNone, nil)
 	var walk func(n *saNode)
 	walk = func(n *saNode) {
 		sons := n.sonSlice()
@@ -172,7 +172,7 @@ func TestSonsSortedInvariant(t *testing.T) {
 // identical to a star tree — no truncation can occur.
 func TestMinsupOneHasNoPools(t *testing.T) {
 	tb := gen.MustSynthetic(gen.Config{T: 100, D: 3, C: 10, S: 0, Seed: 79})
-	tr := buildBase(tb, 1, false, nil)
+	tr := buildBase(tb, 1, false, core.MeasureNone, nil)
 	var walk func(n *saNode)
 	walk = func(n *saNode) {
 		if n.isPool {

@@ -23,6 +23,7 @@ const rootVal core.Value = -99
 type saNode struct {
 	val    core.Value
 	count  int64
+	aux    float64 // stored measure aggregate (native measures only)
 	cls    core.Closedness
 	child  *saNode
 	sib    *saNode
@@ -92,7 +93,9 @@ func (tr *saTree) depth() int { return len(tr.dims) }
 // LexSorted over every dimension, so each pool leaf references a subrange of
 // the one sorted TID array with no copying, already ordered by its remaining
 // dimensions.
-func buildBase(t *table.Table, minsup int64, closed bool, pool *[][]saNode) *saTree {
+// buildBase constructs the base StarArray; when measure is active every node
+// (including pool leaves) carries the stored measure aggregate of its tuples.
+func buildBase(t *table.Table, minsup int64, closed bool, measure core.MeasureKind, pool *[][]saNode) *saTree {
 	nd := t.NumDims()
 	tr := &saTree{dims: make([]int, nd)}
 	tr.ar.pool = pool
@@ -113,7 +116,7 @@ func buildBase(t *table.Table, minsup int64, closed bool, pool *[][]saNode) *saT
 
 	b := &baseBuilder{
 		t: t, tr: tr, tids: tids, minsup: minsup,
-		closed: closed, structMask: structMask,
+		closed: closed, measure: measure, structMask: structMask,
 	}
 	tr.root = b.build(0, n, 0, rootVal)
 	return tr
@@ -125,7 +128,17 @@ type baseBuilder struct {
 	tids       []core.TID
 	minsup     int64
 	closed     bool
+	measure    core.MeasureKind
 	structMask []core.Mask
+}
+
+// auxRange aggregates the stored measure of the sorted-TID range [lo,hi).
+func (b *baseBuilder) auxRange(lo, hi int) float64 {
+	acc := core.StoredIdentity(b.measure)
+	for _, tid := range b.tids[lo:hi] {
+		acc = core.CombineStored(b.measure, acc, b.t.Aux[tid])
+	}
+	return acc
 }
 
 // build creates the node covering the sorted TID range [lo,hi) at level l
@@ -134,6 +147,9 @@ func (b *baseBuilder) build(lo, hi, l int, val core.Value) *saNode {
 	x := b.tr.ar.alloc()
 	x.val = val
 	x.count = int64(hi - lo)
+	if b.measure != core.MeasureNone {
+		x.aux = b.auxRange(lo, hi)
+	}
 	m := b.tr.depth()
 	switch {
 	case l == m: // full-depth leaf: a group of identical tuples

@@ -13,7 +13,9 @@ type ccStar struct{}
 func (ccStar) Name() string { return "CC(Star)" }
 
 func (ccStar) Capabilities() engine.Capabilities {
-	return engine.Capabilities{Closed: true, Iceberg: true, OrderSensitive: true}
+	// Measures ride the tree aggregation itself: nodes carry the stored
+	// aggregate and child-tree merges combine it exactly like count.
+	return engine.Capabilities{Closed: true, Iceberg: true, NativeMeasure: true, OrderSensitive: true}
 }
 
 func (ccStar) Run(t *table.Table, cfg engine.Config, out sink.Sink) error {
@@ -22,6 +24,7 @@ func (ccStar) Run(t *table.Table, cfg engine.Config, out sink.Sink) error {
 		Closed:        cfg.Closed,
 		DisableLemma5: cfg.DisableLemma5,
 		DisableLemma6: cfg.DisableLemma6,
+		Measure:       cfg.Measure,
 	}, out)
 }
 

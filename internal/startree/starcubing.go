@@ -42,16 +42,32 @@ type Config struct {
 	DisableLemma6 bool
 	// NoStarReduction disables star reduction (ablation).
 	NoStarReduction bool
+	// Measure optionally aggregates the table's Aux column per output cell
+	// through the tree aggregation itself (paper Sec. 6.1): nodes carry the
+	// stored aggregate (core.MeasureAgg.Stored) and child-tree merges combine
+	// it exactly like count. Delivered through sink.AuxSink.
+	Measure core.MeasureKind
 }
 
 type runner struct {
 	t        *table.Table
 	cfg      Config
 	out      sink.Sink
+	auxOut   sink.AuxSink // set when cfg.Measure is active and out accepts aux
 	cols     core.Columns
 	vals     []core.Value
 	slabPool [][]node   // recycled node slabs
 	ctFree   []*ctBuild // recycled child-tree builders
+}
+
+// emit delivers one cell, with the node's stored measure aggregate when a
+// native measure is active.
+func (r *runner) emit(n *node) {
+	if r.auxOut != nil {
+		r.auxOut.EmitAux(r.vals, n.count, n.aux)
+		return
+	}
+	r.out.Emit(r.vals, n.count)
 }
 
 // ctBuild tracks one child tree under simultaneous construction during its
@@ -84,6 +100,7 @@ func (r *runner) spawnCT(tr *tree, l int) *ctBuild {
 	root := ct.tr.ar.alloc()
 	root.val = rootVal
 	root.cls = core.EmptyClosedness()
+	root.aux = core.StoredIdentity(r.cfg.Measure)
 	ct.tr.root = root
 	return ct
 }
@@ -106,6 +123,9 @@ func Run(t *table.Table, cfg Config, out sink.Sink) error {
 	if t.NumDims() < 1 {
 		return fmt.Errorf("startree: table has no dimensions")
 	}
+	if cfg.Measure != core.MeasureNone && t.Aux == nil {
+		return fmt.Errorf("startree: measure %v requested but table has no aux column", cfg.Measure)
+	}
 	if int64(t.NumTuples()) < cfg.MinSup {
 		return nil
 	}
@@ -116,10 +136,17 @@ func Run(t *table.Table, cfg Config, out sink.Sink) error {
 		cols: t.Cols,
 		vals: make([]core.Value, t.NumDims()),
 	}
+	if a, ok := out.(sink.AuxSink); ok && cfg.Measure != core.MeasureNone {
+		r.auxOut = a
+	}
 	for d := range r.vals {
 		r.vals[d] = core.Star
 	}
-	base := buildBase(t, cfg.MinSup, cfg.Closed, cfg.NoStarReduction, &r.slabPool)
+	measure := core.MeasureNone
+	if r.auxOut != nil {
+		measure = cfg.Measure
+	}
+	base := buildBase(t, cfg.MinSup, cfg.Closed, cfg.NoStarReduction, measure, &r.slabPool)
 	r.process(base)
 	base.ar.release()
 	return nil
@@ -149,6 +176,9 @@ func (r *runner) dfs(tr *tree, n *node, l int, acts []*ctBuild, stars, prune boo
 				if r.cfg.Closed {
 					root.cls.Merge(n.cls, ct.tr.tm, r.cols)
 				}
+				if r.auxOut != nil {
+					root.aux = core.CombineStored(r.cfg.Measure, root.aux, n.aux)
+				}
 				ct.cursors[0] = root
 				ct.psms[0] = 0
 			} else {
@@ -161,10 +191,14 @@ func (r *runner) dfs(tr *tree, n *node, l int, acts []*ctBuild, stars, prune boo
 				if created {
 					x.count = n.count
 					x.cls = n.cls
+					x.aux = n.aux
 				} else {
 					x.count += n.count
 					if r.cfg.Closed {
 						x.cls.Merge(n.cls, ct.tr.tm|psm, r.cols)
+					}
+					if r.auxOut != nil {
+						x.aux = core.CombineStored(r.cfg.Measure, x.aux, n.aux)
 					}
 				}
 				ct.cursors[depth] = x
@@ -186,7 +220,7 @@ func (r *runner) dfs(tr *tree, n *node, l int, acts []*ctBuild, stars, prune boo
 		// Leaf: emit the full cell of this tree's cuboid.
 		if n.count >= r.cfg.MinSup && !stars &&
 			(!r.cfg.Closed || n.cls.Mask&tr.tm == 0) {
-			r.out.Emit(r.vals, n.count)
+			r.emit(n)
 		}
 	case l == m-1:
 		// Last-second level: emit the cell collapsing the leaf dimension.
@@ -194,7 +228,7 @@ func (r *runner) dfs(tr *tree, n *node, l int, acts []*ctBuild, stars, prune boo
 		if n.count >= r.cfg.MinSup && !stars && !prune {
 			if !r.cfg.Closed ||
 				(n.cls.Mask&tr.tm == 0 && !n.singleNonStarSon()) {
-				r.out.Emit(r.vals, n.count)
+				r.emit(n)
 			}
 		}
 		for s := n.child; s != nil; s = s.sib {

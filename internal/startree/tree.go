@@ -25,8 +25,9 @@ func (tr *tree) depth() int { return len(tr.dims) }
 // along shared prefixes. Per-level closedness masks are partial — structural
 // bits for the path dimensions — except at star nodes, whose merged values
 // force representative-value checks (see DESIGN.md: star reduction ×
-// closedness).
-func buildBase(t *table.Table, minsup int64, closed bool, noStars bool, pool *[][]node) *tree {
+// closedness). When measure is active, every node additionally aggregates
+// the stored measure of its tuples (t.Aux must be set).
+func buildBase(t *table.Table, minsup int64, closed bool, noStars bool, measure core.MeasureKind, pool *[][]node) *tree {
 	nd := t.NumDims()
 	tr := &tree{dims: make([]int, nd)}
 	tr.ar.pool = pool
@@ -80,7 +81,9 @@ func buildBase(t *table.Table, minsup int64, closed bool, noStars bool, pool *[]
 	root := tr.ar.alloc()
 	root.val = rootVal
 	root.cls = core.Closedness{Rep: core.NilTID, Mask: 0}
+	root.aux = core.StoredIdentity(measure)
 	tr.root = root
+	hasAux := measure != core.MeasureNone
 
 	path := make([]*node, nd+1)
 	path[0] = root
@@ -109,6 +112,9 @@ func buildBase(t *table.Table, minsup int64, closed bool, noStars bool, pool *[]
 		if closed && root.cls.Rep == core.NilTID {
 			root.cls.Rep = tid
 		}
+		if hasAux {
+			root.aux = core.CombineStored(measure, root.aux, t.Aux[tid])
+		}
 		for l := 1; l <= nd; l++ {
 			d := tr.dims[l-1]
 			if l-1 < share {
@@ -116,6 +122,9 @@ func buildBase(t *table.Table, minsup int64, closed bool, noStars bool, pool *[]
 				x.count++
 				if closed {
 					x.cls.MergeTuple(tid, psm[l], t.Cols)
+				}
+				if hasAux {
+					x.aux = core.CombineStored(measure, x.aux, t.Aux[tid])
 				}
 				continue
 			}
@@ -125,6 +134,9 @@ func buildBase(t *table.Table, minsup int64, closed bool, noStars bool, pool *[]
 				panic("startree: unsorted base-tree insertion")
 			}
 			x.count = 1
+			if hasAux {
+				x.aux = t.Aux[tid]
+			}
 			psm[l] = psm[l-1]
 			if mapped[l-1] == core.StarNode {
 				psm[l] = psm[l].With(d)

@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-3x}"
 export CCUBING_BENCH_SEED="${BENCH_SEED:-23}"
-filter="${BENCH_FILTER:-BenchmarkCubeQuery|BenchmarkStoreBuild|BenchmarkBuildComparison|BenchmarkMaterialize|BenchmarkCubeSnapshot|BenchmarkParallelWorkers|BenchmarkLookupLattice|BenchmarkAggregateGroupBy|BenchmarkRefresh|BenchmarkRefreshDelete|BenchmarkRouterAggregate|BenchmarkObsRecord}"
+filter="${BENCH_FILTER:-BenchmarkCubeQuery|BenchmarkStoreBuild|BenchmarkBuildComparison|BenchmarkMaterialize|BenchmarkCubeSnapshot|BenchmarkParallelWorkers|BenchmarkLookupLattice|BenchmarkAggregateGroupBy|BenchmarkAggregateIcebergResidual|BenchmarkRefresh|BenchmarkRefreshDelete|BenchmarkRouterAggregate|BenchmarkObsRecord}"
 # Never overwrite an earlier run: same-day runs get a .2, .3, ... suffix so
 # the series keeps every data point.
 out="BENCH_$(date -u +%Y-%m-%d).json"
